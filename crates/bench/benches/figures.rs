@@ -1,0 +1,145 @@
+//! Reduced-size versions of every paper table/figure, so `cargo bench`
+//! exercises the full evaluation path. The `fig*`/`table*` binaries run
+//! the full-size versions and print the paper's rows/series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fireaxe::prelude::*;
+use fireaxe::Platform;
+use std::hint::black_box;
+
+fn fig11_12_rate_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig11_qsfp_point", |b| {
+        b.iter(|| {
+            black_box(fireaxe_bench::rate_point(
+                Platform::OnPremQsfp,
+                1024,
+                30.0,
+                PartitionMode::Fast,
+                60,
+            ))
+        })
+    });
+    g.bench_function("fig12_pcie_point", |b| {
+        b.iter(|| {
+            black_box(fireaxe_bench::rate_point(
+                Platform::CloudF1,
+                1024,
+                30.0,
+                PartitionMode::Exact,
+                60,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn fig13_fpga_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig13_ring_3fpga", |b| {
+        b.iter(|| black_box(fireaxe_bench::fpga_count_sweep(&[3], 30.0, 60)))
+    });
+    g.finish();
+}
+
+fn fig14_fame5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig14_fame5_3tiles", |b| {
+        b.iter(|| black_box(fireaxe_bench::fame5_sweep(&[3], &[25.0], 60)))
+    });
+    g.finish();
+}
+
+fn table2_validation(c: &mut Criterion) {
+    use fireaxe::validation::{partitioned_cycles_to_done, ValidationTarget};
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table2_sha3_exact", |b| {
+        b.iter(|| {
+            black_box(
+                partitioned_cycles_to_done(ValidationTarget::Sha3, PartitionMode::Exact, 8)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn fig07_08_embench(c: &mut Criterion) {
+    use fireaxe::workloads::{core_model::CoreParams, embench};
+    let gc40 = CoreParams::from(&BoomConfig::gc40());
+    c.bench_function("fig07_embench_nettle_aes", |b| {
+        let p = embench::profile("nettle-aes");
+        b.iter(|| black_box(fireaxe::workloads::run(&gc40, &p)))
+    });
+}
+
+fn fig09_leaky_dma(c: &mut Criterion) {
+    use fireaxe::workloads::leaky_dma::{run_leaky_dma, BusTopology, LeakyDmaConfig};
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig09_leaky_dma_6core", |b| {
+        b.iter(|| {
+            black_box(run_leaky_dma(&LeakyDmaConfig {
+                forwarding_cores: 6,
+                topology: BusTopology::Xbar,
+                packets_per_core: 60,
+                ..Default::default()
+            }))
+        })
+    });
+    g.finish();
+}
+
+fn fig10_golang_gc(c: &mut Criterion) {
+    use fireaxe::workloads::golang_gc::{run_study, Affinity, GcStudyConfig};
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig10_gc_study", |b| {
+        let mut cfg = GcStudyConfig::paper(2, Affinity::OneCore);
+        cfg.duration_us = 200_000.0;
+        b.iter(|| black_box(run_study(&cfg)))
+    });
+    g.finish();
+}
+
+fn fig06_bug_hunt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig06_ring_soc_2fpga", |b| {
+        b.iter(|| {
+            let soc = ring_soc(&RingSocConfig {
+                tiles: 2,
+                tile_period: 4,
+                ..Default::default()
+            });
+            let spec = PartitionSpec::exact(vec![PartitionGroup {
+                name: "fpga0".into(),
+                selection: Selection::NocRouters {
+                    routers: soc.router_paths.clone(),
+                    indices: vec![0],
+                },
+                fame5: false,
+            }]);
+            let (_d, mut sim) = fireaxe::FireAxe::new(soc.circuit, spec).build().unwrap();
+            black_box(sim.run_target_cycles(60).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig11_12_rate_sweeps,
+    fig13_fpga_count,
+    fig14_fame5,
+    table2_validation,
+    fig07_08_embench,
+    fig09_leaky_dma,
+    fig10_golang_gc,
+    fig06_bug_hunt
+);
+criterion_main!(benches);

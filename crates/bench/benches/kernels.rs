@@ -1,0 +1,104 @@
+//! Criterion benches over FireAxe's hot kernels: Bits arithmetic, the RTL
+//! interpreter, LI-BDN host stepping, channel packing, and FireRipper
+//! compilation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fireaxe::prelude::*;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bits_ops(c: &mut Criterion) {
+    let a = Bits::from_u64(0x1234_5678_9ABC_DEF0, 256);
+    let b = Bits::from_u64(0x0FED_CBA9_8765_4321, 256);
+    c.bench_function("bits/add_256", |bench| {
+        bench.iter(|| black_box(a.add(black_box(&b))))
+    });
+    c.bench_function("bits/mul_256", |bench| {
+        bench.iter(|| black_box(a.mul(black_box(&b))))
+    });
+    c.bench_function("bits/cat_extract", |bench| {
+        bench.iter(|| {
+            let x = a.cat(&b);
+            black_box(x.extract(300, 100))
+        })
+    });
+}
+
+fn interpreter_step(c: &mut Criterion) {
+    let circuit = fireaxe::soc::validation::sha3_soc(8);
+    c.bench_function("interp/sha3_soc_cycle", |bench| {
+        let mut sim = Interpreter::new(&circuit).unwrap();
+        sim.poke("go", Bits::from_u64(1, 1));
+        bench.iter(|| {
+            sim.step().unwrap();
+        })
+    });
+    c.bench_function("interp/elaborate_sha3_soc", |bench| {
+        bench.iter(|| black_box(Interpreter::new(black_box(&circuit)).unwrap()))
+    });
+}
+
+fn channel_pack(c: &mut Criterion) {
+    use fireaxe::libdn::ChannelSpec;
+    let spec = ChannelSpec::new(
+        "wide",
+        (0..32).map(|i| (format!("p{i}"), Width::new(47))).collect(),
+    );
+    let mut vals = BTreeMap::new();
+    for i in 0..32 {
+        vals.insert(format!("p{i}"), Bits::from_u64(i as u64 * 977, 47));
+    }
+    c.bench_function("channel/pack_1504b", |bench| {
+        bench.iter(|| black_box(spec.pack(black_box(&vals))))
+    });
+    let token = spec.pack(&vals);
+    c.bench_function("channel/unpack_1504b", |bench| {
+        bench.iter(|| black_box(spec.unpack(black_box(&token))))
+    });
+}
+
+fn ripper_compile(c: &mut Criterion) {
+    let soc = ring_soc(&RingSocConfig {
+        tiles: 8,
+        ..Default::default()
+    });
+    let spec = PartitionSpec::exact(vec![PartitionGroup {
+        name: "fpga0".into(),
+        selection: Selection::NocRouters {
+            routers: soc.router_paths.clone(),
+            indices: vec![0, 1, 2, 3],
+        },
+        fame5: false,
+    }]);
+    let mut g = c.benchmark_group("ripper");
+    g.sample_size(10);
+    g.bench_function("compile_8tile_ring", |bench| {
+        bench.iter(|| black_box(compile(black_box(&soc.circuit), black_box(&spec)).unwrap()))
+    });
+    g.finish();
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let circuit = fireaxe::soc::validation::gemmini_soc(8);
+    let spec = PartitionSpec::exact(vec![PartitionGroup::instances("m", vec!["master".into()])]);
+    let design = compile(&circuit, &spec).unwrap();
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("exact_mode_100_cycles", |bench| {
+        bench.iter(|| {
+            let mut sim = SimBuilder::new(&design).build().unwrap();
+            black_box(sim.run_target_cycles(100).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bits_ops,
+    interpreter_step,
+    channel_pack,
+    ripper_compile,
+    engine_throughput
+);
+criterion_main!(benches);

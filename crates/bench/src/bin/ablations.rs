@@ -1,0 +1,172 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! 1. **Separated vs. monolithic channels** (paper Fig. 2): on a
+//!    register-decoupled boundary both policies work — monolithic merely
+//!    merges channels; on a combinationally coupled boundary, monolithic
+//!    channels deadlock while separated channels run.
+//! 2. **Shell-passthrough resolution**: NoC-partition-mode extraction
+//!    without the collapsing pass routes intra-partition wiring through
+//!    the remainder, inflating the boundary; with it, the cut shrinks to
+//!    the true ring/tile interfaces.
+//! 3. **Exact vs. fast crossings**: the measured per-cycle link crossings
+//!    for both modes, confirming the 2-vs-1 schedule.
+
+use fireaxe::prelude::*;
+use fireaxe::Platform;
+
+fn fig2_style_soc(comb_boundary: bool) -> Circuit {
+    let mut tile = ModuleBuilder::new("Tile");
+    let req = tile.input("req", 16);
+    let rsp = tile.output("rsp", 16);
+    let acc = tile.reg("acc", 16, 0);
+    tile.connect_sig(&acc, &acc.add(&req));
+    if comb_boundary {
+        tile.connect_sig(&rsp, &acc.add(&req)); // adder across the cut
+    } else {
+        tile.connect_sig(&rsp, &acc);
+    }
+    let mut top = ModuleBuilder::new("Soc");
+    let i = top.input("i", 16);
+    let o = top.output("o", 16);
+    top.inst("t", "Tile");
+    let hub = top.reg("hub", 16, 1);
+    top.connect_inst("t", "req", &hub);
+    let rsp = top.inst_port("t", "rsp");
+    top.connect_sig(&hub, &rsp.xor(&i));
+    top.connect_sig(&o, &hub);
+    Circuit::from_modules("Soc", vec![top.finish(), tile.finish()], "Soc")
+}
+
+/// The paper's exact Fig. 2 topology: adders fed by the peer's registers
+/// on *both* sides of the cut — the configuration whose circular token
+/// dependency deadlocks monolithic channels.
+fn fig2_symmetric_soc() -> Circuit {
+    let mut tile = ModuleBuilder::new("Fig2Side");
+    let sink_in = tile.input("sink_in", 16);
+    let src_in = tile.input("src_in", 16);
+    let sink_out = tile.output("sink_out", 16);
+    let src_out = tile.output("src_out", 16);
+    let x = tile.reg("x", 16, 1);
+    tile.connect_sig(&sink_out, &x.add(&sink_in)); // adder P
+    tile.connect_sig(&src_out, &x);
+    tile.connect_sig(&x, &src_in);
+    let mut top = ModuleBuilder::new("Soc");
+    let i = top.input("i", 16);
+    let o = top.output("o", 16);
+    top.inst("t", "Fig2Side");
+    let y = top.reg("y", 16, 2);
+    top.connect_inst("t", "sink_in", &y);
+    let t_src = top.inst_port("t", "src_out");
+    top.connect_inst("t", "src_in", &y.add(&t_src)); // adder Q
+    let t_snk = top.inst_port("t", "sink_out");
+    top.connect_sig(&y, &t_snk.xor(&i));
+    top.connect_sig(&o, &y);
+    Circuit::from_modules("Soc", vec![top.finish(), tile.finish()], "Soc")
+}
+
+fn channel_policy_ablation() {
+    println!("-- ablation 1: separated vs monolithic channels (Fig. 2) --\n");
+    for (boundary, label) in [(false, "register boundary"), (true, "adders on both sides")] {
+        for policy in [ChannelPolicy::Separated, ChannelPolicy::Monolithic] {
+            let spec = PartitionSpec {
+                mode: PartitionMode::Exact,
+                channel_policy: policy,
+                groups: vec![PartitionGroup::instances("t", vec!["t".into()])],
+            };
+            let circuit = if boundary {
+                fig2_symmetric_soc()
+            } else {
+                fig2_style_soc(false)
+            };
+            let (_d, mut sim) = fireaxe::FireAxe::new(circuit, spec)
+                .build()
+                .expect("compiles");
+            // Cap the deadlock horizon so the hang is detected quickly.
+            let outcome = {
+                let mut result = None;
+                for _ in 0..200_000 {
+                    if sim.target_cycles() >= 200 {
+                        result = Some(sim.metrics().target_mhz());
+                        break;
+                    }
+                    if sim.step_one_edge().is_err() {
+                        break;
+                    }
+                }
+                result
+            };
+            match outcome {
+                Some(mhz) => println!("  {label:<26} {policy:?}: runs at {mhz:.3} MHz"),
+                None => println!("  {label:<26} {policy:?}: DEADLOCK (as the paper predicts)"),
+            }
+        }
+    }
+    println!();
+}
+
+fn passthrough_ablation() {
+    println!("-- ablation 2: shell-passthrough resolution --\n");
+    let soc = ring_soc(&RingSocConfig {
+        tiles: 4,
+        tile_period: 4,
+        ..Default::default()
+    });
+    let spec = PartitionSpec::exact(vec![PartitionGroup {
+        name: "fpga0".into(),
+        selection: Selection::NocRouters {
+            routers: soc.router_paths.clone(),
+            indices: vec![0, 1],
+        },
+        fame5: false,
+    }]);
+    for (resolve, label) in [(true, "with resolution"), (false, "without resolution")] {
+        let options = fireaxe::ripper::CompileOptions {
+            resolve_passthroughs: resolve,
+        };
+        match fireaxe::ripper::compile_with_options(&soc.circuit, &spec, options) {
+            Ok(d) => println!(
+                "  {label:<22} boundary {:>6} bits over {:>2} links",
+                d.report.total_boundary_width(),
+                d.links.len()
+            ),
+            Err(e) => println!("  {label:<22} compilation fails: {e}"),
+        }
+    }
+    println!();
+}
+
+fn crossings_ablation() {
+    println!("-- ablation 3: exact vs fast scheduling on a comb boundary --\n");
+    let mut rates = Vec::new();
+    for mode in [PartitionMode::Exact, PartitionMode::Fast] {
+        let spec = PartitionSpec {
+            mode,
+            channel_policy: ChannelPolicy::Separated,
+            groups: vec![PartitionGroup::instances("t", vec!["t".into()])],
+        };
+        let (_d, mut sim) = fireaxe::FireAxe::new(fig2_style_soc(true), spec)
+            .platform(Platform::OnPremQsfp)
+            .build()
+            .expect("compiles");
+        let m = sim.run_target_cycles(800).expect("runs");
+        let tokens: u64 = m.link_tokens.iter().sum();
+        println!(
+            "  {mode}: {:.3} MHz, {:.2} tokens/cycle (same traffic, different serialization)",
+            m.target_mhz(),
+            tokens as f64 / m.target_cycles as f64
+        );
+        rates.push(m.target_mhz());
+    }
+    println!(
+        "  fast/exact speedup: {:.2}x (the paper's ~2x: exact serializes its two\n\
+         \u{20}\u{20}crossings, fast overlaps them via seed tokens)\n",
+        rates[1] / rates[0]
+    );
+}
+
+fn main() {
+    println!("== Ablation studies ==\n");
+    channel_policy_ablation();
+    passthrough_ablation();
+    crossings_ablation();
+}

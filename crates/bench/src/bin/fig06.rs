@@ -1,0 +1,72 @@
+//! Fig. 6: the 24-core SoC partitioned across 5 FPGAs with
+//! NoC-partition-mode, and the §V-A RTL bug hunt.
+
+use fireaxe::prelude::*;
+use fireaxe::Platform;
+
+fn main() {
+    println!("== Fig. 6: 24-core ring SoC on 5 FPGAs ==\n");
+    let tiles = 24;
+    let fpgas = 5;
+    let soc = ring_soc(&RingSocConfig {
+        tiles,
+        tile_period: 4,
+        subsystem_latency: 8,
+        heavy_workload: true,
+        bug_after: 150,
+        ..Default::default()
+    });
+    let per = tiles / (fpgas - 1);
+    let groups: Vec<PartitionGroup> = (0..fpgas - 1)
+        .map(|g| PartitionGroup {
+            name: format!("fpga{g}"),
+            selection: Selection::NocRouters {
+                routers: soc.router_paths.clone(),
+                indices: (g * per..(g + 1) * per).collect(),
+            },
+            fame5: false,
+        })
+        .collect();
+    let (design, mut sim) = fireaxe::FireAxe::new(soc.circuit, PartitionSpec::exact(groups))
+        .platform(Platform::OnPremQsfp)
+        .build()
+        .expect("24-core SoC compiles");
+    println!("partitions (paper: tiles are FAME-5 multi-threaded to fit a U250):");
+    let u250 = FpgaSpec::alveo_u250();
+    for p in &design.partitions {
+        for t in &p.threads {
+            let est = estimate(&t.circuit);
+            if p.name == "rest" {
+                println!(
+                    "  {:8} {:>6} kLUT ({})",
+                    t.name,
+                    est.luts / 1000,
+                    fireaxe::fpga::fit_estimate(est, &u250)
+                );
+            } else {
+                let threaded = est.fame5_adjusted(per as u64, 0.7);
+                println!(
+                    "  {:8} {:>6} kLUT raw -> {:>6} kLUT with FAME-5 x{per} ({})",
+                    t.name,
+                    est.luts / 1000,
+                    threaded.luts / 1000,
+                    fireaxe::fpga::fit_estimate(threaded, &u250)
+                );
+            }
+        }
+    }
+    let m = sim.run_target_cycles(20_000).expect("runs");
+    let rest = design.node_index(fpgas - 1, 0);
+    println!(
+        "\n{} target cycles at {:.3} MHz (paper: 0.58 MHz); serviced {}, traps {}",
+        m.target_cycles,
+        m.target_mhz(),
+        sim.target(rest).peek("subsys.serviced").to_u64(),
+        sim.target(rest).peek("subsys.traps").to_u64()
+    );
+    let sw_rtl_khz = 1.26;
+    println!(
+        "speedup over the paper's 1.26 kHz software RTL simulation: {:.0}x (paper: 460x)",
+        m.target_hz() / (sw_rtl_khz * 1e3)
+    );
+}

@@ -1,0 +1,34 @@
+//! Fig. 7: Embench runtimes for Large BOOM, GC40 BOOM and Xeon at 3.4 GHz.
+
+use fireaxe::prelude::BoomConfig;
+use fireaxe::workloads::{core_model::CoreParams, embench};
+
+fn main() {
+    println!("== Fig. 7: Embench runtimes at 3.4 GHz ==\n");
+    let large = CoreParams::from(&BoomConfig::large());
+    let gc40 = CoreParams::from(&BoomConfig::gc40());
+    let xeon = CoreParams::from(&BoomConfig::golden_cove_xeon());
+    println!(
+        "{:<18}{:>12}{:>12}{:>12}{:>14}",
+        "benchmark", "Large (ms)", "GC40 (ms)", "Xeon (ms)", "GC40 uplift"
+    );
+    for b in embench::BENCHMARKS {
+        let p = embench::profile(b);
+        let rl = fireaxe::workloads::run(&large, &p);
+        let rg = fireaxe::workloads::run(&gc40, &p);
+        let rx = fireaxe::workloads::run(&xeon, &p);
+        println!(
+            "{:<18}{:>12.3}{:>12.3}{:>12.3}{:>13.1}%",
+            b,
+            rl.runtime_ms(3.4),
+            rg.runtime_ms(3.4),
+            rx.runtime_ms(3.4),
+            (rg.ipc() / rl.ipc() - 1.0) * 100.0
+        );
+    }
+    let uplift = embench::mean_ipc_uplift(&large, &gc40);
+    println!(
+        "\naverage GC40 IPC uplift over Large BOOM: {:.1}% (paper: 15.8%)",
+        uplift * 100.0
+    );
+}

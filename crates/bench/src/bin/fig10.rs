@@ -1,0 +1,20 @@
+//! Fig. 10: Golang GC tail latency vs GOMAXPROCS and CPU affinity.
+
+use fireaxe::workloads::golang_gc::{fig10_sweep, Affinity};
+
+fn main() {
+    println!("== Fig. 10: Go GC tail latency ==\n");
+    println!(
+        "{:>11} {:>10}  {:>12} {:>12}",
+        "GOMAXPROCS", "affinity", "p95 (us)", "p99 (us)"
+    );
+    for (g, aff, r) in fig10_sweep() {
+        let a = match aff {
+            Affinity::OneCore => "1 core",
+            Affinity::Spread => "spread",
+        };
+        println!("{g:>11} {a:>10}  {:>12.0} {:>12.0}", r.p95_us, r.p99_us);
+    }
+    println!("\npaper shape: GOMAXPROCS=1 has a very high p99 (GC serializes with the");
+    println!("main goroutine); pinning to one core beats spreading across cores.");
+}

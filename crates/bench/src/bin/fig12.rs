@@ -1,0 +1,17 @@
+//! Fig. 12: peer-to-peer PCIe performance sweep (AWS EC2 F1).
+
+use fireaxe::Platform;
+
+fn main() {
+    let widths = [0u32, 512, 1024, 2048, 4096, 8192];
+    let freqs = [10.0, 30.0, 90.0];
+    let pts = fireaxe_bench::rate_sweep(Platform::CloudF1, &widths, &freqs, 500);
+    fireaxe_bench::print_rate_sweep("Fig. 12: peer-to-peer PCIe sweep", &pts);
+    fireaxe_bench::write_csv(
+        "fig12-pcie-sweep.csv",
+        &["mode", "host_mhz", "width_bits", "rate_mhz"],
+        &fireaxe_bench::rate_sweep_rows(&pts),
+    );
+    println!("\npaper shape: same trends as Fig. 11 but ~1.5x slower overall due to the");
+    println!("higher inter-FPGA latency. Peak ~1.0 MHz.");
+}

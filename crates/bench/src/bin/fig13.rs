@@ -1,0 +1,21 @@
+//! Fig. 13: simulation rate vs the number of FPGAs in the ring.
+
+fn main() {
+    println!("== Fig. 13: FPGA-count sweep (NoC-partition-mode ring) ==\n");
+    println!("{:>6} {:>12}", "FPGAs", "rate MHz");
+    let rows = fireaxe_bench::fpga_count_sweep(&[2, 3, 4, 5], 30.0, 400);
+    for (fpgas, mhz) in &rows {
+        println!("{fpgas:>6} {mhz:>12.3}");
+    }
+    fireaxe_bench::write_csv(
+        "fig13-fpga-count.csv",
+        &["fpgas", "rate_mhz"],
+        &rows
+            .iter()
+            .map(|(f, m)| vec![f.to_string(), format!("{m:.6}")])
+            .collect::<Vec<_>>(),
+    );
+    println!("\npaper shape: rate degrades as FPGAs join the ring (token-exchange");
+    println!("timing overheads accumulate), even though each FPGA only talks to");
+    println!("its neighbors.");
+}

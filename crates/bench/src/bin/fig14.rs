@@ -1,0 +1,36 @@
+//! Fig. 14: amortizing inter-FPGA communication latency with FAME-5
+//! multi-threading.
+
+fn main() {
+    println!("== Fig. 14: FAME-5 multi-threading sweep ==\n");
+    println!("tile FPGA fixed at 15 MHz; SoC-side frequency swept\n");
+    println!("{:>6} {:>10} {:>12}", "tiles", "SoC MHz", "rate MHz");
+    let rows = fireaxe_bench::fame5_sweep(&[1, 2, 3, 4, 5, 6], &[20.0, 25.0, 30.0], 300);
+    for (n, f, mhz) in &rows {
+        println!("{n:>6} {f:>10.0} {mhz:>12.3}");
+    }
+    fireaxe_bench::write_csv(
+        "fig14-fame5.csv",
+        &["tiles", "soc_mhz", "rate_mhz"],
+        &rows
+            .iter()
+            .map(|(n, f, m)| vec![n.to_string(), f.to_string(), format!("{m:.6}")])
+            .collect::<Vec<_>>(),
+    );
+    // Degradation factor from 1 to 6 threads at 30 MHz.
+    let r1 = rows
+        .iter()
+        .find(|(n, f, _)| *n == 1 && *f == 30.0)
+        .unwrap()
+        .2;
+    let r6 = rows
+        .iter()
+        .find(|(n, f, _)| *n == 6 && *f == 30.0)
+        .unwrap()
+        .2;
+    println!(
+        "\n1 -> 6 threads at 30 MHz: {:.2}x slowdown (paper: < 2x — the inter-FPGA",
+        r1 / r6
+    );
+    println!("latency amortizes across threads while LUT usage stays flat).");
+}

@@ -1,0 +1,40 @@
+//! §V-B numbers: GC40 BOOM monolithic build failure, the two-FPGA split's
+//! utilizations, the >7000-bit boundary, and the partitioned rate.
+
+use fireaxe::prelude::*;
+use fireaxe::Platform;
+
+fn main() {
+    println!("== GC40 BOOM split (paper §V-B) ==\n");
+    let gc40 = BoomConfig::gc40();
+    let circuit = fireaxe::soc::boom::core_circuit(&gc40);
+    let u250 = FpgaSpec::alveo_u250();
+    println!("monolithic: {}", fit(&circuit, &u250));
+    let spec = PartitionSpec::exact(vec![PartitionGroup::instances(
+        "backend_fpga",
+        vec!["backend".into(), "lsu".into()],
+    )]);
+    let (design, mut sim) = fireaxe::FireAxe::new(circuit, spec)
+        .platform(Platform::OnPremQsfp)
+        .clock_mhz(10.0)
+        .check_fit()
+        .build()
+        .expect("split compiles and fits");
+    println!(
+        "boundary: {} bits (paper: >7000)",
+        design.report.total_boundary_width()
+    );
+    for p in &design.partitions {
+        for t in &p.threads {
+            println!("  {:14} {}", t.name, fit(&t.circuit, &u250));
+        }
+    }
+    let m = sim.run_target_cycles(20_000).expect("runs");
+    println!(
+        "\nrate: {:.3} MHz (paper: 0.2 MHz); commits {}",
+        m.target_mhz(),
+        sim.target(design.node_index(0, 0))
+            .peek("backend_commits")
+            .to_u64()
+    );
+}

@@ -1,0 +1,31 @@
+//! Runs every table/figure generator in sequence (the `run-ae-full.sh`
+//! analog of the paper's artifact).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "table2",
+        "fig06",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "transports",
+        "gc40",
+        "ablations",
+    ];
+    for b in bins {
+        println!("\n########## {b} ##########\n");
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(b))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {b}: {e}"));
+        assert!(status.success(), "{b} failed");
+    }
+    println!("\nrepro-all complete!");
+}

@@ -1,0 +1,49 @@
+//! Table I: microarchitectural parameters of Large BOOM, GC40 BOOM, and
+//! the Golden Cove Xeon, plus the synthesis-area comparison from §V-B.
+
+use fireaxe::prelude::BoomConfig;
+
+fn main() {
+    let configs = [
+        BoomConfig::large(),
+        BoomConfig::gc40(),
+        BoomConfig::golden_cove_xeon(),
+    ];
+    println!("== Table I: BOOM / Xeon microarchitectural parameters ==\n");
+    println!(
+        "{:<22}{:>12}{:>12}{:>12}",
+        "", configs[0].name, configs[1].name, configs[2].name
+    );
+    type Row = (&'static str, fn(&BoomConfig) -> String);
+    let rows: [Row; 9] = [
+        ("Issue width", |c| c.issue_width.to_string()),
+        ("ROB entries", |c| c.rob_entries.to_string()),
+        ("I-Phys Regs", |c| c.int_phys_regs.to_string()),
+        ("F-Phys Regs", |c| c.fp_phys_regs.to_string()),
+        ("Ld queue entries", |c| c.ldq_entries.to_string()),
+        ("St queue entries", |c| c.stq_entries.to_string()),
+        ("Fetch buffer entries", |c| c.fetch_buf_entries.to_string()),
+        ("L1-I", |c| format!("{} kB", c.l1i_kb)),
+        ("L1-D", |c| format!("{} kB", c.l1d_kb)),
+    ];
+    for (name, f) in rows {
+        println!(
+            "{:<22}{:>12}{:>12}{:>12}",
+            name,
+            f(&configs[0]),
+            f(&configs[1]),
+            f(&configs[2])
+        );
+    }
+    println!("\nArea (core + L1, mm^2):");
+    for c in &configs {
+        println!(
+            "  {:<12} measured {:>5.2}  structural estimate {:>5.2}",
+            c.name,
+            c.area_mm2(),
+            c.estimated_area_mm2()
+        );
+    }
+    println!("\npaper: 0.79 / 1.56 / 9.13 mm^2 — the Xeon's gap over its structural");
+    println!("estimate is the \"room for microarchitectural innovation\" headroom.");
+}

@@ -1,0 +1,22 @@
+//! Table II: simulator validation — monolithic vs exact-mode vs fast-mode
+//! cycle counts for the Rocket / Sha3 / Gemmini SoCs.
+
+fn main() {
+    println!("== Table II: simulator validation ==\n");
+    println!(
+        "{:<28}{:>14}{:>18}{:>18}",
+        "", "Monolithic", "Exact |err| (%)", "Fast |err| (%)"
+    );
+    for row in fireaxe_bench::table2_rows(400) {
+        println!(
+            "{:<28}{:>14}{:>18.2}{:>18.2}",
+            row.target,
+            row.monolithic,
+            row.exact_error_pct(),
+            row.fast_error_pct()
+        );
+    }
+    println!("\npaper: Rocket 3,840,921,346 cycles (0 / 0.98%), Sha3 302 (0 / 6.62%),");
+    println!("Gemmini 4,505 (0 / 0.22%). Exact-mode is zero-error by construction;");
+    println!("fast-mode error is largest for the short, memory-bound Sha3 operation.");
+}

@@ -1,0 +1,21 @@
+//! §IV headline rates: the three FPGA-to-FPGA transports side by side.
+
+use fireaxe::prelude::*;
+use fireaxe::Platform;
+
+fn main() {
+    println!("== Transport headline rates (paper §IV) ==\n");
+    for (platform, cycles, paper) in [
+        (Platform::OnPremQsfp, 3_000u64, "1.6 MHz"),
+        (Platform::CloudF1, 2_000, "1.0 MHz"),
+        (Platform::HostManaged, 60, "26.4 kHz"),
+    ] {
+        let p = fireaxe_bench::rate_point(platform, 0, 30.0, PartitionMode::Fast, cycles);
+        println!(
+            "{:<28} {:>10.4} MHz   (paper: {})",
+            format!("{platform:?} (fast-mode):"),
+            p.measured_mhz,
+            paper
+        );
+    }
+}

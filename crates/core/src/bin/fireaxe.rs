@@ -1,0 +1,121 @@
+//! The `fireaxe` command-line runner: push-button partitioned simulation
+//! from files, the analog of the paper artifact's `firesim` manager
+//! invocations.
+//!
+//! ```text
+//! fireaxe --circuit design.fir --config run.json [--cycles N] [--estimate]
+//! ```
+//!
+//! `design.fir` is the textual IR (see `fireaxe_ir::parser`); `run.json`
+//! is a [`fireaxe::RunConfig`]. Prints the partition report, the
+//! compiler's quick rate estimate, and — unless `--estimate` — the
+//! measured simulation rate.
+
+use fireaxe::prelude::*;
+use fireaxe::RunConfig;
+use std::process::ExitCode;
+
+struct Args {
+    circuit: String,
+    config: String,
+    cycles: u64,
+    estimate_only: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut circuit = None;
+    let mut config = None;
+    let mut cycles = 10_000u64;
+    let mut estimate_only = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--circuit" => circuit = Some(it.next().ok_or("--circuit needs a path")?),
+            "--config" => config = Some(it.next().ok_or("--config needs a path")?),
+            "--cycles" => {
+                cycles = it
+                    .next()
+                    .ok_or("--cycles needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --cycles value: {e}"))?
+            }
+            "--estimate" => estimate_only = true,
+            "--help" | "-h" => {
+                return Err("usage: fireaxe --circuit <design.fir> --config <run.json> \
+                     [--cycles N] [--estimate]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Args {
+        circuit: circuit.ok_or("missing --circuit <path>")?,
+        config: config.ok_or("missing --config <path>")?,
+        cycles,
+        estimate_only,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let circuit_text =
+        std::fs::read_to_string(&args.circuit).map_err(|e| format!("{}: {e}", args.circuit))?;
+    let config_text =
+        std::fs::read_to_string(&args.config).map_err(|e| format!("{}: {e}", args.config))?;
+
+    let circuit = fireaxe::ir::parser::parse_circuit(&circuit_text).map_err(|e| e.to_string())?;
+    let cfg = RunConfig::from_json(&config_text).map_err(|e| e.to_string())?;
+    let platform = cfg.platform().map_err(|e| e.to_string())?;
+    let flow = cfg.to_flow(circuit).map_err(|e| e.to_string())?;
+
+    let design = flow.compile().map_err(|e| e.to_string())?;
+    println!("partitions: {}", design.partitions.len());
+    for p in &design.partitions {
+        for t in &p.threads {
+            let est = fireaxe::fpga::estimate(&t.circuit);
+            println!(
+                "  {:24} {:>8} kLUT  (fit on {}: {})",
+                t.name,
+                est.luts / 1000,
+                platform.fpga().name,
+                fireaxe::fpga::fit_estimate(est, &platform.fpga())
+            );
+        }
+    }
+    println!(
+        "boundary: {} bits over {} links; {} crossings/cycle",
+        design.report.total_boundary_width(),
+        design.links.len(),
+        design.report.crossings_per_cycle
+    );
+    for note in &design.report.notes {
+        println!("  note: {note}");
+    }
+    let est = estimate_target_mhz(&design, platform.transport(), cfg.clock_mhz);
+    println!("estimated rate: {est:.3} MHz");
+    if args.estimate_only {
+        return Ok(());
+    }
+
+    let (_design, mut sim) = flow.build().map_err(|e| e.to_string())?;
+    let metrics = sim
+        .run_target_cycles(args.cycles)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "simulated {} target cycles in {:.3} ms of virtual time: {:.3} MHz",
+        metrics.target_cycles,
+        metrics.time_ps as f64 / 1e9,
+        metrics.target_mhz()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fireaxe: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Manager-style run configuration.
+//!
+//! FireSim drives simulations from declarative config files
+//! (`config_runtime.yaml` etc.); this module provides the equivalent for
+//! FireAxe-rs: a serde-serializable [`RunConfig`] describing the
+//! partitioning, platform, and clocks of a run, convertible into a
+//! [`FireAxe`] flow. Configs are plain JSON so they can be generated,
+//! checked in, and diffed like the paper's artifact scripts.
+
+use crate::flow::{FireAxe, Platform};
+use fireaxe_ir::Circuit;
+use fireaxe_ripper::{ChannelPolicy, PartitionGroup, PartitionMode, PartitionSpec, Selection};
+use serde::{Deserialize, Serialize};
+
+/// One partition group in a config file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupConfig {
+    /// Group name.
+    pub name: String,
+    /// Explicit instance paths (mutually exclusive with `router_indices`).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub instances: Vec<String>,
+    /// NoC-partition-mode router indices (requires `routers` at the top
+    /// level).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub router_indices: Vec<usize>,
+    /// FAME-5 multi-threading.
+    #[serde(default)]
+    pub fame5: bool,
+}
+
+/// A complete run configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// `"exact"` or `"fast"`.
+    pub mode: String,
+    /// `"onprem-qsfp"`, `"cloud-f1"`, or `"host-managed"`.
+    pub platform: String,
+    /// Bitstream frequency in MHz for all partitions.
+    #[serde(default = "default_clock")]
+    pub clock_mhz: f64,
+    /// Per-partition clock overrides: `[partition index, MHz]` pairs.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub partition_clocks: Vec<(usize, f64)>,
+    /// Router paths for NoC-partition-mode groups, in index order.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub routers: Vec<String>,
+    /// Partition groups.
+    pub groups: Vec<GroupConfig>,
+    /// Enforce FPGA fit/topology checks before running.
+    #[serde(default)]
+    pub check_fit: bool,
+}
+
+fn default_clock() -> f64 {
+    30.0
+}
+
+/// Errors from config parsing/validation.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// JSON syntax or schema problem.
+    Parse(serde_json::Error),
+    /// Semantically invalid field value.
+    Invalid {
+        /// Offending field.
+        field: &'static str,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Parse(e) => write!(f, "config parse error: {e}"),
+            ConfigError::Invalid { field, message } => {
+                write!(f, "invalid config field `{field}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl RunConfig {
+    /// Parses a JSON config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Parse`] on malformed JSON.
+    pub fn from_json(text: &str) -> Result<Self, ConfigError> {
+        serde_json::from_str(text).map_err(ConfigError::Parse)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// Resolves the partition mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] for unknown mode strings.
+    pub fn partition_mode(&self) -> Result<PartitionMode, ConfigError> {
+        match self.mode.as_str() {
+            "exact" => Ok(PartitionMode::Exact),
+            "fast" => Ok(PartitionMode::Fast),
+            other => Err(ConfigError::Invalid {
+                field: "mode",
+                message: format!("`{other}` (expected `exact` or `fast`)"),
+            }),
+        }
+    }
+
+    /// Resolves the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] for unknown platform strings.
+    pub fn platform(&self) -> Result<Platform, ConfigError> {
+        match self.platform.as_str() {
+            "onprem-qsfp" => Ok(Platform::OnPremQsfp),
+            "cloud-f1" => Ok(Platform::CloudF1),
+            "host-managed" => Ok(Platform::HostManaged),
+            other => Err(ConfigError::Invalid {
+                field: "platform",
+                message: format!(
+                    "`{other}` (expected `onprem-qsfp`, `cloud-f1`, or `host-managed`)"
+                ),
+            }),
+        }
+    }
+
+    /// Builds the [`PartitionSpec`] this config describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] for ill-formed groups.
+    pub fn partition_spec(&self) -> Result<PartitionSpec, ConfigError> {
+        let mut groups = Vec::with_capacity(self.groups.len());
+        for g in &self.groups {
+            let selection = match (g.instances.is_empty(), g.router_indices.is_empty()) {
+                (false, true) => Selection::Instances(g.instances.clone()),
+                (true, false) => {
+                    if self.routers.is_empty() {
+                        return Err(ConfigError::Invalid {
+                            field: "routers",
+                            message: format!(
+                                "group `{}` uses router_indices but no routers are listed",
+                                g.name
+                            ),
+                        });
+                    }
+                    Selection::NocRouters {
+                        routers: self.routers.clone(),
+                        indices: g.router_indices.clone(),
+                    }
+                }
+                _ => {
+                    return Err(ConfigError::Invalid {
+                        field: "groups",
+                        message: format!(
+                            "group `{}` must set exactly one of instances/router_indices",
+                            g.name
+                        ),
+                    })
+                }
+            };
+            groups.push(PartitionGroup {
+                name: g.name.clone(),
+                selection,
+                fame5: g.fame5,
+            });
+        }
+        Ok(PartitionSpec {
+            mode: self.partition_mode()?,
+            channel_policy: ChannelPolicy::Separated,
+            groups,
+        })
+    }
+
+    /// Instantiates the push-button flow for `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates config validation failures.
+    pub fn to_flow(&self, circuit: Circuit) -> Result<FireAxe, ConfigError> {
+        let mut fa = FireAxe::new(circuit, self.partition_spec()?)
+            .platform(self.platform()?)
+            .clock_mhz(self.clock_mhz);
+        for (p, mhz) in &self.partition_clocks {
+            fa = fa.partition_clock_mhz(*p, *mhz);
+        }
+        if self.check_fit {
+            fa = fa.check_fit();
+        }
+        Ok(fa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"{
+        "mode": "fast",
+        "platform": "onprem-qsfp",
+        "clock_mhz": 30.0,
+        "groups": [
+            { "name": "tiles", "instances": ["tile0", "tile1"], "fame5": true }
+        ]
+    }"#;
+
+    #[test]
+    fn parses_and_roundtrips() {
+        let cfg = RunConfig::from_json(EXAMPLE).unwrap();
+        assert_eq!(cfg.partition_mode().unwrap(), PartitionMode::Fast);
+        assert_eq!(cfg.platform().unwrap(), Platform::OnPremQsfp);
+        let spec = cfg.partition_spec().unwrap();
+        assert_eq!(spec.groups.len(), 1);
+        assert!(spec.groups[0].fame5);
+        let back = RunConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn rejects_bad_mode_and_platform() {
+        let mut cfg = RunConfig::from_json(EXAMPLE).unwrap();
+        cfg.mode = "turbo".into();
+        assert!(cfg.partition_mode().is_err());
+        cfg.platform = "mainframe".into();
+        assert!(cfg.platform().is_err());
+    }
+
+    #[test]
+    fn rejects_ambiguous_group() {
+        let text = r#"{
+            "mode": "exact", "platform": "cloud-f1",
+            "groups": [{ "name": "g", "instances": ["a"], "router_indices": [0] }]
+        }"#;
+        let cfg = RunConfig::from_json(text).unwrap();
+        assert!(matches!(
+            cfg.partition_spec(),
+            Err(ConfigError::Invalid {
+                field: "groups",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn noc_groups_need_router_list() {
+        let text = r#"{
+            "mode": "exact", "platform": "onprem-qsfp",
+            "groups": [{ "name": "g", "router_indices": [0, 1] }]
+        }"#;
+        let cfg = RunConfig::from_json(text).unwrap();
+        assert!(matches!(
+            cfg.partition_spec(),
+            Err(ConfigError::Invalid {
+                field: "routers",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn flow_from_config_runs() {
+        use fireaxe_ir::build::ModuleBuilder;
+        let mut tile = ModuleBuilder::new("Tile");
+        let req = tile.input("req", 8);
+        let rsp = tile.output("rsp", 8);
+        let r = tile.reg("r", 8, 0);
+        tile.connect_sig(&r, &req);
+        tile.connect_sig(&rsp, &r);
+        let mut top = ModuleBuilder::new("Soc");
+        let i = top.input("i", 8);
+        let o = top.output("o", 8);
+        top.inst("tile0", "Tile");
+        top.connect_inst("tile0", "req", &i);
+        let rsp = top.inst_port("tile0", "rsp");
+        top.connect_sig(&o, &rsp);
+        let circuit =
+            fireaxe_ir::Circuit::from_modules("Soc", vec![top.finish(), tile.finish()], "Soc");
+
+        let text = r#"{
+            "mode": "exact", "platform": "cloud-f1",
+            "groups": [{ "name": "t", "instances": ["tile0"] }]
+        }"#;
+        let cfg = RunConfig::from_json(text).unwrap();
+        let (design, mut sim) = cfg.to_flow(circuit).unwrap().build().unwrap();
+        assert_eq!(design.partitions.len(), 2);
+        sim.run_target_cycles(50).unwrap();
+    }
+}

@@ -1,0 +1,90 @@
+//! The hybrid cloud/on-premises usage model (paper §VIII-A).
+//!
+//! The paper advocates developing on low-latency on-premises FPGAs and
+//! bursting benchmark campaigns to the cloud. Three factors drive the
+//! choice: cost structure (hourly vs. upfront), capacity (a local U250
+//! offers ~50% more usable LUTs than a cloud VU9P), and simulation rate
+//! (QSFP beats peer-to-peer PCIe ~1.5×). This module quantifies the cost
+//! side so the trade-off is computable.
+
+use crate::flow::Platform;
+
+/// Price assumptions for the hybrid model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Cloud price per FPGA-hour (AWS f1.2xlarge on-demand ballpark).
+    pub cloud_per_fpga_hour: f64,
+    /// Upfront price per on-premises FPGA board (U250 ballpark).
+    pub onprem_per_fpga: f64,
+    /// Amortization horizon for on-prem hardware, in hours of use.
+    pub onprem_lifetime_hours: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cloud_per_fpga_hour: 1.65,
+            onprem_per_fpga: 8_000.0,
+            onprem_lifetime_hours: 3.0 * 365.0 * 24.0, // three years
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of running `fpgas` FPGAs for `hours` on `platform`.
+    ///
+    /// On-premises cost is the *upfront* price (the paper's framing);
+    /// use [`CostModel::onprem_amortized`] for a marginal comparison.
+    pub fn campaign_cost(&self, platform: Platform, fpgas: usize, hours: f64) -> f64 {
+        match platform {
+            Platform::OnPremQsfp => self.onprem_per_fpga * fpgas as f64,
+            Platform::CloudF1 | Platform::HostManaged => {
+                self.cloud_per_fpga_hour * fpgas as f64 * hours
+            }
+        }
+    }
+
+    /// Amortized on-premises cost for `fpgas` FPGAs over `hours`.
+    pub fn onprem_amortized(&self, fpgas: usize, hours: f64) -> f64 {
+        self.onprem_per_fpga * fpgas as f64 * (hours / self.onprem_lifetime_hours)
+    }
+
+    /// Usage hours after which buying beats renting, per FPGA.
+    pub fn break_even_hours(&self) -> f64 {
+        self.onprem_per_fpga / self.cloud_per_fpga_hour
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_is_cheaper_for_short_campaigns() {
+        let m = CostModel::default();
+        let hours = 40.0; // the paper's full artifact run
+        assert!(
+            m.campaign_cost(Platform::CloudF1, 5, hours)
+                < m.campaign_cost(Platform::OnPremQsfp, 5, hours)
+        );
+    }
+
+    #[test]
+    fn onprem_wins_long_term() {
+        let m = CostModel::default();
+        let be = m.break_even_hours();
+        assert!((1_000.0..20_000.0).contains(&be), "break-even {be} h");
+        assert!(
+            m.campaign_cost(Platform::CloudF1, 1, 2.0 * be)
+                > m.campaign_cost(Platform::OnPremQsfp, 1, 2.0 * be)
+        );
+    }
+
+    #[test]
+    fn amortized_cost_scales_linearly() {
+        let m = CostModel::default();
+        let a = m.onprem_amortized(4, 100.0);
+        let b = m.onprem_amortized(4, 200.0);
+        assert!((b - 2.0 * a).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! # FireAxe-rs — partitioned FPGA-accelerated RTL simulation
+//!
+//! A complete software reproduction of **FireAxe** (Whangbo et al., ISCA
+//! 2024): push-button, user-guided partitioning of large RTL designs
+//! across multiple (simulated) FPGAs with exact-mode and fast-mode
+//! trade-offs, built on a FIRRTL-like IR, LI-BDN host decoupling, the
+//! FireRipper compiler, calibrated FPGA-to-FPGA transport models, and a
+//! deterministic multi-partition simulation engine.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fireaxe::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A tiny SoC: one accumulator tile behind a register boundary.
+//! let mut tile = ModuleBuilder::new("Tile");
+//! let req = tile.input("req", 8);
+//! let rsp = tile.output("rsp", 8);
+//! let acc = tile.reg("acc", 8, 0);
+//! tile.connect_sig(&acc, &acc.add(&req));
+//! tile.connect_sig(&rsp, &acc);
+//! let mut top = ModuleBuilder::new("Soc");
+//! let i = top.input("i", 8);
+//! let o = top.output("o", 8);
+//! top.inst("tile0", "Tile");
+//! top.connect_inst("tile0", "req", &i);
+//! let r = top.inst_port("tile0", "rsp");
+//! top.connect_sig(&o, &r);
+//! let circuit = Circuit::from_modules("Soc", vec![top.finish(), tile.finish()], "Soc");
+//!
+//! // Partition the tile onto its own FPGA, exact-mode, QSFP platform.
+//! let spec = PartitionSpec::exact(vec![PartitionGroup::instances(
+//!     "tile",
+//!     vec!["tile0".into()],
+//! )]);
+//! let (design, mut sim) = FireAxe::new(circuit, spec)
+//!     .platform(Platform::OnPremQsfp)
+//!     .build()?;
+//! let metrics = sim.run_target_cycles(100)?;
+//! assert_eq!(metrics.target_cycles, 100);
+//! assert!(design.report.crossings_per_cycle == 2);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | paper section | contents |
+//! |---|---|---|
+//! | `fireaxe-ir` | §II (FIRRTL) | IR, interpreter, combinational analysis |
+//! | `fireaxe-libdn` | §II-A | LI-BDN token protocol, FAME-5 groups |
+//! | `fireaxe-ripper` | §III | the FireRipper compiler |
+//! | `fireaxe-fpga` | §V-B, §VIII | FPGA capacity/congestion models |
+//! | `fireaxe-transport` | §IV | QSFP / p2p PCIe / host PCIe timing |
+//! | `fireaxe-sim` | §IV, §VI | the multi-partition engine |
+//! | `fireaxe-soc` | §V | BOOM, NoC, tiles, accelerators, RocketLite |
+//! | `fireaxe-workloads` | §V-C/D, §VI | Embench, Go GC, leaky-DMA models |
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod flow;
+pub mod topology;
+pub mod validation;
+
+pub use config::{ConfigError, GroupConfig, RunConfig};
+pub use cost::CostModel;
+pub use flow::{register_soc_behaviors, FireAxe, FlowError, Platform};
+pub use topology::{check_qsfp_topology, partition_degrees, TopologyViolation};
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::flow::{FireAxe, FlowError, Platform};
+    pub use fireaxe_fpga::{estimate, fit, FpgaSpec, ResourceEstimate};
+    pub use fireaxe_ir::build::{ModuleBuilder, Sig};
+    pub use fireaxe_ir::{Bits, Circuit, Interpreter, Width};
+    pub use fireaxe_ripper::{
+        compile, ChannelPolicy, PartitionGroup, PartitionMode, PartitionSpec, Selection,
+    };
+    pub use fireaxe_sim::{
+        estimate_target_mhz, BehaviorRegistry, ConstBridge, DistributedSim, ScriptBridge,
+        SimBuilder, SimMetrics,
+    };
+    pub use fireaxe_soc::{
+        ring_soc, xbar_soc, BoomConfig, RingSoc, RingSocConfig, TileKind, XbarSocConfig,
+    };
+    pub use fireaxe_transport::{LinkModel, TransportKind};
+}
+
+// Re-export component crates under stable names.
+pub use fireaxe_fpga as fpga;
+pub use fireaxe_ir as ir;
+pub use fireaxe_libdn as libdn;
+pub use fireaxe_ripper as ripper;
+pub use fireaxe_sim as sim;
+pub use fireaxe_soc as soc;
+pub use fireaxe_transport as transport;
+pub use fireaxe_workloads as workloads;

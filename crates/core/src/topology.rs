@@ -1,0 +1,155 @@
+//! On-premises interconnect topology constraints (paper §VIII-C).
+//!
+//! A Xilinx Alveo U250 exposes two QSFP cages, so direct-attach cabling
+//! "limits the topology to a ring or binary tree-like structure". This
+//! module checks whether a partitioned design's link graph is physically
+//! cable-able on a given FPGA: every partition's number of *distinct
+//! neighbor partitions* must not exceed the cage count. (Host-managed and
+//! peer-to-peer PCIe transports route through the host/switch and carry
+//! no such constraint.)
+
+use fireaxe_fpga::FpgaSpec;
+use fireaxe_ripper::PartitionedDesign;
+use std::collections::BTreeSet;
+
+/// A partition whose required neighbor count exceeds the FPGA's cages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyViolation {
+    /// Partition name.
+    pub partition: String,
+    /// Distinct neighbor partitions it must cable to.
+    pub degree: usize,
+    /// QSFP cages available.
+    pub cages: u32,
+}
+
+impl std::fmt::Display for TopologyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "partition `{}` needs {} direct neighbors but the FPGA has {} QSFP cages",
+            self.partition, self.degree, self.cages
+        )
+    }
+}
+
+/// Returns each partition's distinct-neighbor count (its degree in the
+/// partition link graph). FAME-5 threads of one partition share its
+/// cages.
+pub fn partition_degrees(design: &PartitionedDesign) -> Vec<(String, usize)> {
+    // Map flat node index -> partition index.
+    let mut node_part = Vec::with_capacity(design.node_count());
+    for (pi, p) in design.partitions.iter().enumerate() {
+        for _ in &p.threads {
+            node_part.push(pi);
+        }
+    }
+    let mut neighbors: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); design.partitions.len()];
+    for l in &design.links {
+        let a = node_part[l.from_node];
+        let b = node_part[l.to_node];
+        if a != b {
+            neighbors[a].insert(b);
+            neighbors[b].insert(a);
+        }
+    }
+    design
+        .partitions
+        .iter()
+        .zip(neighbors)
+        .map(|(p, n)| (p.name.clone(), n.len()))
+        .collect()
+}
+
+/// Checks the design against the FPGA's QSFP cage count.
+///
+/// # Errors
+///
+/// Returns every violating partition.
+pub fn check_qsfp_topology(
+    design: &PartitionedDesign,
+    fpga: &FpgaSpec,
+) -> Result<(), Vec<TopologyViolation>> {
+    let violations: Vec<TopologyViolation> = partition_degrees(design)
+        .into_iter()
+        .filter(|(_, degree)| *degree > fpga.qsfp_cages as usize)
+        .map(|(partition, degree)| TopologyViolation {
+            partition,
+            degree,
+            cages: fpga.qsfp_cages,
+        })
+        .collect();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireaxe_ir::build::ModuleBuilder;
+    use fireaxe_ripper::{compile, PartitionGroup, PartitionSpec};
+
+    /// A hub SoC with `n` independent tiles (star topology when each tile
+    /// becomes its own partition).
+    fn star_soc(n: usize) -> fireaxe_ir::Circuit {
+        let mut tile = ModuleBuilder::new("Tile");
+        let req = tile.input("req", 8);
+        let rsp = tile.output("rsp", 8);
+        let r = tile.reg("r", 8, 0);
+        tile.connect_sig(&r, &req);
+        tile.connect_sig(&rsp, &r);
+        let tile = tile.finish();
+        let mut top = ModuleBuilder::new("Soc");
+        let i = top.input("i", 8);
+        let o = top.output("o", 8);
+        let hub = top.reg("hub", 8, 0);
+        let mut acc = i.clone();
+        for t in 0..n {
+            let inst = format!("tile{t}");
+            top.inst(&inst, "Tile");
+            top.connect_inst(&inst, "req", &hub);
+            let rsp = top.inst_port(&inst, "rsp");
+            acc = acc.xor(&rsp);
+        }
+        top.connect_sig(&hub, &acc);
+        top.connect_sig(&o, &hub);
+        fireaxe_ir::Circuit::from_modules("Soc", vec![top.finish(), tile], "Soc")
+    }
+
+    fn star_design(n: usize) -> PartitionedDesign {
+        let groups = (0..n)
+            .map(|t| PartitionGroup::instances(format!("g{t}"), vec![format!("tile{t}")]))
+            .collect();
+        compile(&star_soc(n), &PartitionSpec::exact(groups)).unwrap()
+    }
+
+    #[test]
+    fn two_partition_star_fits_u250_cages() {
+        let d = star_design(1);
+        assert!(check_qsfp_topology(&d, &fireaxe_fpga::FpgaSpec::alveo_u250()).is_ok());
+    }
+
+    #[test]
+    fn high_degree_hub_violates_cages() {
+        // Remainder talks to 3 tile partitions: degree 3 > 2 cages.
+        let d = star_design(3);
+        let degrees = partition_degrees(&d);
+        let rest = degrees.iter().find(|(n, _)| n == "rest").unwrap();
+        assert_eq!(rest.1, 3);
+        let err = check_qsfp_topology(&d, &fireaxe_fpga::FpgaSpec::alveo_u250()).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].partition, "rest");
+        assert_eq!(err[0].cages, 2);
+    }
+
+    #[test]
+    fn cloud_fpgas_have_no_cages_but_pcie_routes_anyway() {
+        // VU9P has 0 cages: any inter-FPGA link is a QSFP violation —
+        // which is exactly why the cloud uses p2p PCIe instead.
+        let d = star_design(1);
+        assert!(check_qsfp_topology(&d, &fireaxe_fpga::FpgaSpec::aws_vu9p()).is_err());
+    }
+}

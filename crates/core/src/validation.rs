@@ -1,0 +1,158 @@
+//! Simulator validation (paper §VI-C, Table II).
+//!
+//! For each validation target we measure the run-to-completion cycle
+//! count three ways: monolithic interpretation (the golden reference),
+//! exact-mode partitioned simulation (must match *exactly* — it is
+//! asserted by the test suite, not just reported), and fast-mode
+//! partitioned simulation (cycle-approximate; the error column). The
+//! error is measured, not modeled: it arises from fast-mode's seed token
+//! and the skid-buffer/valid-gating boundary rewrites.
+
+use crate::flow::FireAxe;
+use fireaxe_ripper::{ChannelPolicy, PartitionGroup, PartitionMode, PartitionSpec};
+use fireaxe_sim::{RecordedToken, ScriptBridge};
+use fireaxe_soc::validation::{gemmini_soc, rocket_soc, run_monolithic_to_done, sha3_soc};
+use std::collections::BTreeMap;
+
+/// Which Table II row to reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationTarget {
+    /// "Rocket tile (Linux boot)" — boot-trace iterations scaled down
+    /// from the paper's 3.84 B cycles.
+    Rocket {
+        /// Boot-loop iterations.
+        iterations: u32,
+    },
+    /// "Sha3Accel (Encryption)".
+    Sha3,
+    /// "Gemmini (Convolution)".
+    Gemmini,
+}
+
+impl ValidationTarget {
+    /// Paper row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ValidationTarget::Rocket { .. } => "Rocket tile (Linux boot)",
+            ValidationTarget::Sha3 => "Sha3Accel (Encryption)",
+            ValidationTarget::Gemmini => "Gemmini (Convolution)",
+        }
+    }
+
+    fn circuit(&self, mem_latency: u32) -> fireaxe_ir::Circuit {
+        match self {
+            ValidationTarget::Rocket { iterations } => rocket_soc(*iterations, mem_latency),
+            ValidationTarget::Sha3 => sha3_soc(mem_latency),
+            ValidationTarget::Gemmini => gemmini_soc(mem_latency),
+        }
+    }
+
+    fn cycle_budget(&self) -> u64 {
+        match self {
+            ValidationTarget::Rocket { iterations } => 200 * u64::from(*iterations) + 10_000,
+            ValidationTarget::Sha3 => 20_000,
+            ValidationTarget::Gemmini => 100_000,
+        }
+    }
+}
+
+/// One row of the reproduced Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationRow {
+    /// Row label.
+    pub target: String,
+    /// Monolithic cycle count.
+    pub monolithic: u64,
+    /// Exact-mode partitioned cycle count.
+    pub exact: u64,
+    /// Fast-mode partitioned cycle count.
+    pub fast: u64,
+}
+
+impl ValidationRow {
+    /// |error| of exact-mode vs monolithic, percent (always 0 when the
+    /// system is working).
+    pub fn exact_error_pct(&self) -> f64 {
+        pct_error(self.exact, self.monolithic)
+    }
+
+    /// |error| of fast-mode vs monolithic, percent.
+    pub fn fast_error_pct(&self) -> f64 {
+        pct_error(self.fast, self.monolithic)
+    }
+}
+
+fn pct_error(measured: u64, golden: u64) -> f64 {
+    if golden == 0 {
+        return 0.0;
+    }
+    (measured as f64 - golden as f64).abs() / golden as f64 * 100.0
+}
+
+/// Runs the target with its master (core/accelerator) extracted onto a
+/// separate FPGA in the given mode; returns the cycle at which `done`
+/// first asserts.
+///
+/// # Errors
+///
+/// Returns a message on compile/simulation failure or when the design
+/// never finishes within its cycle budget.
+pub fn partitioned_cycles_to_done(
+    target: ValidationTarget,
+    mode: PartitionMode,
+    mem_latency: u32,
+) -> Result<u64, String> {
+    let circuit = target.circuit(mem_latency);
+    let spec = PartitionSpec {
+        mode,
+        channel_policy: ChannelPolicy::Separated,
+        groups: vec![PartitionGroup::instances(
+            "master_part",
+            vec!["master".into()],
+        )],
+    };
+    let has_go = circuit.top_module().port("go").is_some();
+    let bridge = ScriptBridge::new(move |_cycle| {
+        let mut m = BTreeMap::new();
+        if has_go {
+            m.insert("go".to_string(), fireaxe_ir::Bits::from_u64(1, 1));
+        }
+        m
+    })
+    .until(|t: &RecordedToken| t.values.get("done").is_some_and(|v| v.to_u64() == 1))
+    .recording();
+
+    let fa = FireAxe::new(circuit, spec).bridge(1, Box::new(bridge));
+    let (design, mut sim) = fa.build().map_err(|e| e.to_string())?;
+    let rest = design.node_index(1, 0);
+    let budget = target.cycle_budget();
+    sim.run_while(|s| s.target_cycles() < budget && !s.any_bridge_done())
+        .map_err(|e| e.to_string())?;
+    let b = sim
+        .bridge_mut(rest)
+        .as_any()
+        .downcast_mut::<ScriptBridge>()
+        .expect("script bridge");
+    b.log()
+        .iter()
+        .find(|t| t.values.get("done").is_some_and(|v| v.to_u64() == 1))
+        .map(|t| t.cycle)
+        .ok_or_else(|| format!("{} never finished in {mode}", target.label()))
+}
+
+/// Produces one Table II row (monolithic / exact / fast).
+///
+/// # Errors
+///
+/// Returns a message if any of the three runs fails.
+pub fn validation_row(target: ValidationTarget, mem_latency: u32) -> Result<ValidationRow, String> {
+    let monolithic = run_monolithic_to_done(&target.circuit(mem_latency), target.cycle_budget())?;
+    let exact = partitioned_cycles_to_done(target, PartitionMode::Exact, mem_latency)?;
+    let fast = partitioned_cycles_to_done(target, PartitionMode::Fast, mem_latency)?;
+    Ok(ValidationRow {
+        target: target.label().to_string(),
+        monolithic,
+        exact,
+        fast,
+    })
+}

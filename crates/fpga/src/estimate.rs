@@ -1,0 +1,381 @@
+//! FPGA resource estimation over the circuit IR.
+//!
+//! FireRipper gives users "quick feedback about whether the partition will
+//! fit on an FPGA" (paper §VIII-B). This module walks a circuit and
+//! produces per-design LUT/FF/BRAM/DSP estimates: structural modules are
+//! costed per primitive operation, extern behavioral modules contribute
+//! their declared [`fireaxe_ir::ResourceHints`], and instance counts
+//! multiply through the hierarchy.
+
+use crate::spec::FpgaSpec;
+use fireaxe_ir::{BinOp, Circuit, Expr, Module, Stmt, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Estimated FPGA resource consumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceEstimate {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub regs: u64,
+    /// 36 kb BRAM tiles.
+    pub brams: u64,
+    /// DSP slices.
+    pub dsps: u64,
+}
+
+impl ResourceEstimate {
+    /// Component-wise sum.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: ResourceEstimate) -> ResourceEstimate {
+        ResourceEstimate {
+            luts: self.luts + other.luts,
+            regs: self.regs + other.regs,
+            brams: self.brams + other.brams,
+            dsps: self.dsps + other.dsps,
+        }
+    }
+
+    /// Estimate after FAME-5 multi-threading `threads` duplicate
+    /// instances (paper §VI-B): combinational logic (`comb_fraction` of
+    /// the LUTs) is shared once, while sequential state is replicated per
+    /// thread. This is how the paper fits six BOOM tiles on one U250.
+    pub fn fame5_adjusted(self, threads: u64, comb_fraction: f64) -> ResourceEstimate {
+        if threads <= 1 {
+            return self;
+        }
+        // `self` covers all `threads` copies; one instance's worth:
+        let luts_one = self.luts / threads;
+        let comb = (luts_one as f64 * comb_fraction) as u64;
+        let seq_luts_one = luts_one - comb;
+        // Replicated sequential state largely moves into BRAMs; ~30% of
+        // its LUT footprint remains as per-thread muxing/bookkeeping.
+        let seq_luts = (seq_luts_one as f64 * 0.3) as u64 * threads;
+        let scheduler = luts_one / 50;
+        ResourceEstimate {
+            luts: comb + seq_luts + scheduler,
+            regs: self.regs, // architectural state is still replicated
+            // State banks spill into BRAM (the paper: multi-threading
+            // "increas[es] the utilization of relatively lesser-used
+            // BRAMs").
+            brams: self.brams + self.regs / (36 * 1024),
+            dsps: self.dsps / threads,
+        }
+    }
+
+    /// Component-wise scaling.
+    pub fn scale(self, n: u64) -> ResourceEstimate {
+        ResourceEstimate {
+            luts: self.luts * n,
+            regs: self.regs * n,
+            brams: self.brams * n,
+            dsps: self.dsps * n,
+        }
+    }
+}
+
+impl fmt::Display for ResourceEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} FFs, {} BRAMs, {} DSPs",
+            self.luts, self.regs, self.brams, self.dsps
+        )
+    }
+}
+
+/// Routing-congestion threshold: designs above this LUT utilization fail
+/// the bitstream build (the paper's monolithic GC40 BOOM "fails due to
+/// congestion").
+pub const ROUTABLE_UTILIZATION: f64 = 0.80;
+
+/// Fit-check outcome for one design on one FPGA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitReport {
+    /// The estimate used.
+    pub estimate: ResourceEstimate,
+    /// LUT utilization fraction.
+    pub lut_utilization: f64,
+    /// BRAM utilization fraction.
+    pub bram_utilization: f64,
+    /// All resources within capacity.
+    pub fits: bool,
+    /// Within capacity *and* below the congestion threshold, i.e. the
+    /// bitstream build is expected to succeed.
+    pub routable: bool,
+}
+
+impl fmt::Display for FitReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1}% LUT, {:.1}% BRAM: {}",
+            self.lut_utilization * 100.0,
+            self.bram_utilization * 100.0,
+            if self.routable {
+                "routable"
+            } else if self.fits {
+                "fits but congested"
+            } else {
+                "does not fit"
+            }
+        )
+    }
+}
+
+fn expr_cost(e: &Expr, est: &mut ResourceEstimate) {
+    match e {
+        Expr::Lit(_) | Expr::Ref(_) => {}
+        Expr::Unary(op, a) => {
+            let w = u64::from(width_guess(a));
+            est.luts += match op {
+                UnOp::Not => w.div_ceil(2),
+                UnOp::OrReduce | UnOp::AndReduce | UnOp::XorReduce => w.div_ceil(4),
+            };
+            expr_cost(a, est);
+        }
+        Expr::Binary(op, a, b) => {
+            let w = u64::from(width_guess(a).max(width_guess(b)));
+            match op {
+                BinOp::Add | BinOp::Sub => est.luts += w,
+                BinOp::Mul => {
+                    if w > 8 {
+                        est.dsps += (w / 16).max(1);
+                    } else {
+                        est.luts += w * w / 2;
+                    }
+                }
+                BinOp::Div | BinOp::Rem => est.luts += 2 * w * w.max(1),
+                BinOp::And | BinOp::Or | BinOp::Xor => est.luts += w.div_ceil(2),
+                BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Leq | BinOp::Gt | BinOp::Geq => {
+                    est.luts += w.div_ceil(2)
+                }
+            }
+            expr_cost(a, est);
+            expr_cost(b, est);
+        }
+        Expr::Mux(c, a, b) => {
+            let w = u64::from(width_guess(a).max(width_guess(b)));
+            est.luts += w.div_ceil(2);
+            expr_cost(c, est);
+            expr_cost(a, est);
+            expr_cost(b, est);
+        }
+        Expr::Cat(parts) => {
+            for p in parts {
+                expr_cost(p, est);
+            }
+        }
+        Expr::Extract(a, _, _) | Expr::Resize(a, _) | Expr::Shl(a, _) | Expr::Shr(a, _) => {
+            expr_cost(a, est)
+        }
+    }
+}
+
+/// Cheap width guess for costing (exact inference needs module context;
+/// the estimator only needs magnitudes).
+fn width_guess(e: &Expr) -> u32 {
+    match e {
+        Expr::Lit(b) => b.width().get(),
+        Expr::Ref(_) => 8,
+        Expr::Unary(_, a) => width_guess(a),
+        Expr::Binary(_, a, b) => width_guess(a).max(width_guess(b)),
+        Expr::Mux(_, a, b) => width_guess(a).max(width_guess(b)),
+        Expr::Cat(parts) => parts.iter().map(width_guess).sum(),
+        Expr::Extract(_, hi, lo) => hi - lo + 1,
+        Expr::Resize(_, w) => w.get(),
+        Expr::Shl(a, _) | Expr::Shr(a, _) => width_guess(a),
+    }
+}
+
+fn module_cost(module: &Module) -> ResourceEstimate {
+    if let Some(info) = &module.extern_info {
+        return ResourceEstimate {
+            luts: info.resources.luts,
+            regs: info.resources.regs,
+            brams: info.resources.brams,
+            dsps: info.resources.dsps,
+        };
+    }
+    let mut est = ResourceEstimate::default();
+    for s in &module.body {
+        match s {
+            Stmt::Reg { width, .. } => est.regs += u64::from(width.get()),
+            Stmt::Mem { width, depth, .. } => {
+                let bits = u64::from(width.get()) * u64::from(*depth);
+                est.brams += bits.div_ceil(36 * 1024);
+            }
+            Stmt::Node { expr, .. } => expr_cost(expr, &mut est),
+            Stmt::MemRead { addr, .. } => expr_cost(addr, &mut est),
+            Stmt::MemWrite { addr, data, en, .. } => {
+                expr_cost(addr, &mut est);
+                expr_cost(data, &mut est);
+                expr_cost(en, &mut est);
+            }
+            Stmt::Connect { rhs, .. } => expr_cost(rhs, &mut est),
+            Stmt::Wire { .. } | Stmt::Inst { .. } => {}
+        }
+    }
+    est
+}
+
+/// Estimates the resources of the whole design (everything reachable from
+/// the top, instance multiplicity included).
+pub fn estimate(circuit: &Circuit) -> ResourceEstimate {
+    let counts = circuit.instance_counts();
+    let per_module: HashMap<&str, ResourceEstimate> = circuit
+        .modules
+        .iter()
+        .map(|m| (m.name.as_str(), module_cost(m)))
+        .collect();
+    let mut total = ResourceEstimate::default();
+    for (name, n) in &counts {
+        if let Some(c) = per_module.get(name.as_str()) {
+            total = total.add(c.scale(*n));
+        }
+    }
+    total
+}
+
+/// Checks whether a design fits (and routes) on an FPGA.
+pub fn fit(circuit: &Circuit, fpga: &FpgaSpec) -> FitReport {
+    fit_estimate(estimate(circuit), fpga)
+}
+
+/// Fit check from a precomputed estimate.
+pub fn fit_estimate(estimate: ResourceEstimate, fpga: &FpgaSpec) -> FitReport {
+    let lut_utilization = estimate.luts as f64 / fpga.luts as f64;
+    let bram_utilization = estimate.brams as f64 / fpga.brams as f64;
+    let fits = estimate.luts <= fpga.luts
+        && estimate.regs <= fpga.regs
+        && estimate.brams <= fpga.brams
+        && estimate.dsps <= fpga.dsps;
+    let routable =
+        fits && lut_utilization <= ROUTABLE_UTILIZATION && bram_utilization <= ROUTABLE_UTILIZATION;
+    FitReport {
+        estimate,
+        lut_utilization,
+        bram_utilization,
+        fits,
+        routable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireaxe_ir::build::{ModuleBuilder, Sig};
+    use fireaxe_ir::{ExternInfo, Module, Port, ResourceHints};
+
+    fn small() -> Circuit {
+        let mut mb = ModuleBuilder::new("M");
+        let a = mb.input("a", 8);
+        let y = mb.output("y", 8);
+        let r = mb.reg("r", 8, 0);
+        mb.connect_sig(&r, &a.add(&Sig::lit(1, 8)));
+        mb.connect_sig(&y, &r);
+        Circuit::from_modules("M", vec![mb.finish()], "M")
+    }
+
+    #[test]
+    fn counts_registers_and_adders() {
+        let est = estimate(&small());
+        assert_eq!(est.regs, 8);
+        assert!(est.luts >= 8); // 8-bit adder
+    }
+
+    #[test]
+    fn extern_hints_dominate() {
+        let mut e = Module::new("Big");
+        e.ports.push(Port::input("x", 1));
+        e.ports.push(Port::output("y", 1));
+        e.extern_info = Some(ExternInfo {
+            behavior: "b".into(),
+            comb_paths: vec![],
+            resources: ResourceHints {
+                luts: 900_000,
+                regs: 100,
+                brams: 10,
+                dsps: 0,
+            },
+        });
+        let c = Circuit::from_modules("Big", vec![e], "Big");
+        let est = estimate(&c);
+        assert_eq!(est.luts, 900_000);
+    }
+
+    #[test]
+    fn instance_multiplicity_scales() {
+        let mut c = small();
+        let mut top = ModuleBuilder::new("Top");
+        let i = top.input("i", 8);
+        let o = top.output("o", 8);
+        top.inst("u0", "M");
+        top.inst("u1", "M");
+        top.connect_inst("u0", "a", &i);
+        let u0y = top.inst_port("u0", "y");
+        top.connect_inst("u1", "a", &u0y);
+        let u1y = top.inst_port("u1", "y");
+        top.connect_sig(&o, &u1y);
+        c.add_module(top.finish());
+        c.top = "Top".into();
+        c.name = "Top".into();
+        let est = estimate(&c);
+        assert_eq!(est.regs, 16); // two copies
+    }
+
+    #[test]
+    fn memory_uses_brams() {
+        let mut mb = ModuleBuilder::new("MemMod");
+        let addr = mb.input("addr", 12);
+        let data = mb.output("data", 64);
+        let m = mb.mem("m", 64, 4096); // 256 kb = 8 BRAMs
+        let rd = mb.mem_read("rd", &m, &addr);
+        mb.connect_sig(&data, &rd);
+        let c = Circuit::from_modules("MemMod", vec![mb.finish()], "MemMod");
+        let est = estimate(&c);
+        assert_eq!(est.brams, 8);
+    }
+
+    #[test]
+    fn fame5_saves_luts() {
+        let tile = ResourceEstimate {
+            luts: 600_000,
+            regs: 300_000,
+            brams: 50,
+            dsps: 12,
+        };
+        let six = tile.scale(6);
+        let threaded = six.fame5_adjusted(6, 0.7);
+        // Six threaded tiles use far fewer LUTs than six copies...
+        assert!(threaded.luts < six.luts / 2);
+        // ...and fit a U250 where the unthreaded version cannot.
+        let u250 = FpgaSpec::alveo_u250();
+        assert!(!fit_estimate(six, &u250).fits);
+        assert!(fit_estimate(threaded, &u250).routable);
+        // threads = 1 is the identity.
+        assert_eq!(tile.fame5_adjusted(1, 0.7), tile);
+    }
+
+    #[test]
+    fn fit_and_congestion_thresholds() {
+        let fpga = FpgaSpec::alveo_u250();
+        let small = ResourceEstimate {
+            luts: 100_000,
+            ..Default::default()
+        };
+        assert!(fit_estimate(small, &fpga).routable);
+        let congested = ResourceEstimate {
+            luts: (fpga.luts as f64 * 0.9) as u64,
+            ..Default::default()
+        };
+        let r = fit_estimate(congested, &fpga);
+        assert!(r.fits && !r.routable);
+        let too_big = ResourceEstimate {
+            luts: fpga.luts + 1,
+            ..Default::default()
+        };
+        assert!(!fit_estimate(too_big, &fpga).fits);
+    }
+}

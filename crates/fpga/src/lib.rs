@@ -1,0 +1,22 @@
+//! # fireaxe-fpga — FPGA host models
+//!
+//! Models the capacity side of FireAxe: what fits on one FPGA and when a
+//! bitstream build is expected to fail. This is what motivates
+//! partitioning in the first place — the paper's GC40 BOOM configuration
+//! cannot be built monolithically on a Xilinx Alveo U250 "due to
+//! congestion" (§V-B) and must be split across two FPGAs.
+//!
+//! * [`FpgaSpec`] — board descriptions (Alveo U250, AWS VU9P);
+//! * [`estimate()`]/[`fit()`] — per-op resource estimation over the IR and
+//!   fit/congestion checks, honoring [`fireaxe_ir::ResourceHints`] on
+//!   extern behavioral modules.
+
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod spec;
+
+pub use estimate::{
+    estimate, fit, fit_estimate, FitReport, ResourceEstimate, ROUTABLE_UTILIZATION,
+};
+pub use spec::FpgaSpec;

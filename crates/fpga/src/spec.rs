@@ -1,0 +1,83 @@
+//! FPGA platform descriptions.
+
+use std::fmt;
+
+/// Static description of an FPGA usable as a simulation host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaSpec {
+    /// Board/part name.
+    pub name: String,
+    /// LUTs usable by the target design (shell overhead already
+    /// subtracted).
+    pub luts: u64,
+    /// Flip-flops usable by the target design.
+    pub regs: u64,
+    /// 36 kb block-RAM tiles.
+    pub brams: u64,
+    /// DSP slices.
+    pub dsps: u64,
+    /// QSFP cages available for direct-attach cables (constrains
+    /// on-premises topologies to rings/trees; paper §VIII-C).
+    pub qsfp_cages: u32,
+    /// Typical achievable bitstream frequencies in MHz (low, high).
+    pub bitstream_mhz_range: (f64, f64),
+}
+
+impl FpgaSpec {
+    /// Xilinx Alveo U250 (on-premises). The paper notes local U250s offer
+    /// ~50% more usable LUTs than cloud VU9Ps because the cloud shell is
+    /// fixed.
+    pub fn alveo_u250() -> Self {
+        FpgaSpec {
+            name: "Xilinx Alveo U250".into(),
+            luts: 1_550_000,
+            regs: 3_100_000,
+            brams: 2_500,
+            dsps: 12_000,
+            qsfp_cages: 2,
+            bitstream_mhz_range: (10.0, 90.0),
+        }
+    }
+
+    /// AWS EC2 F1 VU9P (cloud), with the fixed shell's resources removed.
+    pub fn aws_vu9p() -> Self {
+        FpgaSpec {
+            name: "AWS F1 VU9P".into(),
+            luts: 1_030_000,
+            regs: 2_070_000,
+            brams: 1_680,
+            dsps: 5_600,
+            qsfp_cages: 0,
+            bitstream_mhz_range: (10.0, 90.0),
+        }
+    }
+}
+
+impl fmt::Display for FpgaSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}k LUTs, {} BRAMs, {} QSFP cages)",
+            self.name,
+            self.luts / 1000,
+            self.brams,
+            self.qsfp_cages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u250_has_more_luts_than_cloud() {
+        let u250 = FpgaSpec::alveo_u250();
+        let vu9p = FpgaSpec::aws_vu9p();
+        // Paper §VIII-A: local U250s offer ~50% more LUTs than cloud VU9P.
+        let ratio = u250.luts as f64 / vu9p.luts as f64;
+        assert!((1.4..=1.6).contains(&ratio), "ratio {ratio}");
+        assert_eq!(u250.qsfp_cages, 2);
+        assert_eq!(vu9p.qsfp_cages, 0);
+    }
+}

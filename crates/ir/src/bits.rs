@@ -1,0 +1,641 @@
+//! Arbitrary-width bit vectors.
+//!
+//! [`Bits`] is the value type flowing through every wire, register, and
+//! LI-BDN token in FireAxe. Widths are explicit and all operations follow
+//! FIRRTL-style semantics: results are truncated (or zero-extended) to the
+//! width requested by the operation.
+
+use std::fmt;
+
+/// Width of a hardware signal in bits.
+///
+/// Zero-width signals are permitted (FIRRTL allows them); they carry no
+/// information and compare equal to each other.
+///
+/// # Examples
+///
+/// ```
+/// use fireaxe_ir::Width;
+/// let w = Width::new(7);
+/// assert_eq!(w.get(), 7);
+/// assert_eq!(w.words(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Width(u32);
+
+impl Width {
+    /// Creates a width of `bits` bits.
+    pub const fn new(bits: u32) -> Self {
+        Width(bits)
+    }
+
+    /// Returns the width in bits.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Number of 64-bit words needed to store a value of this width.
+    pub const fn words(self) -> usize {
+        (self.0 as usize).div_ceil(64)
+    }
+
+    /// Returns `true` for a zero-bit width.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u32> for Width {
+    fn from(bits: u32) -> Self {
+        Width(bits)
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An unsigned bit vector of fixed [`Width`].
+///
+/// Values wider than 64 bits are stored little-endian across `u64` words.
+/// All constructors and operations maintain the invariant that bits above
+/// the declared width are zero.
+///
+/// # Examples
+///
+/// ```
+/// use fireaxe_ir::Bits;
+/// let a = Bits::from_u64(5, 8);
+/// let b = Bits::from_u64(250, 8);
+/// assert_eq!(a.add(&b).to_u64(), 255);
+/// // Addition wraps at the result width (8 bits here):
+/// assert_eq!(b.add(&b).to_u64(), (250u64 + 250) & 0xff);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    words: Vec<u64>,
+    width: Width,
+}
+
+impl Bits {
+    /// All-zero value of the given width.
+    pub fn zero(width: impl Into<Width>) -> Self {
+        let width = width.into();
+        Bits {
+            words: vec![0; width.words()],
+            width,
+        }
+    }
+
+    /// All-ones value of the given width.
+    pub fn ones(width: impl Into<Width>) -> Self {
+        let width = width.into();
+        let mut b = Bits {
+            words: vec![u64::MAX; width.words()],
+            width,
+        };
+        b.mask_top();
+        b
+    }
+
+    /// Builds a value from the low 64 bits of `value`, truncated to `width`.
+    pub fn from_u64(value: u64, width: impl Into<Width>) -> Self {
+        let width = width.into();
+        let mut b = Bits::zero(width);
+        if !b.words.is_empty() {
+            b.words[0] = value;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Builds a value from little-endian 64-bit words, truncated to `width`.
+    pub fn from_words(words: &[u64], width: impl Into<Width>) -> Self {
+        let width = width.into();
+        let mut w = words.to_vec();
+        w.resize(width.words(), 0);
+        w.truncate(width.words());
+        let mut b = Bits { words: w, width };
+        b.mask_top();
+        b
+    }
+
+    /// Parses a binary string such as `"1010"`; width equals string length.
+    ///
+    /// Returns `None` when the string contains characters other than `0`/`1`
+    /// or is empty.
+    pub fn from_binary_str(s: &str) -> Option<Self> {
+        if s.is_empty() || !s.bytes().all(|b| b == b'0' || b == b'1') {
+            return None;
+        }
+        let width = Width::new(s.len() as u32);
+        let mut b = Bits::zero(width);
+        for (i, ch) in s.bytes().rev().enumerate() {
+            if ch == b'1' {
+                b.set_bit(i as u32, true);
+            }
+        }
+        Some(b)
+    }
+
+    /// The width of this value.
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// The value as a `u64`, truncating anything above bit 63.
+    pub fn to_u64(&self) -> u64 {
+        self.words.first().copied().unwrap_or(0)
+    }
+
+    /// The backing little-endian words.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Returns `true` when every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Value of bit `i` (counting from the LSB). Bits at or above the width
+    /// read as `false`.
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= self.width.get() {
+            return false;
+        }
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the width.
+    pub fn set_bit(&mut self, i: u32, v: bool) {
+        assert!(
+            i < self.width.get(),
+            "bit index {i} out of width {}",
+            self.width
+        );
+        let w = (i / 64) as usize;
+        let m = 1u64 << (i % 64);
+        if v {
+            self.words[w] |= m;
+        } else {
+            self.words[w] &= !m;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    fn mask_top(&mut self) {
+        let bits = self.width.get();
+        if bits == 0 {
+            self.words.clear();
+            return;
+        }
+        let rem = bits % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// Reinterprets the value at a new width (truncating or zero-extending).
+    pub fn resize(&self, width: impl Into<Width>) -> Self {
+        let width = width.into();
+        Bits::from_words(&self.words, width)
+    }
+
+    /// Concatenation: `self` becomes the high bits, `low` the low bits,
+    /// matching FIRRTL's `cat(hi, lo)`.
+    pub fn cat(&self, low: &Bits) -> Self {
+        let lw = low.width.get();
+        let width = Width::new(lw + self.width.get());
+        let mut out = Bits::zero(width);
+        for i in 0..lw {
+            if low.bit(i) {
+                out.set_bit(i, true);
+            }
+        }
+        for i in 0..self.width.get() {
+            if self.bit(i) {
+                out.set_bit(lw + i, true);
+            }
+        }
+        out
+    }
+
+    /// Bit extraction `self[hi:lo]` (inclusive), like FIRRTL `bits(x, hi, lo)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi` is outside the width.
+    pub fn extract(&self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "extract range reversed: [{hi}:{lo}]");
+        assert!(
+            hi < self.width.get(),
+            "extract hi bit {hi} out of width {}",
+            self.width
+        );
+        let width = Width::new(hi - lo + 1);
+        let mut out = Bits::zero(width);
+        for i in 0..width.get() {
+            if self.bit(lo + i) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Wrapping addition at `max(widths)` bits.
+    pub fn add(&self, rhs: &Bits) -> Self {
+        let width = self.width.max(rhs.width);
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        let mut out = Bits::zero(width);
+        let mut carry = 0u64;
+        for i in 0..width.words() {
+            let (s1, c1) = a.words[i].overflowing_add(b.words[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.words[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Wrapping subtraction at `max(widths)` bits (two's complement).
+    pub fn sub(&self, rhs: &Bits) -> Self {
+        let width = self.width.max(rhs.width);
+        let b = rhs.resize(width).not();
+        self.resize(width)
+            .add(&b)
+            .add(&Bits::from_u64(1, width))
+            .resize(width)
+    }
+
+    /// Wrapping multiplication at `max(widths)` bits.
+    pub fn mul(&self, rhs: &Bits) -> Self {
+        let width = self.width.max(rhs.width);
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        let mut out = Bits::zero(width);
+        let n = width.words();
+        for i in 0..n {
+            let mut carry = 0u128;
+            if a.words[i] == 0 {
+                continue;
+            }
+            for j in 0..n - i {
+                let cur =
+                    out.words[i + j] as u128 + (a.words[i] as u128) * (b.words[j] as u128) + carry;
+                out.words[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Unsigned division; division by zero yields all-zeros (FIRRTL leaves it
+    /// undefined, we pick zero for determinism). Only widths ≤ 64 support
+    /// division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is wider than 64 bits.
+    pub fn udiv(&self, rhs: &Bits) -> Self {
+        assert!(
+            self.width.get() <= 64 && rhs.width.get() <= 64,
+            "udiv supports widths <= 64"
+        );
+        let v = self.to_u64().checked_div(rhs.to_u64()).unwrap_or(0);
+        Bits::from_u64(v, self.width.max(rhs.width))
+    }
+
+    /// Unsigned remainder with the same restrictions as [`Bits::udiv`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is wider than 64 bits.
+    pub fn urem(&self, rhs: &Bits) -> Self {
+        assert!(
+            self.width.get() <= 64 && rhs.width.get() <= 64,
+            "urem supports widths <= 64"
+        );
+        let v = self.to_u64().checked_rem(rhs.to_u64()).unwrap_or(0);
+        Bits::from_u64(v, self.width.max(rhs.width))
+    }
+
+    /// Bitwise AND at `max(widths)` bits.
+    pub fn and(&self, rhs: &Bits) -> Self {
+        self.zip(rhs, |a, b| a & b)
+    }
+
+    /// Bitwise OR at `max(widths)` bits.
+    pub fn or(&self, rhs: &Bits) -> Self {
+        self.zip(rhs, |a, b| a | b)
+    }
+
+    /// Bitwise XOR at `max(widths)` bits.
+    pub fn xor(&self, rhs: &Bits) -> Self {
+        self.zip(rhs, |a, b| a ^ b)
+    }
+
+    fn zip(&self, rhs: &Bits, f: impl Fn(u64, u64) -> u64) -> Self {
+        let width = self.width.max(rhs.width);
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        let mut out = Bits::zero(width);
+        for i in 0..width.words() {
+            out.words[i] = f(a.words[i], b.words[i]);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Bitwise NOT at the value's own width.
+    pub fn not(&self) -> Self {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Logical shift left by a constant, keeping the width.
+    pub fn shl(&self, n: u32) -> Self {
+        let mut out = Bits::zero(self.width);
+        for i in n..self.width.get() {
+            if self.bit(i - n) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Logical shift right by a constant, keeping the width.
+    pub fn shr(&self, n: u32) -> Self {
+        let mut out = Bits::zero(self.width);
+        if n >= self.width.get() {
+            return out;
+        }
+        for i in 0..self.width.get() - n {
+            if self.bit(i + n) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// OR-reduction to a single bit.
+    pub fn reduce_or(&self) -> Self {
+        Bits::from_u64(u64::from(!self.is_zero()), 1)
+    }
+
+    /// AND-reduction to a single bit (true iff every bit in the width is set).
+    pub fn reduce_and(&self) -> Self {
+        let all = self.count_ones() == self.width.get();
+        Bits::from_u64(u64::from(all && !self.width.is_zero()), 1)
+    }
+
+    /// XOR-reduction to a single bit (parity).
+    pub fn reduce_xor(&self) -> Self {
+        Bits::from_u64(u64::from(self.count_ones() % 2 == 1), 1)
+    }
+
+    /// Unsigned comparison.
+    pub fn ucmp(&self, rhs: &Bits) -> std::cmp::Ordering {
+        let width = self.width.max(rhs.width);
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        for i in (0..width.words()).rev() {
+            match a.words[i].cmp(&b.words[i]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl Default for Bits {
+    fn default() -> Self {
+        Bits::zero(0)
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits<{}>({:#x})", self.width, self)
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.words.is_empty() {
+            return write!(f, "0");
+        }
+        let mut started = false;
+        let mut s = String::new();
+        for w in self.words.iter().rev() {
+            if started {
+                s.push_str(&format!("{w:016x}"));
+            } else if *w != 0 || std::ptr::eq(w, &self.words[0]) {
+                s.push_str(&format!("{w:x}"));
+                started = true;
+            }
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bits = self.width.get();
+        if bits == 0 {
+            return write!(f, "0");
+        }
+        let s: String = (0..bits)
+            .rev()
+            .map(|i| if self.bit(i) { '1' } else { '0' })
+            .collect();
+        f.pad_integral(true, "0b", &s)
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(v: bool) -> Self {
+        Bits::from_u64(u64::from(v), 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_ones() {
+        let z = Bits::zero(130);
+        assert!(z.is_zero());
+        assert_eq!(z.width().get(), 130);
+        let o = Bits::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert!(!o.bit(130)); // out of range reads false
+    }
+
+    #[test]
+    fn from_u64_truncates() {
+        let b = Bits::from_u64(0xff, 4);
+        assert_eq!(b.to_u64(), 0xf);
+    }
+
+    #[test]
+    fn add_wraps_at_width() {
+        let a = Bits::from_u64(0xffff_ffff_ffff_ffff, 64);
+        let one = Bits::from_u64(1, 64);
+        assert_eq!(a.add(&one).to_u64(), 0);
+    }
+
+    #[test]
+    fn add_carries_across_words() {
+        let a = Bits::from_words(&[u64::MAX, 0], 128);
+        let one = Bits::from_u64(1, 128);
+        let s = a.add(&one);
+        assert_eq!(s.as_words(), &[0, 1]);
+    }
+
+    #[test]
+    fn sub_two_complement() {
+        let a = Bits::from_u64(5, 8);
+        let b = Bits::from_u64(7, 8);
+        assert_eq!(a.sub(&b).to_u64(), 254); // -2 mod 256
+        assert_eq!(b.sub(&a).to_u64(), 2);
+    }
+
+    #[test]
+    fn mul_basic_and_wide() {
+        let a = Bits::from_u64(1 << 40, 128);
+        let b = Bits::from_u64(1 << 30, 128);
+        let p = a.mul(&b);
+        assert_eq!(p.as_words(), &[0, 1 << 6]); // 2^70
+    }
+
+    #[test]
+    fn div_rem() {
+        let a = Bits::from_u64(17, 8);
+        let b = Bits::from_u64(5, 8);
+        assert_eq!(a.udiv(&b).to_u64(), 3);
+        assert_eq!(a.urem(&b).to_u64(), 2);
+        assert_eq!(a.udiv(&Bits::zero(8)).to_u64(), 0);
+    }
+
+    #[test]
+    fn cat_orders_high_low() {
+        let hi = Bits::from_u64(0b101, 3);
+        let lo = Bits::from_u64(0b01, 2);
+        let c = hi.cat(&lo);
+        assert_eq!(c.width().get(), 5);
+        assert_eq!(c.to_u64(), 0b10101);
+    }
+
+    #[test]
+    fn extract_inclusive_range() {
+        let v = Bits::from_u64(0b110100, 6);
+        assert_eq!(v.extract(4, 2).to_u64(), 0b101);
+        assert_eq!(v.extract(0, 0).to_u64(), 0);
+        assert_eq!(v.extract(5, 5).to_u64(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of width")]
+    fn extract_out_of_range_panics() {
+        Bits::from_u64(1, 4).extract(4, 0);
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = Bits::from_u64(0b1100, 4);
+        let b = Bits::from_u64(0b1010, 4);
+        assert_eq!(a.and(&b).to_u64(), 0b1000);
+        assert_eq!(a.or(&b).to_u64(), 0b1110);
+        assert_eq!(a.xor(&b).to_u64(), 0b0110);
+        assert_eq!(a.not().to_u64(), 0b0011);
+    }
+
+    #[test]
+    fn mixed_width_ops_extend() {
+        let a = Bits::from_u64(0b1, 1);
+        let b = Bits::from_u64(0b1000, 4);
+        assert_eq!(a.or(&b).width().get(), 4);
+        assert_eq!(a.or(&b).to_u64(), 0b1001);
+    }
+
+    #[test]
+    fn shifts_keep_width() {
+        let a = Bits::from_u64(0b0110, 4);
+        assert_eq!(a.shl(1).to_u64(), 0b1100);
+        assert_eq!(a.shl(3).to_u64(), 0); // 0b0110000 truncated to 4 bits
+        assert_eq!(a.shr(1).to_u64(), 0b0011);
+        assert_eq!(a.shr(8).to_u64(), 0);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Bits::from_u64(0, 4).reduce_or().to_u64(), 0);
+        assert_eq!(Bits::from_u64(2, 4).reduce_or().to_u64(), 1);
+        assert_eq!(Bits::ones(4).reduce_and().to_u64(), 1);
+        assert_eq!(Bits::from_u64(0b0111, 4).reduce_and().to_u64(), 0);
+        assert_eq!(Bits::from_u64(0b0111, 4).reduce_xor().to_u64(), 1);
+    }
+
+    #[test]
+    fn comparison() {
+        use std::cmp::Ordering;
+        let a = Bits::from_words(&[0, 1], 128);
+        let b = Bits::from_words(&[u64::MAX, 0], 128);
+        assert_eq!(a.ucmp(&b), Ordering::Greater);
+        assert_eq!(b.ucmp(&a), Ordering::Less);
+        assert_eq!(a.ucmp(&a.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn binary_str_roundtrip() {
+        let b = Bits::from_binary_str("10110").unwrap();
+        assert_eq!(b.to_u64(), 0b10110);
+        assert_eq!(format!("{b:b}"), "10110");
+        assert!(Bits::from_binary_str("").is_none());
+        assert!(Bits::from_binary_str("102").is_none());
+    }
+
+    #[test]
+    fn zero_width_is_inert() {
+        let z = Bits::zero(0);
+        assert!(z.is_zero());
+        assert_eq!(z.cat(&Bits::from_u64(3, 2)).to_u64(), 3);
+    }
+
+    #[test]
+    fn set_bit_across_words() {
+        let mut b = Bits::zero(100);
+        b.set_bit(99, true);
+        assert!(b.bit(99));
+        assert_eq!(b.count_ones(), 1);
+        b.set_bit(99, false);
+        assert!(b.is_zero());
+    }
+}

@@ -1,0 +1,409 @@
+//! Ergonomic construction of IR modules.
+//!
+//! [`ModuleBuilder`] removes the boilerplate of assembling [`Stmt`] lists by
+//! hand and [`Sig`] provides method-chaining expression construction:
+//!
+//! ```
+//! use fireaxe_ir::build::ModuleBuilder;
+//!
+//! let mut mb = ModuleBuilder::new("Counter");
+//! let en = mb.input("en", 1);
+//! let count = mb.reg("count", 8, 0);
+//! let next = en.mux(&count.add(&Sig::lit(1, 8)), &count);
+//! mb.connect_sig(&count, &next);
+//! let out = mb.output("out", 8);
+//! mb.connect_sig(&out, &count);
+//! let module = mb.finish();
+//! assert_eq!(module.ports.len(), 2);
+//! # use fireaxe_ir::build::Sig;
+//! ```
+
+use crate::ast::*;
+use crate::bits::{Bits, Width};
+
+/// A signal handle: an expression plus convenience combinators.
+///
+/// `Sig` values are cheap to clone and compose into larger expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sig(Expr);
+
+impl Sig {
+    /// Wraps an arbitrary expression.
+    pub fn from_expr(expr: Expr) -> Self {
+        Sig(expr)
+    }
+
+    /// A literal signal.
+    pub fn lit(value: u64, width: impl Into<Width>) -> Self {
+        Sig(Expr::lit(value, width))
+    }
+
+    /// A literal from a [`Bits`] value.
+    pub fn lit_bits(bits: Bits) -> Self {
+        Sig(Expr::Lit(bits))
+    }
+
+    /// The underlying expression.
+    pub fn expr(&self) -> &Expr {
+        &self.0
+    }
+
+    /// Consumes the handle, returning the expression.
+    pub fn into_expr(self) -> Expr {
+        self.0
+    }
+
+    fn bin(&self, op: BinOp, rhs: &Sig) -> Sig {
+        Sig(Expr::Binary(
+            op,
+            Box::new(self.0.clone()),
+            Box::new(rhs.0.clone()),
+        ))
+    }
+
+    /// Wrapping addition.
+    pub fn add(&self, rhs: &Sig) -> Sig {
+        self.bin(BinOp::Add, rhs)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&self, rhs: &Sig) -> Sig {
+        self.bin(BinOp::Sub, rhs)
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(&self, rhs: &Sig) -> Sig {
+        self.bin(BinOp::Mul, rhs)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&self, rhs: &Sig) -> Sig {
+        self.bin(BinOp::And, rhs)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, rhs: &Sig) -> Sig {
+        self.bin(BinOp::Or, rhs)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, rhs: &Sig) -> Sig {
+        self.bin(BinOp::Xor, rhs)
+    }
+
+    /// Equality comparison (1-bit result).
+    pub fn eq(&self, rhs: &Sig) -> Sig {
+        self.bin(BinOp::Eq, rhs)
+    }
+
+    /// Inequality comparison (1-bit result).
+    pub fn neq(&self, rhs: &Sig) -> Sig {
+        self.bin(BinOp::Neq, rhs)
+    }
+
+    /// Unsigned less-than (1-bit result).
+    pub fn lt(&self, rhs: &Sig) -> Sig {
+        self.bin(BinOp::Lt, rhs)
+    }
+
+    /// Unsigned greater-or-equal (1-bit result).
+    pub fn geq(&self, rhs: &Sig) -> Sig {
+        self.bin(BinOp::Geq, rhs)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Sig {
+        Sig(Expr::Unary(UnOp::Not, Box::new(self.0.clone())))
+    }
+
+    /// OR-reduce to 1 bit.
+    pub fn or_reduce(&self) -> Sig {
+        Sig(Expr::Unary(UnOp::OrReduce, Box::new(self.0.clone())))
+    }
+
+    /// `self ? on_true : on_false` (self must be 1 bit).
+    pub fn mux(&self, on_true: &Sig, on_false: &Sig) -> Sig {
+        Sig(Expr::Mux(
+            Box::new(self.0.clone()),
+            Box::new(on_true.0.clone()),
+            Box::new(on_false.0.clone()),
+        ))
+    }
+
+    /// Concatenation with `self` as the high bits.
+    pub fn cat(&self, low: &Sig) -> Sig {
+        Sig(Expr::Cat(vec![self.0.clone(), low.0.clone()]))
+    }
+
+    /// Bit extraction `self[hi:lo]` (inclusive).
+    pub fn bits(&self, hi: u32, lo: u32) -> Sig {
+        Sig(Expr::Extract(Box::new(self.0.clone()), hi, lo))
+    }
+
+    /// Zero-extend or truncate.
+    pub fn resize(&self, width: impl Into<Width>) -> Sig {
+        Sig(Expr::Resize(Box::new(self.0.clone()), width.into()))
+    }
+
+    /// Constant left shift (width preserved).
+    pub fn shl(&self, n: u32) -> Sig {
+        Sig(Expr::Shl(Box::new(self.0.clone()), n))
+    }
+
+    /// Constant right shift (width preserved).
+    pub fn shr(&self, n: u32) -> Sig {
+        Sig(Expr::Shr(Box::new(self.0.clone()), n))
+    }
+}
+
+/// Incrementally builds a [`Module`].
+///
+/// Declaration methods return [`Sig`] handles referencing the declared
+/// signal, so the calling code reads like netlist construction in Chisel.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Starts building a module called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            module: Module::new(name),
+        }
+    }
+
+    /// Declares an input port and returns a handle to it.
+    pub fn input(&mut self, name: impl Into<String>, width: impl Into<Width>) -> Sig {
+        let name = name.into();
+        self.module.ports.push(Port::input(name.clone(), width));
+        Sig(Expr::reference(name))
+    }
+
+    /// Declares an output port (to be driven later via [`Self::connect`]).
+    pub fn output(&mut self, name: impl Into<String>, width: impl Into<Width>) -> Sig {
+        let name = name.into();
+        self.module.ports.push(Port::output(name.clone(), width));
+        Sig(Expr::reference(name))
+    }
+
+    /// Declares an output port and drives it with `expr` in one step.
+    pub fn output_expr(&mut self, name: impl Into<String>, expr: Expr) -> Sig {
+        let name = name.into();
+        // Width of the port is inferred lazily by validation; we store an
+        // explicit width when the expression is a literal, else default to
+        // a resize-free connect. To keep ports explicit, require callers to
+        // state the width via `output` when it cannot be derived; here we
+        // derive from literals or fall back to 64 bits.
+        let width = match &expr {
+            Expr::Lit(b) => b.width(),
+            Expr::Resize(_, w) => *w,
+            _ => Width::new(0),
+        };
+        if width.get() > 0 {
+            self.module.ports.push(Port::output(name.clone(), width));
+        } else {
+            panic!("output_expr(`{name}`): width not derivable; use output() + connect() instead");
+        }
+        self.module.body.push(Stmt::Connect {
+            lhs: Ref::local(name.clone()),
+            rhs: expr,
+        });
+        Sig(Expr::reference(name))
+    }
+
+    /// Declares a wire.
+    pub fn wire(&mut self, name: impl Into<String>, width: impl Into<Width>) -> Sig {
+        let name = name.into();
+        self.module.body.push(Stmt::Wire {
+            name: name.clone(),
+            width: width.into(),
+        });
+        Sig(Expr::reference(name))
+    }
+
+    /// Declares a named node defined by `expr`.
+    pub fn node(&mut self, name: impl Into<String>, expr: &Sig) -> Sig {
+        let name = name.into();
+        self.module.body.push(Stmt::Node {
+            name: name.clone(),
+            expr: expr.0.clone(),
+        });
+        Sig(Expr::reference(name))
+    }
+
+    /// Declares a register with a reset value.
+    pub fn reg(&mut self, name: impl Into<String>, width: impl Into<Width>, init: u64) -> Sig {
+        let name = name.into();
+        let width = width.into();
+        self.module.body.push(Stmt::Reg {
+            name: name.clone(),
+            width,
+            init: Bits::from_u64(init, width),
+        });
+        Sig(Expr::reference(name))
+    }
+
+    /// Declares a memory; returns its name for use with
+    /// [`Self::mem_read`]/[`Self::mem_write`].
+    pub fn mem(&mut self, name: impl Into<String>, width: impl Into<Width>, depth: u32) -> String {
+        let name = name.into();
+        self.module.body.push(Stmt::Mem {
+            name: name.clone(),
+            width: width.into(),
+            depth,
+        });
+        name
+    }
+
+    /// Adds a combinational read port named `name` reading `mem[addr]`.
+    pub fn mem_read(&mut self, name: impl Into<String>, mem: &str, addr: &Sig) -> Sig {
+        let name = name.into();
+        self.module.body.push(Stmt::MemRead {
+            name: name.clone(),
+            mem: mem.to_string(),
+            addr: addr.0.clone(),
+        });
+        Sig(Expr::reference(name))
+    }
+
+    /// Adds a synchronous write port.
+    pub fn mem_write(&mut self, mem: &str, addr: &Sig, data: &Sig, en: &Sig) {
+        self.module.body.push(Stmt::MemWrite {
+            mem: mem.to_string(),
+            addr: addr.0.clone(),
+            data: data.0.clone(),
+            en: en.0.clone(),
+        });
+    }
+
+    /// Instantiates a child module; returns the instance name.
+    pub fn inst(&mut self, name: impl Into<String>, module: impl Into<String>) -> String {
+        let name = name.into();
+        self.module.body.push(Stmt::Inst {
+            name: name.clone(),
+            module: module.into(),
+        });
+        name
+    }
+
+    /// A handle to a child instance port (for reading outputs).
+    pub fn inst_port(&self, inst: &str, port: &str) -> Sig {
+        Sig(Expr::Ref(Ref::instance_port(inst, port)))
+    }
+
+    /// Drives a local signal by name.
+    pub fn connect(&mut self, name: &str, rhs: &Sig) {
+        self.module.body.push(Stmt::Connect {
+            lhs: Ref::local(name),
+            rhs: rhs.0.clone(),
+        });
+    }
+
+    /// Drives the signal a [`Sig`] handle refers to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is not a plain reference (e.g. a composite
+    /// expression, which is not a drivable location).
+    pub fn connect_sig(&mut self, target: &Sig, rhs: &Sig) {
+        match &target.0 {
+            Expr::Ref(r) => self.module.body.push(Stmt::Connect {
+                lhs: r.clone(),
+                rhs: rhs.0.clone(),
+            }),
+            other => panic!("connect_sig target must be a reference, got {other:?}"),
+        }
+    }
+
+    /// Drives a child instance's input port.
+    pub fn connect_inst(&mut self, inst: &str, port: &str, rhs: &Sig) {
+        self.module.body.push(Stmt::Connect {
+            lhs: Ref::instance_port(inst, port),
+            rhs: rhs.0.clone(),
+        });
+    }
+
+    /// Finishes, returning the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+
+    /// Access to the module under construction.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typecheck::validate;
+
+    #[test]
+    fn builds_validating_counter() {
+        let mut mb = ModuleBuilder::new("Counter");
+        let en = mb.input("en", 1);
+        let out = mb.output("out", 8);
+        let count = mb.reg("count", 8, 0);
+        let next = en.mux(&count.add(&Sig::lit(1, 8)), &count);
+        mb.connect_sig(&count, &next);
+        mb.connect_sig(&out, &count);
+        let c = Circuit::from_modules("Counter", vec![mb.finish()], "Counter");
+        validate(&c).unwrap();
+    }
+
+    #[test]
+    fn builds_hierarchy() {
+        let mut leaf = ModuleBuilder::new("Inv");
+        let a = leaf.input("a", 1);
+        let y = leaf.output("y", 1);
+        leaf.connect_sig(&y, &a.not());
+        let leaf = leaf.finish();
+
+        let mut top = ModuleBuilder::new("Top");
+        let i = top.input("i", 1);
+        let o = top.output("o", 1);
+        let u = top.inst("u0", "Inv");
+        top.connect_inst(&u, "a", &i);
+        let uy = top.inst_port(&u, "y");
+        top.connect_sig(&o, &uy);
+        let c = Circuit::from_modules("Top", vec![top.finish(), leaf], "Top");
+        validate(&c).unwrap();
+    }
+
+    #[test]
+    fn builds_memory() {
+        let mut mb = ModuleBuilder::new("RegFile");
+        let waddr = mb.input("waddr", 4);
+        let wdata = mb.input("wdata", 8);
+        let wen = mb.input("wen", 1);
+        let raddr = mb.input("raddr", 4);
+        let rdata = mb.output("rdata", 8);
+        let mem = mb.mem("mem", 8, 16);
+        mb.mem_write(&mem, &waddr, &wdata, &wen);
+        let rd = mb.mem_read("rd", &mem, &raddr);
+        mb.connect_sig(&rdata, &rd);
+        let c = Circuit::from_modules("RegFile", vec![mb.finish()], "RegFile");
+        validate(&c).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a reference")]
+    fn connect_sig_rejects_expressions() {
+        let mut mb = ModuleBuilder::new("Bad");
+        let a = mb.input("a", 1);
+        let e = a.not();
+        mb.connect_sig(&e, &a);
+    }
+
+    #[test]
+    fn sig_combinators_shape() {
+        let a = Sig::lit(3, 4);
+        let b = Sig::lit(1, 4);
+        assert!(matches!(a.add(&b).expr(), Expr::Binary(BinOp::Add, _, _)));
+        assert!(matches!(a.bits(2, 0).expr(), Expr::Extract(_, 2, 0)));
+        assert!(matches!(a.cat(&b).expr(), Expr::Cat(v) if v.len() == 2));
+        assert!(matches!(a.resize(9).expr(), Expr::Resize(_, w) if w.get() == 9));
+    }
+}

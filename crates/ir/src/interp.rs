@@ -1,0 +1,1080 @@
+//! Circuit elaboration and cycle-accurate interpretation.
+//!
+//! The interpreter is FireAxe-rs's *source of truth*: monolithic
+//! interpretation of a circuit defines the reference cycle counts and port
+//! traces that exact-mode partitioned simulation must reproduce bit for
+//! bit (paper §VI-C, Table II).
+//!
+//! Elaboration flattens the module hierarchy into a slot-addressed netlist,
+//! topologically sorts the combinational definitions, and then each target
+//! cycle is: drive inputs → settle combinational logic in schedule order →
+//! latch registers and memory writes.
+//!
+//! Extern behavioral modules participate through the [`ExternBehavior`]
+//! trait: their register-driven (*source*) outputs are published at the
+//! start of the cycle and their combinational (*sink*) outputs are computed
+//! in schedule order once the declared combinational inputs have settled.
+
+use crate::ast::*;
+use crate::bits::{Bits, Width};
+use crate::error::{IrError, Result};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Cycle-level model bound to an extern behavioral module instance.
+///
+/// Implementations must compute [`ExternBehavior::comb_outputs`] using only
+/// the inputs named in the module's declared combinational paths; other
+/// inputs may hold values from the previous settling step when the method
+/// is invoked.
+pub trait ExternBehavior: std::fmt::Debug + Send {
+    /// Returns the model to its post-reset state.
+    fn reset(&mut self);
+
+    /// Output values that depend only on internal state (register-driven
+    /// *source* outputs), published at the start of each cycle.
+    fn source_outputs(&mut self) -> BTreeMap<String, Bits>;
+
+    /// Combinationally derived (*sink*) output values given the settled
+    /// input values.
+    fn comb_outputs(&mut self, inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits>;
+
+    /// Advances internal state by one target cycle using the final settled
+    /// input values.
+    fn tick(&mut self, inputs: &BTreeMap<String, Bits>);
+}
+
+/// A compiled expression over value slots.
+#[derive(Debug, Clone)]
+enum CExpr {
+    Lit(Bits),
+    Slot(usize),
+    Unary(UnOp, Box<CExpr>),
+    Binary(BinOp, Box<CExpr>, Box<CExpr>),
+    Mux(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+    Cat(Vec<CExpr>),
+    Extract(Box<CExpr>, u32, u32),
+    Resize(Box<CExpr>, Width),
+    Shl(Box<CExpr>, u32),
+    Shr(Box<CExpr>, u32),
+}
+
+impl CExpr {
+    fn eval(&self, slots: &[Bits]) -> Bits {
+        match self {
+            CExpr::Lit(b) => b.clone(),
+            CExpr::Slot(i) => slots[*i].clone(),
+            CExpr::Unary(op, a) => {
+                let v = a.eval(slots);
+                match op {
+                    UnOp::Not => v.not(),
+                    UnOp::OrReduce => v.reduce_or(),
+                    UnOp::AndReduce => v.reduce_and(),
+                    UnOp::XorReduce => v.reduce_xor(),
+                }
+            }
+            CExpr::Binary(op, a, b) => {
+                let va = a.eval(slots);
+                let vb = b.eval(slots);
+                use std::cmp::Ordering::*;
+                match op {
+                    BinOp::Add => va.add(&vb),
+                    BinOp::Sub => va.sub(&vb),
+                    BinOp::Mul => va.mul(&vb),
+                    BinOp::Div => va.udiv(&vb),
+                    BinOp::Rem => va.urem(&vb),
+                    BinOp::And => va.and(&vb),
+                    BinOp::Or => va.or(&vb),
+                    BinOp::Xor => va.xor(&vb),
+                    BinOp::Eq => (va.ucmp(&vb) == Equal).into(),
+                    BinOp::Neq => (va.ucmp(&vb) != Equal).into(),
+                    BinOp::Lt => (va.ucmp(&vb) == Less).into(),
+                    BinOp::Leq => (va.ucmp(&vb) != Greater).into(),
+                    BinOp::Gt => (va.ucmp(&vb) == Greater).into(),
+                    BinOp::Geq => (va.ucmp(&vb) != Less).into(),
+                }
+            }
+            CExpr::Mux(c, t, f) => {
+                if c.eval(slots).is_zero() {
+                    f.eval(slots)
+                } else {
+                    t.eval(slots)
+                }
+            }
+            CExpr::Cat(parts) => {
+                let mut acc: Option<Bits> = None;
+                for p in parts {
+                    let v = p.eval(slots);
+                    acc = Some(match acc {
+                        None => v,
+                        Some(hi) => hi.cat(&v),
+                    });
+                }
+                acc.unwrap_or_default()
+            }
+            CExpr::Extract(a, hi, lo) => a.eval(slots).extract(*hi, *lo),
+            CExpr::Resize(a, w) => a.eval(slots).resize(*w),
+            CExpr::Shl(a, n) => a.eval(slots).shl(*n),
+            CExpr::Shr(a, n) => a.eval(slots).shr(*n),
+        }
+    }
+
+    fn reads(&self, out: &mut Vec<usize>) {
+        match self {
+            CExpr::Lit(_) => {}
+            CExpr::Slot(i) => out.push(*i),
+            CExpr::Unary(_, a)
+            | CExpr::Extract(a, _, _)
+            | CExpr::Resize(a, _)
+            | CExpr::Shl(a, _)
+            | CExpr::Shr(a, _) => a.reads(out),
+            CExpr::Binary(_, a, b) => {
+                a.reads(out);
+                b.reads(out);
+            }
+            CExpr::Mux(c, a, b) => {
+                c.reads(out);
+                a.reads(out);
+                b.reads(out);
+            }
+            CExpr::Cat(parts) => {
+                for p in parts {
+                    p.reads(out);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum DefKind {
+    Expr(CExpr),
+    MemRead { mem: usize, addr: CExpr },
+    ExternComb { ext: usize },
+}
+
+#[derive(Debug)]
+struct Def {
+    kind: DefKind,
+    writes: Vec<usize>,
+    reads: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct RegState {
+    slot: usize,
+    init: Bits,
+    next: Option<CExpr>,
+}
+
+#[derive(Debug)]
+struct MemState {
+    width: Width,
+    data: Vec<Bits>,
+    writes: Vec<(CExpr, CExpr, CExpr)>, // (addr, data, en)
+}
+
+#[derive(Debug)]
+struct ExternInst {
+    path: String,
+    behavior_key: String,
+    input_slots: Vec<(String, usize)>,
+    source_output_slots: Vec<(String, usize)>,
+    sink_output_slots: Vec<(String, usize)>,
+    model: Option<Box<dyn ExternBehavior>>,
+}
+
+/// A flattened, schedule-ordered netlist with live state: the interpreter.
+#[derive(Debug)]
+pub struct Interpreter {
+    slots: Vec<Bits>,
+    slot_names: HashMap<String, usize>,
+    mem_names: HashMap<String, usize>,
+    defs: Vec<Def>,
+    schedule: Vec<usize>,
+    regs: Vec<RegState>,
+    mems: Vec<MemState>,
+    externs: Vec<ExternInst>,
+    top_inputs: Vec<(String, usize)>,
+    top_outputs: Vec<(String, usize)>,
+    cycle: u64,
+}
+
+impl Interpreter {
+    /// Elaborates `circuit` into an executable netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors and returns [`IrError::CombCycle`] if
+    /// the flattened combinational definitions cannot be scheduled.
+    pub fn new(circuit: &Circuit) -> Result<Self> {
+        crate::typecheck::validate(circuit)?;
+        let mut b = Builder {
+            circuit,
+            interp: Interpreter {
+                slots: Vec::new(),
+                slot_names: HashMap::new(),
+                mem_names: HashMap::new(),
+                defs: Vec::new(),
+                schedule: Vec::new(),
+                regs: Vec::new(),
+                mems: Vec::new(),
+                externs: Vec::new(),
+                top_inputs: Vec::new(),
+                top_outputs: Vec::new(),
+                cycle: 0,
+            },
+        };
+        b.elaborate("", &circuit.top)?;
+        let mut interp = b.interp;
+        let top = circuit.top_module();
+        for p in &top.ports {
+            let slot = interp.slot_names[&p.name.clone()];
+            match p.direction {
+                Direction::Input => interp.top_inputs.push((p.name.clone(), slot)),
+                Direction::Output => interp.top_outputs.push((p.name.clone(), slot)),
+            }
+        }
+        interp.schedule = schedule_defs(&interp.defs, interp.slots.len())?;
+        interp.reset();
+        Ok(interp)
+    }
+
+    /// Binds a behavioral model to the extern instance at hierarchical
+    /// `path` (instance names joined with `.`; empty string when the top
+    /// module itself is extern).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no extern instance exists at that path.
+    pub fn bind_behavior(&mut self, path: &str, model: Box<dyn ExternBehavior>) -> Result<()> {
+        let ext = self
+            .externs
+            .iter_mut()
+            .find(|e| e.path == path)
+            .ok_or_else(|| IrError::Malformed {
+                message: format!("no extern instance at path `{path}`"),
+            })?;
+        ext.model = Some(model);
+        Ok(())
+    }
+
+    /// Hierarchical paths of extern instances still awaiting a model.
+    pub fn unbound_externs(&self) -> Vec<String> {
+        self.externs
+            .iter()
+            .filter(|e| e.model.is_none())
+            .map(|e| e.path.clone())
+            .collect()
+    }
+
+    /// Every extern instance as `(path, behavior key, model bound)` —
+    /// used by harnesses that bind models from a registry.
+    pub fn extern_instances(&self) -> Vec<(String, String, bool)> {
+        self.externs
+            .iter()
+            .map(|e| (e.path.clone(), e.behavior_key.clone(), e.model.is_some()))
+            .collect()
+    }
+
+    /// Resets registers, memories and behaviors; cycle count returns to 0.
+    pub fn reset(&mut self) {
+        for r in &self.regs {
+            self.slots[r.slot] = r.init.clone();
+        }
+        for m in &mut self.mems {
+            for d in &mut m.data {
+                *d = Bits::zero(m.width);
+            }
+        }
+        for e in &mut self.externs {
+            if let Some(m) = &mut e.model {
+                m.reset();
+            }
+        }
+        self.cycle = 0;
+        self.publish_extern_sources();
+    }
+
+    /// Drives the top-level input port `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist (programming error in the harness).
+    pub fn poke(&mut self, name: &str, value: Bits) {
+        let slot = self
+            .top_inputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no top input port `{name}`"))
+            .1;
+        let w = self.slots[slot].width();
+        self.slots[slot] = value.resize(w);
+    }
+
+    /// Reads any signal by hierarchical path (top ports use their bare
+    /// name).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path does not name a signal.
+    pub fn peek(&self, path: &str) -> &Bits {
+        let slot = *self
+            .slot_names
+            .get(path)
+            .unwrap_or_else(|| panic!("no signal at path `{path}`"));
+        &self.slots[slot]
+    }
+
+    /// Reads one entry of a memory by hierarchical path (e.g.
+    /// `"mem.store"`) and index. Returns `None` if no such memory or the
+    /// index is out of range.
+    pub fn peek_mem(&self, path: &str, index: usize) -> Option<&Bits> {
+        let mi = *self.mem_names.get(path)?;
+        self.mems[mi].data.get(index)
+    }
+
+    /// Settles all combinational logic for the current input values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ExternWithoutBehavior`] if an extern instance has
+    /// no bound model.
+    pub fn eval(&mut self) -> Result<()> {
+        for di in self.schedule.clone() {
+            self.run_def(di)?;
+        }
+        Ok(())
+    }
+
+    fn run_def(&mut self, di: usize) -> Result<()> {
+        enum Action {
+            Assign(Vec<(usize, Bits)>),
+        }
+        let action = {
+            let def = &self.defs[di];
+            match &def.kind {
+                DefKind::Expr(e) => {
+                    let v = e.eval(&self.slots);
+                    Action::Assign(vec![(def.writes[0], v)])
+                }
+                DefKind::MemRead { mem, addr } => {
+                    let a = addr.eval(&self.slots).to_u64() as usize;
+                    let m = &self.mems[*mem];
+                    let v = m
+                        .data
+                        .get(a)
+                        .cloned()
+                        .unwrap_or_else(|| Bits::zero(m.width));
+                    Action::Assign(vec![(def.writes[0], v)])
+                }
+                DefKind::ExternComb { ext } => {
+                    let e = &self.externs[*ext];
+                    let mut inputs = BTreeMap::new();
+                    for (name, slot) in &e.input_slots {
+                        inputs.insert(name.clone(), self.slots[*slot].clone());
+                    }
+                    let sink_slots = e.sink_output_slots.clone();
+                    let path = e.path.clone();
+                    let key = e.behavior_key.clone();
+                    let model = self.externs[*ext].model.as_mut().ok_or(
+                        IrError::ExternWithoutBehavior {
+                            module: path,
+                            behavior: key,
+                        },
+                    )?;
+                    let outs = model.comb_outputs(&inputs);
+                    let mut assigns = Vec::new();
+                    for (name, slot) in &sink_slots {
+                        if let Some(v) = outs.get(name) {
+                            let w = self.slots[*slot].width();
+                            assigns.push((*slot, v.resize(w)));
+                        }
+                    }
+                    Action::Assign(assigns)
+                }
+            }
+        };
+        let Action::Assign(assigns) = action;
+        for (slot, v) in assigns {
+            self.slots[slot] = v;
+        }
+        Ok(())
+    }
+
+    fn publish_extern_sources(&mut self) {
+        let mut assigns = Vec::new();
+        for e in &mut self.externs {
+            if let Some(model) = &mut e.model {
+                let outs = model.source_outputs();
+                for (name, slot) in &e.source_output_slots {
+                    if let Some(v) = outs.get(name) {
+                        assigns.push((*slot, v.clone()));
+                    }
+                }
+            }
+        }
+        for (slot, v) in assigns {
+            let w = self.slots[slot].width();
+            self.slots[slot] = v.resize(w);
+        }
+    }
+
+    /// Latches registers, applies memory writes, ticks behaviors, and
+    /// publishes the next cycle's extern source outputs. Must be preceded
+    /// by [`Interpreter::eval`].
+    pub fn tick(&mut self) {
+        // Compute all register next-values before writing any of them.
+        let mut next: Vec<(usize, Bits)> = Vec::new();
+        for r in &self.regs {
+            if let Some(e) = &r.next {
+                let w = self.slots[r.slot].width();
+                next.push((r.slot, e.eval(&self.slots).resize(w)));
+            }
+        }
+        // Memory writes also read pre-edge values.
+        let mut mem_writes: Vec<(usize, usize, Bits)> = Vec::new();
+        for (mi, m) in self.mems.iter().enumerate() {
+            for (addr, data, en) in &m.writes {
+                if !en.eval(&self.slots).is_zero() {
+                    let a = addr.eval(&self.slots).to_u64() as usize;
+                    if a < m.data.len() {
+                        mem_writes.push((mi, a, data.eval(&self.slots).resize(m.width)));
+                    }
+                }
+            }
+        }
+        for e in &mut self.externs {
+            if let Some(model) = &mut e.model {
+                let mut inputs = BTreeMap::new();
+                for (name, slot) in &e.input_slots {
+                    inputs.insert(name.clone(), self.slots[*slot].clone());
+                }
+                model.tick(&inputs);
+            }
+        }
+        for (slot, v) in next {
+            self.slots[slot] = v;
+        }
+        for (mi, a, v) in mem_writes {
+            self.mems[mi].data[a] = v;
+        }
+        self.publish_extern_sources();
+        self.cycle += 1;
+    }
+
+    /// One full target cycle: settle then latch.
+    ///
+    /// # Errors
+    ///
+    /// See [`Interpreter::eval`].
+    pub fn step(&mut self) -> Result<()> {
+        self.eval()?;
+        self.tick();
+        Ok(())
+    }
+
+    /// Number of completed target cycles since reset.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Names and widths of the top-level input ports.
+    pub fn input_ports(&self) -> Vec<(String, Width)> {
+        self.top_inputs
+            .iter()
+            .map(|(n, s)| (n.clone(), self.slots[*s].width()))
+            .collect()
+    }
+
+    /// Names and widths of the top-level output ports.
+    pub fn output_ports(&self) -> Vec<(String, Width)> {
+        self.top_outputs
+            .iter()
+            .map(|(n, s)| (n.clone(), self.slots[*s].width()))
+            .collect()
+    }
+}
+
+struct Builder<'a> {
+    circuit: &'a Circuit,
+    interp: Interpreter,
+}
+
+impl<'a> Builder<'a> {
+    fn key(path: &str, name: &str) -> String {
+        if path.is_empty() {
+            name.to_string()
+        } else {
+            format!("{path}.{name}")
+        }
+    }
+
+    fn alloc(&mut self, path: &str, name: &str, width: Width) -> usize {
+        let key = Self::key(path, name);
+        let id = self.interp.slots.len();
+        self.interp.slots.push(Bits::zero(width));
+        self.interp.slot_names.insert(key, id);
+        id
+    }
+
+    fn slot(&self, path: &str, name: &str) -> usize {
+        self.interp.slot_names[&Self::key(path, name)]
+    }
+
+    fn elaborate(&mut self, path: &str, module_name: &str) -> Result<()> {
+        let module = self
+            .circuit
+            .module(module_name)
+            .ok_or_else(|| IrError::Malformed {
+                message: format!("module `{module_name}` not found"),
+            })?
+            .clone();
+
+        // Allocate slots for ports.
+        for p in &module.ports {
+            self.alloc(path, &p.name, p.width);
+        }
+
+        if let Some(info) = &module.extern_info {
+            let comb_outs: HashSet<&str> = info
+                .comb_paths
+                .iter()
+                .map(|cp| cp.output.as_str())
+                .collect();
+            let mut ext = ExternInst {
+                path: path.to_string(),
+                behavior_key: info.behavior.clone(),
+                input_slots: Vec::new(),
+                source_output_slots: Vec::new(),
+                sink_output_slots: Vec::new(),
+                model: None,
+            };
+            let mut reads = Vec::new();
+            let mut writes = Vec::new();
+            for p in &module.ports {
+                let slot = self.slot(path, &p.name);
+                match p.direction {
+                    Direction::Input => {
+                        ext.input_slots.push((p.name.clone(), slot));
+                        if info.comb_paths.iter().any(|cp| cp.input == p.name) {
+                            reads.push(slot);
+                        }
+                    }
+                    Direction::Output => {
+                        if comb_outs.contains(p.name.as_str()) {
+                            ext.sink_output_slots.push((p.name.clone(), slot));
+                            writes.push(slot);
+                        } else {
+                            ext.source_output_slots.push((p.name.clone(), slot));
+                        }
+                    }
+                }
+            }
+            let ext_id = self.interp.externs.len();
+            self.interp.externs.push(ext);
+            if !writes.is_empty() {
+                self.interp.defs.push(Def {
+                    kind: DefKind::ExternComb { ext: ext_id },
+                    writes,
+                    reads,
+                });
+            }
+            return Ok(());
+        }
+
+        // First pass: declare local slots, recurse into instances.
+        let mut local_mems: HashMap<String, usize> = HashMap::new();
+        for stmt in &module.body {
+            match stmt {
+                Stmt::Wire { name, width } => {
+                    self.alloc(path, name, *width);
+                }
+                Stmt::Node { name, expr } => {
+                    let w = crate::typecheck::infer_width(self.circuit, &module, expr)?;
+                    self.alloc(path, name, w);
+                }
+                Stmt::Reg { name, width, init } => {
+                    let slot = self.alloc(path, name, *width);
+                    self.interp.regs.push(RegState {
+                        slot,
+                        init: init.clone(),
+                        next: None,
+                    });
+                }
+                Stmt::Mem { name, width, depth } => {
+                    let id = self.interp.mems.len();
+                    self.interp.mems.push(MemState {
+                        width: *width,
+                        data: vec![Bits::zero(*width); *depth as usize],
+                        writes: Vec::new(),
+                    });
+                    local_mems.insert(Self::key(path, name), id);
+                    self.interp.mem_names.insert(Self::key(path, name), id);
+                }
+                Stmt::MemRead { name, mem, .. } => {
+                    let mem_mod = match module.find_def(mem) {
+                        Some(Stmt::Mem { width, .. }) => *width,
+                        _ => unreachable!("validated"),
+                    };
+                    self.alloc(path, name, mem_mod);
+                }
+                Stmt::Inst { name, module: m } => {
+                    let child_path = Self::key(path, name);
+                    self.elaborate(&child_path, m)?;
+                }
+                Stmt::MemWrite { .. } | Stmt::Connect { .. } => {}
+            }
+        }
+
+        // Second pass: compile defining statements.
+        for stmt in &module.body {
+            match stmt {
+                Stmt::Node { name, expr } => {
+                    let c = self.compile(path, &module, expr)?;
+                    let slot = self.slot(path, name);
+                    self.push_expr_def(slot, c);
+                }
+                Stmt::MemRead { name, mem, addr } => {
+                    let mem_id = local_mems[&Self::key(path, mem)];
+                    let addr_c = self.compile(path, &module, addr)?;
+                    let slot = self.slot(path, name);
+                    let mut reads = Vec::new();
+                    addr_c.reads(&mut reads);
+                    self.interp.defs.push(Def {
+                        kind: DefKind::MemRead {
+                            mem: mem_id,
+                            addr: addr_c,
+                        },
+                        writes: vec![slot],
+                        reads,
+                    });
+                }
+                Stmt::MemWrite {
+                    mem,
+                    addr,
+                    data,
+                    en,
+                } => {
+                    let mem_id = local_mems[&Self::key(path, mem)];
+                    let a = self.compile(path, &module, addr)?;
+                    let d = self.compile(path, &module, data)?;
+                    let e = self.compile(path, &module, en)?;
+                    self.interp.mems[mem_id].writes.push((a, d, e));
+                }
+                Stmt::Connect { lhs, rhs } => {
+                    let sink_slot = match &lhs.instance {
+                        Some(inst) => self.slot(&Self::key(path, inst), &lhs.name),
+                        None => self.slot(path, &lhs.name),
+                    };
+                    let w = self.interp.slots[sink_slot].width();
+                    let c = CExpr::Resize(Box::new(self.compile(path, &module, rhs)?), w);
+                    // A connect to a register sets its next value.
+                    let is_reg = lhs.is_local()
+                        && matches!(module.find_def(&lhs.name), Some(Stmt::Reg { .. }));
+                    if is_reg {
+                        let r = self
+                            .interp
+                            .regs
+                            .iter_mut()
+                            .find(|r| r.slot == sink_slot)
+                            .expect("register slot exists");
+                        r.next = Some(c);
+                    } else {
+                        self.push_expr_def(sink_slot, c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn push_expr_def(&mut self, slot: usize, c: CExpr) {
+        let mut reads = Vec::new();
+        c.reads(&mut reads);
+        self.interp.defs.push(Def {
+            kind: DefKind::Expr(c),
+            writes: vec![slot],
+            reads,
+        });
+    }
+
+    #[allow(clippy::only_used_in_recursion)]
+    fn compile(&self, path: &str, module: &Module, expr: &Expr) -> Result<CExpr> {
+        Ok(match expr {
+            Expr::Lit(b) => CExpr::Lit(b.clone()),
+            Expr::Ref(r) => {
+                let slot = match &r.instance {
+                    Some(inst) => self.slot(&Self::key(path, inst), &r.name),
+                    None => self.slot(path, &r.name),
+                };
+                CExpr::Slot(slot)
+            }
+            Expr::Unary(op, a) => CExpr::Unary(*op, Box::new(self.compile(path, module, a)?)),
+            Expr::Binary(op, a, b) => CExpr::Binary(
+                *op,
+                Box::new(self.compile(path, module, a)?),
+                Box::new(self.compile(path, module, b)?),
+            ),
+            Expr::Mux(c, t, f) => CExpr::Mux(
+                Box::new(self.compile(path, module, c)?),
+                Box::new(self.compile(path, module, t)?),
+                Box::new(self.compile(path, module, f)?),
+            ),
+            Expr::Cat(parts) => CExpr::Cat(
+                parts
+                    .iter()
+                    .map(|p| self.compile(path, module, p))
+                    .collect::<Result<_>>()?,
+            ),
+            Expr::Extract(a, hi, lo) => {
+                CExpr::Extract(Box::new(self.compile(path, module, a)?), *hi, *lo)
+            }
+            Expr::Resize(a, w) => CExpr::Resize(Box::new(self.compile(path, module, a)?), *w),
+            Expr::Shl(a, n) => CExpr::Shl(Box::new(self.compile(path, module, a)?), *n),
+            Expr::Shr(a, n) => CExpr::Shr(Box::new(self.compile(path, module, a)?), *n),
+        })
+    }
+}
+
+/// Kahn topological sort of defs by slot read/write dependencies.
+fn schedule_defs(defs: &[Def], n_slots: usize) -> Result<Vec<usize>> {
+    let mut writer_of: Vec<Option<usize>> = vec![None; n_slots];
+    for (di, d) in defs.iter().enumerate() {
+        for &w in &d.writes {
+            writer_of[w] = Some(di);
+        }
+    }
+    let mut indegree = vec![0usize; defs.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); defs.len()];
+    for (di, d) in defs.iter().enumerate() {
+        let mut preds = HashSet::new();
+        for &r in &d.reads {
+            if let Some(p) = writer_of[r] {
+                if p != di {
+                    preds.insert(p);
+                }
+            }
+        }
+        indegree[di] = preds.len();
+        for p in preds {
+            dependents[p].push(di);
+        }
+    }
+    let mut queue: VecDeque<usize> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut order = Vec::with_capacity(defs.len());
+    while let Some(di) = queue.pop_front() {
+        order.push(di);
+        for &dep in &dependents[di] {
+            indegree[dep] -= 1;
+            if indegree[dep] == 0 {
+                queue.push_back(dep);
+            }
+        }
+    }
+    if order.len() != defs.len() {
+        let stuck: Vec<String> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .map(|(i, _)| format!("def#{i}"))
+            .collect();
+        return Err(IrError::CombCycle { cycle: stuck });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{ModuleBuilder, Sig};
+
+    fn counter_circuit() -> Circuit {
+        let mut mb = ModuleBuilder::new("Counter");
+        let en = mb.input("en", 1);
+        let out = mb.output("out", 8);
+        let count = mb.reg("count", 8, 0);
+        mb.connect_sig(&count, &en.mux(&count.add(&Sig::lit(1, 8)), &count));
+        mb.connect_sig(&out, &count);
+        Circuit::from_modules("Counter", vec![mb.finish()], "Counter")
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut sim = Interpreter::new(&counter_circuit()).unwrap();
+        sim.poke("en", Bits::from_u64(1, 1));
+        for _ in 0..5 {
+            sim.step().unwrap();
+        }
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("out").to_u64(), 5);
+        sim.poke("en", Bits::from_u64(0, 1));
+        for _ in 0..3 {
+            sim.step().unwrap();
+        }
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("out").to_u64(), 5);
+        assert_eq!(sim.cycle(), 8);
+    }
+
+    #[test]
+    fn reset_restores_init() {
+        let mut sim = Interpreter::new(&counter_circuit()).unwrap();
+        sim.poke("en", Bits::from_u64(1, 1));
+        for _ in 0..4 {
+            sim.step().unwrap();
+        }
+        sim.reset();
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("out").to_u64(), 0);
+        assert_eq!(sim.cycle(), 0);
+    }
+
+    #[test]
+    fn hierarchy_flattens() {
+        // Top wires two cascaded incrementers: out = in + 2 (combinational).
+        let mut inc = ModuleBuilder::new("Inc");
+        let a = inc.input("a", 8);
+        let y = inc.output("y", 8);
+        inc.connect_sig(&y, &a.add(&Sig::lit(1, 8)));
+        let inc = inc.finish();
+
+        let mut top = ModuleBuilder::new("Top");
+        let i = top.input("i", 8);
+        let o = top.output("o", 8);
+        top.inst("u0", "Inc");
+        top.inst("u1", "Inc");
+        top.connect_inst("u0", "a", &i);
+        let u0y = top.inst_port("u0", "y");
+        top.connect_inst("u1", "a", &u0y);
+        let u1y = top.inst_port("u1", "y");
+        top.connect_sig(&o, &u1y);
+        let c = Circuit::from_modules("Top", vec![top.finish(), inc], "Top");
+
+        let mut sim = Interpreter::new(&c).unwrap();
+        sim.poke("i", Bits::from_u64(40, 8));
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("o").to_u64(), 42);
+        // Internal signals visible by path.
+        assert_eq!(sim.peek("u0.y").to_u64(), 41);
+    }
+
+    #[test]
+    fn memory_read_write() {
+        let mut mb = ModuleBuilder::new("RegFile");
+        let waddr = mb.input("waddr", 4);
+        let wdata = mb.input("wdata", 8);
+        let wen = mb.input("wen", 1);
+        let raddr = mb.input("raddr", 4);
+        let rdata = mb.output("rdata", 8);
+        let mem = mb.mem("mem", 8, 16);
+        mb.mem_write(&mem, &waddr, &wdata, &wen);
+        let rd = mb.mem_read("rd", &mem, &raddr);
+        mb.connect_sig(&rdata, &rd);
+        let c = Circuit::from_modules("RegFile", vec![mb.finish()], "RegFile");
+
+        let mut sim = Interpreter::new(&c).unwrap();
+        sim.poke("waddr", Bits::from_u64(3, 4));
+        sim.poke("wdata", Bits::from_u64(0xAB, 8));
+        sim.poke("wen", Bits::from_u64(1, 1));
+        sim.step().unwrap(); // write happens at the edge
+        sim.poke("wen", Bits::from_u64(0, 1));
+        sim.poke("raddr", Bits::from_u64(3, 4));
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("rdata").to_u64(), 0xAB);
+        sim.poke("raddr", Bits::from_u64(4, 4));
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("rdata").to_u64(), 0);
+    }
+
+    /// A 2-entry extern FIFO-ish model used to test behavior binding.
+    #[derive(Debug, Default)]
+    struct Doubler {
+        state: u64,
+    }
+
+    impl ExternBehavior for Doubler {
+        fn reset(&mut self) {
+            self.state = 0;
+        }
+        fn source_outputs(&mut self) -> BTreeMap<String, Bits> {
+            let mut m = BTreeMap::new();
+            m.insert("acc".into(), Bits::from_u64(self.state, 16));
+            m
+        }
+        fn comb_outputs(&mut self, inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits> {
+            let x = inputs["x"].to_u64();
+            let mut m = BTreeMap::new();
+            m.insert("twice".into(), Bits::from_u64(x * 2, 16));
+            m
+        }
+        fn tick(&mut self, inputs: &BTreeMap<String, Bits>) {
+            self.state = self.state.wrapping_add(inputs["x"].to_u64());
+        }
+    }
+
+    fn extern_circuit() -> Circuit {
+        let mut e = Module::new("Doubler");
+        e.ports.push(Port::input("x", 16));
+        e.ports.push(Port::output("twice", 16));
+        e.ports.push(Port::output("acc", 16));
+        e.extern_info = Some(ExternInfo {
+            behavior: "doubler".into(),
+            comb_paths: vec![CombPath {
+                input: "x".into(),
+                output: "twice".into(),
+            }],
+            resources: ResourceHints::default(),
+        });
+
+        let mut top = ModuleBuilder::new("Top");
+        let i = top.input("i", 16);
+        let t = top.output("t", 16);
+        let a = top.output("a", 16);
+        top.inst("d", "Doubler");
+        top.connect_inst("d", "x", &i);
+        let dt = top.inst_port("d", "twice");
+        let da = top.inst_port("d", "acc");
+        top.connect_sig(&t, &dt);
+        top.connect_sig(&a, &da);
+        Circuit::from_modules("Top", vec![top.finish(), e], "Top")
+    }
+
+    #[test]
+    fn extern_behavior_runs() {
+        let mut sim = Interpreter::new(&extern_circuit()).unwrap();
+        assert_eq!(sim.unbound_externs(), vec!["d".to_string()]);
+        sim.bind_behavior("d", Box::new(Doubler::default()))
+            .unwrap();
+        sim.reset();
+        sim.poke("i", Bits::from_u64(21, 16));
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("t").to_u64(), 42);
+        assert_eq!(sim.peek("a").to_u64(), 0);
+        sim.tick();
+        sim.poke("i", Bits::from_u64(1, 16));
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("t").to_u64(), 2);
+        assert_eq!(sim.peek("a").to_u64(), 21); // accumulated last cycle
+    }
+
+    #[test]
+    fn unbound_extern_eval_errors() {
+        let mut sim = Interpreter::new(&extern_circuit()).unwrap();
+        assert!(matches!(
+            sim.eval(),
+            Err(IrError::ExternWithoutBehavior { .. })
+        ));
+    }
+
+    #[test]
+    fn peek_mem_reads_memory_state() {
+        let mut mb = ModuleBuilder::new("M");
+        let waddr = mb.input("waddr", 3);
+        let wdata = mb.input("wdata", 8);
+        let wen = mb.input("wen", 1);
+        let out = mb.output("out", 8);
+        let mem = mb.mem("store", 8, 8);
+        mb.mem_write(&mem, &waddr, &wdata, &wen);
+        let rd = mb.mem_read("rd", &mem, &waddr);
+        mb.connect_sig(&out, &rd);
+        let c = Circuit::from_modules("M", vec![mb.finish()], "M");
+        let mut sim = Interpreter::new(&c).unwrap();
+        sim.poke("waddr", Bits::from_u64(5, 3));
+        sim.poke("wdata", Bits::from_u64(0x5A, 8));
+        sim.poke("wen", Bits::from_u64(1, 1));
+        sim.step().unwrap();
+        assert_eq!(sim.peek_mem("store", 5).unwrap().to_u64(), 0x5A);
+        assert_eq!(sim.peek_mem("store", 0).unwrap().to_u64(), 0);
+        assert!(sim.peek_mem("store", 99).is_none());
+        assert!(sim.peek_mem("nothere", 0).is_none());
+    }
+
+    #[test]
+    fn arithmetic_ops_through_circuits() {
+        // A little ALU: covers div/rem/shifts/cat/extract/reductions in a
+        // real elaborated circuit rather than on bare Bits.
+        let mut mb = ModuleBuilder::new("Alu");
+        let a = mb.input("a", 16);
+        let b = mb.input("b", 16);
+        let q = mb.output("q", 16);
+        let r = mb.output("r", 16);
+        let sh = mb.output("sh", 16);
+        let cat_lo = mb.output("cat_lo", 8);
+        let parity = mb.output("parity", 1);
+        mb.connect_sig(&q, &Sig::from_expr(fireaxe_ir_div(&a, &b)));
+        mb.connect_sig(&r, &Sig::from_expr(fireaxe_ir_rem(&a, &b)));
+        mb.connect_sig(&sh, &a.shl(3).or(&b.shr(2)));
+        mb.connect_sig(&cat_lo, &a.bits(3, 0).cat(&b.bits(3, 0)));
+        mb.connect_sig(
+            &parity,
+            &Sig::from_expr(Expr::Unary(UnOp::XorReduce, Box::new(a.expr().clone()))),
+        );
+        fn fireaxe_ir_div(a: &Sig, b: &Sig) -> Expr {
+            Expr::Binary(
+                BinOp::Div,
+                Box::new(a.expr().clone()),
+                Box::new(b.expr().clone()),
+            )
+        }
+        fn fireaxe_ir_rem(a: &Sig, b: &Sig) -> Expr {
+            Expr::Binary(
+                BinOp::Rem,
+                Box::new(a.expr().clone()),
+                Box::new(b.expr().clone()),
+            )
+        }
+        let c = Circuit::from_modules("Alu", vec![mb.finish()], "Alu");
+        let mut sim = Interpreter::new(&c).unwrap();
+        sim.poke("a", Bits::from_u64(0b1010_1100, 16));
+        sim.poke("b", Bits::from_u64(5, 16));
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("q").to_u64(), 0b1010_1100 / 5);
+        assert_eq!(sim.peek("r").to_u64(), 0b1010_1100 % 5);
+        assert_eq!(
+            sim.peek("sh").to_u64(),
+            ((0b1010_1100u64 << 3) | (5 >> 2)) & 0xFFFF
+        );
+        assert_eq!(sim.peek("cat_lo").to_u64(), (0b1100 << 4) | 0b0101);
+        assert_eq!(
+            sim.peek("parity").to_u64(),
+            (0b1010_1100u64.count_ones() % 2) as u64
+        );
+        // Division by zero reads as zero (documented determinism).
+        sim.poke("b", Bits::from_u64(0, 16));
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("q").to_u64(), 0);
+        assert_eq!(sim.peek("r").to_u64(), 0);
+    }
+
+    #[test]
+    fn flattened_comb_cycle_detected() {
+        // Two passthrough instances wired into a loop; each module alone is
+        // acyclic so only elaboration sees the cycle.
+        let mut pass = ModuleBuilder::new("Pass");
+        let a = pass.input("a", 1);
+        let y = pass.output("y", 1);
+        pass.connect_sig(&y, &a);
+        let pass = pass.finish();
+
+        let mut top = ModuleBuilder::new("Top");
+        let o = top.output("o", 1);
+        top.inst("u0", "Pass");
+        top.inst("u1", "Pass");
+        let u0y = top.inst_port("u0", "y");
+        let u1y = top.inst_port("u1", "y");
+        top.connect_inst("u1", "a", &u0y);
+        top.connect_inst("u0", "a", &u1y);
+        top.connect_sig(&o, &u0y);
+        let c = Circuit::from_modules("Top", vec![top.finish(), pass], "Top");
+        assert!(matches!(
+            Interpreter::new(&c),
+            Err(IrError::CombCycle { .. })
+        ));
+    }
+}

@@ -1,0 +1,597 @@
+//! Parsing the FireAxe textual IR format.
+//!
+//! The grammar is line-oriented: one declaration or statement per line,
+//! with `circuit`/`module` headers and four-space body indentation (any
+//! indentation is accepted; nesting is determined by keywords). See
+//! [`crate::printer`] for the emitting side; `parse(print(c)) == c` is
+//! property-tested.
+
+use crate::ast::*;
+use crate::bits::{Bits, Width};
+use crate::error::{IrError, Result};
+
+/// Parses the textual form of a whole circuit.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] with a line number and message on malformed
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// let text = "\
+/// circuit Top :
+///   top Top
+///   module Top :
+///     input a : UInt<8>
+///     output y : UInt<8>
+///     y <= add(a, UInt<8>(1))
+/// ";
+/// let circuit = fireaxe_ir::parser::parse_circuit(text)?;
+/// assert_eq!(circuit.top, "Top");
+/// # Ok::<(), fireaxe_ir::IrError>(())
+/// ```
+pub fn parse_circuit(text: &str) -> Result<Circuit> {
+    let mut circuit: Option<Circuit> = None;
+    let mut current: Option<Module> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') || line.starts_with("//") {
+            continue;
+        }
+        let err = |message: String| IrError::Parse {
+            line: lineno,
+            message,
+        };
+
+        if let Some(rest) = line.strip_prefix("circuit ") {
+            let name = rest
+                .strip_suffix(':')
+                .ok_or_else(|| err("expected `circuit <name> :`".into()))?
+                .trim();
+            circuit = Some(Circuit {
+                name: name.to_string(),
+                modules: Vec::new(),
+                top: String::new(),
+            });
+            continue;
+        }
+        let c = circuit
+            .as_mut()
+            .ok_or_else(|| err("statement before `circuit` header".into()))?;
+
+        if let Some(rest) = line.strip_prefix("top ") {
+            c.top = rest.trim().to_string();
+            continue;
+        }
+        if let Some(rest) = line
+            .strip_prefix("extern module ")
+            .or_else(|| line.strip_prefix("module "))
+        {
+            if let Some(m) = current.take() {
+                c.modules.push(m);
+            }
+            let name = rest
+                .strip_suffix(':')
+                .ok_or_else(|| err("expected `module <name> :`".into()))?
+                .trim();
+            let mut m = Module::new(name);
+            if line.starts_with("extern") {
+                m.extern_info = Some(ExternInfo::default());
+            }
+            current = Some(m);
+            continue;
+        }
+
+        let m = current
+            .as_mut()
+            .ok_or_else(|| err("statement outside any module".into()))?;
+        parse_module_line(m, line).map_err(err)?;
+    }
+
+    let mut c = circuit.ok_or(IrError::Parse {
+        line: 0,
+        message: "no `circuit` header found".into(),
+    })?;
+    if let Some(m) = current.take() {
+        c.modules.push(m);
+    }
+    if c.top.is_empty() {
+        c.top = c.name.clone();
+    }
+    Ok(c)
+}
+
+type PResult<T> = std::result::Result<T, String>;
+
+fn parse_module_line(m: &mut Module, line: &str) -> PResult<()> {
+    if let Some(rest) = line.strip_prefix("input ") {
+        let (name, w) = parse_typed_name(rest)?;
+        m.ports.push(Port::input(name, w));
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("output ") {
+        let (name, w) = parse_typed_name(rest)?;
+        m.ports.push(Port::output(name, w));
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("behavior ") {
+        let key = rest.trim().trim_matches('"').to_string();
+        m.extern_info
+            .as_mut()
+            .ok_or("`behavior` outside extern module")?
+            .behavior = key;
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("comb ") {
+        let (i, o) = rest
+            .split_once("->")
+            .ok_or("expected `comb <in> -> <out>`")?;
+        m.extern_info
+            .as_mut()
+            .ok_or("`comb` outside extern module")?
+            .comb_paths
+            .push(CombPath {
+                input: i.trim().to_string(),
+                output: o.trim().to_string(),
+            });
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("resources ") {
+        let mut hints = ResourceHints::default();
+        for kv in rest.split_whitespace() {
+            let (k, v) = kv.split_once('=').ok_or("expected `key=value`")?;
+            let v: u64 = v.parse().map_err(|_| format!("bad number `{v}`"))?;
+            match k {
+                "luts" => hints.luts = v,
+                "regs" => hints.regs = v,
+                "brams" => hints.brams = v,
+                "dsps" => hints.dsps = v,
+                other => return Err(format!("unknown resource `{other}`")),
+            }
+        }
+        m.extern_info
+            .as_mut()
+            .ok_or("`resources` outside extern module")?
+            .resources = hints;
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("wire ") {
+        let (name, w) = parse_typed_name(rest)?;
+        m.body.push(Stmt::Wire {
+            name,
+            width: w.into(),
+        });
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("node ") {
+        let (name, e) = rest
+            .split_once('=')
+            .ok_or("expected `node <name> = <expr>`")?;
+        m.body.push(Stmt::Node {
+            name: name.trim().to_string(),
+            expr: parse_expr(e.trim())?,
+        });
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("reg ") {
+        // reg r : UInt<4>, init 2
+        let (decl, init) = rest.split_once(',').ok_or("expected `reg ... , init N`")?;
+        let (name, w) = parse_typed_name(decl)?;
+        let init = init
+            .trim()
+            .strip_prefix("init ")
+            .ok_or("expected `init <value>`")?;
+        let init: u64 = init.trim().parse().map_err(|_| "bad init value")?;
+        let width = Width::new(w);
+        m.body.push(Stmt::Reg {
+            name,
+            width,
+            init: Bits::from_u64(init, width),
+        });
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("mem ") {
+        // mem m : UInt<8>[16]
+        let (name, ty) = rest.split_once(':').ok_or("expected `mem <name> : ...`")?;
+        let ty = ty.trim();
+        let open = ty.find('[').ok_or("expected `[depth]`")?;
+        let width = parse_uint_ty(&ty[..open])?;
+        let depth: u32 = ty[open + 1..]
+            .trim_end_matches(']')
+            .parse()
+            .map_err(|_| "bad depth")?;
+        m.body.push(Stmt::Mem {
+            name: name.trim().to_string(),
+            width: Width::new(width),
+            depth,
+        });
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("read ") {
+        // read rd = m[addr_expr]
+        let (name, src) = rest.split_once('=').ok_or("expected `read <n> = m[e]`")?;
+        let src = src.trim();
+        let open = src.find('[').ok_or("expected `mem[addr]`")?;
+        let mem = src[..open].trim().to_string();
+        let addr = parse_expr(src[open + 1..].trim_end_matches(']').trim())?;
+        m.body.push(Stmt::MemRead {
+            name: name.trim().to_string(),
+            mem,
+            addr,
+        });
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("write ") {
+        // write m[addr] <= data when en
+        let (target, rhs) = rest
+            .split_once("<=")
+            .ok_or("expected `write m[a] <= d when e`")?;
+        let target = target.trim();
+        let open = target.find('[').ok_or("expected `mem[addr]`")?;
+        let mem = target[..open].trim().to_string();
+        let addr = parse_expr(target[open + 1..].trim_end_matches(']').trim())?;
+        let (data, en) = rhs.split_once(" when ").ok_or("expected `when <en>`")?;
+        m.body.push(Stmt::MemWrite {
+            mem,
+            addr,
+            data: parse_expr(data.trim())?,
+            en: parse_expr(en.trim())?,
+        });
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("inst ") {
+        let (name, module) = rest
+            .split_once(" of ")
+            .ok_or("expected `inst <n> of <M>`")?;
+        m.body.push(Stmt::Inst {
+            name: name.trim().to_string(),
+            module: module.trim().to_string(),
+        });
+        return Ok(());
+    }
+    // Fallback: a connect `<ref> <= <expr>`.
+    if let Some((lhs, rhs)) = line.split_once("<=") {
+        let lhs = lhs.trim();
+        let r = match lhs.split_once('.') {
+            Some((inst, port)) => Ref::instance_port(inst, port),
+            None => Ref::local(lhs),
+        };
+        m.body.push(Stmt::Connect {
+            lhs: r,
+            rhs: parse_expr(rhs.trim())?,
+        });
+        return Ok(());
+    }
+    Err(format!("unrecognized statement `{line}`"))
+}
+
+fn parse_typed_name(s: &str) -> PResult<(String, u32)> {
+    let (name, ty) = s.split_once(':').ok_or("expected `<name> : UInt<w>`")?;
+    Ok((name.trim().to_string(), parse_uint_ty(ty)?))
+}
+
+fn parse_uint_ty(s: &str) -> PResult<u32> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix("UInt<")
+        .and_then(|x| x.strip_suffix('>'))
+        .ok_or_else(|| format!("expected `UInt<w>`, got `{s}`"))?;
+    inner.parse().map_err(|_| format!("bad width `{inner}`"))
+}
+
+/// Parses a single expression in prefix-function syntax.
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax problem.
+pub fn parse_expr(s: &str) -> PResult<Expr> {
+    let (e, rest) = parse_expr_inner(s.trim())?;
+    if !rest.trim().is_empty() {
+        return Err(format!("trailing input `{rest}`"));
+    }
+    Ok(e)
+}
+
+fn parse_expr_inner(s: &str) -> PResult<(Expr, &str)> {
+    let s = s.trim_start();
+    // Literal: UInt<w>(v)
+    if let Some(rest) = s.strip_prefix("UInt<") {
+        let close = rest.find('>').ok_or("unterminated `UInt<`")?;
+        let w: u32 = rest[..close].parse().map_err(|_| "bad literal width")?;
+        let after = &rest[close + 1..];
+        let after = after
+            .strip_prefix('(')
+            .ok_or("expected `(` after UInt<w>")?;
+        let close = after.find(')').ok_or("unterminated literal")?;
+        let v: u64 = after[..close]
+            .trim()
+            .parse()
+            .map_err(|_| "bad literal value")?;
+        return Ok((Expr::lit(v, w), &after[close + 1..]));
+    }
+    // Identifier or function call.
+    let id_end = s
+        .find(|ch: char| !(ch.is_alphanumeric() || ch == '_' || ch == '.' || ch == '$'))
+        .unwrap_or(s.len());
+    if id_end == 0 {
+        return Err(format!("expected expression at `{s}`"));
+    }
+    let ident = &s[..id_end];
+    let rest = &s[id_end..];
+    if !rest.trim_start().starts_with('(') {
+        // Plain reference.
+        let r = match ident.split_once('.') {
+            Some((inst, port)) => Ref::instance_port(inst, port),
+            None => Ref::local(ident),
+        };
+        return Ok((Expr::Ref(r), rest));
+    }
+    // Function call: parse comma-separated arguments.
+    let rest = rest.trim_start();
+    let mut args: Vec<String> = Vec::new();
+    let inner = &rest[1..];
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut end = None;
+    for (i, ch) in inner.char_indices() {
+        match ch {
+            '(' | '<' => depth += 1,
+            '>' => depth = depth.saturating_sub(1),
+            ')' if depth == 0 => {
+                args.push(inner[start..i].to_string());
+                end = Some(i);
+                break;
+            }
+            ')' => depth -= 1,
+            ',' if depth == 0 => {
+                args.push(inner[start..i].to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let end = end.ok_or("unterminated call")?;
+    let remaining = &inner[end + 1..];
+    let args: Vec<&str> = args
+        .iter()
+        .map(|a| a.trim())
+        .filter(|a| !a.is_empty())
+        .collect();
+
+    let bin = |op: BinOp, args: &[&str]| -> PResult<Expr> {
+        if args.len() != 2 {
+            return Err(format!("`{op}` takes 2 arguments"));
+        }
+        Ok(Expr::Binary(
+            op,
+            Box::new(parse_expr(args[0])?),
+            Box::new(parse_expr(args[1])?),
+        ))
+    };
+    let un = |op: UnOp, args: &[&str]| -> PResult<Expr> {
+        if args.len() != 1 {
+            return Err(format!("`{op}` takes 1 argument"));
+        }
+        Ok(Expr::Unary(op, Box::new(parse_expr(args[0])?)))
+    };
+    let num = |s: &str| -> PResult<u32> { s.parse().map_err(|_| format!("bad number `{s}`")) };
+
+    let e = match ident {
+        "add" => bin(BinOp::Add, &args)?,
+        "sub" => bin(BinOp::Sub, &args)?,
+        "mul" => bin(BinOp::Mul, &args)?,
+        "div" => bin(BinOp::Div, &args)?,
+        "rem" => bin(BinOp::Rem, &args)?,
+        "and" => bin(BinOp::And, &args)?,
+        "or" => bin(BinOp::Or, &args)?,
+        "xor" => bin(BinOp::Xor, &args)?,
+        "eq" => bin(BinOp::Eq, &args)?,
+        "neq" => bin(BinOp::Neq, &args)?,
+        "lt" => bin(BinOp::Lt, &args)?,
+        "leq" => bin(BinOp::Leq, &args)?,
+        "gt" => bin(BinOp::Gt, &args)?,
+        "geq" => bin(BinOp::Geq, &args)?,
+        "not" => un(UnOp::Not, &args)?,
+        "orr" => un(UnOp::OrReduce, &args)?,
+        "andr" => un(UnOp::AndReduce, &args)?,
+        "xorr" => un(UnOp::XorReduce, &args)?,
+        "mux" => {
+            if args.len() != 3 {
+                return Err("`mux` takes 3 arguments".into());
+            }
+            Expr::Mux(
+                Box::new(parse_expr(args[0])?),
+                Box::new(parse_expr(args[1])?),
+                Box::new(parse_expr(args[2])?),
+            )
+        }
+        "cat" => {
+            if args.is_empty() {
+                return Err("`cat` takes at least 1 argument".into());
+            }
+            Expr::Cat(args.iter().map(|a| parse_expr(a)).collect::<PResult<_>>()?)
+        }
+        "bits" => {
+            if args.len() != 3 {
+                return Err("`bits` takes 3 arguments".into());
+            }
+            Expr::Extract(Box::new(parse_expr(args[0])?), num(args[1])?, num(args[2])?)
+        }
+        "resize" => {
+            if args.len() != 2 {
+                return Err("`resize` takes 2 arguments".into());
+            }
+            Expr::Resize(Box::new(parse_expr(args[0])?), Width::new(num(args[1])?))
+        }
+        "shl" => {
+            if args.len() != 2 {
+                return Err("`shl` takes 2 arguments".into());
+            }
+            Expr::Shl(Box::new(parse_expr(args[0])?), num(args[1])?)
+        }
+        "shr" => {
+            if args.len() != 2 {
+                return Err("`shr` takes 2 arguments".into());
+            }
+            Expr::Shr(Box::new(parse_expr(args[0])?), num(args[1])?)
+        }
+        other => return Err(format!("unknown operator `{other}`")),
+    };
+    Ok((e, remaining))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::{print_circuit, print_expr};
+
+    #[test]
+    fn parses_simple_circuit() {
+        let text = "\
+circuit Top :
+  top Top
+  module Top :
+    input a : UInt<8>
+    output y : UInt<8>
+    reg r : UInt<8>, init 3
+    node n = add(a, r)
+    r <= a
+    y <= n
+";
+        let c = parse_circuit(text).unwrap();
+        crate::typecheck::validate(&c).unwrap();
+        assert_eq!(c.top, "Top");
+        let m = c.module("Top").unwrap();
+        assert_eq!(m.body.len(), 4);
+    }
+
+    #[test]
+    fn parses_extern_module() {
+        let text = "\
+circuit E :
+  top E
+  extern module E :
+    input x : UInt<16>
+    output t : UInt<16>
+    behavior \"doubler\"
+    comb x -> t
+    resources luts=100 regs=50 brams=2 dsps=1
+";
+        let c = parse_circuit(text).unwrap();
+        let m = c.module("E").unwrap();
+        let info = m.extern_info.as_ref().unwrap();
+        assert_eq!(info.behavior, "doubler");
+        assert_eq!(info.comb_paths.len(), 1);
+        assert_eq!(info.resources.luts, 100);
+        assert_eq!(info.resources.dsps, 1);
+    }
+
+    #[test]
+    fn parses_memory_statements() {
+        let text = "\
+circuit M :
+  top M
+  module M :
+    input waddr : UInt<4>
+    input wdata : UInt<8>
+    input wen : UInt<1>
+    input raddr : UInt<4>
+    output rdata : UInt<8>
+    mem store : UInt<8>[16]
+    read rd = store[raddr]
+    write store[waddr] <= wdata when wen
+    rdata <= rd
+";
+        let c = parse_circuit(text).unwrap();
+        crate::typecheck::validate(&c).unwrap();
+    }
+
+    #[test]
+    fn expr_roundtrip() {
+        let exprs = [
+            "add(a, UInt<8>(1))",
+            "mux(sel, cat(UInt<2>(1), a), bits(b, 3, 1))",
+            "orr(xor(u0.y, shr(a, 2)))",
+            "resize(not(a), 16)",
+        ];
+        for src in exprs {
+            let e = parse_expr(src).unwrap();
+            assert_eq!(print_expr(&e), src);
+        }
+    }
+
+    #[test]
+    fn circuit_roundtrip() {
+        let text = "\
+circuit Top :
+  top Top
+  module Top :
+    input a : UInt<8>
+    output y : UInt<8>
+    inst u0 of Leaf
+    u0.a <= a
+    y <= u0.b
+  module Leaf :
+    input a : UInt<8>
+    output b : UInt<8>
+    b <= add(a, UInt<8>(7))
+";
+        let c = parse_circuit(text).unwrap();
+        let printed = print_circuit(&c);
+        let c2 = parse_circuit(&printed).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "circuit X :\n  top X\n  module X :\n    bogus statement here\n";
+        match parse_circuit(text) {
+            Err(IrError::Parse { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        let cases = [
+            ("reg r : UInt<4>", "reg without init"),
+            ("reg r UInt<4>, init 0", "reg without colon"),
+            ("mem m : UInt<8>", "mem without depth"),
+            ("read rd = m addr", "read without brackets"),
+            ("write m[0] <= 1", "write without when"),
+            ("inst u Leaf", "inst without of"),
+            ("input a UInt<4>", "input without colon"),
+            ("resources luts=abc", "non-numeric resource"),
+        ];
+        for (stmt, why) in cases {
+            let text = format!("circuit X :\n  top X\n  module X :\n    {stmt}\n");
+            assert!(parse_circuit(&text).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn extern_keywords_rejected_outside_extern() {
+        for stmt in ["behavior \"b\"", "comb a -> b", "resources luts=1"] {
+            let text = format!("circuit X :\n  top X\n  module X :\n    {stmt}\n");
+            assert!(parse_circuit(&text).is_err(), "{stmt} needs extern module");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n; a comment\ncircuit X :\n  top X\n\n  // another\n  module X :\n    input a : UInt<4>\n    output y : UInt<4>\n    y <= a\n";
+        let c = parse_circuit(text).unwrap();
+        crate::typecheck::validate(&c).unwrap();
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_in_expr() {
+        assert!(parse_expr("add(a, b) extra").is_err());
+        assert!(parse_expr("unknownop(a)").is_err());
+        assert!(parse_expr("mux(a, b)").is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Pretty-printing circuits to the FireAxe textual IR format.
+//!
+//! The format is FIRRTL-flavoured and round-trips through
+//! [`crate::parser::parse_circuit`]. It exists so partitioned artifacts can
+//! be dumped, diffed, and checked into test fixtures.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole circuit.
+pub fn print_circuit(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "circuit {} :", circuit.name);
+    let _ = writeln!(out, "  top {}", circuit.top);
+    for m in &circuit.modules {
+        out.push_str(&print_module(m));
+    }
+    out
+}
+
+/// Renders one module.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let kw = if module.is_extern() {
+        "extern module"
+    } else {
+        "module"
+    };
+    let _ = writeln!(out, "  {kw} {} :", module.name);
+    for p in &module.ports {
+        let _ = writeln!(out, "    {} {} : UInt<{}>", p.direction, p.name, p.width);
+    }
+    if let Some(info) = &module.extern_info {
+        let _ = writeln!(out, "    behavior \"{}\"", info.behavior);
+        for cp in &info.comb_paths {
+            let _ = writeln!(out, "    comb {} -> {}", cp.input, cp.output);
+        }
+        let r = &info.resources;
+        let _ = writeln!(
+            out,
+            "    resources luts={} regs={} brams={} dsps={}",
+            r.luts, r.regs, r.brams, r.dsps
+        );
+    }
+    for s in &module.body {
+        let _ = writeln!(out, "    {}", print_stmt(s));
+    }
+    out
+}
+
+fn print_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Wire { name, width } => format!("wire {name} : UInt<{width}>"),
+        Stmt::Node { name, expr } => format!("node {name} = {}", print_expr(expr)),
+        Stmt::Reg { name, width, init } => {
+            format!("reg {name} : UInt<{width}>, init {}", init.to_u64())
+        }
+        Stmt::Mem { name, width, depth } => format!("mem {name} : UInt<{width}>[{depth}]"),
+        Stmt::MemRead { name, mem, addr } => {
+            format!("read {name} = {mem}[{}]", print_expr(addr))
+        }
+        Stmt::MemWrite {
+            mem,
+            addr,
+            data,
+            en,
+        } => format!(
+            "write {mem}[{}] <= {} when {}",
+            print_expr(addr),
+            print_expr(data),
+            print_expr(en)
+        ),
+        Stmt::Inst { name, module } => format!("inst {name} of {module}"),
+        Stmt::Connect { lhs, rhs } => format!("{lhs} <= {}", print_expr(rhs)),
+    }
+}
+
+/// Renders one expression in prefix-function syntax.
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Lit(b) => format!("UInt<{}>({})", b.width(), b.to_u64()),
+        Expr::Ref(r) => r.to_string(),
+        Expr::Unary(op, a) => format!("{op}({})", print_expr(a)),
+        Expr::Binary(op, a, b) => format!("{op}({}, {})", print_expr(a), print_expr(b)),
+        Expr::Mux(c, t, f) => format!(
+            "mux({}, {}, {})",
+            print_expr(c),
+            print_expr(t),
+            print_expr(f)
+        ),
+        Expr::Cat(parts) => {
+            let inner: Vec<String> = parts.iter().map(print_expr).collect();
+            format!("cat({})", inner.join(", "))
+        }
+        Expr::Extract(a, hi, lo) => format!("bits({}, {hi}, {lo})", print_expr(a)),
+        Expr::Resize(a, w) => format!("resize({}, {w})", print_expr(a)),
+        Expr::Shl(a, n) => format!("shl({}, {n})", print_expr(a)),
+        Expr::Shr(a, n) => format!("shr({}, {n})", print_expr(a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::{Bits, Width};
+
+    #[test]
+    fn prints_expected_shape() {
+        let mut m = Module::new("M");
+        m.ports.push(Port::input("a", 4));
+        m.ports.push(Port::output("y", 4));
+        m.body.push(Stmt::Reg {
+            name: "r".into(),
+            width: Width::new(4),
+            init: Bits::from_u64(2, 4),
+        });
+        m.body.push(Stmt::Connect {
+            lhs: Ref::local("y"),
+            rhs: Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::reference("a")),
+                Box::new(Expr::reference("r")),
+            ),
+        });
+        let c = Circuit::from_modules("M", vec![m], "M");
+        let text = print_circuit(&c);
+        assert!(text.contains("circuit M :"));
+        assert!(text.contains("input a : UInt<4>"));
+        assert!(text.contains("reg r : UInt<4>, init 2"));
+        assert!(text.contains("y <= add(a, r)"));
+    }
+
+    #[test]
+    fn prints_extern_metadata() {
+        let mut m = Module::new("E");
+        m.ports.push(Port::input("x", 8));
+        m.ports.push(Port::output("y", 8));
+        m.extern_info = Some(ExternInfo {
+            behavior: "core".into(),
+            comb_paths: vec![CombPath {
+                input: "x".into(),
+                output: "y".into(),
+            }],
+            resources: ResourceHints {
+                luts: 10,
+                regs: 20,
+                brams: 1,
+                dsps: 0,
+            },
+        });
+        let text = print_module(&m);
+        assert!(text.contains("extern module E :"));
+        assert!(text.contains("behavior \"core\""));
+        assert!(text.contains("comb x -> y"));
+        assert!(text.contains("resources luts=10 regs=20 brams=1 dsps=0"));
+    }
+
+    #[test]
+    fn prints_nested_expressions() {
+        let e = Expr::Mux(
+            Box::new(Expr::reference("sel")),
+            Box::new(Expr::Cat(vec![Expr::lit(1, 2), Expr::reference("a")])),
+            Box::new(Expr::Extract(Box::new(Expr::reference("b")), 3, 1)),
+        );
+        assert_eq!(
+            print_expr(&e),
+            "mux(sel, cat(UInt<2>(1), a), bits(b, 3, 1))"
+        );
+    }
+}

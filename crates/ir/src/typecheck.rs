@@ -1,0 +1,518 @@
+//! Width inference and structural validation.
+//!
+//! [`infer_width`] computes the width of any [`Expr`] in a module context;
+//! [`validate`] checks a whole [`Circuit`] for the structural invariants
+//! the rest of FireAxe relies on (unique names, resolvable references,
+//! single drivers, acyclic hierarchy).
+
+use crate::ast::*;
+use crate::bits::Width;
+use crate::error::{IrError, Result};
+use std::collections::{HashMap, HashSet};
+
+/// Computes the width of `expr` evaluated inside `module` (of `circuit`).
+///
+/// # Errors
+///
+/// Returns [`IrError::UnresolvedRef`] when the expression mentions a signal
+/// that is not declared, and [`IrError::Malformed`] for other width
+/// inconsistencies.
+pub fn infer_width(circuit: &Circuit, module: &Module, expr: &Expr) -> Result<Width> {
+    match expr {
+        Expr::Lit(b) => Ok(b.width()),
+        Expr::Ref(r) => ref_width(circuit, module, r),
+        Expr::Unary(op, a) => {
+            let w = infer_width(circuit, module, a)?;
+            Ok(match op {
+                UnOp::Not => w,
+                UnOp::OrReduce | UnOp::AndReduce | UnOp::XorReduce => Width::new(1),
+            })
+        }
+        Expr::Binary(op, a, b) => {
+            let wa = infer_width(circuit, module, a)?;
+            let wb = infer_width(circuit, module, b)?;
+            Ok(match op {
+                BinOp::Add
+                | BinOp::Sub
+                | BinOp::Mul
+                | BinOp::Div
+                | BinOp::Rem
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor => wa.max(wb),
+                BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Leq | BinOp::Gt | BinOp::Geq => {
+                    Width::new(1)
+                }
+            })
+        }
+        Expr::Mux(_, a, b) => {
+            let wa = infer_width(circuit, module, a)?;
+            let wb = infer_width(circuit, module, b)?;
+            Ok(wa.max(wb))
+        }
+        Expr::Cat(parts) => {
+            let mut total = 0u32;
+            for p in parts {
+                total += infer_width(circuit, module, p)?.get();
+            }
+            Ok(Width::new(total))
+        }
+        Expr::Extract(a, hi, lo) => {
+            let w = infer_width(circuit, module, a)?;
+            if hi < lo || *hi >= w.get() {
+                return Err(IrError::Malformed {
+                    message: format!(
+                        "extract [{hi}:{lo}] out of range for width {w} in module `{}`",
+                        module.name
+                    ),
+                });
+            }
+            Ok(Width::new(hi - lo + 1))
+        }
+        Expr::Resize(_, w) => Ok(*w),
+        Expr::Shl(a, _) | Expr::Shr(a, _) => infer_width(circuit, module, a),
+    }
+}
+
+/// Width of the signal a [`Ref`] denotes.
+///
+/// # Errors
+///
+/// Returns [`IrError::UnresolvedRef`] if the reference cannot be resolved.
+pub fn ref_width(circuit: &Circuit, module: &Module, r: &Ref) -> Result<Width> {
+    let unresolved = || IrError::UnresolvedRef {
+        module: module.name.clone(),
+        reference: r.to_string(),
+    };
+    match &r.instance {
+        Some(inst) => {
+            let child_mod = module
+                .instances()
+                .find(|(n, _)| *n == inst)
+                .map(|(_, m)| m)
+                .ok_or_else(unresolved)?;
+            let child = circuit.module(child_mod).ok_or_else(unresolved)?;
+            Ok(child.port(&r.name).ok_or_else(unresolved)?.width)
+        }
+        None => {
+            if let Some(p) = module.port(&r.name) {
+                return Ok(p.width);
+            }
+            match module.find_def(&r.name).ok_or_else(unresolved)? {
+                Stmt::Wire { width, .. } | Stmt::Reg { width, .. } | Stmt::Mem { width, .. } => {
+                    Ok(*width)
+                }
+                Stmt::MemRead { mem, .. } => match module.find_def(mem) {
+                    Some(Stmt::Mem { width, .. }) => Ok(*width),
+                    _ => Err(unresolved()),
+                },
+                Stmt::Node { expr, .. } => infer_width(circuit, module, expr),
+                _ => Err(unresolved()),
+            }
+        }
+    }
+}
+
+/// Validates a whole circuit.
+///
+/// Checks, per module: name uniqueness, reference resolution, width
+/// computability, drivability and single-driver rules; and globally:
+/// existence of the top module and absence of recursive instantiation.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate(circuit: &Circuit) -> Result<()> {
+    if circuit.module(&circuit.top).is_none() {
+        return Err(IrError::Malformed {
+            message: format!("top module `{}` not found", circuit.top),
+        });
+    }
+    check_no_recursion(circuit)?;
+    for module in &circuit.modules {
+        validate_module(circuit, module)?;
+    }
+    Ok(())
+}
+
+fn check_no_recursion(circuit: &Circuit) -> Result<()> {
+    // A module hierarchy is a DAG iff DFS from each module finds no back
+    // edge to an in-progress module.
+    fn visit<'a>(
+        c: &'a Circuit,
+        name: &'a str,
+        visiting: &mut HashSet<&'a str>,
+        done: &mut HashSet<&'a str>,
+    ) -> Result<()> {
+        if done.contains(name) {
+            return Ok(());
+        }
+        if !visiting.insert(name) {
+            return Err(IrError::RecursiveHierarchy {
+                module: name.to_string(),
+            });
+        }
+        if let Some(m) = c.module(name) {
+            for (_, child) in m.instances() {
+                visit(c, child, visiting, done)?;
+            }
+        }
+        visiting.remove(name);
+        done.insert(name);
+        Ok(())
+    }
+    let mut visiting = HashSet::new();
+    let mut done = HashSet::new();
+    for m in &circuit.modules {
+        visit(circuit, &m.name, &mut visiting, &mut done)?;
+    }
+    Ok(())
+}
+
+fn validate_module(circuit: &Circuit, module: &Module) -> Result<()> {
+    if module.is_extern() {
+        if !module.body.is_empty() {
+            return Err(IrError::Malformed {
+                message: format!("extern module `{}` must have an empty body", module.name),
+            });
+        }
+        // Extern comb paths must name real ports with correct directions.
+        if let Some(info) = &module.extern_info {
+            for cp in &info.comb_paths {
+                let ok_in = module.port(&cp.input).map(|p| p.direction) == Some(Direction::Input);
+                let ok_out =
+                    module.port(&cp.output).map(|p| p.direction) == Some(Direction::Output);
+                if !ok_in || !ok_out {
+                    return Err(IrError::Malformed {
+                        message: format!(
+                            "extern module `{}` comb path {} -> {} does not match its ports",
+                            module.name, cp.input, cp.output
+                        ),
+                    });
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    // Unique names among ports and defining statements.
+    let mut names: HashSet<&str> = HashSet::new();
+    for p in &module.ports {
+        if !names.insert(&p.name) {
+            return Err(IrError::DuplicateName {
+                module: module.name.clone(),
+                name: p.name.clone(),
+            });
+        }
+    }
+    for s in &module.body {
+        if let Some(n) = s.defined_name() {
+            if !names.insert(n) {
+                return Err(IrError::DuplicateName {
+                    module: module.name.clone(),
+                    name: n.to_string(),
+                });
+            }
+        }
+    }
+
+    // Instances must refer to existing modules.
+    for (inst, child) in module.instances() {
+        if circuit.module(child).is_none() {
+            return Err(IrError::UnknownModule {
+                module: module.name.clone(),
+                instance: inst.to_string(),
+                missing: child.to_string(),
+            });
+        }
+    }
+
+    // Every expression must width-check (which also resolves references).
+    for s in &module.body {
+        match s {
+            Stmt::Node { expr, .. } => {
+                infer_width(circuit, module, expr)?;
+            }
+            Stmt::MemRead { addr, mem, .. } => {
+                infer_width(circuit, module, addr)?;
+                if !matches!(module.find_def(mem), Some(Stmt::Mem { .. })) {
+                    return Err(IrError::UnresolvedRef {
+                        module: module.name.clone(),
+                        reference: mem.clone(),
+                    });
+                }
+            }
+            Stmt::MemWrite {
+                addr,
+                data,
+                en,
+                mem,
+            } => {
+                infer_width(circuit, module, addr)?;
+                infer_width(circuit, module, data)?;
+                infer_width(circuit, module, en)?;
+                if !matches!(module.find_def(mem), Some(Stmt::Mem { .. })) {
+                    return Err(IrError::UnresolvedRef {
+                        module: module.name.clone(),
+                        reference: mem.clone(),
+                    });
+                }
+            }
+            Stmt::Connect { lhs, rhs } => {
+                infer_width(circuit, module, rhs)?;
+                ref_width(circuit, module, lhs)?;
+                check_drivable(circuit, module, lhs)?;
+            }
+            _ => {}
+        }
+    }
+
+    // Drive counts: wires and output ports need exactly one driver;
+    // registers at most one; instance inputs exactly one.
+    let mut drives: HashMap<String, usize> = HashMap::new();
+    for s in &module.body {
+        if let Stmt::Connect { lhs, .. } = s {
+            *drives.entry(lhs.to_string()).or_insert(0) += 1;
+        }
+    }
+    let mut expect_one: Vec<String> = Vec::new();
+    for p in module.ports_in(Direction::Output) {
+        expect_one.push(p.name.clone());
+    }
+    for s in &module.body {
+        match s {
+            Stmt::Wire { name, .. } => expect_one.push(name.clone()),
+            Stmt::Inst { name, module: m } => {
+                let child = circuit.module(m).expect("checked above");
+                for p in child.ports_in(Direction::Input) {
+                    expect_one.push(format!("{name}.{}", p.name));
+                }
+            }
+            _ => {}
+        }
+    }
+    for sig in expect_one {
+        let n = drives.get(&sig).copied().unwrap_or(0);
+        if n != 1 {
+            return Err(IrError::BadDriveCount {
+                module: module.name.clone(),
+                signal: sig,
+                drivers: n,
+            });
+        }
+    }
+    for s in &module.body {
+        if let Stmt::Reg { name, .. } = s {
+            let n = drives.get(name.as_str()).copied().unwrap_or(0);
+            if n > 1 {
+                return Err(IrError::BadDriveCount {
+                    module: module.name.clone(),
+                    signal: name.clone(),
+                    drivers: n,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_drivable(circuit: &Circuit, module: &Module, lhs: &Ref) -> Result<()> {
+    let not_drivable = || IrError::NotDrivable {
+        module: module.name.clone(),
+        target: lhs.to_string(),
+    };
+    match &lhs.instance {
+        Some(inst) => {
+            let child_name = module
+                .instances()
+                .find(|(n, _)| *n == inst)
+                .map(|(_, m)| m)
+                .ok_or_else(not_drivable)?;
+            let child = circuit.module(child_name).ok_or_else(not_drivable)?;
+            match child.port(&lhs.name) {
+                Some(p) if p.direction == Direction::Input => Ok(()),
+                _ => Err(not_drivable()),
+            }
+        }
+        None => {
+            if let Some(p) = module.port(&lhs.name) {
+                return if p.direction == Direction::Output {
+                    Ok(())
+                } else {
+                    Err(not_drivable())
+                };
+            }
+            match module.find_def(&lhs.name) {
+                Some(Stmt::Wire { .. }) | Some(Stmt::Reg { .. }) => Ok(()),
+                _ => Err(not_drivable()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::Bits;
+
+    fn passthrough() -> Circuit {
+        let mut m = Module::new("M");
+        m.ports.push(Port::input("a", 4));
+        m.ports.push(Port::output("y", 4));
+        m.body.push(Stmt::Connect {
+            lhs: Ref::local("y"),
+            rhs: Expr::reference("a"),
+        });
+        Circuit::from_modules("M", vec![m], "M")
+    }
+
+    #[test]
+    fn validates_passthrough() {
+        validate(&passthrough()).unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut c = passthrough();
+        c.module_mut("M").unwrap().body.push(Stmt::Wire {
+            name: "a".into(),
+            width: Width::new(1),
+        });
+        assert!(matches!(
+            validate(&c),
+            Err(IrError::DuplicateName { name, .. }) if name == "a"
+        ));
+    }
+
+    #[test]
+    fn rejects_undriven_output() {
+        let mut c = passthrough();
+        c.module_mut("M").unwrap().body.clear();
+        assert!(matches!(
+            validate(&c),
+            Err(IrError::BadDriveCount { drivers: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_double_drive() {
+        let mut c = passthrough();
+        c.module_mut("M").unwrap().body.push(Stmt::Connect {
+            lhs: Ref::local("y"),
+            rhs: Expr::lit(0, 4),
+        });
+        assert!(matches!(
+            validate(&c),
+            Err(IrError::BadDriveCount { drivers: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_driving_input() {
+        let mut c = passthrough();
+        c.module_mut("M").unwrap().body.push(Stmt::Connect {
+            lhs: Ref::local("a"),
+            rhs: Expr::lit(0, 4),
+        });
+        assert!(matches!(validate(&c), Err(IrError::NotDrivable { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_instance_module() {
+        let mut c = passthrough();
+        c.module_mut("M").unwrap().body.push(Stmt::Inst {
+            name: "u".into(),
+            module: "Nope".into(),
+        });
+        assert!(matches!(validate(&c), Err(IrError::UnknownModule { .. })));
+    }
+
+    #[test]
+    fn rejects_recursion() {
+        let mut m = Module::new("R");
+        m.body.push(Stmt::Inst {
+            name: "u".into(),
+            module: "R".into(),
+        });
+        let c = Circuit::from_modules("R", vec![m], "R");
+        assert!(matches!(
+            validate(&c),
+            Err(IrError::RecursiveHierarchy { .. })
+        ));
+    }
+
+    #[test]
+    fn infers_expression_widths() {
+        let c = passthrough();
+        let m = c.module("M").unwrap();
+        let w = |e: &Expr| infer_width(&c, m, e).unwrap().get();
+        assert_eq!(w(&Expr::reference("a")), 4);
+        assert_eq!(
+            w(&Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::reference("a")),
+                Box::new(Expr::lit(1, 8)),
+            )),
+            8
+        );
+        assert_eq!(
+            w(&Expr::Binary(
+                BinOp::Eq,
+                Box::new(Expr::reference("a")),
+                Box::new(Expr::lit(1, 4)),
+            )),
+            1
+        );
+        assert_eq!(
+            w(&Expr::Cat(vec![Expr::reference("a"), Expr::lit(0, 2)])),
+            6
+        );
+        assert_eq!(w(&Expr::Extract(Box::new(Expr::reference("a")), 2, 1)), 2);
+        assert_eq!(
+            w(&Expr::Unary(UnOp::OrReduce, Box::new(Expr::reference("a")))),
+            1
+        );
+    }
+
+    #[test]
+    fn extract_out_of_range_rejected() {
+        let c = passthrough();
+        let m = c.module("M").unwrap();
+        let e = Expr::Extract(Box::new(Expr::reference("a")), 9, 0);
+        assert!(infer_width(&c, m, &e).is_err());
+    }
+
+    #[test]
+    fn extern_comb_paths_checked() {
+        let mut m = Module::new("E");
+        m.ports.push(Port::input("i", 1));
+        m.ports.push(Port::output("o", 1));
+        m.extern_info = Some(ExternInfo {
+            behavior: "b".into(),
+            comb_paths: vec![CombPath {
+                input: "o".into(), // wrong direction
+                output: "i".into(),
+            }],
+            resources: ResourceHints::default(),
+        });
+        let c = Circuit::from_modules("E", vec![m], "E");
+        assert!(validate(&c).is_err());
+    }
+
+    #[test]
+    fn reg_may_be_undriven() {
+        let mut m = Module::new("M");
+        m.ports.push(Port::output("y", 4));
+        m.body.push(Stmt::Reg {
+            name: "r".into(),
+            width: Width::new(4),
+            init: Bits::from_u64(3, 4),
+        });
+        m.body.push(Stmt::Connect {
+            lhs: Ref::local("y"),
+            rhs: Expr::reference("r"),
+        });
+        let c = Circuit::from_modules("M", vec![m], "M");
+        validate(&c).unwrap();
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for the LI-BDN runtime.
+
+use std::fmt;
+
+/// Errors raised by LI-BDN construction and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LibdnError {
+    /// A channel index was out of range.
+    NoSuchChannel {
+        /// LI-BDN name.
+        libdn: String,
+        /// Offending channel index.
+        channel: usize,
+    },
+    /// A token was pushed into a full channel queue.
+    ChannelFull {
+        /// LI-BDN name.
+        libdn: String,
+        /// Channel name.
+        channel: String,
+    },
+    /// The wrapped target model failed.
+    Model {
+        /// Explanation from the model.
+        message: String,
+    },
+    /// An output channel declared a dependency on a nonexistent input
+    /// channel.
+    BadDependency {
+        /// LI-BDN name.
+        libdn: String,
+        /// Output channel name.
+        output: String,
+        /// Dangling input channel index.
+        dep: usize,
+    },
+    /// The simulation cannot make progress: every LI-BDN is stalled.
+    Deadlock {
+        /// Human-readable stall report, one line per LI-BDN.
+        report: Vec<String>,
+    },
+}
+
+impl fmt::Display for LibdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibdnError::NoSuchChannel { libdn, channel } => {
+                write!(f, "LI-BDN `{libdn}` has no channel #{channel}")
+            }
+            LibdnError::ChannelFull { libdn, channel } => {
+                write!(f, "channel `{channel}` of LI-BDN `{libdn}` is full")
+            }
+            LibdnError::Model { message } => write!(f, "target model error: {message}"),
+            LibdnError::BadDependency { libdn, output, dep } => write!(
+                f,
+                "output channel `{output}` of LI-BDN `{libdn}` depends on missing input #{dep}"
+            ),
+            LibdnError::Deadlock { report } => {
+                write!(f, "simulation deadlocked:\n{}", report.join("\n"))
+            }
+        }
+    }
+}
+
+impl std::error::Error for LibdnError {}
+
+/// Convenient alias.
+pub type Result<T> = std::result::Result<T, LibdnError>;

@@ -1,0 +1,205 @@
+//! FAME-5 multi-threading of duplicate modules.
+//!
+//! FAME-5 (paper §II-B, §VI-B) shares one copy of a module's combinational
+//! logic among N duplicate instances while replicating only the sequential
+//! state; a hardware scheduler services one instance ("thread") per host
+//! cycle. The performance consequence — N host cycles per target cycle —
+//! is exactly what lets FireAxe amortize inter-FPGA latency: while thread
+//! 0's token is in flight, threads 1..N-1 are being serviced.
+//!
+//! In software we model the scheduler faithfully: a [`Fame5Group`] owns N
+//! member LI-BDNs and round-robins [`LiBdn::host_step`] across them, one
+//! member per host cycle. (Replicating combinational state in software has
+//! no cost, so "sharing" it is purely the scheduling constraint.)
+
+use crate::error::Result;
+use crate::libdn::LiBdn;
+
+/// N LI-BDNs multiplexed onto one host-cycle budget, FAME-5 style.
+#[derive(Debug)]
+pub struct Fame5Group {
+    members: Vec<LiBdn>,
+    next: usize,
+    host_cycles: u64,
+}
+
+impl Fame5Group {
+    /// Creates a group; a single-member group behaves exactly like a bare
+    /// [`LiBdn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<LiBdn>) -> Self {
+        assert!(
+            !members.is_empty(),
+            "Fame5Group requires at least one member"
+        );
+        Fame5Group {
+            members,
+            next: 0,
+            host_cycles: 0,
+        }
+    }
+
+    /// Number of threads (duplicate module instances).
+    pub fn threads(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Immutable access to a member.
+    pub fn member(&self, idx: usize) -> &LiBdn {
+        &self.members[idx]
+    }
+
+    /// Mutable access to a member (for pushing/popping its channels).
+    pub fn member_mut(&mut self, idx: usize) -> &mut LiBdn {
+        &mut self.members[idx]
+    }
+
+    /// Iterates members.
+    pub fn members(&self) -> impl Iterator<Item = &LiBdn> {
+        self.members.iter()
+    }
+
+    /// Host cycles consumed by the whole group.
+    pub fn host_cycles(&self) -> u64 {
+        self.host_cycles
+    }
+
+    /// Minimum target cycle across members (the group's committed time).
+    pub fn target_cycle(&self) -> u64 {
+        self.members
+            .iter()
+            .map(LiBdn::target_cycle)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// One host cycle: services exactly one member (the FAME-5 scheduler),
+    /// then rotates. Returns `true` if that member made progress.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the member's model failure.
+    pub fn host_step(&mut self) -> Result<bool> {
+        self.host_cycles += 1;
+        let idx = self.next;
+        self.next = (self.next + 1) % self.members.len();
+        self.members[idx].host_step()
+    }
+
+    /// Whether any member could make progress (deadlock detection).
+    pub fn can_progress(&self) -> bool {
+        self.members.iter().any(LiBdn::can_progress)
+    }
+
+    /// Stall report covering every member.
+    pub fn stall_report(&self) -> Vec<String> {
+        self.members.iter().map(LiBdn::stall_report).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelSpec;
+    use crate::libdn::{LiBdnSpec, OutputChannelSpec};
+    use crate::target::InterpreterTarget;
+    use fireaxe_ir::build::ModuleBuilder;
+    use fireaxe_ir::{Bits, Circuit, Width};
+
+    fn accumulator() -> Circuit {
+        let mut mb = ModuleBuilder::new("Acc");
+        let a = mb.input("a", 8);
+        let y = mb.output("y", 8);
+        let r = mb.reg("r", 8, 0);
+        mb.connect_sig(&r, &r.add(&a));
+        mb.connect_sig(&y, &r);
+        Circuit::from_modules("Acc", vec![mb.finish()], "Acc")
+    }
+
+    fn member() -> LiBdn {
+        let spec = LiBdnSpec {
+            name: "Acc".into(),
+            inputs: vec![ChannelSpec::new(
+                "in",
+                vec![("a".to_string(), Width::new(8))],
+            )],
+            outputs: vec![OutputChannelSpec {
+                channel: ChannelSpec::new("out", vec![("y".to_string(), Width::new(8))]),
+                deps: vec![],
+            }],
+        };
+        LiBdn::new(
+            spec,
+            Box::new(InterpreterTarget::new(&accumulator()).unwrap()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_robin_services_all_members() {
+        let n = 4;
+        let mut g = Fame5Group::new((0..n).map(|_| member()).collect());
+        // Give every member one input token per target cycle, run until all
+        // have simulated 3 cycles.
+        for cycle in 0..3u64 {
+            for m in 0..n {
+                g.member_mut(m)
+                    .push_input(0, Bits::from_u64(m as u64 + 1, 8))
+                    .unwrap();
+            }
+            let mut safety = 0;
+            while (0..n).any(|m| g.member(m).target_cycle() <= cycle) {
+                g.host_step().unwrap();
+                safety += 1;
+                assert!(safety < 1000, "group failed to make progress");
+            }
+        }
+        assert_eq!(g.target_cycle(), 3);
+        // Each member accumulated its own (distinct) input stream.
+        for m in 0..n {
+            let mut last = 0;
+            while let Some(t) = g.member_mut(m).pop_output(0) {
+                last = t.to_u64();
+            }
+            assert_eq!(last, 2 * (m as u64 + 1)); // after 2 completed accumulations
+        }
+    }
+
+    #[test]
+    fn n_threads_cost_n_host_cycles_per_target_cycle() {
+        // With inputs always available and outputs drained, a group of N
+        // needs ~N host cycles per target cycle (one member serviced per
+        // host cycle; each member needs a constant number of host steps).
+        let cost = |n: usize| -> u64 {
+            let mut g = Fame5Group::new((0..n).map(|_| member()).collect());
+            let cycles = 16u64;
+            let mut host = 0u64;
+            while g.target_cycle() < cycles {
+                for m in 0..n {
+                    let mm = g.member_mut(m);
+                    if mm.can_accept(0) {
+                        mm.push_input(0, Bits::from_u64(1, 8)).unwrap();
+                    }
+                    while mm.pop_output(0).is_some() {}
+                }
+                g.host_step().unwrap();
+                host += 1;
+            }
+            host
+        };
+        let c1 = cost(1);
+        let c4 = cost(4);
+        // Scales linearly in thread count (within rounding).
+        assert!(c4 >= 3 * c1, "expected ~4x host cycles, got {c1} vs {c4}");
+        assert!(c4 <= 5 * c1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_group_panics() {
+        let _ = Fame5Group::new(vec![]);
+    }
+}

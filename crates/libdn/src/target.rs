@@ -1,0 +1,309 @@
+//! Target-design models hosted inside an LI-BDN.
+//!
+//! The LI-BDN wrapper doesn't care what computes the target's cycle
+//! semantics — on real FireAxe it is FAME-1-transformed RTL on the FPGA
+//! fabric; here it is anything implementing [`TargetModel`]. Two
+//! implementations are provided: [`InterpreterTarget`] (full RTL
+//! interpretation via `fireaxe-ir`) and [`BehavioralTarget`] (a
+//! coarse-grained model implementing [`CycleModel`], used for
+//! BOOM-tile-sized components whose RTL we do not model).
+
+use crate::error::{LibdnError, Result};
+use fireaxe_ir::{Bits, Circuit, Interpreter, Width};
+use std::collections::BTreeMap;
+
+/// A cycle-accurate model of a target design with named ports.
+///
+/// Contract per target cycle (enforced by the LI-BDN wrapper):
+/// 1. inputs are poked (possibly several times as tokens arrive);
+/// 2. [`TargetModel::eval`] settles combinational logic;
+/// 3. outputs are peeked;
+/// 4. [`TargetModel::tick`] latches state exactly once.
+pub trait TargetModel: std::fmt::Debug + Send {
+    /// Returns to the post-reset state.
+    fn reset(&mut self);
+
+    /// Drives an input port.
+    fn poke(&mut self, port: &str, value: Bits);
+
+    /// Settles combinational logic for the currently poked inputs.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail (e.g. unbound extern behaviors).
+    fn eval(&mut self) -> Result<()>;
+
+    /// Reads an output port (valid after [`TargetModel::eval`]).
+    fn peek(&self, port: &str) -> Bits;
+
+    /// Advances one target cycle.
+    fn tick(&mut self);
+
+    /// Input port names and widths.
+    fn input_ports(&self) -> Vec<(String, Width)>;
+
+    /// Output port names and widths.
+    fn output_ports(&self) -> Vec<(String, Width)>;
+
+    /// Reads one entry of an internal memory by hierarchical path, when
+    /// the model exposes memories (RTL-interpreted targets do).
+    fn peek_mem(&self, _path: &str, _index: usize) -> Option<Bits> {
+        None
+    }
+}
+
+/// [`TargetModel`] backed by the RTL interpreter.
+#[derive(Debug)]
+pub struct InterpreterTarget {
+    interp: Interpreter,
+}
+
+impl InterpreterTarget {
+    /// Elaborates `circuit` into an interpreter-backed target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration/validation failures.
+    pub fn new(circuit: &Circuit) -> Result<Self> {
+        Ok(InterpreterTarget {
+            interp: Interpreter::new(circuit)?,
+        })
+    }
+
+    /// Wraps an existing interpreter (e.g. with behaviors already bound).
+    pub fn from_interpreter(interp: Interpreter) -> Self {
+        InterpreterTarget { interp }
+    }
+
+    /// Access to the wrapped interpreter (for peeking internal signals).
+    pub fn interpreter(&self) -> &Interpreter {
+        &self.interp
+    }
+
+    /// Mutable access to the wrapped interpreter.
+    pub fn interpreter_mut(&mut self) -> &mut Interpreter {
+        &mut self.interp
+    }
+}
+
+impl TargetModel for InterpreterTarget {
+    fn reset(&mut self) {
+        self.interp.reset();
+    }
+
+    fn poke(&mut self, port: &str, value: Bits) {
+        self.interp.poke(port, value);
+    }
+
+    fn eval(&mut self) -> Result<()> {
+        self.interp.eval()?;
+        Ok(())
+    }
+
+    fn peek(&self, port: &str) -> Bits {
+        self.interp.peek(port).clone()
+    }
+
+    fn tick(&mut self) {
+        self.interp.tick();
+    }
+
+    fn input_ports(&self) -> Vec<(String, Width)> {
+        self.interp.input_ports()
+    }
+
+    fn output_ports(&self) -> Vec<(String, Width)> {
+        self.interp.output_ports()
+    }
+
+    fn peek_mem(&self, path: &str, index: usize) -> Option<Bits> {
+        self.interp.peek_mem(path, index).cloned()
+    }
+}
+
+/// A coarse-grained cycle model: the behavioural analogue of a
+/// FAME-1-transformed module.
+///
+/// Implementors provide Mealy-machine semantics through a single method
+/// pair; [`BehavioralTarget`] adapts them to [`TargetModel`].
+pub trait CycleModel: std::fmt::Debug + Send {
+    /// Returns to the post-reset state.
+    fn reset(&mut self);
+
+    /// Computes output values from current state and settled inputs.
+    fn outputs(&mut self, inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits>;
+
+    /// Advances one target cycle with the settled inputs.
+    fn tick(&mut self, inputs: &BTreeMap<String, Bits>);
+
+    /// Declared input ports.
+    fn input_ports(&self) -> Vec<(String, Width)>;
+
+    /// Declared output ports.
+    fn output_ports(&self) -> Vec<(String, Width)>;
+}
+
+/// Adapts a [`CycleModel`] to the [`TargetModel`] protocol.
+#[derive(Debug)]
+pub struct BehavioralTarget<M: CycleModel> {
+    model: M,
+    inputs: BTreeMap<String, Bits>,
+    outputs: BTreeMap<String, Bits>,
+}
+
+impl<M: CycleModel> BehavioralTarget<M> {
+    /// Wraps a cycle model; inputs start at zero.
+    pub fn new(model: M) -> Self {
+        let inputs = model
+            .input_ports()
+            .into_iter()
+            .map(|(n, w)| (n, Bits::zero(w)))
+            .collect();
+        BehavioralTarget {
+            model,
+            inputs,
+            outputs: BTreeMap::new(),
+        }
+    }
+
+    /// Access to the wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+}
+
+impl<M: CycleModel> TargetModel for BehavioralTarget<M> {
+    fn reset(&mut self) {
+        self.model.reset();
+        for v in self.inputs.values_mut() {
+            *v = Bits::zero(v.width());
+        }
+        self.outputs.clear();
+    }
+
+    fn poke(&mut self, port: &str, value: Bits) {
+        if let Some(slot) = self.inputs.get_mut(port) {
+            let w = slot.width();
+            *slot = value.resize(w);
+        }
+    }
+
+    fn eval(&mut self) -> Result<()> {
+        self.outputs = self.model.outputs(&self.inputs);
+        Ok(())
+    }
+
+    fn peek(&self, port: &str) -> Bits {
+        self.outputs
+            .get(port)
+            .cloned()
+            .unwrap_or_else(|| Bits::zero(0))
+    }
+
+    fn tick(&mut self) {
+        self.model.tick(&self.inputs);
+    }
+
+    fn input_ports(&self) -> Vec<(String, Width)> {
+        self.model.input_ports()
+    }
+
+    fn output_ports(&self) -> Vec<(String, Width)> {
+        self.model.output_ports()
+    }
+}
+
+impl From<fireaxe_ir::IrError> for LibdnError {
+    fn from(e: fireaxe_ir::IrError) -> Self {
+        LibdnError::Model {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireaxe_ir::build::{ModuleBuilder, Sig};
+
+    fn counter() -> Circuit {
+        let mut mb = ModuleBuilder::new("C");
+        let en = mb.input("en", 1);
+        let out = mb.output("out", 8);
+        let r = mb.reg("r", 8, 0);
+        mb.connect_sig(&r, &en.mux(&r.add(&Sig::lit(1, 8)), &r));
+        mb.connect_sig(&out, &r);
+        Circuit::from_modules("C", vec![mb.finish()], "C")
+    }
+
+    #[test]
+    fn interpreter_target_cycles() {
+        let mut t = InterpreterTarget::new(&counter()).unwrap();
+        t.reset();
+        t.poke("en", Bits::from_u64(1, 1));
+        for _ in 0..3 {
+            t.eval().unwrap();
+            t.tick();
+        }
+        t.eval().unwrap();
+        assert_eq!(t.peek("out").to_u64(), 3);
+        assert_eq!(t.input_ports()[0].0, "en");
+    }
+
+    #[derive(Debug, Default)]
+    struct Echoer {
+        last: u64,
+    }
+
+    impl CycleModel for Echoer {
+        fn reset(&mut self) {
+            self.last = 0;
+        }
+        fn outputs(&mut self, inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits> {
+            let mut m = BTreeMap::new();
+            m.insert("now".into(), inputs["x"].clone());
+            m.insert("prev".into(), Bits::from_u64(self.last, 8));
+            m
+        }
+        fn tick(&mut self, inputs: &BTreeMap<String, Bits>) {
+            self.last = inputs["x"].to_u64();
+        }
+        fn input_ports(&self) -> Vec<(String, Width)> {
+            vec![("x".into(), Width::new(8))]
+        }
+        fn output_ports(&self) -> Vec<(String, Width)> {
+            vec![
+                ("now".into(), Width::new(8)),
+                ("prev".into(), Width::new(8)),
+            ]
+        }
+    }
+
+    #[test]
+    fn behavioral_target_protocol() {
+        let mut t = BehavioralTarget::new(Echoer::default());
+        t.reset();
+        t.poke("x", Bits::from_u64(7, 8));
+        t.eval().unwrap();
+        assert_eq!(t.peek("now").to_u64(), 7);
+        assert_eq!(t.peek("prev").to_u64(), 0);
+        t.tick();
+        t.poke("x", Bits::from_u64(9, 8));
+        t.eval().unwrap();
+        assert_eq!(t.peek("prev").to_u64(), 7);
+    }
+
+    #[test]
+    fn behavioral_target_ignores_unknown_poke() {
+        let mut t = BehavioralTarget::new(Echoer::default());
+        t.poke("nonexistent", Bits::from_u64(1, 1));
+        t.poke("x", Bits::from_u64(3, 8));
+        t.eval().unwrap();
+        assert_eq!(t.peek("now").to_u64(), 3);
+    }
+}

@@ -1,0 +1,288 @@
+//! Automated partitioning (paper §VIII-B).
+//!
+//! The paper's future-work section asks for a flow needing less user
+//! guidance: "FireRipper would need to be able to make rough per-FPGA
+//! resource consumption estimates based on the RTL-level circuit
+//! representation to provide users quick feedback about whether the
+//! partition will fit", plus automatic search for partition boundaries.
+//!
+//! [`suggest_partitions`] implements that: it estimates each top-level
+//! instance's resource footprint, decides which instances must leave the
+//! remainder FPGA, and first-fit-decreasing bin-packs them into as few
+//! extra FPGAs as possible, grouping instances of the same module
+//! together so the result stays FAME-5-friendly.
+
+use crate::error::{Result, RipperError};
+use crate::spec::PartitionGroup;
+use fireaxe_fpga::{estimate, FpgaSpec, ResourceEstimate, ROUTABLE_UTILIZATION};
+use fireaxe_ir::Circuit;
+
+/// Configuration for the automatic partitioner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoPartitionConfig {
+    /// Target FPGA.
+    pub fpga: FpgaSpec,
+    /// Fraction of the FPGA's LUTs a partition may use (defaults to the
+    /// routability threshold).
+    pub utilization_target: f64,
+    /// Upper bound on extracted groups (i.e. extra FPGAs); the remainder
+    /// adds one more.
+    pub max_groups: usize,
+    /// Instances below this LUT count stay in the remainder (glue logic
+    /// is not worth a link crossing).
+    pub min_extract_luts: u64,
+}
+
+impl AutoPartitionConfig {
+    /// Sensible defaults for a given FPGA.
+    pub fn for_fpga(fpga: FpgaSpec) -> Self {
+        AutoPartitionConfig {
+            fpga,
+            utilization_target: ROUTABLE_UTILIZATION,
+            max_groups: 16,
+            min_extract_luts: 50_000,
+        }
+    }
+}
+
+/// One suggested placement, with the compiler's resource feedback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSuggestion {
+    /// Groups to pass to [`crate::compile`] (empty means everything fits
+    /// on one FPGA).
+    pub groups: Vec<PartitionGroup>,
+    /// Projected LUT utilization per extracted group, same order.
+    pub group_utilization: Vec<f64>,
+    /// Projected LUT utilization of the remainder.
+    pub remainder_utilization: f64,
+}
+
+/// Suggests a partitioning of `circuit` onto copies of `cfg.fpga`.
+///
+/// # Errors
+///
+/// Returns [`RipperError::Malformed`] when a single instance exceeds the
+/// per-FPGA budget (no instance-granularity placement can work — the user
+/// must select a finer boundary, as with the GC40 core split) or when the
+/// design cannot fit within `max_groups` FPGAs.
+pub fn suggest_partitions(
+    circuit: &Circuit,
+    cfg: &AutoPartitionConfig,
+) -> Result<PartitionSuggestion> {
+    let budget = (cfg.fpga.luts as f64 * cfg.utilization_target) as u64;
+    let total = estimate(circuit);
+    let remainder_util = |luts: u64| luts as f64 / cfg.fpga.luts as f64;
+    if total.luts <= budget {
+        return Ok(PartitionSuggestion {
+            groups: Vec::new(),
+            group_utilization: Vec::new(),
+            remainder_utilization: remainder_util(total.luts),
+        });
+    }
+
+    // Per top-level-instance subtree estimates.
+    let top = circuit.top_module();
+    let mut items: Vec<(String, u64, String)> = Vec::new(); // (inst, luts, module)
+    for (inst, module) in top.instances() {
+        let mut sub = circuit.clone();
+        sub.top = module.to_string();
+        sub.prune_unreachable();
+        let e: ResourceEstimate = estimate(&sub);
+        items.push((inst.to_string(), e.luts, module.to_string()));
+    }
+
+    // Keep small glue at home; extract big movable instances,
+    // largest first.
+    let mut movable: Vec<&(String, u64, String)> = items
+        .iter()
+        .filter(|(_, luts, _)| *luts >= cfg.min_extract_luts)
+        .collect();
+    movable.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let glue: u64 = items
+        .iter()
+        .filter(|(_, luts, _)| *luts < cfg.min_extract_luts)
+        .map(|(_, l, _)| *l)
+        .sum();
+
+    for (inst, luts, _) in &movable {
+        if *luts > budget {
+            return Err(RipperError::Malformed {
+                message: format!(
+                    "instance `{inst}` alone needs {luts} LUTs (> {budget} budget); \
+                     select a finer boundary inside it (as with the GC40 core split)"
+                ),
+            });
+        }
+    }
+
+    // First-fit decreasing, preferring bins that already hold the same
+    // module (keeps groups FAME-5-compatible where possible). The
+    // remainder is bin 0 and starts holding the glue.
+    struct Bin {
+        luts: u64,
+        insts: Vec<String>,
+        module: Option<String>,
+    }
+    let mut remainder_luts = glue;
+    let mut bins: Vec<Bin> = Vec::new();
+    for (inst, luts, module) in movable {
+        // Prefer keeping it in the remainder while there is room.
+        if remainder_luts + luts <= budget {
+            remainder_luts += luts;
+            continue;
+        }
+        let target = bins
+            .iter_mut()
+            .filter(|b| b.luts + luts <= budget)
+            .min_by_key(|b| {
+                (
+                    b.module.as_deref() != Some(module.as_str()),
+                    budget - b.luts,
+                )
+            });
+        match target {
+            Some(b) => {
+                b.luts += luts;
+                b.insts.push(inst.clone());
+                if b.module.as_deref() != Some(module.as_str()) {
+                    b.module = None;
+                }
+            }
+            None => bins.push(Bin {
+                luts: *luts,
+                insts: vec![inst.clone()],
+                module: Some(module.clone()),
+            }),
+        }
+    }
+    if bins.len() > cfg.max_groups {
+        return Err(RipperError::Malformed {
+            message: format!(
+                "design needs {} extra FPGAs but max_groups is {}",
+                bins.len(),
+                cfg.max_groups
+            ),
+        });
+    }
+
+    let group_utilization = bins
+        .iter()
+        .map(|b| b.luts as f64 / cfg.fpga.luts as f64)
+        .collect();
+    let groups = bins
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let g = PartitionGroup::instances(format!("auto{i}"), b.insts);
+            // Homogeneous groups of >1 instance can be FAME-5 threaded.
+            if b.module.is_some() && g.selection_len() > 1 {
+                g.with_fame5()
+            } else {
+                g
+            }
+        })
+        .collect();
+    Ok(PartitionSuggestion {
+        groups,
+        group_utilization,
+        remainder_utilization: remainder_util(remainder_luts),
+    })
+}
+
+impl PartitionGroup {
+    /// Number of explicitly selected instances (0 for NoC selections).
+    pub fn selection_len(&self) -> usize {
+        match &self.selection {
+            crate::spec::Selection::Instances(v) => v.len(),
+            crate::spec::Selection::NocRouters { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireaxe_ir::build::ModuleBuilder;
+    use fireaxe_ir::{ExternInfo, Module, Port, ResourceHints};
+
+    fn big_tile(name: &str, luts: u64) -> Module {
+        let mut m = Module::new(name);
+        m.ports = vec![Port::input("req", 8), Port::output("rsp", 8)];
+        m.extern_info = Some(ExternInfo {
+            behavior: "boom_tile?id_from_path=1".into(),
+            comb_paths: vec![],
+            resources: ResourceHints {
+                luts,
+                regs: luts / 2,
+                brams: 10,
+                dsps: 0,
+            },
+        });
+        m
+    }
+
+    fn soc(tile_luts: u64, tiles: usize) -> Circuit {
+        let tile = big_tile("Tile", tile_luts);
+        let mut top = ModuleBuilder::new("Soc");
+        let i = top.input("i", 8);
+        let o = top.output("o", 8);
+        let hub = top.reg("hub", 8, 0);
+        let mut acc = i.clone();
+        for t in 0..tiles {
+            let inst = format!("tile{t}");
+            top.inst(&inst, "Tile");
+            top.connect_inst(&inst, "req", &hub);
+            let r = top.inst_port(&inst, "rsp");
+            acc = acc.xor(&r);
+        }
+        top.connect_sig(&hub, &acc);
+        top.connect_sig(&o, &hub);
+        Circuit::from_modules("Soc", vec![top.finish(), tile], "Soc")
+    }
+
+    fn cfg() -> AutoPartitionConfig {
+        AutoPartitionConfig::for_fpga(FpgaSpec::alveo_u250())
+    }
+
+    #[test]
+    fn small_design_needs_no_partitioning() {
+        let s = suggest_partitions(&soc(100_000, 2), &cfg()).unwrap();
+        assert!(s.groups.is_empty());
+        assert!(s.remainder_utilization < 0.3);
+    }
+
+    #[test]
+    fn oversized_design_gets_split() {
+        // 6 tiles x 600k = 3.6M LUTs on a 1.55M-LUT FPGA: needs ~3 FPGAs.
+        let s = suggest_partitions(&soc(600_000, 6), &cfg()).unwrap();
+        assert!(!s.groups.is_empty());
+        assert!(s.remainder_utilization <= ROUTABLE_UTILIZATION + 1e-9);
+        for u in &s.group_utilization {
+            assert!(*u <= ROUTABLE_UTILIZATION + 1e-9, "group util {u}");
+        }
+        // Homogeneous groups are marked FAME-5-able.
+        assert!(s.groups.iter().any(|g| g.fame5 || g.selection_len() == 1));
+        // And the suggestion actually compiles.
+        let design = crate::compile(
+            &soc(600_000, 6),
+            &crate::PartitionSpec::fast(s.groups.clone()),
+        )
+        .unwrap();
+        assert_eq!(design.partitions.len(), s.groups.len() + 1);
+    }
+
+    #[test]
+    fn monolithic_monster_is_rejected() {
+        let err = suggest_partitions(&soc(2_000_000, 2), &cfg()).unwrap_err();
+        assert!(matches!(err, RipperError::Malformed { .. }));
+        assert!(err.to_string().contains("finer boundary"));
+    }
+
+    #[test]
+    fn group_budget_cap_enforced() {
+        let mut c = cfg();
+        c.max_groups = 1;
+        assert!(suggest_partitions(&soc(600_000, 8), &c).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! FireRipper compiler errors.
+
+use std::fmt;
+
+/// Errors raised while partitioning a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RipperError {
+    /// An instance path in the partition spec does not exist.
+    NoSuchInstance {
+        /// The path as given (instance names joined with `.`).
+        path: String,
+    },
+    /// The combinational dependency chain across the partition boundary is
+    /// longer than exact-mode supports (paper §III-A1: FireRipper
+    /// "terminates compilation while providing the user with the chain of
+    /// combinational ports that caused the termination").
+    CombChainTooLong {
+        /// The offending chain of boundary ports, in signal-flow order.
+        chain: Vec<String>,
+    },
+    /// A wrapper output feeds both another partition and the remainder;
+    /// token fan-out across links is not supported.
+    UnsupportedFanout {
+        /// The wrapper output port.
+        port: String,
+    },
+    /// FAME-5 was requested for a group whose members are not independent
+    /// duplicates of one module.
+    BadFame5Group {
+        /// Group name.
+        group: String,
+        /// Why the group does not qualify.
+        reason: String,
+    },
+    /// The same instance was selected by two partition groups.
+    OverlappingGroups {
+        /// The doubly-selected instance path.
+        path: String,
+    },
+    /// An underlying IR operation failed.
+    Ir(fireaxe_ir::IrError),
+    /// Any other partitioning inconsistency.
+    Malformed {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for RipperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RipperError::NoSuchInstance { path } => {
+                write!(f, "no instance at path `{path}`")
+            }
+            RipperError::CombChainTooLong { chain } => write!(
+                f,
+                "combinational dependency chain across the partition boundary is too long \
+                 (exact-mode supports chains of length <= 2): {}",
+                chain.join(" -> ")
+            ),
+            RipperError::UnsupportedFanout { port } => write!(
+                f,
+                "wrapper output `{port}` fans out to both another partition and the remainder"
+            ),
+            RipperError::BadFame5Group { group, reason } => {
+                write!(f, "group `{group}` cannot be FAME-5 threaded: {reason}")
+            }
+            RipperError::OverlappingGroups { path } => {
+                write!(
+                    f,
+                    "instance `{path}` selected by more than one partition group"
+                )
+            }
+            RipperError::Ir(e) => write!(f, "IR error: {e}"),
+            RipperError::Malformed { message } => write!(f, "partitioning failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RipperError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RipperError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fireaxe_ir::IrError> for RipperError {
+    fn from(e: fireaxe_ir::IrError) -> Self {
+        RipperError::Ir(e)
+    }
+}
+
+/// Convenient alias.
+pub type Result<T> = std::result::Result<T, RipperError>;

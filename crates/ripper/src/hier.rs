@@ -1,0 +1,895 @@
+//! Hierarchy surgery: the Reparent / Group / Extract / Remove passes.
+//!
+//! These implement Fig. 5 of the FireAxe paper. [`reparent_to_top`] pulls a
+//! selected instance up the module hierarchy one level at a time, punching
+//! I/O ports through each intermediate module so connectivity is
+//! preserved. [`group_instances`] wraps a set of top-level instances in a
+//! fresh wrapper module. [`split_partitions`] then extracts each wrapper
+//! into its own circuit and removes the wrappers from the remainder,
+//! recording every cut wire so channel construction can pair the two
+//! sides.
+
+use crate::error::{Result, RipperError};
+use fireaxe_ir::{Circuit, Direction, Expr, Module, Ref, Stmt, Width};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Produces a name not already used by ports or definitions in `module`.
+pub fn fresh_name(module: &Module, base: &str) -> String {
+    let taken = |n: &str| {
+        module.port(n).is_some() || module.body.iter().any(|s| s.defined_name() == Some(n))
+    };
+    if !taken(base) {
+        return base.to_string();
+    }
+    for i in 0.. {
+        let cand = format!("{base}_{i}");
+        if !taken(&cand) {
+            return cand;
+        }
+    }
+    unreachable!()
+}
+
+/// Produces a module name not already used in the circuit.
+pub fn fresh_module_name(circuit: &Circuit, base: &str) -> String {
+    if circuit.module(base).is_none() {
+        return base.to_string();
+    }
+    for i in 0.. {
+        let cand = format!("{base}_{i}");
+        if circuit.module(&cand).is_none() {
+            return cand;
+        }
+    }
+    unreachable!()
+}
+
+/// Resolves an instance path (`"a.b.c"`) to its module name.
+pub fn resolve_path(circuit: &Circuit, path: &str) -> Result<String> {
+    let mut cur = circuit.top.clone();
+    for seg in path.split('.') {
+        let m = circuit
+            .module(&cur)
+            .ok_or_else(|| RipperError::NoSuchInstance {
+                path: path.to_string(),
+            })?;
+        cur = m
+            .instances()
+            .find(|(n, _)| *n == seg)
+            .map(|(_, c)| c.to_string())
+            .ok_or_else(|| RipperError::NoSuchInstance {
+                path: path.to_string(),
+            })?;
+    }
+    Ok(cur)
+}
+
+/// Clones modules along `path` as needed so that every module on the path
+/// is instantiated exactly once in the circuit. Hierarchy surgery mutates
+/// module definitions, so shared modules must be specialized first.
+pub fn specialize_path(circuit: &mut Circuit, path: &[String]) -> Result<()> {
+    let mut cur = circuit.top.clone();
+    for seg in path {
+        let parent = circuit
+            .module(&cur)
+            .ok_or_else(|| RipperError::NoSuchInstance {
+                path: path.join("."),
+            })?;
+        let child = parent
+            .instances()
+            .find(|(n, _)| n == seg)
+            .map(|(_, c)| c.to_string())
+            .ok_or_else(|| RipperError::NoSuchInstance {
+                path: path.join("."),
+            })?;
+        let count = circuit.instance_counts().get(&child).copied().unwrap_or(0);
+        if count > 1 {
+            let clone_name = fresh_module_name(circuit, &format!("{child}_u"));
+            let mut cloned = circuit.module(&child).expect("child exists").clone();
+            cloned.name = clone_name.clone();
+            circuit.add_module(cloned);
+            // Repoint only this instance.
+            let parent_mut = circuit.module_mut(&cur).expect("parent exists");
+            for s in &mut parent_mut.body {
+                if let Stmt::Inst { name, module } = s {
+                    if name == seg && *module == child {
+                        *module = clone_name.clone();
+                    }
+                }
+            }
+            cur = clone_name;
+        } else {
+            cur = child;
+        }
+    }
+    Ok(())
+}
+
+/// Removes instance `inst` from module `parent_name`, punching its ports
+/// through as new parent ports. Returns `(child_module, child_port ->
+/// new_parent_port)`.
+///
+/// The parent must be uniquely instantiated (see [`specialize_path`]).
+///
+/// # Errors
+///
+/// Returns [`RipperError::NoSuchInstance`] if the instance is absent.
+pub fn punch_out_instance(
+    circuit: &mut Circuit,
+    parent_name: &str,
+    inst: &str,
+) -> Result<(String, BTreeMap<String, String>)> {
+    let parent = circuit
+        .module(parent_name)
+        .ok_or_else(|| RipperError::Malformed {
+            message: format!("module `{parent_name}` not found"),
+        })?;
+    let child_module_name = parent
+        .instances()
+        .find(|(n, _)| *n == inst)
+        .map(|(_, m)| m.to_string())
+        .ok_or_else(|| RipperError::NoSuchInstance {
+            path: format!("{parent_name}/{inst}"),
+        })?;
+    let child = circuit
+        .module(&child_module_name)
+        .ok_or_else(|| RipperError::Malformed {
+            message: format!("module `{child_module_name}` not found"),
+        })?
+        .clone();
+
+    // Plan new parent ports for every child port.
+    let parent_ro = circuit.module(parent_name).expect("checked").clone();
+    let mut port_map: BTreeMap<String, String> = BTreeMap::new();
+    let mut new_ports: Vec<(String, Direction, Width)> = Vec::new();
+    {
+        // Track names as we allocate to avoid intra-batch collisions.
+        let mut probe = parent_ro.clone();
+        for p in &child.ports {
+            let np = fresh_name(&probe, &format!("{inst}_{}", p.name));
+            probe.ports.push(fireaxe_ir::Port::new(
+                np.clone(),
+                Direction::Input,
+                Width::new(0),
+            ));
+            // Child input becomes a parent *output* (the parent now exports
+            // the value it used to drive into the child), and vice versa.
+            let dir = match p.direction {
+                Direction::Input => Direction::Output,
+                Direction::Output => Direction::Input,
+            };
+            new_ports.push((np.clone(), dir, p.width));
+            port_map.insert(p.name.clone(), np);
+        }
+    }
+
+    let parent = circuit.module_mut(parent_name).expect("checked");
+    for (name, dir, width) in &new_ports {
+        parent
+            .ports
+            .push(fireaxe_ir::Port::new(name.clone(), *dir, *width));
+    }
+
+    // Rewrite the body: drop the Inst, convert input-connects, rewrite
+    // output references.
+    let out_ports: BTreeSet<String> = child
+        .ports_in(Direction::Output)
+        .map(|p| p.name.clone())
+        .collect();
+    let mut new_body = Vec::with_capacity(parent.body.len());
+    for mut stmt in std::mem::take(&mut parent.body) {
+        match &mut stmt {
+            Stmt::Inst { name, .. } if name == inst => continue,
+            Stmt::Connect { lhs, rhs: _ } if lhs.instance.as_deref() == Some(inst) => {
+                // `inst.p <= E` becomes `inst_p <= E` on the new output port.
+                let np = port_map[&lhs.name].clone();
+                *lhs = Ref::local(np);
+            }
+            _ => {}
+        }
+        new_body.push(stmt);
+    }
+    // Rewrite all reads of `inst.<out>` to the new local input ports.
+    let rewrite = |r: &mut Ref| {
+        if r.instance.as_deref() == Some(inst) && out_ports.contains(&r.name) {
+            let np = port_map[&r.name].clone();
+            *r = Ref::local(np);
+        }
+    };
+    for stmt in &mut new_body {
+        rewrite_stmt_refs(stmt, &rewrite);
+    }
+    parent.body = new_body;
+    Ok((child_module_name, port_map))
+}
+
+/// Applies `f` to every [`Ref`] read in the statement (not connect
+/// targets, which are rewritten by callers when needed).
+pub fn rewrite_stmt_refs(stmt: &mut Stmt, f: &impl Fn(&mut Ref)) {
+    match stmt {
+        Stmt::Node { expr, .. } => expr.rewrite_refs(&mut |r| f(r)),
+        Stmt::MemRead { addr, .. } => addr.rewrite_refs(&mut |r| f(r)),
+        Stmt::MemWrite { addr, data, en, .. } => {
+            addr.rewrite_refs(&mut |r| f(r));
+            data.rewrite_refs(&mut |r| f(r));
+            en.rewrite_refs(&mut |r| f(r));
+        }
+        Stmt::Connect { rhs, .. } => rhs.rewrite_refs(&mut |r| f(r)),
+        _ => {}
+    }
+}
+
+/// Reparents the instance at `path` to the top module, punching ports
+/// through every intermediate level (paper Fig. 5a, "Reparent"). Returns
+/// the instance's new top-level name.
+///
+/// # Errors
+///
+/// Returns [`RipperError::NoSuchInstance`] for bad paths.
+pub fn reparent_to_top(circuit: &mut Circuit, path: &str) -> Result<String> {
+    let mut segs: Vec<String> = path.split('.').map(str::to_string).collect();
+    if segs.is_empty() {
+        return Err(RipperError::NoSuchInstance {
+            path: path.to_string(),
+        });
+    }
+    resolve_path(circuit, path)?; // existence check
+                                  // Only the modules we punch through (everything above the selected
+                                  // instance) get mutated, so only they need to be uniquely
+                                  // instantiated; the selected module itself is moved, not modified.
+    specialize_path(circuit, &segs[..segs.len() - 1])?;
+
+    while segs.len() > 1 {
+        // gp_module --(p_inst)--> p_module --(inst)--> child
+        let gp_module = module_at(circuit, &segs[..segs.len() - 2])?;
+        let p_inst = segs[segs.len() - 2].clone();
+        let p_module = module_at(circuit, &segs[..segs.len() - 1])?;
+        let inst = segs[segs.len() - 1].clone();
+
+        let (child_module, port_map) = punch_out_instance(circuit, &p_module, &inst)?;
+
+        // Wire the relocated instance inside the grandparent.
+        let child_ports = circuit
+            .module(&child_module)
+            .expect("child exists")
+            .ports
+            .clone();
+        let gp = circuit.module_mut(&gp_module).expect("gp exists");
+        let new_inst = fresh_name(gp, &format!("{p_inst}__{inst}"));
+        gp.body.push(Stmt::Inst {
+            name: new_inst.clone(),
+            module: child_module,
+        });
+        for cp in &child_ports {
+            let np = &port_map[&cp.name];
+            match cp.direction {
+                Direction::Input => gp.body.push(Stmt::Connect {
+                    lhs: Ref::instance_port(new_inst.clone(), cp.name.clone()),
+                    rhs: Expr::Ref(Ref::instance_port(p_inst.clone(), np.clone())),
+                }),
+                Direction::Output => gp.body.push(Stmt::Connect {
+                    lhs: Ref::instance_port(p_inst.clone(), np.clone()),
+                    rhs: Expr::Ref(Ref::instance_port(new_inst.clone(), cp.name.clone())),
+                }),
+            }
+        }
+        segs.pop();
+        let last = segs.len() - 1;
+        segs[last] = new_inst;
+    }
+    Ok(segs.pop().expect("nonempty"))
+}
+
+fn module_at(circuit: &Circuit, segs: &[String]) -> Result<String> {
+    let mut cur = circuit.top.clone();
+    for seg in segs {
+        let m = circuit.module(&cur).ok_or_else(|| RipperError::Malformed {
+            message: format!("module `{cur}` missing"),
+        })?;
+        cur = m
+            .instances()
+            .find(|(n, _)| n == seg)
+            .map(|(_, c)| c.to_string())
+            .ok_or_else(|| RipperError::NoSuchInstance {
+                path: segs.join("."),
+            })?;
+    }
+    Ok(cur)
+}
+
+/// Wraps the given top-level instances in a new wrapper module (paper
+/// Fig. 5a, "Grouping"). Returns the wrapper's instance name in the top
+/// module; the wrapper module is named `wrapper_name` (uniquified).
+///
+/// # Errors
+///
+/// Returns [`RipperError::NoSuchInstance`] if an instance is not a direct
+/// child of the top module.
+pub fn group_instances(
+    circuit: &mut Circuit,
+    wrapper_name: &str,
+    insts: &[String],
+) -> Result<String> {
+    let selected: BTreeSet<&str> = insts.iter().map(String::as_str).collect();
+    let top_name = circuit.top.clone();
+    let top = circuit.module(&top_name).expect("top exists").clone();
+
+    // Check selection and capture child module names/ports.
+    let mut child_modules: HashMap<String, String> = HashMap::new();
+    for inst in insts {
+        let m = top
+            .instances()
+            .find(|(n, _)| n == inst)
+            .map(|(_, c)| c.to_string())
+            .ok_or_else(|| RipperError::NoSuchInstance { path: inst.clone() })?;
+        child_modules.insert(inst.clone(), m);
+    }
+    let port_of = |circuit: &Circuit, inst: &str, port: &str| -> Result<Width> {
+        let m = circuit
+            .module(&child_modules[inst])
+            .ok_or_else(|| RipperError::Malformed {
+                message: format!("module of `{inst}` missing"),
+            })?;
+        Ok(m.port(port)
+            .ok_or_else(|| RipperError::Malformed {
+                message: format!("port `{inst}.{port}` missing"),
+            })?
+            .width)
+    };
+
+    let wrapper_mod_name = fresh_module_name(circuit, wrapper_name);
+    let mut wrapper = Module::new(wrapper_mod_name.clone());
+    let mut new_top_body: Vec<Stmt> = Vec::new();
+    let winst = fresh_name(&top, &format!("{wrapper_name}_inst"));
+
+    // Pass 1: move instances and internal connects; punch wrapper inputs.
+    for stmt in top.body.iter().cloned() {
+        match &stmt {
+            Stmt::Inst { name, .. } if selected.contains(name.as_str()) => {
+                wrapper.body.push(stmt);
+            }
+            Stmt::Connect { lhs, rhs }
+                if lhs
+                    .instance
+                    .as_deref()
+                    .is_some_and(|i| selected.contains(i)) =>
+            {
+                let inst = lhs.instance.clone().expect("instance connect");
+                // Internal if every referenced instance is selected and no
+                // top-local signals are referenced.
+                let mut refs = Vec::new();
+                rhs.collect_refs(&mut refs);
+                let internal = refs
+                    .iter()
+                    .all(|r| r.instance.as_deref().is_some_and(|i| selected.contains(i)));
+                if internal {
+                    wrapper.body.push(stmt);
+                } else {
+                    let w = port_of(circuit, &inst, &lhs.name)?;
+                    let np = fresh_name(&wrapper, &format!("{inst}_{}", lhs.name));
+                    wrapper.ports.push(fireaxe_ir::Port::input(np.clone(), w));
+                    wrapper.body.push(Stmt::Connect {
+                        lhs: lhs.clone(),
+                        rhs: Expr::reference(np.clone()),
+                    });
+                    new_top_body.push(Stmt::Connect {
+                        lhs: Ref::instance_port(winst.clone(), np),
+                        rhs: rhs.clone(),
+                    });
+                }
+            }
+            _ => new_top_body.push(stmt),
+        }
+    }
+
+    // Pass 2: punch wrapper outputs for selected-instance reads that
+    // remain in the top body.
+    let mut out_ports: BTreeMap<(String, String), String> = BTreeMap::new();
+    {
+        // Collect reads first.
+        let mut reads: BTreeSet<(String, String)> = BTreeSet::new();
+        for stmt in &new_top_body {
+            let mut collect = |e: &Expr| {
+                let mut refs = Vec::new();
+                e.collect_refs(&mut refs);
+                for r in refs {
+                    if let Some(i) = &r.instance {
+                        if selected.contains(i.as_str()) {
+                            reads.insert((i.clone(), r.name.clone()));
+                        }
+                    }
+                }
+            };
+            match stmt {
+                Stmt::Node { expr, .. } => collect(expr),
+                Stmt::Connect { rhs, .. } => collect(rhs),
+                Stmt::MemRead { addr, .. } => collect(addr),
+                Stmt::MemWrite { addr, data, en, .. } => {
+                    collect(addr);
+                    collect(data);
+                    collect(en);
+                }
+                _ => {}
+            }
+        }
+        for (inst, port) in reads {
+            let w = port_of(circuit, &inst, &port)?;
+            let np = fresh_name(&wrapper, &format!("{inst}_{port}"));
+            wrapper.ports.push(fireaxe_ir::Port::output(np.clone(), w));
+            wrapper.body.push(Stmt::Connect {
+                lhs: Ref::local(np.clone()),
+                rhs: Expr::Ref(Ref::instance_port(inst.clone(), port.clone())),
+            });
+            out_ports.insert((inst, port), np);
+        }
+    }
+    let rewrite = |r: &mut Ref| {
+        if let Some(i) = &r.instance {
+            if let Some(np) = out_ports.get(&(i.clone(), r.name.clone())) {
+                *r = Ref::instance_port(winst.clone(), np.clone());
+            }
+        }
+    };
+    for stmt in &mut new_top_body {
+        rewrite_stmt_refs(stmt, &rewrite);
+    }
+
+    new_top_body.push(Stmt::Inst {
+        name: winst.clone(),
+        module: wrapper_mod_name,
+    });
+    circuit.add_module(wrapper);
+    circuit.module_mut(&top_name).expect("top exists").body = new_top_body;
+    Ok(winst)
+}
+
+/// Which partition a cut-wire endpoint belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PartRef {
+    /// An extracted wrapper: `(group index, thread index)`.
+    Wrapper {
+        /// Partition group index.
+        group: usize,
+        /// FAME-5 thread index within the group (0 unless threaded).
+        thread: usize,
+    },
+    /// The remainder partition (the un-extracted rest of the design).
+    Remainder,
+}
+
+/// One wire crossing a partition boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutWire {
+    /// Driving side: partition and its top-level output port name.
+    pub from: (PartRef, String),
+    /// Receiving side: partition and its top-level input port name.
+    pub to: (PartRef, String),
+    /// Wire width.
+    pub width: Width,
+}
+
+/// Result of [`split_partitions`].
+#[derive(Debug)]
+pub struct SplitDesign {
+    /// One circuit per wrapper, indexed like the input `wrappers` list.
+    pub wrapper_circuits: Vec<Circuit>,
+    /// The remainder circuit (wrapper instances removed, cut ports
+    /// punched).
+    pub remainder: Circuit,
+    /// Every boundary wire.
+    pub cut_wires: Vec<CutWire>,
+}
+
+/// Extracts each wrapper instance into its own circuit and removes them
+/// from the remainder (paper Fig. 5, "Extract" + module removal),
+/// recording the cut wires.
+///
+/// `wrappers` maps each wrapper's top-level instance name to its
+/// [`PartRef`].
+///
+/// # Errors
+///
+/// Returns [`RipperError::UnsupportedFanout`] when one wrapper output
+/// feeds both another wrapper and remainder logic.
+pub fn split_partitions(circuit: &Circuit, wrappers: &[(String, PartRef)]) -> Result<SplitDesign> {
+    let top_name = circuit.top.clone();
+    let top = circuit.module(&top_name).expect("top exists");
+    let winst_of: HashMap<&str, PartRef> = wrappers.iter().map(|(n, p)| (n.as_str(), *p)).collect();
+    let wrapper_module: HashMap<&str, &str> = top
+        .instances()
+        .filter(|(n, _)| winst_of.contains_key(n))
+        .collect();
+
+    // Extract wrapper circuits.
+    let mut wrapper_circuits = Vec::new();
+    for (winst, _) in wrappers {
+        let wmod =
+            *wrapper_module
+                .get(winst.as_str())
+                .ok_or_else(|| RipperError::NoSuchInstance {
+                    path: winst.clone(),
+                })?;
+        let mut c = circuit.clone();
+        c.top = wmod.to_string();
+        c.name = wmod.to_string();
+        c.prune_unreachable();
+        wrapper_circuits.push(c);
+    }
+
+    let port_width = |winst: &str, port: &str| -> Width {
+        circuit
+            .module(wrapper_module[winst])
+            .and_then(|m| m.port(port))
+            .map(|p| p.width)
+            .unwrap_or_default()
+    };
+
+    // Build the remainder, collecting cut wires.
+    let mut cut_wires: Vec<CutWire> = Vec::new();
+    let mut rem_top = top.clone();
+    let mut new_body: Vec<Stmt> = Vec::new();
+    // Wrapper outputs consumed by a direct wrapper-to-wrapper link.
+    let mut linked_outputs: BTreeSet<(String, String)> = BTreeSet::new();
+
+    for stmt in std::mem::take(&mut rem_top.body) {
+        match &stmt {
+            Stmt::Inst { name, .. } if winst_of.contains_key(name.as_str()) => continue,
+            Stmt::Connect { lhs, rhs }
+                if lhs
+                    .instance
+                    .as_deref()
+                    .is_some_and(|i| winst_of.contains_key(i)) =>
+            {
+                let winst = lhs.instance.clone().expect("wrapper connect");
+                let to = (winst_of[winst.as_str()], lhs.name.clone());
+                let width = port_width(&winst, &lhs.name);
+                if let Expr::Ref(r) = rhs {
+                    if let Some(src_inst) = &r.instance {
+                        if winst_of.contains_key(src_inst.as_str()) {
+                            // Direct wrapper-to-wrapper link.
+                            linked_outputs.insert((src_inst.clone(), r.name.clone()));
+                            cut_wires.push(CutWire {
+                                from: (winst_of[src_inst.as_str()], r.name.clone()),
+                                to,
+                                width,
+                            });
+                            continue;
+                        }
+                    }
+                }
+                // Driven by remainder logic: punch a remainder output port.
+                let np = fresh_name(&rem_top, &format!("{winst}_{}", lhs.name));
+                rem_top
+                    .ports
+                    .push(fireaxe_ir::Port::output(np.clone(), width));
+                new_body.push(Stmt::Connect {
+                    lhs: Ref::local(np.clone()),
+                    rhs: rhs.clone(),
+                });
+                cut_wires.push(CutWire {
+                    from: (PartRef::Remainder, np),
+                    to,
+                    width,
+                });
+            }
+            _ => new_body.push(stmt),
+        }
+    }
+
+    // Punch remainder input ports for every wrapper output (so tokens are
+    // always consumed), rewriting reads.
+    let mut in_ports: BTreeMap<(String, String), String> = BTreeMap::new();
+    for (winst, part) in wrappers {
+        let wmod = circuit
+            .module(wrapper_module[winst.as_str()])
+            .expect("exists");
+        for p in wmod.ports_in(Direction::Output) {
+            let linked = linked_outputs.contains(&(winst.clone(), p.name.clone()));
+            // Is it read by remainder logic?
+            let read = new_body
+                .iter()
+                .any(|s| stmt_reads_inst_port(s, winst, &p.name));
+            if linked && read {
+                return Err(RipperError::UnsupportedFanout {
+                    port: format!("{winst}.{}", p.name),
+                });
+            }
+            if linked {
+                continue;
+            }
+            let np = fresh_name(&rem_top, &format!("{winst}_{}", p.name));
+            rem_top
+                .ports
+                .push(fireaxe_ir::Port::input(np.clone(), p.width));
+            in_ports.insert((winst.clone(), p.name.clone()), np.clone());
+            cut_wires.push(CutWire {
+                from: (*part, p.name.clone()),
+                to: (PartRef::Remainder, np),
+                width: p.width,
+            });
+        }
+    }
+    let rewrite = |r: &mut Ref| {
+        if let Some(i) = &r.instance {
+            if let Some(np) = in_ports.get(&(i.clone(), r.name.clone())) {
+                *r = Ref::local(np.clone());
+            }
+        }
+    };
+    for stmt in &mut new_body {
+        rewrite_stmt_refs(stmt, &rewrite);
+    }
+    rem_top.body = new_body;
+
+    let mut remainder = circuit.clone();
+    remainder.add_module(rem_top);
+    remainder.prune_unreachable();
+    Ok(SplitDesign {
+        wrapper_circuits,
+        remainder,
+        cut_wires,
+    })
+}
+
+fn stmt_reads_inst_port(stmt: &Stmt, inst: &str, port: &str) -> bool {
+    let check = |e: &Expr| {
+        let mut refs = Vec::new();
+        e.collect_refs(&mut refs);
+        refs.iter()
+            .any(|r| r.instance.as_deref() == Some(inst) && r.name == port)
+    };
+    match stmt {
+        Stmt::Node { expr, .. } => check(expr),
+        Stmt::Connect { rhs, .. } => check(rhs),
+        Stmt::MemRead { addr, .. } => check(addr),
+        Stmt::MemWrite { addr, data, en, .. } => check(addr) || check(data) || check(en),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireaxe_ir::build::{ModuleBuilder, Sig};
+    use fireaxe_ir::typecheck::validate;
+    use fireaxe_ir::{Bits, Interpreter};
+
+    /// Top -> Mid -> Leaf(adder), plus a sibling Leaf at top.
+    fn nested() -> Circuit {
+        let mut leaf = ModuleBuilder::new("Leaf");
+        let a = leaf.input("a", 8);
+        let y = leaf.output("y", 8);
+        leaf.connect_sig(&y, &a.add(&Sig::lit(1, 8)));
+        let leaf = leaf.finish();
+
+        let mut mid = ModuleBuilder::new("Mid");
+        let a = mid.input("a", 8);
+        let y = mid.output("y", 8);
+        mid.inst("inner", "Leaf");
+        mid.connect_inst("inner", "a", &a);
+        let iy = mid.inst_port("inner", "y");
+        mid.connect_sig(&y, &iy.add(&Sig::lit(10, 8)));
+        let mid = mid.finish();
+
+        let mut top = ModuleBuilder::new("Top");
+        let i = top.input("i", 8);
+        let o = top.output("o", 8);
+        top.inst("m", "Mid");
+        top.inst("extra", "Leaf");
+        top.connect_inst("m", "a", &i);
+        let my = top.inst_port("m", "y");
+        top.connect_inst("extra", "a", &my);
+        let ey = top.inst_port("extra", "y");
+        top.connect_sig(&o, &ey);
+        Circuit::from_modules("Top", vec![top.finish(), mid, leaf], "Top")
+    }
+
+    fn out_for(c: &Circuit, i: u64) -> u64 {
+        let mut sim = Interpreter::new(c).unwrap();
+        sim.poke("i", Bits::from_u64(i, 8));
+        sim.eval().unwrap();
+        sim.peek("o").to_u64()
+    }
+
+    #[test]
+    fn reparent_preserves_behavior() {
+        let mut c = nested();
+        let before = out_for(&c, 5); // ((5+1)+10)+1 = 17
+        assert_eq!(before, 17);
+        let new_inst = reparent_to_top(&mut c, "m.inner").unwrap();
+        validate(&c).unwrap();
+        assert_eq!(out_for(&c, 5), before);
+        // The instance now lives at the top.
+        let top = c.top_module();
+        assert!(top.instances().any(|(n, _)| n == new_inst));
+        // Mid no longer contains it.
+        let mid_name = resolve_path(&c, "m").unwrap();
+        assert_eq!(c.module(&mid_name).unwrap().instances().count(), 0);
+    }
+
+    #[test]
+    fn specialize_clones_shared_modules() {
+        // Two Mids sharing the Leaf module: reparenting through one must
+        // not disturb the other.
+        let mut c = nested();
+        {
+            let top = c.module_mut("Top").unwrap();
+            top.body.push(Stmt::Inst {
+                name: "m2".into(),
+                module: "Mid".into(),
+            });
+            top.body.push(Stmt::Connect {
+                lhs: Ref::instance_port("m2", "a"),
+                rhs: Expr::reference("i"),
+            });
+        }
+        let before = out_for(&c, 3);
+        reparent_to_top(&mut c, "m.inner").unwrap();
+        validate(&c).unwrap();
+        assert_eq!(out_for(&c, 3), before);
+        // m2 still instantiates an unmodified Mid with its inner Leaf.
+        let m2_mod = resolve_path(&c, "m2").unwrap();
+        assert_eq!(c.module(&m2_mod).unwrap().instances().count(), 1);
+    }
+
+    #[test]
+    fn group_wraps_and_preserves_behavior() {
+        let mut c = nested();
+        let before = out_for(&c, 7);
+        let winst = group_instances(&mut c, "PartA", &["extra".to_string()]).unwrap();
+        validate(&c).unwrap();
+        assert_eq!(out_for(&c, 7), before);
+        let top = c.top_module();
+        assert!(top.instances().any(|(n, _)| n == winst));
+        assert!(!top.instances().any(|(n, _)| n == "extra"));
+    }
+
+    #[test]
+    fn group_keeps_internal_connects_inside() {
+        // Group both `m` and `extra`: the m.y -> extra.a connect should
+        // move inside the wrapper.
+        let mut c = nested();
+        let before = out_for(&c, 2);
+        let winst =
+            group_instances(&mut c, "Both", &["m".to_string(), "extra".to_string()]).unwrap();
+        validate(&c).unwrap();
+        assert_eq!(out_for(&c, 2), before);
+        let wmod = resolve_path(&c, &winst).unwrap();
+        let w = c.module(&wmod).unwrap();
+        assert_eq!(w.instances().count(), 2);
+        // One input (i feed) + one output (o feed) punched.
+        assert_eq!(w.ports.len(), 2);
+    }
+
+    #[test]
+    fn split_produces_working_partitions() {
+        let mut c = nested();
+        let winst = group_instances(&mut c, "PartA", &["extra".to_string()]).unwrap();
+        let part = PartRef::Wrapper {
+            group: 0,
+            thread: 0,
+        };
+        let split = split_partitions(&c, &[(winst, part)]).unwrap();
+        validate(&split.remainder).unwrap();
+        validate(&split.wrapper_circuits[0]).unwrap();
+        // Cut wires: one into the wrapper (extra.a) and one out (extra.y).
+        assert_eq!(split.cut_wires.len(), 2);
+        let into: Vec<_> = split.cut_wires.iter().filter(|w| w.to.0 == part).collect();
+        assert_eq!(into.len(), 1);
+        assert_eq!(into[0].width.get(), 8);
+    }
+
+    #[test]
+    fn split_detects_direct_links() {
+        // Group m and extra separately; m.y -> extra.a becomes a direct
+        // wrapper-to-wrapper link.
+        let mut c = nested();
+        let w1 = group_instances(&mut c, "P1", &["m".to_string()]).unwrap();
+        let w2 = group_instances(&mut c, "P2", &["extra".to_string()]).unwrap();
+        let p1 = PartRef::Wrapper {
+            group: 0,
+            thread: 0,
+        };
+        let p2 = PartRef::Wrapper {
+            group: 1,
+            thread: 0,
+        };
+        let split = split_partitions(&c, &[(w1, p1), (w2, p2)]).unwrap();
+        let direct: Vec<_> = split
+            .cut_wires
+            .iter()
+            .filter(|w| w.from.0 == p1 && w.to.0 == p2)
+            .collect();
+        assert_eq!(direct.len(), 1, "expected m.y -> extra.a direct link");
+        validate(&split.remainder).unwrap();
+    }
+
+    #[test]
+    fn reparent_through_three_levels() {
+        // Top -> Outer -> Mid -> Leaf, extracting the innermost leaf.
+        let mut leaf = ModuleBuilder::new("Leaf3");
+        let a = leaf.input("a", 8);
+        let y = leaf.output("y", 8);
+        leaf.connect_sig(&y, &a.add(&Sig::lit(5, 8)));
+        let leaf = leaf.finish();
+
+        let mut mid = ModuleBuilder::new("Mid3");
+        let a = mid.input("a", 8);
+        let y = mid.output("y", 8);
+        mid.inst("l", "Leaf3");
+        mid.connect_inst("l", "a", &a);
+        let ly = mid.inst_port("l", "y");
+        mid.connect_sig(&y, &ly);
+        let mid = mid.finish();
+
+        let mut outer = ModuleBuilder::new("Outer3");
+        let a = outer.input("a", 8);
+        let y = outer.output("y", 8);
+        outer.inst("m", "Mid3");
+        outer.connect_inst("m", "a", &a);
+        let my = outer.inst_port("m", "y");
+        outer.connect_sig(&y, &my.add(&Sig::lit(1, 8)));
+        let outer = outer.finish();
+
+        let mut top = ModuleBuilder::new("Top3");
+        let i = top.input("i", 8);
+        let o = top.output("o", 8);
+        top.inst("u", "Outer3");
+        top.connect_inst("u", "a", &i);
+        let uy = top.inst_port("u", "y");
+        top.connect_sig(&o, &uy);
+        let mut c = Circuit::from_modules("Top3", vec![top.finish(), outer, mid, leaf], "Top3");
+
+        let before = {
+            let mut sim = Interpreter::new(&c).unwrap();
+            sim.poke("i", Bits::from_u64(10, 8));
+            sim.eval().unwrap();
+            sim.peek("o").to_u64()
+        };
+        assert_eq!(before, 16); // (10+5)+1
+        let inst = reparent_to_top(&mut c, "u.m.l").unwrap();
+        validate(&c).unwrap();
+        assert!(c.top_module().instances().any(|(n, _)| n == inst));
+        let mut sim = Interpreter::new(&c).unwrap();
+        sim.poke("i", Bits::from_u64(10, 8));
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("o").to_u64(), before);
+    }
+
+    #[test]
+    fn group_handles_literal_driven_inputs() {
+        // A selected instance whose input is tied to a constant: the
+        // literal-driven connect moves inside the wrapper.
+        let mut c = nested();
+        {
+            let top = c.module_mut("Top").unwrap();
+            top.body.push(Stmt::Inst {
+                name: "tied".into(),
+                module: "Leaf".into(),
+            });
+            top.body.push(Stmt::Connect {
+                lhs: Ref::instance_port("tied", "a"),
+                rhs: Expr::lit(9, 8),
+            });
+        }
+        let winst = group_instances(&mut c, "G", &["tied".to_string()]).unwrap();
+        validate(&c).unwrap();
+        let wmod = resolve_path(&c, &winst).unwrap();
+        let w = c.module(&wmod).unwrap();
+        // No input port needed: the constant lives inside the wrapper.
+        assert!(w.ports.iter().all(|p| p.direction != Direction::Input));
+    }
+
+    #[test]
+    fn bad_path_errors() {
+        let mut c = nested();
+        assert!(matches!(
+            reparent_to_top(&mut c, "m.nonexistent"),
+            Err(RipperError::NoSuchInstance { .. })
+        ));
+        assert!(matches!(
+            group_instances(&mut c, "W", &["ghost".to_string()]),
+            Err(RipperError::NoSuchInstance { .. })
+        ));
+    }
+}

@@ -1,0 +1,74 @@
+//! # fireaxe-ripper — the FireRipper partitioning compiler
+//!
+//! Reimplements §III of the FireAxe paper: push-button, user-guided
+//! partitioning of a monolithic circuit onto multiple (simulated) FPGAs.
+//!
+//! * [`spec`] — what the user provides: mode (exact/fast), channel policy,
+//!   and module selection (explicit paths or NoC router indices);
+//! * [`hier`] — the Reparent / Group / Extract / Remove hierarchy passes
+//!   (Fig. 5);
+//! * [`noc`] — NoC-partition-mode selection growth (Fig. 4);
+//! * [`channels`] — source/sink channel splitting with the ≤2-crossing
+//!   combinational-chain check (Fig. 2), and fast-mode concatenation with
+//!   seed tokens (Fig. 3);
+//! * [`fastmode`] — skid-buffer insertion and `valid & ready` gating
+//!   (Fig. 3c);
+//! * [`compiler`] — the driver producing [`PartitionedDesign`] artifacts
+//!   plus the quick interface/performance feedback report.
+//!
+//! ## Example
+//!
+//! ```
+//! use fireaxe_ir::build::{ModuleBuilder, Sig};
+//! use fireaxe_ir::Circuit;
+//! use fireaxe_ripper::{compile, PartitionGroup, PartitionSpec};
+//!
+//! # fn main() -> Result<(), fireaxe_ripper::RipperError> {
+//! // A tile behind a register boundary, plus SoC-side logic.
+//! let mut tile = ModuleBuilder::new("Tile");
+//! let req = tile.input("req", 8);
+//! let rsp = tile.output("rsp", 8);
+//! let st = tile.reg("st", 8, 0);
+//! tile.connect_sig(&st, &req);
+//! tile.connect_sig(&rsp, &st);
+//! let mut top = ModuleBuilder::new("Soc");
+//! let i = top.input("i", 8);
+//! let o = top.output("o", 8);
+//! top.inst("tile0", "Tile");
+//! top.connect_inst("tile0", "req", &i);
+//! let r = top.inst_port("tile0", "rsp");
+//! top.connect_sig(&o, &r);
+//! let circuit = Circuit::from_modules("Soc", vec![top.finish(), tile.finish()], "Soc");
+//!
+//! let spec = PartitionSpec::exact(vec![PartitionGroup::instances(
+//!     "tile",
+//!     vec!["tile0".into()],
+//! )]);
+//! let design = compile(&circuit, &spec)?;
+//! assert_eq!(design.partitions.len(), 2); // tile + rest
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod auto;
+pub mod channels;
+pub mod compiler;
+pub mod error;
+pub mod fastmode;
+pub mod hier;
+pub mod noc;
+pub mod passthrough;
+pub mod spec;
+
+pub use auto::{suggest_partitions, AutoPartitionConfig, PartitionSuggestion};
+pub use channels::{ChannelPlan, LinkSpec, NodeDesc, PortClass};
+pub use compiler::{
+    compile, compile_with_options, CompileOptions, PartitionArtifact, PartitionReport,
+    PartitionedDesign, ThreadArtifact,
+};
+pub use error::{Result, RipperError};
+pub use hier::{CutWire, PartRef};
+pub use noc::noc_select;
+pub use spec::{ChannelPolicy, PartitionGroup, PartitionMode, PartitionSpec, Selection};

@@ -1,0 +1,475 @@
+//! NoC-partition-mode module selection (paper §III-B, Fig. 4).
+//!
+//! NoC router boundaries are credit-based (latency-insensitive) and free
+//! of input→output combinational coupling, which makes them ideal cut
+//! points. Instead of listing every module, the user names router-node
+//! indices; FireRipper grows the selection by absorbing modules that are
+//! connected to the selected set but to no *foreign* router — exactly the
+//! paper's recursive wrapper construction (protocol converters, CDCs, and
+//! the tiles hanging off the selected routers all get pulled in), then
+//! collapses the result to maximal subtree roots for extraction.
+
+use crate::error::{Result, RipperError};
+use fireaxe_ir::{Circuit, Expr, Ref, Stmt};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Union-find over net endpoints.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Graph node: a leaf instance (no children) or a module's local logic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum GraphNode {
+    Leaf(String),
+    Logic(String),
+}
+
+/// Flattened connectivity: leaf instances and per-module logic, with
+/// adjacency through nets (chains of pure-reference connects).
+struct ConnGraph {
+    adjacency: BTreeMap<GraphNode, BTreeSet<GraphNode>>,
+    leaves: BTreeSet<String>,
+}
+
+fn build_graph(circuit: &Circuit) -> ConnGraph {
+    // Endpoint interning.
+    let mut ep_ids: HashMap<(String, String), usize> = HashMap::new();
+    let mut ep_list: Vec<(String, String)> = Vec::new();
+    // Deferred logic attachments: (logic node path, endpoint id).
+    let mut logic_edges: Vec<(String, usize)> = Vec::new();
+    let mut alias_edges: Vec<(usize, usize)> = Vec::new();
+    let mut leaves: BTreeSet<String> = BTreeSet::new();
+
+    fn intern(
+        ep_ids: &mut HashMap<(String, String), usize>,
+        ep_list: &mut Vec<(String, String)>,
+        path: String,
+        sig: String,
+    ) -> usize {
+        *ep_ids
+            .entry((path.clone(), sig.clone()))
+            .or_insert_with(|| {
+                ep_list.push((path, sig));
+                ep_list.len() - 1
+            })
+    }
+
+    fn join(path: &str, seg: &str) -> String {
+        if path.is_empty() {
+            seg.to_string()
+        } else {
+            format!("{path}.{seg}")
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        circuit: &Circuit,
+        path: &str,
+        module_name: &str,
+        ep_ids: &mut HashMap<(String, String), usize>,
+        ep_list: &mut Vec<(String, String)>,
+        alias_edges: &mut Vec<(usize, usize)>,
+        logic_edges: &mut Vec<(String, usize)>,
+        leaves: &mut BTreeSet<String>,
+    ) {
+        let Some(module) = circuit.module(module_name) else {
+            return;
+        };
+        let is_leaf = module.is_extern() || module.instances().next().is_none();
+        if is_leaf && !path.is_empty() {
+            leaves.insert(path.to_string());
+            return;
+        }
+        let ep_of = |r: &Ref,
+                     ep_ids: &mut HashMap<(String, String), usize>,
+                     ep_list: &mut Vec<(String, String)>| {
+            match &r.instance {
+                Some(i) => intern(ep_ids, ep_list, join(path, i), r.name.clone()),
+                None => intern(ep_ids, ep_list, path.to_string(), r.name.clone()),
+            }
+        };
+        for stmt in &module.body {
+            match stmt {
+                Stmt::Inst { name, module: m } => {
+                    walk(
+                        circuit,
+                        &join(path, name),
+                        m,
+                        ep_ids,
+                        ep_list,
+                        alias_edges,
+                        logic_edges,
+                        leaves,
+                    );
+                }
+                Stmt::Connect { lhs, rhs } => {
+                    let l = ep_of(lhs, ep_ids, ep_list);
+                    match rhs {
+                        Expr::Ref(r) => {
+                            let rr = ep_of(r, ep_ids, ep_list);
+                            alias_edges.push((l, rr));
+                        }
+                        other => {
+                            logic_edges.push((path.to_string(), l));
+                            let mut refs = Vec::new();
+                            other.collect_refs(&mut refs);
+                            for r in refs {
+                                let rr = ep_of(r, ep_ids, ep_list);
+                                logic_edges.push((path.to_string(), rr));
+                            }
+                        }
+                    }
+                }
+                Stmt::Node { name, expr } => {
+                    let l = intern(ep_ids, ep_list, path.to_string(), name.clone());
+                    logic_edges.push((path.to_string(), l));
+                    let mut refs = Vec::new();
+                    expr.collect_refs(&mut refs);
+                    for r in refs {
+                        let rr = ep_of(r, ep_ids, ep_list);
+                        logic_edges.push((path.to_string(), rr));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    walk(
+        circuit,
+        "",
+        &circuit.top,
+        &mut ep_ids,
+        &mut ep_list,
+        &mut alias_edges,
+        &mut logic_edges,
+        &mut leaves,
+    );
+
+    let mut uf = UnionFind::new(ep_list.len());
+    for (a, b) in alias_edges {
+        uf.union(a, b);
+    }
+
+    // Attach graph nodes to nets.
+    let mut net_members: BTreeMap<usize, BTreeSet<GraphNode>> = BTreeMap::new();
+    for (id, (path, _sig)) in ep_list.iter().enumerate() {
+        if leaves.contains(path) {
+            net_members
+                .entry(uf.find(id))
+                .or_default()
+                .insert(GraphNode::Leaf(path.clone()));
+        }
+    }
+    for (logic_path, ep) in logic_edges {
+        net_members
+            .entry(uf.find(ep))
+            .or_default()
+            .insert(GraphNode::Logic(logic_path));
+    }
+
+    let mut adjacency: BTreeMap<GraphNode, BTreeSet<GraphNode>> = BTreeMap::new();
+    for members in net_members.values() {
+        for a in members {
+            for b in members {
+                if a != b {
+                    adjacency.entry(a.clone()).or_default().insert(b.clone());
+                }
+            }
+        }
+    }
+    ConnGraph { adjacency, leaves }
+}
+
+/// Grows a NoC-router selection into the full set of instance paths to
+/// extract (paper Fig. 4 steps 1–4).
+///
+/// `routers` lists the instance paths of every router node in index
+/// order; `indices` picks the routers to extract. The returned paths are
+/// maximal subtree roots suitable for [`crate::hier::reparent_to_top`].
+///
+/// # Errors
+///
+/// Returns [`RipperError::NoSuchInstance`] for out-of-range indices or
+/// router paths that do not resolve to leaf instances.
+pub fn noc_select(circuit: &Circuit, routers: &[String], indices: &[usize]) -> Result<Vec<String>> {
+    for &i in indices {
+        if i >= routers.len() {
+            return Err(RipperError::NoSuchInstance {
+                path: format!("router index {i} (only {} routers)", routers.len()),
+            });
+        }
+    }
+    let graph = build_graph(circuit);
+    let all_routers: BTreeSet<&String> = routers.iter().collect();
+    let selected_routers: BTreeSet<String> = indices.iter().map(|&i| routers[i].clone()).collect();
+    for r in &selected_routers {
+        if !graph.leaves.contains(r) {
+            return Err(RipperError::NoSuchInstance { path: r.clone() });
+        }
+    }
+    let foreign: BTreeSet<GraphNode> = routers
+        .iter()
+        .filter(|r| !selected_routers.contains(*r))
+        .map(|r| GraphNode::Leaf(r.clone()))
+        .collect();
+
+    // Fixpoint absorption: nodes adjacent to the selection but to no
+    // foreign router get pulled in.
+    let mut selected: BTreeSet<GraphNode> = selected_routers
+        .iter()
+        .map(|r| GraphNode::Leaf(r.clone()))
+        .collect();
+    loop {
+        let mut grew = false;
+        let frontier: Vec<GraphNode> = graph
+            .adjacency
+            .iter()
+            .filter(|(n, adj)| {
+                !selected.contains(*n)
+                    && !all_routers.contains(&node_path(n))
+                    && adj.iter().any(|m| selected.contains(m))
+                    && adj.iter().all(|m| !foreign.contains(m))
+            })
+            .map(|(n, _)| n.clone())
+            .collect();
+        for n in frontier {
+            selected.insert(n);
+            grew = true;
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Collapse to maximal subtree roots.
+    let leaf_paths: BTreeSet<String> = selected
+        .iter()
+        .filter_map(|n| match n {
+            GraphNode::Leaf(p) => Some(p.clone()),
+            GraphNode::Logic(_) => None,
+        })
+        .collect();
+    Ok(collapse_subtrees(circuit, &graph.leaves, &leaf_paths))
+}
+
+fn node_path(n: &GraphNode) -> String {
+    match n {
+        GraphNode::Leaf(p) | GraphNode::Logic(p) => p.clone(),
+    }
+}
+
+/// Finds the set of maximal instance subtrees all of whose leaves are
+/// selected.
+fn collapse_subtrees(
+    circuit: &Circuit,
+    all_leaves: &BTreeSet<String>,
+    selected_leaves: &BTreeSet<String>,
+) -> Vec<String> {
+    fn leaves_under<'a>(all: &'a BTreeSet<String>, prefix: &str) -> Vec<&'a String> {
+        all.iter()
+            .filter(|l| *l == prefix || l.starts_with(&format!("{prefix}.")))
+            .collect()
+    }
+    let mut out = Vec::new();
+    fn descend(
+        circuit: &Circuit,
+        module: &str,
+        path: &str,
+        all: &BTreeSet<String>,
+        sel: &BTreeSet<String>,
+        out: &mut Vec<String>,
+    ) {
+        let Some(m) = circuit.module(module) else {
+            return;
+        };
+        for (inst, child) in m.instances() {
+            let child_path = if path.is_empty() {
+                inst.to_string()
+            } else {
+                format!("{path}.{inst}")
+            };
+            let under = leaves_under(all, &child_path);
+            if under.is_empty() {
+                continue;
+            }
+            if under.iter().all(|l| sel.contains(*l)) {
+                out.push(child_path);
+            } else if under.iter().any(|l| sel.contains(*l)) {
+                descend(circuit, child, &child_path, all, sel, out);
+            }
+        }
+    }
+    descend(
+        circuit,
+        &circuit.top,
+        "",
+        all_leaves,
+        selected_leaves,
+        &mut out,
+    );
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireaxe_ir::build::ModuleBuilder;
+    use fireaxe_ir::Circuit;
+
+    /// A toy 4-router ring: router_i <-> pc_i <-> tile_i, routers chained.
+    /// Mirrors the Fig. 4 structure at a single hierarchy level plus tile
+    /// subtrees.
+    fn ring_soc() -> Circuit {
+        let mut router = ModuleBuilder::new("Router");
+        for p in ["left_in", "right_in", "local_in"] {
+            router.input(p, 8);
+        }
+        let lo = router.output("left_out", 8);
+        let ro = router.output("right_out", 8);
+        let loc = router.output("local_out", 8);
+        let r = router.reg("buf", 8, 0);
+        router.connect_sig(&lo, &r);
+        router.connect_sig(&ro, &r);
+        router.connect_sig(&loc, &r);
+        let li = fireaxe_ir::build::Sig::from_expr(fireaxe_ir::Expr::reference("left_in"));
+        router.connect_sig(&r, &li);
+        let router = router.finish();
+
+        let mut pc = ModuleBuilder::new("ProtoConv");
+        let a = pc.input("from_router", 8);
+        let b = pc.input("from_tile", 8);
+        let x = pc.output("to_router", 8);
+        let y = pc.output("to_tile", 8);
+        let r1 = pc.reg("r1", 8, 0);
+        let r2 = pc.reg("r2", 8, 0);
+        pc.connect_sig(&r1, &a);
+        pc.connect_sig(&r2, &b);
+        pc.connect_sig(&y, &r1);
+        pc.connect_sig(&x, &r2);
+        let pc = pc.finish();
+
+        let mut core = ModuleBuilder::new("Core");
+        let ci = core.input("bus_in", 8);
+        let co = core.output("bus_out", 8);
+        let cr = core.reg("state", 8, 0);
+        core.connect_sig(&cr, &ci);
+        core.connect_sig(&co, &cr);
+        let core = core.finish();
+
+        let mut tile = ModuleBuilder::new("Tile");
+        let ti = tile.input("in", 8);
+        let to = tile.output("out", 8);
+        tile.inst("core", "Core");
+        tile.connect_inst("core", "bus_in", &ti);
+        let c_out = tile.inst_port("core", "bus_out");
+        tile.connect_sig(&to, &c_out);
+        let tile = tile.finish();
+
+        let mut top = ModuleBuilder::new("Soc");
+        let n = 4usize;
+        for i in 0..n {
+            top.inst(format!("router{i}"), "Router");
+            top.inst(format!("pc{i}"), "ProtoConv");
+            top.inst(format!("tile{i}"), "Tile");
+        }
+        for i in 0..n {
+            let next = (i + 1) % n;
+            let prev = (i + n - 1) % n;
+            let r_right = top.inst_port(&format!("router{i}"), "right_out");
+            top.connect_inst(&format!("router{next}"), "left_in", &r_right);
+            let r_left = top.inst_port(&format!("router{i}"), "left_out");
+            top.connect_inst(&format!("router{prev}"), "right_in", &r_left);
+            // router <-> pc
+            let pc_to_r = top.inst_port(&format!("pc{i}"), "to_router");
+            top.connect_inst(&format!("router{i}"), "local_in", &pc_to_r);
+            let r_local = top.inst_port(&format!("router{i}"), "local_out");
+            top.connect_inst(&format!("pc{i}"), "from_router", &r_local);
+            // pc <-> tile
+            let t_out = top.inst_port(&format!("tile{i}"), "out");
+            top.connect_inst(&format!("pc{i}"), "from_tile", &t_out);
+            let pc_to_t = top.inst_port(&format!("pc{i}"), "to_tile");
+            top.connect_inst(&format!("tile{i}"), "in", &pc_to_t);
+        }
+        // An SoC-level observer tied to router0's tile (stays behind).
+        let obs = top.output("obs", 8);
+        let t0 = top.inst_port("pc0", "to_tile");
+        top.connect_sig(&obs, &t0);
+        Circuit::from_modules("Soc", vec![top.finish(), router, pc, tile, core], "Soc")
+    }
+
+    fn routers() -> Vec<String> {
+        (0..4).map(|i| format!("router{i}")).collect()
+    }
+
+    #[test]
+    fn grows_selection_through_pc_and_tile() {
+        let c = ring_soc();
+        let sel = noc_select(&c, &routers(), &[1, 2]).unwrap();
+        // Routers 1,2 plus their protocol converters and whole tiles.
+        assert!(sel.contains(&"router1".to_string()));
+        assert!(sel.contains(&"router2".to_string()));
+        assert!(sel.contains(&"pc1".to_string()));
+        assert!(sel.contains(&"pc2".to_string()));
+        // Tiles collapse to subtree roots, not their inner cores.
+        assert!(sel.contains(&"tile1".to_string()));
+        assert!(sel.contains(&"tile2".to_string()));
+        assert!(!sel.iter().any(|p| p.contains("core")));
+        // Nothing from foreign routers' neighborhoods.
+        assert!(!sel.contains(&"pc0".to_string()));
+        assert!(!sel.contains(&"tile3".to_string()));
+        assert_eq!(sel.len(), 6);
+    }
+
+    #[test]
+    fn observer_blocks_absorption() {
+        // pc0 feeds the top-level observer logic; selecting router 0 pulls
+        // in pc0/tile0 but the observer connection is to a top port, which
+        // does not block absorption (it is not a foreign router).
+        let c = ring_soc();
+        let sel = noc_select(&c, &routers(), &[0]).unwrap();
+        assert!(sel.contains(&"router0".to_string()));
+        assert!(sel.contains(&"pc0".to_string()));
+        assert!(sel.contains(&"tile0".to_string()));
+    }
+
+    #[test]
+    fn bad_index_rejected() {
+        let c = ring_soc();
+        assert!(matches!(
+            noc_select(&c, &routers(), &[9]),
+            Err(RipperError::NoSuchInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_selection_yields_routers_only() {
+        let c = ring_soc();
+        let sel = noc_select(&c, &routers(), &[]).unwrap();
+        assert!(sel.is_empty());
+    }
+}

@@ -1,0 +1,433 @@
+//! Shell-passthrough resolution.
+//!
+//! Reparenting (Fig. 5a) punches I/O ports through every intermediate
+//! module, leaving those modules as *shells* of pure wire passthroughs —
+//! possibly several levels deep. A signal between two extracted instances
+//! would then bounce through the remainder partition, turning a
+//! one-crossing wire into a three-crossing combinational chain and
+//! wasting link bandwidth.
+//!
+//! [`resolve_shell_passthroughs`] traces every top-level instance-port
+//! read through pure reference chains — down through shell output ports,
+//! across shell-internal wiring, and back up through shell input ports —
+//! and rewrites the reference to the ultimate top-level driver. Grouping
+//! then keeps intra-partition connections inside the wrapper, which is
+//! what FireRipper gets for free by wrapping before extraction.
+
+use fireaxe_ir::{Circuit, Direction, Expr, Module, Ref, Stmt};
+
+/// Traces `start` (a read of `inst.port` in the top module) through pure
+/// reference chains to a top-level signal, if one exists.
+fn trace_to_top(circuit: &Circuit, start: &Ref) -> Option<Ref> {
+    let top = circuit.top_module();
+    // Stack of (module, instance-name-in-parent) below the current
+    // context; empty means the context is the top module.
+    let mut stack: Vec<(&Module, String)> = Vec::new();
+    let mut ctx: &Module = top;
+    let mut cur: Ref = start.clone();
+    // Best top-level-valid resolution seen so far; deeper tracing may
+    // still improve on it (multi-level shells), and if it dead-ends we
+    // fall back to this.
+    let mut best: Option<Ref> = None;
+
+    let find_pure_driver = |m: &Module, target: &Ref| -> Option<Ref> {
+        for s in &m.body {
+            match s {
+                Stmt::Connect {
+                    lhs,
+                    rhs: Expr::Ref(r),
+                } if lhs == target => return Some(r.clone()),
+                Stmt::Node {
+                    name,
+                    expr: Expr::Ref(r),
+                } if target.is_local() && *name == target.name => return Some(r.clone()),
+                _ => {}
+            }
+        }
+        None
+    };
+
+    for _ in 0..256 {
+        // Record any top-level-valid waypoint.
+        if stack.is_empty() && &cur != start {
+            let valid = match &cur.instance {
+                None => true, // top-local signal
+                Some(i) => ctx
+                    .instances()
+                    .find(|(n, _)| n == i)
+                    .and_then(|(_, m)| circuit.module(m))
+                    .and_then(|m| m.port(&cur.name))
+                    .is_some_and(|p| p.direction == Direction::Output),
+            };
+            if valid {
+                best = Some(cur.clone());
+            }
+        }
+
+        let next = match cur.instance.clone() {
+            Some(inst) => {
+                let Some(child) = ctx
+                    .instances()
+                    .find(|(n, _)| *n == inst)
+                    .and_then(|(_, m)| circuit.module(m))
+                else {
+                    break;
+                };
+                let Some(port) = child.port(&cur.name) else {
+                    break;
+                };
+                match port.direction {
+                    Direction::Output => {
+                        // Descend into the child and follow its driver.
+                        match find_pure_driver(child, &Ref::local(cur.name.clone())) {
+                            Some(inner) => {
+                                stack.push((ctx, inst));
+                                ctx = child;
+                                Some(inner)
+                            }
+                            None => None,
+                        }
+                    }
+                    Direction::Input => find_pure_driver(ctx, &cur),
+                }
+            }
+            None => {
+                let is_top = stack.is_empty();
+                let is_input = ctx
+                    .port(&cur.name)
+                    .is_some_and(|p| p.direction == Direction::Input);
+                if !is_top && is_input {
+                    // Ascend: the driver is the parent's connect to this
+                    // instance input.
+                    let (parent, inst) = stack.pop().expect("nonempty");
+                    let target = Ref::instance_port(inst, cur.name.clone());
+                    ctx = parent;
+                    find_pure_driver(ctx, &target)
+                } else if is_top && ctx.port(&cur.name).is_some() {
+                    // A top-level port: terminal.
+                    None
+                } else {
+                    // A local wire/node: follow one pure hop.
+                    find_pure_driver(ctx, &cur)
+                }
+            }
+        };
+        match next {
+            Some(n) => cur = n,
+            None => break,
+        }
+    }
+    best
+}
+
+/// Rewrites top-level reads that resolve through pure shell passthroughs
+/// to their ultimate drivers. Returns the number of rewritten references.
+pub fn resolve_shell_passthroughs(circuit: &mut Circuit) -> usize {
+    let top_name = circuit.top.clone();
+    // Collect rewrites against an immutable snapshot, then apply.
+    let mut rewrites: Vec<(Ref, Ref)> = Vec::new();
+    {
+        let top = circuit.module(&top_name).expect("top exists");
+        let mut candidates: Vec<Ref> = Vec::new();
+        for s in &top.body {
+            let mut collect = |e: &Expr| {
+                let mut refs = Vec::new();
+                e.collect_refs(&mut refs);
+                for r in refs {
+                    if r.instance.is_some() {
+                        candidates.push(r.clone());
+                    }
+                }
+            };
+            match s {
+                Stmt::Node { expr, .. } => collect(expr),
+                Stmt::Connect { rhs, .. } => collect(rhs),
+                Stmt::MemRead { addr, .. } => collect(addr),
+                Stmt::MemWrite { addr, data, en, .. } => {
+                    collect(addr);
+                    collect(data);
+                    collect(en);
+                }
+                _ => {}
+            }
+        }
+        candidates.sort_by_key(|r| (r.instance.clone(), r.name.clone()));
+        candidates.dedup();
+        for r in candidates {
+            if let Some(resolved) = trace_to_top(circuit, &r) {
+                rewrites.push((r, resolved));
+            }
+        }
+    }
+    if rewrites.is_empty() {
+        return 0;
+    }
+    let map: std::collections::HashMap<Ref, Ref> = rewrites.into_iter().collect();
+    let mut count = 0usize;
+    let top = circuit.module_mut(&top_name).expect("top exists");
+    for s in &mut top.body {
+        let mut f = |r: &mut Ref| {
+            if let Some(n) = map.get(r) {
+                *r = n.clone();
+                count += 1;
+            }
+        };
+        match s {
+            Stmt::Node { expr, .. } => expr.rewrite_refs(&mut f),
+            Stmt::Connect { rhs, .. } => rhs.rewrite_refs(&mut f),
+            Stmt::MemRead { addr, .. } => addr.rewrite_refs(&mut f),
+            Stmt::MemWrite { addr, data, en, .. } => {
+                addr.rewrite_refs(&mut f);
+                data.rewrite_refs(&mut f);
+                en.rewrite_refs(&mut f);
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Removes shell ports orphaned by [`resolve_shell_passthroughs`]:
+/// output ports whose value is no longer read by the (unique) parent and
+/// whose internal driver is a pure passthrough, and input ports nothing
+/// inside the module reads anymore. Works at every hierarchy level; only
+/// uniquely-instantiated, non-extern modules are touched (shells always
+/// are, after path specialization). Iterates to fixpoint; returns the
+/// number of ports removed.
+pub fn prune_dead_shell_ports(circuit: &mut Circuit) -> usize {
+    fn reads_in(m: &Module) -> std::collections::HashSet<Ref> {
+        let mut read = std::collections::HashSet::new();
+        for s in &m.body {
+            let mut collect = |e: &Expr| {
+                let mut refs = Vec::new();
+                e.collect_refs(&mut refs);
+                for r in refs {
+                    read.insert(r.clone());
+                }
+            };
+            match s {
+                Stmt::Node { expr, .. } => collect(expr),
+                Stmt::Connect { rhs, .. } => collect(rhs),
+                Stmt::MemRead { addr, .. } => collect(addr),
+                Stmt::MemWrite { addr, data, en, .. } => {
+                    collect(addr);
+                    collect(data);
+                    collect(en);
+                }
+                _ => {}
+            }
+        }
+        read
+    }
+
+    let mut removed = 0usize;
+    for _ in 0..64 {
+        let counts = circuit.instance_counts();
+        // Unique parent of each module: (parent module, instance name).
+        let mut parent: std::collections::HashMap<String, (String, String)> = Default::default();
+        for m in &circuit.modules {
+            for (inst, child) in m.instances() {
+                parent.insert(child.to_string(), (m.name.clone(), inst.to_string()));
+            }
+        }
+
+        // Plan removals: (module, port, parent module, instance).
+        let mut plans: Vec<(String, String, String, String)> = Vec::new();
+        for m in &circuit.modules {
+            if m.is_extern() || m.name == circuit.top {
+                continue;
+            }
+            if counts.get(&m.name).copied().unwrap_or(0) != 1 {
+                continue;
+            }
+            let Some((p_name, inst)) = parent.get(&m.name) else {
+                continue;
+            };
+            let Some(p_mod) = circuit.module(p_name) else {
+                continue;
+            };
+            let parent_reads = reads_in(p_mod);
+            let own_reads = reads_in(m);
+            for p in &m.ports {
+                match p.direction {
+                    Direction::Output => {
+                        let is_read = parent_reads
+                            .contains(&Ref::instance_port(inst.clone(), p.name.clone()));
+                        let pure = m.body.iter().any(|s| {
+                            matches!(s, Stmt::Connect { lhs, rhs: Expr::Ref(_) }
+                                if lhs.is_local() && lhs.name == p.name)
+                        });
+                        if !is_read && pure {
+                            plans.push((
+                                m.name.clone(),
+                                p.name.clone(),
+                                p_name.clone(),
+                                inst.clone(),
+                            ));
+                        }
+                    }
+                    Direction::Input => {
+                        if !own_reads.contains(&Ref::local(p.name.clone())) {
+                            plans.push((
+                                m.name.clone(),
+                                p.name.clone(),
+                                p_name.clone(),
+                                inst.clone(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if plans.is_empty() {
+            break;
+        }
+        removed += plans.len();
+        for (mod_name, port, p_name, inst) in &plans {
+            if let Some(m) = circuit.module_mut(mod_name) {
+                m.ports.retain(|p| &p.name != port);
+                m.body.retain(|s| {
+                    !matches!(s, Stmt::Connect { lhs, .. }
+                        if lhs.is_local() && &lhs.name == port)
+                });
+            }
+            if let Some(p_mod) = circuit.module_mut(p_name) {
+                p_mod.body.retain(|s| {
+                    !matches!(s, Stmt::Connect { lhs, .. }
+                        if lhs.instance.as_deref() == Some(inst.as_str())
+                        && &lhs.name == port)
+                });
+            }
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hier::reparent_to_top;
+    use fireaxe_ir::build::{ModuleBuilder, Sig};
+    use fireaxe_ir::typecheck::validate;
+    use fireaxe_ir::{Bits, Interpreter};
+
+    /// Top -> Shell -> {A, B} where A.y feeds B.a inside the shell.
+    fn shelled(depth2: bool) -> Circuit {
+        let mut leaf = ModuleBuilder::new("Inc");
+        let a = leaf.input("a", 8);
+        let y = leaf.output("y", 8);
+        leaf.connect_sig(&y, &a.add(&Sig::lit(1, 8)));
+        let leaf = leaf.finish();
+
+        let mut shell = ModuleBuilder::new("Shell");
+        let i = shell.input("i", 8);
+        let o = shell.output("o", 8);
+        shell.inst("a", "Inc");
+        shell.inst("b", "Inc");
+        shell.connect_inst("a", "a", &i);
+        let ay = shell.inst_port("a", "y");
+        shell.connect_inst("b", "a", &ay);
+        let by = shell.inst_port("b", "y");
+        shell.connect_sig(&o, &by);
+        let shell = shell.finish();
+
+        if depth2 {
+            let mut mid = ModuleBuilder::new("Mid");
+            let i = mid.input("i", 8);
+            let o = mid.output("o", 8);
+            mid.inst("s", "Shell");
+            mid.connect_inst("s", "i", &i);
+            let so = mid.inst_port("s", "o");
+            mid.connect_sig(&o, &so);
+            let mid = mid.finish();
+
+            let mut top = ModuleBuilder::new("Top");
+            let i = top.input("i", 8);
+            let o = top.output("o", 8);
+            top.inst("m", "Mid");
+            top.connect_inst("m", "i", &i);
+            let mo = top.inst_port("m", "o");
+            top.connect_sig(&o, &mo);
+            Circuit::from_modules("Top", vec![top.finish(), mid, shell, leaf], "Top")
+        } else {
+            let mut top = ModuleBuilder::new("Top");
+            let i = top.input("i", 8);
+            let o = top.output("o", 8);
+            top.inst("s", "Shell");
+            top.connect_inst("s", "i", &i);
+            let so = top.inst_port("s", "o");
+            top.connect_sig(&o, &so);
+            Circuit::from_modules("Top", vec![top.finish(), shell, leaf], "Top")
+        }
+    }
+
+    fn check_direct(c: &Circuit, a_inst: &str, b_inst: &str) {
+        let top = c.top_module();
+        let direct = top.body.iter().any(|s| {
+            matches!(s, Stmt::Connect { lhs, rhs: Expr::Ref(r) }
+                if lhs.instance.as_deref() == Some(b_inst)
+                && r.instance.as_deref() == Some(a_inst))
+        });
+        assert!(direct, "b.a should be driven directly by a.y");
+    }
+
+    #[test]
+    fn resolves_through_single_shell() {
+        let mut c = shelled(false);
+        let a_inst = reparent_to_top(&mut c, "s.a").unwrap();
+        let b_inst = reparent_to_top(&mut c, "s.b").unwrap();
+        let rewritten = resolve_shell_passthroughs(&mut c);
+        assert!(rewritten > 0, "expected passthrough rewrites");
+        validate(&c).unwrap();
+        check_direct(&c, &a_inst, &b_inst);
+        let mut sim = Interpreter::new(&c).unwrap();
+        sim.poke("i", Bits::from_u64(5, 8));
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("o").to_u64(), 7);
+    }
+
+    #[test]
+    fn resolves_through_two_level_shells() {
+        let mut c = shelled(true);
+        let a_inst = reparent_to_top(&mut c, "m.s.a").unwrap();
+        let b_inst = reparent_to_top(&mut c, "m.s.b").unwrap();
+        let rewritten = resolve_shell_passthroughs(&mut c);
+        assert!(rewritten > 0);
+        validate(&c).unwrap();
+        check_direct(&c, &a_inst, &b_inst);
+        let mut sim = Interpreter::new(&c).unwrap();
+        sim.poke("i", Bits::from_u64(40, 8));
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("o").to_u64(), 42);
+    }
+
+    #[test]
+    fn noop_without_shells() {
+        let mut c = shelled(false);
+        assert_eq!(resolve_shell_passthroughs(&mut c), 0);
+    }
+
+    #[test]
+    fn prune_is_identity_on_clean_designs() {
+        let mut c = shelled(true);
+        let before = c.clone();
+        assert_eq!(prune_dead_shell_ports(&mut c), 0);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn prune_removes_orphaned_shell_ports() {
+        let mut c = shelled(false);
+        reparent_to_top(&mut c, "s.a").unwrap();
+        reparent_to_top(&mut c, "s.b").unwrap();
+        resolve_shell_passthroughs(&mut c);
+        let removed = prune_dead_shell_ports(&mut c);
+        assert!(removed > 0, "orphaned shell ports should be pruned");
+        validate(&c).unwrap();
+        // Behavior still intact after surgery + pruning.
+        let mut sim = Interpreter::new(&c).unwrap();
+        sim.poke("i", Bits::from_u64(1, 8));
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("o").to_u64(), 3);
+    }
+}

@@ -1,0 +1,196 @@
+//! Environment bridges.
+//!
+//! In FireSim/FireAxe, target I/O that isn't a partition boundary is
+//! served by *bridges* — host-side components that exchange tokens with
+//! the simulator every target cycle (UART, block device, NIC models, …).
+//! Here a [`Bridge`] supplies one input token per target cycle and
+//! consumes output tokens; because it participates in the token protocol,
+//! target-visible behavior remains deterministic and host-time-independent.
+
+use fireaxe_ir::Bits;
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Host-side model driving a node's environment channels.
+pub trait Bridge: fmt::Debug + Send {
+    /// Values for the environment input ports at target `cycle`.
+    fn produce(&mut self, cycle: u64) -> BTreeMap<String, Bits>;
+
+    /// Receives the values of an environment output channel for the given
+    /// output token index.
+    fn consume(&mut self, cycle: u64, channel: &str, values: &BTreeMap<String, Bits>);
+
+    /// Signals that the workload has reached its stop condition.
+    fn done(&self) -> bool {
+        false
+    }
+
+    /// Downcasting support (retrieve recorded traces after a run).
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+/// Drives constant values and discards outputs.
+#[derive(Debug, Default)]
+pub struct ConstBridge {
+    values: BTreeMap<String, Bits>,
+}
+
+impl ConstBridge {
+    /// All-zero inputs.
+    pub fn zeros() -> Self {
+        ConstBridge::default()
+    }
+
+    /// Fixed input values (ports absent from the map read zero).
+    pub fn new(values: BTreeMap<String, Bits>) -> Self {
+        ConstBridge { values }
+    }
+
+    /// Builder-style single value.
+    pub fn with(mut self, port: impl Into<String>, value: Bits) -> Self {
+        self.values.insert(port.into(), value);
+        self
+    }
+}
+
+impl Bridge for ConstBridge {
+    fn produce(&mut self, _cycle: u64) -> BTreeMap<String, Bits> {
+        self.values.clone()
+    }
+
+    fn consume(&mut self, _cycle: u64, _channel: &str, _values: &BTreeMap<String, Bits>) {}
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One recorded output token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedToken {
+    /// Output token index (per channel).
+    pub cycle: u64,
+    /// Channel name.
+    pub channel: String,
+    /// Port values.
+    pub values: BTreeMap<String, Bits>,
+}
+
+/// Closure type producing environment inputs per cycle.
+type ProduceFn = Box<dyn FnMut(u64) -> BTreeMap<String, Bits> + Send>;
+/// Closure type watching consumed tokens for a stop condition.
+type WatchFn = Box<dyn FnMut(&RecordedToken) -> bool + Send>;
+
+/// Scriptable bridge: a closure produces inputs per cycle; outputs are
+/// recorded and can optionally terminate the run via a watch predicate.
+pub struct ScriptBridge {
+    produce_fn: ProduceFn,
+    watch: Option<WatchFn>,
+    record: bool,
+    log: Vec<RecordedToken>,
+    done: bool,
+}
+
+impl fmt::Debug for ScriptBridge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScriptBridge")
+            .field("recorded", &self.log.len())
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl ScriptBridge {
+    /// A bridge producing inputs from `f`.
+    pub fn new(f: impl FnMut(u64) -> BTreeMap<String, Bits> + Send + 'static) -> Self {
+        ScriptBridge {
+            produce_fn: Box::new(f),
+            watch: None,
+            record: false,
+            log: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Records every consumed output token (retrieve with
+    /// [`ScriptBridge::log`]).
+    pub fn recording(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Adds a stop predicate evaluated on every consumed token.
+    pub fn until(mut self, watch: impl FnMut(&RecordedToken) -> bool + Send + 'static) -> Self {
+        self.watch = Some(Box::new(watch));
+        self
+    }
+
+    /// The recorded output tokens.
+    pub fn log(&self) -> &[RecordedToken] {
+        &self.log
+    }
+}
+
+impl Bridge for ScriptBridge {
+    fn produce(&mut self, cycle: u64) -> BTreeMap<String, Bits> {
+        (self.produce_fn)(cycle)
+    }
+
+    fn consume(&mut self, cycle: u64, channel: &str, values: &BTreeMap<String, Bits>) {
+        let token = RecordedToken {
+            cycle,
+            channel: channel.to_string(),
+            values: values.clone(),
+        };
+        if let Some(w) = &mut self.watch {
+            if w(&token) {
+                self.done = true;
+            }
+        }
+        if self.record {
+            self.log.push(token);
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.done
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_bridge_repeats_values() {
+        let mut b = ConstBridge::zeros().with("en", Bits::from_u64(1, 1));
+        assert_eq!(b.produce(0)["en"].to_u64(), 1);
+        assert_eq!(b.produce(99)["en"].to_u64(), 1);
+        assert!(!b.done());
+    }
+
+    #[test]
+    fn script_bridge_records_and_stops() {
+        let mut b = ScriptBridge::new(|c| {
+            let mut m = BTreeMap::new();
+            m.insert("x".to_string(), Bits::from_u64(c, 8));
+            m
+        })
+        .recording()
+        .until(|t| t.values.get("y").is_some_and(|v| v.to_u64() == 3));
+        assert_eq!(b.produce(2)["x"].to_u64(), 2);
+        let mut out = BTreeMap::new();
+        out.insert("y".to_string(), Bits::from_u64(1, 8));
+        b.consume(0, "env_out_src", &out);
+        assert!(!b.done());
+        out.insert("y".to_string(), Bits::from_u64(3, 8));
+        b.consume(1, "env_out_src", &out);
+        assert!(b.done());
+        assert_eq!(b.log().len(), 2);
+    }
+}

@@ -1,0 +1,943 @@
+//! The distributed multi-FPGA simulation engine.
+//!
+//! Each partition thread emitted by FireRipper becomes a *node*: an
+//! [`LiBdn`]-wrapped target running on a simulated FPGA with its own host
+//! clock. Tokens move between nodes over transport links with calibrated
+//! latency and per-beat serialization; environment channels are served by
+//! [`Bridge`]s at every host edge. The engine is a deterministic
+//! discrete-event simulation in virtual picoseconds, so measured target
+//! rates (target cycles per virtual second) are reproducible and follow
+//! directly from the transport/clock models.
+//!
+//! FAME-5 partitions (paper §VI-B) are honored by servicing exactly one
+//! member thread per host edge, round-robin — N host cycles per target
+//! cycle, which is what lets the inter-FPGA latency amortize across
+//! threads.
+
+use crate::bridge::{Bridge, ConstBridge};
+use crate::error::{Result, SimError};
+use fireaxe_ir::{Bits, Interpreter};
+use fireaxe_libdn::{InterpreterTarget, LiBdn, TargetModel};
+use fireaxe_ripper::{LinkSpec, PartitionedDesign};
+use fireaxe_transport::{mhz_to_period_ps, LinkModel};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Factory producing a behavior from `(full key, instance path)`.
+type BehaviorFactory = Box<dyn Fn(&str, &str) -> Box<dyn fireaxe_ir::ExternBehavior> + Send + Sync>;
+/// Fallback factory that may decline a key.
+type BehaviorFallback =
+    Box<dyn Fn(&str, &str) -> Option<Box<dyn fireaxe_ir::ExternBehavior>> + Send + Sync>;
+
+/// Factory table binding extern behavior keys to model constructors.
+///
+/// When a partition circuit contains extern behavioral modules, the
+/// builder elaborates the circuit, asks the interpreter which behavior
+/// keys it needs, and constructs one model per instance path.
+pub struct BehaviorRegistry {
+    /// Factories keyed by the behavior *name* (the part of the key before
+    /// `?`); each factory receives the full key and the instance path.
+    factories: BTreeMap<String, BehaviorFactory>,
+    /// Tried in order when no named factory matches; may decline.
+    fallbacks: Vec<BehaviorFallback>,
+}
+
+impl std::fmt::Debug for BehaviorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BehaviorRegistry")
+            .field("names", &self.factories.keys().collect::<Vec<_>>())
+            .field("fallbacks", &self.fallbacks.len())
+            .finish()
+    }
+}
+
+impl Default for BehaviorRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BehaviorRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        BehaviorRegistry {
+            factories: BTreeMap::new(),
+            fallbacks: Vec::new(),
+        }
+    }
+
+    /// Registers a factory for behavior keys whose name (the part before
+    /// `?`) equals `name`; the factory receives the full key and the
+    /// instance path.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(&str, &str) -> Box<dyn fireaxe_ir::ExternBehavior> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.factories.insert(name.into(), Box::new(factory));
+        self
+    }
+
+    /// Adds a fallback factory tried (in registration order) when no
+    /// named factory matches; it may return `None` to decline.
+    pub fn register_fallback(
+        &mut self,
+        factory: impl Fn(&str, &str) -> Option<Box<dyn fireaxe_ir::ExternBehavior>>
+            + Send
+            + Sync
+            + 'static,
+    ) -> &mut Self {
+        self.fallbacks.push(Box::new(factory));
+        self
+    }
+
+    fn make(&self, key: &str, path: &str) -> Option<Box<dyn fireaxe_ir::ExternBehavior>> {
+        let name = key.split('?').next().unwrap_or(key);
+        if let Some(f) = self.factories.get(name) {
+            return Some(f(key, path));
+        }
+        self.fallbacks.iter().find_map(|f| f(key, path))
+    }
+
+    fn bind_all(&self, node: &str, interp: &mut Interpreter) -> Result<()> {
+        for (path, key, bound) in interp.extern_instances() {
+            if bound {
+                continue;
+            }
+            let model = self
+                .make(&key, &path)
+                .ok_or_else(|| SimError::MissingBehavior {
+                    node: node.to_string(),
+                    path: path.clone(),
+                    key: key.clone(),
+                })?;
+            interp.bind_behavior(&path, model).map_err(SimError::Ir)?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Delivery {
+    at_ps: u64,
+    seq: u64,
+    link: usize,
+}
+
+impl Ord for Delivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for min-heap behavior in BinaryHeap.
+        (other.at_ps, other.seq).cmp(&(self.at_ps, self.seq))
+    }
+}
+
+impl PartialOrd for Delivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct NodeRt {
+    name: String,
+    libdn: LiBdn,
+    partition: usize,
+    /// The simulated FPGA's transmitter: one token serialized at a time
+    /// regardless of how many links fan out of the node (limited SERDES /
+    /// QSFP cages). This is what degrades rates as more FPGAs join a ring
+    /// (paper Fig. 13).
+    tx_busy_until_ps: u64,
+    env_inputs: Vec<usize>,
+    env_outputs: Vec<usize>,
+    bridge: Box<dyn Bridge>,
+    out_links: Vec<usize>,
+    /// Tokens that arrived but couldn't enter a full input queue yet.
+    staged: Vec<VecDeque<Bits>>,
+    env_produced: u64,
+    env_consumed: Vec<u64>,
+    last_advance_ps: u64,
+}
+
+struct LinkRt {
+    spec: LinkSpec,
+    model: LinkModel,
+    busy_until_ps: u64,
+    tokens: u64,
+    payload: VecDeque<(u64, Bits)>, // (seq, token) awaiting delivery
+}
+
+struct PartitionRt {
+    /// Member nodes; FAME-5 partitions have several, serviced one per
+    /// host edge round-robin (single-member partitions degenerate to
+    /// normal servicing).
+    members: Vec<usize>,
+    rr: usize,
+    period_ps: u64,
+    next_edge_ps: u64,
+}
+
+/// Per-run measurements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimMetrics {
+    /// Completed target cycles (minimum across nodes).
+    pub target_cycles: u64,
+    /// Virtual time elapsed, picoseconds.
+    pub time_ps: u64,
+    /// Tokens carried per link.
+    pub link_tokens: Vec<u64>,
+    /// Host cycles consumed per node.
+    pub host_cycles: Vec<u64>,
+}
+
+impl SimMetrics {
+    /// Achieved target frequency in Hz.
+    pub fn target_hz(&self) -> f64 {
+        if self.time_ps == 0 {
+            return 0.0;
+        }
+        self.target_cycles as f64 / (self.time_ps as f64 * 1e-12)
+    }
+
+    /// Achieved target frequency in MHz.
+    pub fn target_mhz(&self) -> f64 {
+        self.target_hz() / 1e6
+    }
+}
+
+/// Configures and constructs a [`DistributedSim`].
+pub struct SimBuilder<'a> {
+    design: &'a PartitionedDesign,
+    default_transport: LinkModel,
+    link_transports: BTreeMap<usize, LinkModel>,
+    default_clock_mhz: f64,
+    partition_clocks: BTreeMap<usize, f64>,
+    channel_capacity: usize,
+    bridges: BTreeMap<usize, Box<dyn Bridge>>,
+    behaviors: BehaviorRegistry,
+    deadlock_horizon_edges: u64,
+}
+
+impl<'a> std::fmt::Debug for SimBuilder<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("nodes", &self.design.node_count())
+            .finish()
+    }
+}
+
+impl<'a> SimBuilder<'a> {
+    /// Starts building a simulation of `design`.
+    pub fn new(design: &'a PartitionedDesign) -> Self {
+        SimBuilder {
+            design,
+            default_transport: LinkModel::qsfp_aurora(),
+            link_transports: BTreeMap::new(),
+            default_clock_mhz: 30.0,
+            partition_clocks: BTreeMap::new(),
+            channel_capacity: fireaxe_libdn::DEFAULT_CHANNEL_CAPACITY,
+            bridges: BTreeMap::new(),
+            behaviors: BehaviorRegistry::new(),
+            deadlock_horizon_edges: 100_000,
+        }
+    }
+
+    /// Transport used by links without an explicit override.
+    pub fn transport(mut self, model: LinkModel) -> Self {
+        self.default_transport = model;
+        self
+    }
+
+    /// Per-link transport override.
+    pub fn link_transport(mut self, link: usize, model: LinkModel) -> Self {
+        self.link_transports.insert(link, model);
+        self
+    }
+
+    /// Host (bitstream) clock for every partition, in MHz.
+    pub fn clock_mhz(mut self, mhz: f64) -> Self {
+        self.default_clock_mhz = mhz;
+        self
+    }
+
+    /// Per-partition host clock override, in MHz.
+    pub fn partition_clock_mhz(mut self, partition: usize, mhz: f64) -> Self {
+        self.partition_clocks.insert(partition, mhz);
+        self
+    }
+
+    /// Token queue capacity on every channel.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity;
+        self
+    }
+
+    /// Attaches a bridge to the node with flat index `node` (see
+    /// [`PartitionedDesign::node_index`]). Nodes without a bridge get
+    /// all-zero inputs.
+    pub fn bridge(mut self, node: usize, bridge: Box<dyn Bridge>) -> Self {
+        self.bridges.insert(node, bridge);
+        self
+    }
+
+    /// Registers extern behavior factories.
+    pub fn behaviors(mut self, registry: BehaviorRegistry) -> Self {
+        self.behaviors = registry;
+        self
+    }
+
+    /// Host edges without any target-cycle progress (while no tokens are
+    /// in flight) before declaring deadlock.
+    pub fn deadlock_horizon(mut self, edges: u64) -> Self {
+        self.deadlock_horizon_edges = edges;
+        self
+    }
+
+    /// Builds the simulation: elaborates every partition circuit, binds
+    /// behaviors, wraps LI-BDNs, seeds fast-mode links.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration failures and missing behaviors.
+    pub fn build(mut self) -> Result<DistributedSim> {
+        let mut nodes = Vec::new();
+        let mut partitions: Vec<PartitionRt> = Vec::new();
+        for (pi, part) in self.design.partitions.iter().enumerate() {
+            let mhz = self
+                .partition_clocks
+                .get(&pi)
+                .copied()
+                .unwrap_or(self.default_clock_mhz);
+            let period_ps = mhz_to_period_ps(mhz);
+            let mut members = Vec::new();
+            for t in &part.threads {
+                let flat = nodes.len();
+                let mut interp = Interpreter::new(&t.circuit)?;
+                self.behaviors.bind_all(&t.name, &mut interp)?;
+                interp.reset();
+                let target: Box<dyn TargetModel> =
+                    Box::new(InterpreterTarget::from_interpreter(interp));
+                let mut libdn = LiBdn::new(t.libdn.clone(), target)?;
+                libdn.set_capacity(self.channel_capacity);
+                let n_in = t.libdn.inputs.len();
+                let n_out_env = t.env_outputs.len();
+                let bridge = self
+                    .bridges
+                    .remove(&flat)
+                    .unwrap_or_else(|| Box::new(ConstBridge::zeros()));
+                nodes.push(NodeRt {
+                    name: t.name.clone(),
+                    libdn,
+                    partition: pi,
+                    tx_busy_until_ps: 0,
+                    env_inputs: t.env_inputs.clone(),
+                    env_outputs: t.env_outputs.clone(),
+                    bridge,
+                    out_links: Vec::new(),
+                    staged: vec![VecDeque::new(); n_in],
+                    env_produced: 0,
+                    env_consumed: vec![0; n_out_env],
+                    last_advance_ps: 0,
+                });
+                members.push(flat);
+            }
+            let _ = part.fame5; // threads encode FAME-5; scheduling is uniform
+            partitions.push(PartitionRt {
+                members,
+                rr: 0,
+                period_ps,
+                next_edge_ps: 0,
+            });
+        }
+
+        let mut links = Vec::new();
+        for (li, l) in self.design.links.iter().enumerate() {
+            let model = self
+                .link_transports
+                .get(&li)
+                .copied()
+                .unwrap_or(self.default_transport);
+            nodes[l.from_node].out_links.push(li);
+            links.push(LinkRt {
+                spec: l.clone(),
+                model,
+                busy_until_ps: 0,
+                tokens: 0,
+                payload: VecDeque::new(),
+            });
+        }
+
+        let mut sim = DistributedSim {
+            nodes,
+            links,
+            partitions,
+            pending: BinaryHeap::new(),
+            time_ps: 0,
+            seq: 0,
+            deadlock_horizon_edges: self.deadlock_horizon_edges,
+            edges_since_progress: 0,
+        };
+        sim.seed_fast_mode_links()?;
+        Ok(sim)
+    }
+}
+
+/// A running multi-partition simulation.
+pub struct DistributedSim {
+    nodes: Vec<NodeRt>,
+    links: Vec<LinkRt>,
+    partitions: Vec<PartitionRt>,
+    pending: BinaryHeap<Delivery>,
+    time_ps: u64,
+    seq: u64,
+    deadlock_horizon_edges: u64,
+    edges_since_progress: u64,
+}
+
+impl std::fmt::Debug for DistributedSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedSim")
+            .field("nodes", &self.nodes.len())
+            .field("time_ps", &self.time_ps)
+            .field("target_cycles", &self.target_cycles())
+            .finish()
+    }
+}
+
+impl DistributedSim {
+    fn seed_fast_mode_links(&mut self) -> Result<()> {
+        for li in 0..self.links.len() {
+            if !self.links[li].spec.seeded {
+                continue;
+            }
+            let from = self.links[li].spec.from_node;
+            let chan = self.links[li].spec.from_chan;
+            let token = self.nodes[from].libdn.sample_output(chan)?;
+            let to = self.links[li].spec.to_node;
+            let to_chan = self.links[li].spec.to_chan;
+            self.nodes[to].staged[to_chan].push_back(token);
+        }
+        Ok(())
+    }
+
+    /// Completed target cycles of one node.
+    pub fn node_target_cycles(&self, node: usize) -> u64 {
+        self.nodes[node].libdn.target_cycle()
+    }
+
+    /// Completed target cycles (minimum across nodes).
+    pub fn target_cycles(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.libdn.target_cycle())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Virtual time elapsed, picoseconds.
+    pub fn time_ps(&self) -> u64 {
+        self.time_ps
+    }
+
+    /// Current metrics snapshot.
+    pub fn metrics(&self) -> SimMetrics {
+        SimMetrics {
+            target_cycles: self.target_cycles(),
+            time_ps: self.time_ps,
+            link_tokens: self.links.iter().map(|l| l.tokens).collect(),
+            host_cycles: self.nodes.iter().map(|n| n.libdn.host_cycles()).collect(),
+        }
+    }
+
+    /// Access a node's bridge (e.g. to read a recorded trace).
+    pub fn bridge_mut(&mut self, node: usize) -> &mut dyn Bridge {
+        self.nodes[node].bridge.as_mut()
+    }
+
+    /// Access a node's wrapped target model.
+    pub fn target(&self, node: usize) -> &dyn TargetModel {
+        self.nodes[node].libdn.model()
+    }
+
+    /// Node names in flat order.
+    pub fn node_names(&self) -> Vec<String> {
+        self.nodes.iter().map(|n| n.name.clone()).collect()
+    }
+
+    /// Runs until every node has completed at least `cycles` target
+    /// cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when no progress is possible.
+    pub fn run_target_cycles(&mut self, cycles: u64) -> Result<SimMetrics> {
+        self.run_while(|sim| sim.target_cycles() < cycles)
+    }
+
+    /// Returns `true` if any node's bridge reports done.
+    pub fn any_bridge_done(&self) -> bool {
+        self.nodes.iter().any(|n| n.bridge.done())
+    }
+
+    /// Runs until any bridge reports done.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when no progress is possible.
+    pub fn run_until_bridge_done(&mut self) -> Result<SimMetrics> {
+        self.run_while(|sim| !sim.nodes.iter().any(|n| n.bridge.done()))
+    }
+
+    /// Runs while `cond` holds.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when no progress is possible while `cond`
+    /// still holds.
+    pub fn run_while(&mut self, cond: impl Fn(&DistributedSim) -> bool) -> Result<SimMetrics> {
+        while cond(self) {
+            self.step_one_edge()?;
+        }
+        Ok(self.metrics())
+    }
+
+    /// Advances virtual time to the next host clock edge and services it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when the deadlock horizon is exceeded.
+    pub fn step_one_edge(&mut self) -> Result<()> {
+        // Next edge time across partitions (ties: lowest partition index).
+        let (pi, edge_ps) = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.next_edge_ps))
+            .min_by_key(|&(i, t)| (t, i))
+            .expect("at least one partition");
+        self.time_ps = edge_ps;
+
+        // Deliver tokens due by now.
+        while let Some(&d) = self.pending.peek() {
+            if d.at_ps > self.time_ps {
+                break;
+            }
+            let d = self.pending.pop().expect("peeked");
+            let (_seq, token) = self.links[d.link]
+                .payload
+                .pop_front()
+                .expect("payload queued");
+            let to = self.links[d.link].spec.to_node;
+            let chan = self.links[d.link].spec.to_chan;
+            self.nodes[to].staged[chan].push_back(token);
+        }
+
+        // Service the partition: one member under FAME-5, the sole member
+        // otherwise.
+        let node_idx = {
+            let p = &mut self.partitions[pi];
+            let idx = p.members[p.rr % p.members.len()];
+            p.rr = (p.rr + 1) % p.members.len();
+            p.next_edge_ps += p.period_ps;
+            idx
+        };
+        let progressed = self.service_node(node_idx)?;
+
+        if progressed {
+            self.edges_since_progress = 0;
+        } else {
+            self.edges_since_progress += 1;
+            if self.edges_since_progress > self.deadlock_horizon_edges && self.pending.is_empty() {
+                let report = self.nodes.iter().map(|n| n.libdn.stall_report()).collect();
+                return Err(SimError::Deadlock {
+                    time_ps: self.time_ps,
+                    report,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn service_node(&mut self, ni: usize) -> Result<bool> {
+        let now = self.time_ps;
+        let mut progressed = false;
+
+        // 1. Move staged link tokens into the LI-BDN queues.
+        for chan in 0..self.nodes[ni].staged.len() {
+            while !self.nodes[ni].staged[chan].is_empty() && self.nodes[ni].libdn.can_accept(chan) {
+                let tok = self.nodes[ni].staged[chan].pop_front().expect("nonempty");
+                self.nodes[ni].libdn.push_input(chan, tok)?;
+            }
+        }
+        // 2. Top up environment input channels (one token per target
+        //    cycle, produced in cycle order).
+        for ei in 0..self.nodes[ni].env_inputs.len() {
+            let chan = self.nodes[ni].env_inputs[ei];
+            while self.nodes[ni].libdn.can_accept(chan) {
+                let cycle = self.nodes[ni].env_produced;
+                let values = self.nodes[ni].bridge.produce(cycle);
+                let spec = self.nodes[ni].libdn.spec().inputs[chan].clone();
+                let token = spec.pack(&values);
+                self.nodes[ni].libdn.push_input(chan, token)?;
+                self.nodes[ni].env_produced += 1;
+            }
+        }
+
+        // 3. One host cycle of LI-BDN work.
+        let before = self.nodes[ni].libdn.target_cycle();
+        let stepped = self.nodes[ni].libdn.host_step()?;
+        if self.nodes[ni].libdn.target_cycle() > before {
+            self.nodes[ni].last_advance_ps = now;
+            progressed = true;
+        }
+        progressed |= stepped;
+
+        // 4. Drain output channels into links.
+        for li_pos in 0..self.nodes[ni].out_links.len() {
+            let li = self.nodes[ni].out_links[li_pos];
+            loop {
+                if self.links[li].busy_until_ps > now || self.nodes[ni].tx_busy_until_ps > now {
+                    break;
+                }
+                let chan = self.links[li].spec.from_chan;
+                let Some(token) = self.nodes[ni].libdn.pop_output(chan) else {
+                    break;
+                };
+                let tx_period = self.partitions[self.nodes[ni].partition].period_ps;
+                let rx_part = self.nodes[self.links[li].spec.to_node].partition;
+                let rx_period = self.partitions[rx_part].period_ps;
+                let width = self.links[li].spec.width;
+                let model = self.links[li].model;
+                let transfer = model.transfer_ps(width, tx_period, rx_period);
+                let ser_tx = model.serialization_cycles(width) * tx_period;
+                self.links[li].busy_until_ps = now + ser_tx.max(1);
+                self.nodes[ni].tx_busy_until_ps = now + ser_tx.max(tx_period);
+                self.seq += 1;
+                self.links[li].payload.push_back((self.seq, token));
+                self.pending.push(Delivery {
+                    at_ps: now + transfer,
+                    seq: self.seq,
+                    link: li,
+                });
+                self.links[li].tokens += 1;
+                progressed = true;
+            }
+        }
+
+        // 5. Drain environment output channels into the bridge.
+        for eo in 0..self.nodes[ni].env_outputs.len() {
+            let chan = self.nodes[ni].env_outputs[eo];
+            let spec = self.nodes[ni].libdn.spec().outputs[chan].channel.clone();
+            while let Some(token) = self.nodes[ni].libdn.pop_output(chan) {
+                let values = spec.unpack(&token);
+                let cycle = self.nodes[ni].env_consumed[eo];
+                self.nodes[ni].env_consumed[eo] += 1;
+                self.nodes[ni].bridge.consume(cycle, &spec.name, &values);
+                progressed = true;
+            }
+        }
+        Ok(progressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bridge::ScriptBridge;
+    use fireaxe_ir::build::ModuleBuilder;
+    use fireaxe_ir::Circuit;
+    use fireaxe_ripper::{compile, ChannelPolicy, PartitionGroup, PartitionMode, PartitionSpec};
+
+    /// SoC: tile with a *combinational* response path (rsp = acc + req,
+    /// like the Fig. 2 adder) + hub logic on the other side. The comb
+    /// path is what makes exact-mode need two crossings per cycle.
+    fn soc() -> Circuit {
+        let mut tile = ModuleBuilder::new("Tile");
+        let req = tile.input("req", 8);
+        let rsp = tile.output("rsp", 8);
+        let acc = tile.reg("acc", 8, 0);
+        tile.connect_sig(&acc, &acc.add(&req));
+        tile.connect_sig(&rsp, &acc.add(&req));
+        let tile = tile.finish();
+
+        let mut top = ModuleBuilder::new("Soc");
+        let i = top.input("i", 8);
+        let o = top.output("o", 8);
+        top.inst("tile0", "Tile");
+        let hub = top.reg("hub", 8, 1);
+        top.connect_inst("tile0", "req", &hub);
+        let rsp = top.inst_port("tile0", "rsp");
+        top.connect_sig(&hub, &rsp.xor(&i));
+        top.connect_sig(&o, &hub);
+        Circuit::from_modules("Soc", vec![top.finish(), tile], "Soc")
+    }
+
+    /// Monolithic golden trace of `o` for `cycles` cycles with input 3.
+    fn golden(cycles: usize) -> Vec<u64> {
+        let c = soc();
+        let mut sim = Interpreter::new(&c).unwrap();
+        sim.poke("i", Bits::from_u64(3, 8));
+        let mut out = Vec::new();
+        for _ in 0..cycles {
+            sim.eval().unwrap();
+            out.push(sim.peek("o").to_u64());
+            sim.tick();
+        }
+        out
+    }
+
+    fn partitioned_trace(mode: PartitionMode, cycles: u64) -> Vec<u64> {
+        let c = soc();
+        let spec = PartitionSpec {
+            mode,
+            channel_policy: ChannelPolicy::Separated,
+            groups: vec![PartitionGroup::instances("tile", vec!["tile0".into()])],
+        };
+        let design = compile(&c, &spec).unwrap();
+        let rest = design.node_index(1, 0);
+        let bridge = ScriptBridge::new(|_| {
+            let mut m = std::collections::BTreeMap::new();
+            m.insert("i".to_string(), Bits::from_u64(3, 8));
+            m
+        })
+        .recording();
+        let mut sim = SimBuilder::new(&design)
+            .transport(LinkModel::qsfp_aurora())
+            .bridge(rest, Box::new(bridge))
+            .build()
+            .unwrap();
+        sim.run_target_cycles(cycles).unwrap();
+        let b = sim
+            .bridge_mut(rest)
+            .as_any()
+            .downcast_mut::<ScriptBridge>()
+            .unwrap();
+        let mut trace: Vec<(u64, u64)> = b
+            .log()
+            .iter()
+            .filter(|t| t.values.contains_key("o"))
+            .map(|t| (t.cycle, t.values["o"].to_u64()))
+            .collect();
+        trace.sort();
+        trace.into_iter().map(|(_, v)| v).collect()
+    }
+
+    #[test]
+    fn exact_mode_matches_monolithic_bit_for_bit() {
+        let cycles = 50;
+        let golden = golden(cycles);
+        let trace = partitioned_trace(PartitionMode::Exact, cycles as u64 + 2);
+        assert!(trace.len() >= cycles);
+        assert_eq!(
+            &trace[..cycles],
+            &golden[..],
+            "exact-mode must be cycle-exact"
+        );
+    }
+
+    #[test]
+    fn fast_mode_is_deterministic_but_not_cycle_exact() {
+        let cycles = 50usize;
+        let golden = golden(cycles);
+        let t1 = partitioned_trace(PartitionMode::Fast, cycles as u64 + 2);
+        let t2 = partitioned_trace(PartitionMode::Fast, cycles as u64 + 2);
+        assert!(t1.len() >= cycles);
+        // Deterministic across runs (cycle-exact w.r.t. the *modified*
+        // target, as the paper states)...
+        assert_eq!(&t1[..cycles], &t2[..cycles]);
+        // ...but not cycle-exact w.r.t. the unmodified RTL: the seed token
+        // injects one cycle of boundary latency.
+        assert_ne!(&t1[..cycles], &golden[..]);
+    }
+
+    #[test]
+    fn fast_mode_is_faster_than_exact() {
+        let c = soc();
+        let rate = |mode| {
+            let spec = PartitionSpec {
+                mode,
+                channel_policy: ChannelPolicy::Separated,
+                groups: vec![PartitionGroup::instances("tile", vec!["tile0".into()])],
+            };
+            let design = compile(&c, &spec).unwrap();
+            let mut sim = SimBuilder::new(&design).build().unwrap();
+            sim.run_target_cycles(500).unwrap().target_mhz()
+        };
+        let exact = rate(PartitionMode::Exact);
+        let fast = rate(PartitionMode::Fast);
+        assert!(
+            fast > 1.5 * exact,
+            "fast-mode {fast} MHz should be ~2x exact-mode {exact} MHz"
+        );
+    }
+
+    #[test]
+    fn monolithic_channels_deadlock() {
+        // Paper Fig. 2: adders on *both* sides of the cut, each fed by the
+        // peer's register. With separated channels this simulates; with
+        // monolithic channels (Fig. 2a) it deadlocks on the circular token
+        // dependency.
+        let mut tile = ModuleBuilder::new("Fig2Side");
+        let sink_in = tile.input("sink_in", 8);
+        let src_in = tile.input("src_in", 8);
+        let sink_out = tile.output("sink_out", 8);
+        let src_out = tile.output("src_out", 8);
+        let x = tile.reg("x", 8, 1);
+        tile.connect_sig(&sink_out, &x.add(&sink_in)); // adder P
+        tile.connect_sig(&src_out, &x);
+        tile.connect_sig(&x, &src_in);
+        let tile = tile.finish();
+
+        let mut top = ModuleBuilder::new("Soc");
+        let i = top.input("i", 8);
+        let o = top.output("o", 8);
+        top.inst("t", "Fig2Side");
+        let y = top.reg("y", 8, 2);
+        // Rest's source output feeds the tile's comb logic...
+        top.connect_inst("t", "sink_in", &y);
+        // ...and the rest's own adder (sink output) depends on the tile's
+        // *register-driven* output, keeping the chain within two crossings.
+        let t_src = top.inst_port("t", "src_out");
+        top.connect_inst("t", "src_in", &y.add(&t_src)); // adder Q
+        let t_snk = top.inst_port("t", "sink_out");
+        top.connect_sig(&y, &t_snk.xor(&i));
+        top.connect_sig(&o, &y);
+        let c = Circuit::from_modules("Soc", vec![top.finish(), tile], "Soc");
+
+        let spec = PartitionSpec {
+            mode: PartitionMode::Exact,
+            channel_policy: ChannelPolicy::Monolithic,
+            groups: vec![PartitionGroup::instances("t", vec!["t".into()])],
+        };
+        let design = compile(&c, &spec).unwrap();
+        let mut sim = SimBuilder::new(&design)
+            .deadlock_horizon(200)
+            .build()
+            .unwrap();
+        let err = sim.run_target_cycles(10).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }), "got {err}");
+
+        // Separated channels simulate the same design fine.
+        let spec = PartitionSpec::exact(vec![PartitionGroup::instances("t", vec!["t".into()])]);
+        let design = compile(&c, &spec).unwrap();
+        let mut sim = SimBuilder::new(&design).build().unwrap();
+        sim.run_target_cycles(10).unwrap();
+    }
+
+    #[test]
+    fn higher_bitstream_frequency_is_faster() {
+        let c = soc();
+        let spec = PartitionSpec::exact(vec![PartitionGroup::instances(
+            "tile",
+            vec!["tile0".into()],
+        )]);
+        let design = compile(&c, &spec).unwrap();
+        let rate = |mhz: f64| {
+            let mut sim = SimBuilder::new(&design).clock_mhz(mhz).build().unwrap();
+            sim.run_target_cycles(300).unwrap().target_mhz()
+        };
+        assert!(rate(90.0) > rate(10.0));
+    }
+
+    #[test]
+    fn node_target_cycles_tracks_members() {
+        let c = soc();
+        let spec = PartitionSpec::exact(vec![PartitionGroup::instances(
+            "tile",
+            vec!["tile0".into()],
+        )]);
+        let design = compile(&c, &spec).unwrap();
+        let mut sim = SimBuilder::new(&design).build().unwrap();
+        sim.run_target_cycles(25).unwrap();
+        // Every node is at or past the global minimum.
+        let min = sim.target_cycles();
+        assert!(min >= 25);
+        for n in 0..2 {
+            assert!(sim.node_target_cycles(n) >= min);
+            assert!(
+                sim.node_target_cycles(n) <= min + 4,
+                "nodes stay in lockstep"
+            );
+        }
+    }
+
+    #[test]
+    fn channel_capacity_changes_rate_not_results() {
+        let c = soc();
+        let run = |cap: usize| {
+            let spec = PartitionSpec::exact(vec![PartitionGroup::instances(
+                "tile",
+                vec!["tile0".into()],
+            )]);
+            let design = compile(&c, &spec).unwrap();
+            let bridge = ScriptBridge::new(|_| {
+                let mut m = std::collections::BTreeMap::new();
+                m.insert("i".to_string(), Bits::from_u64(3, 8));
+                m
+            })
+            .recording();
+            let mut sim = SimBuilder::new(&design)
+                .channel_capacity(cap)
+                .bridge(1, Box::new(bridge))
+                .build()
+                .unwrap();
+            sim.run_target_cycles(40).unwrap();
+            let b = sim
+                .bridge_mut(1)
+                .as_any()
+                .downcast_mut::<ScriptBridge>()
+                .unwrap();
+            let mut vals: Vec<(u64, u64)> = b
+                .log()
+                .iter()
+                .filter_map(|t| t.values.get("o").map(|v| (t.cycle, v.to_u64())))
+                .collect();
+            vals.sort_unstable();
+            vals.truncate(40);
+            vals
+        };
+        // Queue depth is a host-side implementation detail: target-visible
+        // traces must be identical.
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn per_link_transport_override() {
+        let c = soc();
+        let spec = PartitionSpec::exact(vec![PartitionGroup::instances(
+            "tile",
+            vec!["tile0".into()],
+        )]);
+        let design = compile(&c, &spec).unwrap();
+        // Cripple one direction with host-managed PCIe: the whole system
+        // slows to that link's pace.
+        let mut slow = SimBuilder::new(&design)
+            .transport(LinkModel::qsfp_aurora())
+            .link_transport(0, LinkModel::host_pcie())
+            .build()
+            .unwrap();
+        let mut fast = SimBuilder::new(&design)
+            .transport(LinkModel::qsfp_aurora())
+            .build()
+            .unwrap();
+        let r_slow = slow.run_target_cycles(30).unwrap().target_mhz();
+        let r_fast = fast.run_target_cycles(30).unwrap().target_mhz();
+        assert!(r_fast > 5.0 * r_slow, "fast {r_fast} vs slow {r_slow}");
+    }
+
+    #[test]
+    fn faster_transport_is_faster() {
+        let c = soc();
+        let spec = PartitionSpec::exact(vec![PartitionGroup::instances(
+            "tile",
+            vec!["tile0".into()],
+        )]);
+        let design = compile(&c, &spec).unwrap();
+        let rate = |m: LinkModel| {
+            let mut sim = SimBuilder::new(&design).transport(m).build().unwrap();
+            sim.run_target_cycles(200).unwrap().target_mhz()
+        };
+        let qsfp = rate(LinkModel::qsfp_aurora());
+        let pcie = rate(LinkModel::peer_pcie());
+        let host = rate(LinkModel::host_pcie());
+        assert!(qsfp > pcie);
+        assert!(pcie > host);
+    }
+}

@@ -1,0 +1,89 @@
+//! Simulation engine errors.
+
+use std::fmt;
+
+/// Errors raised while building or running a distributed simulation.
+#[derive(Debug)]
+pub enum SimError {
+    /// No progress is possible: every LI-BDN is stalled and no tokens are
+    /// in flight (e.g. the paper's Fig. 2a non-separated-channel
+    /// deadlock).
+    Deadlock {
+        /// Virtual time at which the deadlock was declared, picoseconds.
+        time_ps: u64,
+        /// Per-node stall reports.
+        report: Vec<String>,
+    },
+    /// The run exceeded its host-step budget without meeting its stop
+    /// condition.
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A behavior key required by an extern module was not registered.
+    MissingBehavior {
+        /// Node name.
+        node: String,
+        /// Instance path within the node.
+        path: String,
+        /// The unregistered key.
+        key: String,
+    },
+    /// Bad configuration (unknown partition/node/link index, etc.).
+    Config {
+        /// Explanation.
+        message: String,
+    },
+    /// Underlying LI-BDN failure.
+    Libdn(fireaxe_libdn::LibdnError),
+    /// Underlying IR failure (elaboration of a partition circuit).
+    Ir(fireaxe_ir::IrError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { time_ps, report } => write!(
+                f,
+                "simulation deadlocked at t={} ns:\n{}",
+                time_ps / 1000,
+                report.join("\n")
+            ),
+            SimError::StepLimit { limit } => {
+                write!(f, "host-step limit of {limit} exceeded")
+            }
+            SimError::MissingBehavior { node, path, key } => write!(
+                f,
+                "node `{node}` needs behavior `{key}` at `{path}` but none is registered"
+            ),
+            SimError::Config { message } => write!(f, "bad simulation config: {message}"),
+            SimError::Libdn(e) => write!(f, "LI-BDN error: {e}"),
+            SimError::Ir(e) => write!(f, "IR error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Libdn(e) => Some(e),
+            SimError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fireaxe_libdn::LibdnError> for SimError {
+    fn from(e: fireaxe_libdn::LibdnError) -> Self {
+        SimError::Libdn(e)
+    }
+}
+
+impl From<fireaxe_ir::IrError> for SimError {
+    fn from(e: fireaxe_ir::IrError) -> Self {
+        SimError::Ir(e)
+    }
+}
+
+/// Convenient alias.
+pub type Result<T> = std::result::Result<T, SimError>;

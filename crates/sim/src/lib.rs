@@ -1,0 +1,27 @@
+//! # fireaxe-sim — the multi-FPGA simulation runtime
+//!
+//! Takes the artifacts FireRipper emits and runs them: every partition
+//! thread becomes an LI-BDN node on a simulated FPGA host with its own
+//! bitstream clock; tokens cross calibrated transport links; environment
+//! I/O is served by [`Bridge`]s. Because the engine is a deterministic
+//! discrete-event simulation over virtual time, the *measured* simulation
+//! rates (target-MHz) reproduce the paper's performance sweeps, and
+//! exact-mode runs are bit-identical to monolithic interpretation.
+//!
+//! * [`SimBuilder`]/[`DistributedSim`] — build and run;
+//! * [`BehaviorRegistry`] — binds coarse behavioral models to extern
+//!   modules inside partitions;
+//! * [`bridge`] — environment token sources/sinks;
+//! * [`perf`] — the closed-form rate preview FireRipper reports.
+
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod engine;
+pub mod error;
+pub mod perf;
+
+pub use bridge::{Bridge, ConstBridge, RecordedToken, ScriptBridge};
+pub use engine::{BehaviorRegistry, DistributedSim, SimBuilder, SimMetrics};
+pub use error::{Result, SimError};
+pub use perf::estimate_target_mhz;

@@ -1,0 +1,97 @@
+//! Closed-form simulation-rate estimation.
+//!
+//! FireRipper "provides users quick feedback about the partition
+//! interface and expected simulation performance" without running
+//! anything. This module implements that estimate from the partition
+//! report: per target cycle, exact-mode pays two serialized link
+//! crossings (source token out, sink token back) while fast-mode pays
+//! one, plus (de)serialization of the boundary tokens and a few host
+//! cycles of FSM work. The event-driven engine is the ground truth; this
+//! estimator is the compiler-time preview.
+
+use fireaxe_ripper::{PartitionMode, PartitionedDesign};
+use fireaxe_transport::{mhz_to_period_ps, LinkModel};
+
+/// Host-cycle overhead charged per target cycle for output-FSM and
+/// fireFSM work.
+pub const FSM_OVERHEAD_CYCLES: u64 = 2;
+
+/// Estimates the achievable target frequency in MHz.
+///
+/// `host_mhz` is the bitstream frequency assumed for every partition.
+pub fn estimate_target_mhz(design: &PartitionedDesign, transport: LinkModel, host_mhz: f64) -> f64 {
+    let period_ps = mhz_to_period_ps(host_mhz);
+    // Per-cycle cost is set by the slowest node pair. Group links by
+    // unordered node pair and charge `crossings` sequential transfers of
+    // the average token in each direction.
+    let crossings = match design.mode {
+        PartitionMode::Exact => 2,
+        PartitionMode::Fast => 1,
+    };
+    let mut worst_ps = 0u64;
+    for l in &design.links {
+        let transfer = transport.transfer_ps(l.width, period_ps, period_ps);
+        let cycle_ps = crossings as u64 * transfer + FSM_OVERHEAD_CYCLES * period_ps;
+        worst_ps = worst_ps.max(cycle_ps);
+    }
+    if worst_ps == 0 {
+        // Unpartitioned: bounded by the host clock alone.
+        return host_mhz;
+    }
+    1e6 / worst_ps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireaxe_ir::build::ModuleBuilder;
+    use fireaxe_ir::Circuit;
+    use fireaxe_ripper::{compile, PartitionGroup, PartitionSpec};
+
+    fn design(mode: PartitionMode) -> PartitionedDesign {
+        let mut tile = ModuleBuilder::new("Tile");
+        let req = tile.input("req", 64);
+        let rsp = tile.output("rsp", 64);
+        let acc = tile.reg("acc", 64, 0);
+        tile.connect_sig(&acc, &acc.add(&req));
+        tile.connect_sig(&rsp, &acc.add(&req));
+        let mut top = ModuleBuilder::new("Soc");
+        let i = top.input("i", 64);
+        let o = top.output("o", 64);
+        top.inst("t", "Tile");
+        let hub = top.reg("hub", 64, 0);
+        top.connect_inst("t", "req", &hub);
+        let rsp = top.inst_port("t", "rsp");
+        top.connect_sig(&hub, &rsp.xor(&i));
+        top.connect_sig(&o, &hub);
+        let c = Circuit::from_modules("Soc", vec![top.finish(), tile.finish()], "Soc");
+        let spec = match mode {
+            PartitionMode::Exact => {
+                PartitionSpec::exact(vec![PartitionGroup::instances("t", vec!["t".into()])])
+            }
+            PartitionMode::Fast => {
+                PartitionSpec::fast(vec![PartitionGroup::instances("t", vec!["t".into()])])
+            }
+        };
+        compile(&c, &spec).unwrap()
+    }
+
+    #[test]
+    fn fast_estimate_roughly_double_exact() {
+        let e = estimate_target_mhz(
+            &design(PartitionMode::Exact),
+            LinkModel::qsfp_aurora(),
+            30.0,
+        );
+        let f = estimate_target_mhz(&design(PartitionMode::Fast), LinkModel::qsfp_aurora(), 30.0);
+        assert!(f > 1.5 * e, "fast {f} vs exact {e}");
+    }
+
+    #[test]
+    fn estimates_land_in_paper_range() {
+        let f = estimate_target_mhz(&design(PartitionMode::Fast), LinkModel::qsfp_aurora(), 30.0);
+        assert!((0.8..=2.5).contains(&f), "QSFP fast estimate {f} MHz");
+        let h = estimate_target_mhz(&design(PartitionMode::Fast), LinkModel::host_pcie(), 30.0);
+        assert!(h < 0.03, "host-PCIe estimate {h} MHz should be ~26 kHz");
+    }
+}

@@ -1,0 +1,376 @@
+//! BOOM out-of-order core models (paper Table I, §V-B).
+//!
+//! The real BOOM is hundreds of thousands of lines of Chisel; FireAxe
+//! partitions it *structurally*, so what the compiler needs is the
+//! module/port/combinational skeleton plus resource weights — which is
+//! exactly what [`core_circuit`] generates: Frontend / Backend / LSU / L1D
+//! as extern behavioral modules whose port widths scale with the
+//! configuration (the GC40 frontend/backend boundary carries >7000 bits,
+//! matching §V-B) and whose [`fireaxe_ir::ResourceHints`] are calibrated
+//! to the paper's reported U250 utilizations (backend+LSU 63%, frontend+
+//! memory 18%).
+
+use fireaxe_ir::build::ModuleBuilder;
+use fireaxe_ir::{Circuit, CombPath, ExternInfo, Module, Port, ResourceHints};
+
+/// Microarchitectural parameters (paper Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoomConfig {
+    /// Configuration name.
+    pub name: String,
+    /// Issue width.
+    pub issue_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: u32,
+    /// Integer physical registers.
+    pub int_phys_regs: u32,
+    /// Floating-point physical registers.
+    pub fp_phys_regs: u32,
+    /// Load-queue entries.
+    pub ldq_entries: u32,
+    /// Store-queue entries.
+    pub stq_entries: u32,
+    /// Fetch-buffer entries.
+    pub fetch_buf_entries: u32,
+    /// L1 instruction cache size in kB.
+    pub l1i_kb: u32,
+    /// L1 data cache size in kB.
+    pub l1d_kb: u32,
+    /// Synthesized core+L1 area in mm² (16 nm), when known from the paper.
+    pub measured_area_mm2: Option<f64>,
+}
+
+impl BoomConfig {
+    /// Large BOOM (Table I column 1): 3-wide, 96-entry ROB, 0.79 mm².
+    pub fn large() -> Self {
+        BoomConfig {
+            name: "Large BOOM".into(),
+            issue_width: 3,
+            rob_entries: 96,
+            int_phys_regs: 100,
+            fp_phys_regs: 96,
+            ldq_entries: 24,
+            stq_entries: 24,
+            fetch_buf_entries: 24,
+            l1i_kb: 32,
+            l1d_kb: 32,
+            measured_area_mm2: Some(0.79),
+        }
+    }
+
+    /// GC40 BOOM (Table I column 2): Golden-Cove parameters downsized by
+    /// 40%, 1.56 mm² — too large to build monolithically on a U250.
+    pub fn gc40() -> Self {
+        BoomConfig {
+            name: "GC40 BOOM".into(),
+            issue_width: 6,
+            rob_entries: 216,
+            int_phys_regs: 115,
+            fp_phys_regs: 132,
+            ldq_entries: 76,
+            stq_entries: 45,
+            fetch_buf_entries: 54,
+            l1i_kb: 32,
+            l1d_kb: 32,
+            measured_area_mm2: Some(1.56),
+        }
+    }
+
+    /// Golden Cove Xeon (Table I column 3), for reference comparisons.
+    pub fn golden_cove_xeon() -> Self {
+        BoomConfig {
+            name: "GC Xeon".into(),
+            issue_width: 6,
+            rob_entries: 512,
+            int_phys_regs: 280,
+            fp_phys_regs: 332,
+            ldq_entries: 192,
+            stq_entries: 114,
+            fetch_buf_entries: 144,
+            l1i_kb: 32,
+            l1d_kb: 48,
+            measured_area_mm2: Some(9.13),
+        }
+    }
+
+    /// A mid-size 5-wide configuration (the §V-D GC-study cores: "four
+    /// 5-wide OoO BOOM cores, each 25% of U250 LUTs").
+    pub fn mega() -> Self {
+        BoomConfig {
+            name: "Mega BOOM".into(),
+            issue_width: 5,
+            rob_entries: 128,
+            int_phys_regs: 128,
+            fp_phys_regs: 128,
+            ldq_entries: 32,
+            stq_entries: 32,
+            fetch_buf_entries: 40,
+            l1i_kb: 32,
+            l1d_kb: 32,
+            measured_area_mm2: None,
+        }
+    }
+
+    /// Structural area estimate in mm² (16 nm), fitted on the two BOOM
+    /// points of Table I (`0.375·issue·ROB/1000 + 2.545·Σstructures/1000`).
+    ///
+    /// The Xeon's measured 9.13 mm² is ~2.4× this structural estimate —
+    /// the gap the paper attributes to everything the parameter table
+    /// doesn't capture (SIMD width, µop cache, ISA overheads), i.e. the
+    /// "significant room for microarchitectural innovation".
+    pub fn estimated_area_mm2(&self) -> f64 {
+        let structures = self.int_phys_regs
+            + self.fp_phys_regs
+            + self.ldq_entries
+            + self.stq_entries
+            + self.fetch_buf_entries;
+        0.375 * f64::from(self.issue_width * self.rob_entries) / 1000.0
+            + 2.545 * f64::from(structures) / 1000.0
+    }
+
+    /// Area used for resource scaling: measured when known, else
+    /// estimated.
+    pub fn area_mm2(&self) -> f64 {
+        self.measured_area_mm2
+            .unwrap_or_else(|| self.estimated_area_mm2())
+    }
+
+    /// Total FPGA LUTs for the core+L1s, calibrated so GC40 maps to the
+    /// paper's 63% + 18% of a U250 (≈ 804 kLUT/mm²).
+    pub fn total_luts(&self) -> u64 {
+        (self.area_mm2() * 804_000.0) as u64
+    }
+
+    /// Width in bits of the frontend/backend partition interface —
+    /// ~1380 bits per issue slot, putting GC40 above the 7000 bits
+    /// reported in §V-B.
+    pub fn split_interface_bits(&self) -> u64 {
+        u64::from(self.issue_width) * 1380
+    }
+}
+
+/// Per-issue-slot widths of the split-core bundles (sums to ~1200).
+const FETCH_PACKET_PER_SLOT: u32 = 560;
+const REDIRECT_PER_SLOT: u32 = 200;
+const LSU_REQ_PER_SLOT: u32 = 260;
+const LSU_RESP_PER_SLOT: u32 = 160;
+const COMMIT_PER_SLOT: u32 = 200;
+
+fn extern_module(
+    name: &str,
+    behavior: String,
+    ports: Vec<Port>,
+    comb_paths: Vec<CombPath>,
+    luts: u64,
+) -> Module {
+    let mut m = Module::new(name);
+    m.ports = ports;
+    m.extern_info = Some(ExternInfo {
+        behavior,
+        comb_paths,
+        resources: ResourceHints {
+            luts,
+            regs: luts / 2,
+            brams: luts / 12_000,
+            dsps: luts / 50_000,
+        },
+    });
+    m
+}
+
+/// Builds the split-core circuit for §V-B: `Frontend` (fetch + branch
+/// prediction + fetch buffer + L1I) and `MemSys` (L1D + memory) on one
+/// side, `Backend` (rename, PRF, execution units) and `Lsu` on the other.
+///
+/// Extracting `["backend", "lsu"]` reproduces the paper's two-FPGA split:
+/// backend-side ≈63% of a U250's LUTs, frontend-side ≈18%, boundary
+/// >7000 bits for GC40.
+///
+/// The exposed top-level ports are `commits` (retired-instruction
+/// counter) and `booted` (asserted once the boot workload completes).
+pub fn core_circuit(config: &BoomConfig) -> Circuit {
+    let w = config.issue_width;
+    let total = config.total_luts();
+    // LUT split calibrated to §V-B: backend 60%, LSU 17.8%, frontend 14%,
+    // L1D/memory 8.2% of the core total.
+    let luts_backend = (total as f64 * 0.60) as u64;
+    let luts_lsu = (total as f64 * 0.178) as u64;
+    let luts_frontend = (total as f64 * 0.14) as u64;
+    let luts_memsys = total - luts_backend - luts_lsu - luts_frontend;
+
+    let behavior = |role: &str| {
+        format!(
+            "boom_{role}?issue={}&rob={}&fetchbuf={}",
+            config.issue_width, config.rob_entries, config.fetch_buf_entries
+        )
+    };
+
+    let frontend = extern_module(
+        "Frontend",
+        behavior("frontend"),
+        vec![
+            Port::output("fetch_packet_valid", 1),
+            Port::output("fetch_packet_bits", w * FETCH_PACKET_PER_SLOT),
+            Port::input("fetch_packet_ready", 1),
+            Port::input("redirect_valid", 1),
+            Port::input("redirect_bits", w * REDIRECT_PER_SLOT),
+        ],
+        vec![],
+        luts_frontend,
+    );
+    let backend = extern_module(
+        "Backend",
+        behavior("backend"),
+        vec![
+            Port::input("fetch_packet_valid", 1),
+            Port::input("fetch_packet_bits", w * FETCH_PACKET_PER_SLOT),
+            Port::output("fetch_packet_ready", 1),
+            Port::output("redirect_valid", 1),
+            Port::output("redirect_bits", w * REDIRECT_PER_SLOT),
+            Port::output("lsu_issue_valid", 1),
+            Port::output("lsu_issue_bits", w * COMMIT_PER_SLOT),
+            Port::input("lsu_done_valid", 1),
+            Port::input("lsu_done_bits", w * COMMIT_PER_SLOT),
+            Port::output("commits", 32),
+            Port::output("booted", 1),
+        ],
+        // The backend's ready is combinationally derived from its valid
+        // input (the "many cross-module signals" the paper mentions) —
+        // a chain exact-mode can still schedule in two crossings.
+        vec![CombPath {
+            input: "fetch_packet_valid".into(),
+            output: "fetch_packet_ready".into(),
+        }],
+        luts_backend,
+    );
+    let lsu = extern_module(
+        "Lsu",
+        behavior("lsu"),
+        vec![
+            Port::input("lsu_issue_valid", 1),
+            Port::input("lsu_issue_bits", w * COMMIT_PER_SLOT),
+            Port::output("lsu_done_valid", 1),
+            Port::output("lsu_done_bits", w * COMMIT_PER_SLOT),
+            Port::output("dmem_req_valid", 1),
+            Port::output("dmem_req_bits", w * LSU_REQ_PER_SLOT),
+            Port::input("dmem_resp_valid", 1),
+            Port::input("dmem_resp_bits", w * LSU_RESP_PER_SLOT),
+        ],
+        vec![],
+        luts_lsu,
+    );
+    let memsys = extern_module(
+        "MemSys",
+        behavior("memsys"),
+        vec![
+            Port::input("dmem_req_valid", 1),
+            Port::input("dmem_req_bits", w * LSU_REQ_PER_SLOT),
+            Port::output("dmem_resp_valid", 1),
+            Port::output("dmem_resp_bits", w * LSU_RESP_PER_SLOT),
+        ],
+        vec![],
+        luts_memsys,
+    );
+
+    let mut top = ModuleBuilder::new("BoomCore");
+    let commits = top.output("commits", 32);
+    let booted = top.output("booted", 1);
+    top.inst("frontend", "Frontend");
+    top.inst("backend", "Backend");
+    top.inst("lsu", "Lsu");
+    top.inst("memsys", "MemSys");
+    for (sig, from, to) in [
+        ("fetch_packet_valid", "frontend", "backend"),
+        ("fetch_packet_bits", "frontend", "backend"),
+        ("fetch_packet_ready", "backend", "frontend"),
+        ("redirect_valid", "backend", "frontend"),
+        ("redirect_bits", "backend", "frontend"),
+        ("lsu_issue_valid", "backend", "lsu"),
+        ("lsu_issue_bits", "backend", "lsu"),
+        ("lsu_done_valid", "lsu", "backend"),
+        ("lsu_done_bits", "lsu", "backend"),
+        ("dmem_req_valid", "lsu", "memsys"),
+        ("dmem_req_bits", "lsu", "memsys"),
+        ("dmem_resp_valid", "memsys", "lsu"),
+        ("dmem_resp_bits", "memsys", "lsu"),
+    ] {
+        let src = top.inst_port(from, sig);
+        top.connect_inst(to, sig, &src);
+    }
+    let c = top.inst_port("backend", "commits");
+    top.connect_sig(&commits, &c);
+    let b = top.inst_port("backend", "booted");
+    top.connect_sig(&booted, &b);
+
+    Circuit::from_modules(
+        "BoomCore",
+        vec![top.finish(), frontend, backend, lsu, memsys],
+        "BoomCore",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireaxe_fpga::{fit, FpgaSpec};
+    use fireaxe_ir::typecheck::validate;
+
+    #[test]
+    fn table1_presets_match_paper() {
+        let l = BoomConfig::large();
+        let g = BoomConfig::gc40();
+        let x = BoomConfig::golden_cove_xeon();
+        assert_eq!(l.issue_width, 3);
+        assert_eq!(g.rob_entries, 216);
+        assert_eq!(x.ldq_entries, 192);
+        assert_eq!(l.measured_area_mm2, Some(0.79));
+        assert_eq!(g.measured_area_mm2, Some(1.56));
+        assert_eq!(x.measured_area_mm2, Some(9.13));
+    }
+
+    #[test]
+    fn area_fit_recovers_boom_points() {
+        let l = BoomConfig::large();
+        let g = BoomConfig::gc40();
+        assert!((l.estimated_area_mm2() - 0.79).abs() < 0.05);
+        assert!((g.estimated_area_mm2() - 1.56).abs() < 0.05);
+        // The Xeon measured area is far above the structural estimate.
+        let x = BoomConfig::golden_cove_xeon();
+        assert!(x.measured_area_mm2.unwrap() / x.estimated_area_mm2() > 2.0);
+    }
+
+    #[test]
+    fn gc40_boundary_exceeds_7000_bits() {
+        assert!(BoomConfig::gc40().split_interface_bits() > 7000);
+        assert!(BoomConfig::large().split_interface_bits() < 4500);
+    }
+
+    #[test]
+    fn gc40_fails_monolithic_build_but_split_fits() {
+        let c = core_circuit(&BoomConfig::gc40());
+        validate(&c).unwrap();
+        let u250 = FpgaSpec::alveo_u250();
+        let report = fit(&c, &u250);
+        // Fits raw capacity but fails routing (the paper's congestion
+        // failure).
+        assert!(
+            !report.routable,
+            "GC40 should fail the monolithic build: {report}"
+        );
+        // Per-side estimates land near the paper's 63% / 18%.
+        let total = BoomConfig::gc40().total_luts() as f64;
+        let backend_side = total * (0.60 + 0.178);
+        let frontend_side = total * (0.14 + 0.082);
+        let be_util = backend_side / u250.luts as f64;
+        let fe_util = frontend_side / u250.luts as f64;
+        assert!((0.55..=0.70).contains(&be_util), "backend util {be_util}");
+        assert!((0.12..=0.25).contains(&fe_util), "frontend util {fe_util}");
+    }
+
+    #[test]
+    fn large_boom_fits_monolithically() {
+        let c = core_circuit(&BoomConfig::large());
+        let report = fit(&c, &FpgaSpec::alveo_u250());
+        assert!(report.routable, "{report}");
+    }
+}

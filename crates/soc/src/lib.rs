@@ -1,0 +1,33 @@
+//! # fireaxe-soc — target design generators
+//!
+//! Everything FireAxe simulates has to exist as a target design; this
+//! crate generates them in the FireAxe IR:
+//!
+//! * [`mem`], [`accel`], [`minicore`], [`validation`] — the Table II
+//!   validation SoCs as real interpreted RTL (fixed-latency scratchpad,
+//!   Sha3-like and Gemmini-like accelerators, the RocketLite core);
+//! * [`boom`] — BOOM configurations (Table I), the fitted area model, and
+//!   the §V-B split-core circuit (frontend/backend across two FPGAs);
+//! * [`noc`] — the Constellation-like three-layer ring NoC (Fig. 4) as
+//!   interpreted RTL with registered router boundaries;
+//! * [`socs`] — composed SoCs: the §V-A ring SoC (tiles + NoC +
+//!   subsystem) and the §VI-A crossbar sweep SoC;
+//! * [`behaviors`] — deterministic cycle-level models bound to the extern
+//!   modules (tiles, BOOM pipeline halves, subsystem, crossbar), keyed by
+//!   self-describing behavior strings.
+
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod behaviors;
+pub mod boom;
+pub mod mem;
+pub mod minicore;
+pub mod noc;
+pub mod socs;
+pub mod validation;
+
+pub use behaviors::{make_behavior, BehaviorKey, FlitLayout};
+pub use boom::BoomConfig;
+pub use noc::{generate_ring_noc, NocConfig};
+pub use socs::{ring_soc, xbar_soc, RingSoc, RingSocConfig, TileKind, XbarSocConfig};

@@ -1,0 +1,293 @@
+//! RocketLite: a tiny in-order core as interpreted RTL.
+//!
+//! Stands in for the paper's Rocket tile in the Table II validation: a
+//! real fetch/execute state machine running a ROM-resident program that
+//! mixes compute phases with loads/stores over the same ready-valid
+//! memory interface as the accelerators. "Linux boot" is represented by a
+//! boot-trace program iterated for a configurable number of loop
+//! iterations (the paper's run is 3.84 billion cycles on silicon-speed
+//! FPGAs; we scale the iteration count down and compare *relative* cycle
+//! errors, which is what Table II reports).
+//!
+//! ISA (op, arg) — op in 3 bits, arg in 13:
+//!
+//! | op | mnemonic    | effect                                   |
+//! |----|-------------|------------------------------------------|
+//! | 0  | `NOP`       | pc += 1                                  |
+//! | 1  | `COMPUTE n` | busy-loop n cycles (ALU phase)           |
+//! | 2  | `LOAD a`    | `acc ^= mem[a]`                            |
+//! | 3  | `STORE a`   | `mem[a] = acc`                             |
+//! | 4  | `DECJNZ t`  | loop -= 1; if loop != 0 jump to t        |
+//! | 5  | `HALT`      | assert `done` forever                    |
+
+use crate::mem::MemReqLayout;
+use fireaxe_ir::build::{ModuleBuilder, Sig};
+use fireaxe_ir::{Expr, Module};
+
+/// One ROM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// Busy the ALU for `n` cycles.
+    Compute(u16),
+    /// `acc ^= mem[addr]`.
+    Load(u8),
+    /// `mem[addr] = acc`.
+    Store(u8),
+    /// Decrement the loop counter; jump to `target` while nonzero.
+    DecJnz(u8),
+    /// Stop and assert `done`.
+    Halt,
+}
+
+impl Instr {
+    fn encode(self) -> u64 {
+        let (op, arg) = match self {
+            Instr::Nop => (0u64, 0u64),
+            Instr::Compute(n) => (1, u64::from(n)),
+            Instr::Load(a) => (2, u64::from(a)),
+            Instr::Store(a) => (3, u64::from(a)),
+            Instr::DecJnz(t) => (4, u64::from(t)),
+            Instr::Halt => (5, 0),
+        };
+        (op << 13) | (arg & 0x1FFF)
+    }
+}
+
+/// The memory request layout RocketLite drives (shared with the
+/// accelerators).
+pub fn core_mem_layout() -> MemReqLayout {
+    MemReqLayout {
+        data_bits: 32,
+        addr_bits: 6,
+    }
+}
+
+/// The paper-analog "Linux boot" workload: long compute bursts (scaled by
+/// `compute_scale`) interleaved with occasional memory traffic, looped via
+/// the core's loop counter. Boot is compute-dominated, which is why the
+/// paper's Rocket fast-mode error (0.98%) is far below Sha3's.
+pub fn boot_program(compute_scale: u16) -> Vec<Instr> {
+    let s = compute_scale.max(1);
+    vec![
+        Instr::Compute(15 * s),
+        Instr::Load(1),
+        Instr::Compute(10 * s),
+        Instr::Store(8),
+        Instr::Compute(12 * s),
+        Instr::Load(3),
+        Instr::DecJnz(0),
+        Instr::Halt,
+    ]
+}
+
+/// Builds the RocketLite core module running `program` with the loop
+/// counter preloaded to `loop_count`.
+///
+/// Ports: the `mreq_*`/`mresp_*` memory-master bundle plus `done`.
+///
+/// # Panics
+///
+/// Panics if the program is empty or longer than 32 instructions.
+pub fn make_core_module(name: &str, program: &[Instr], loop_count: u32) -> Module {
+    assert!(
+        !program.is_empty() && program.len() <= 32,
+        "program must have 1..=32 instructions"
+    );
+    let layout = core_mem_layout();
+    let mut mb = ModuleBuilder::new(name);
+    let mreq_ready = mb.input("mreq_ready", 1);
+    let mresp_valid = mb.input("mresp_valid", 1);
+    let mresp_bits = mb.input("mresp_bits", layout.data_bits);
+    let mreq_valid = mb.output("mreq_valid", 1);
+    let mreq_bits = mb.output("mreq_bits", layout.width());
+    let mresp_ready = mb.output("mresp_ready", 1);
+    let done = mb.output("done", 1);
+
+    let pc = mb.reg("pc", 5, 0);
+    let acc = mb.reg("acc", 32, 0);
+    let loop_r = mb.reg("loop_r", 32, u64::from(loop_count));
+    let busy = mb.reg("busy", 13, 0); // compute countdown
+    let waiting = mb.reg("waiting", 1, 0); // load response outstanding
+    let halted = mb.reg("halted", 1, 0);
+
+    // ROM: mux tree over the PC.
+    let mut rom: Expr = Expr::lit(Instr::Halt.encode(), 16);
+    for (i, instr) in program.iter().enumerate().rev() {
+        rom = Expr::Mux(
+            Box::new(pc.eq(&Sig::lit(i as u64, 5)).into_expr()),
+            Box::new(Expr::lit(instr.encode(), 16)),
+            Box::new(rom),
+        );
+    }
+    let instr = mb.node("instr", &Sig::from_expr(rom));
+    let op = mb.node("op", &instr.bits(15, 13));
+    let arg = mb.node("arg", &instr.bits(12, 0));
+
+    let is = |v: u64| op.eq(&Sig::lit(v, 3));
+    let op_compute = mb.node("op_compute", &is(1));
+    let op_load = mb.node("op_load", &is(2));
+    let op_store = mb.node("op_store", &is(3));
+    let op_decjnz = mb.node("op_decjnz", &is(4));
+    let op_halt = mb.node("op_halt", &is(5));
+
+    let computing = mb.node("computing", &busy.neq(&Sig::lit(0, 13)));
+    let active = mb.node(
+        "active",
+        &halted.not().and(&computing.not()).and(&waiting.not()),
+    );
+
+    // Memory interface.
+    let want_mem = mb.node("want_mem", &active.and(&op_load.or(&op_store)));
+    mb.connect_sig(&mreq_valid, &want_mem);
+    let packed = op_store
+        .resize(1)
+        .cat(&arg.resize(layout.addr_bits))
+        .cat(&op_store.mux(&acc, &Sig::lit(0, 32)));
+    mb.connect_sig(&mreq_bits, &packed);
+    mb.connect_sig(&mresp_ready, &waiting);
+    let req_fire = mb.node("req_fire", &want_mem.and(&mreq_ready));
+    let resp_fire = mb.node("resp_fire", &waiting.and(&mresp_valid));
+
+    // Datapath updates.
+    mb.connect_sig(&acc, &resp_fire.mux(&acc.xor(&mresp_bits), &acc));
+    let loop_dec = loop_r.sub(&Sig::lit(1, 32));
+    let do_decjnz = mb.node("do_decjnz", &active.and(&op_decjnz));
+    mb.connect_sig(&loop_r, &do_decjnz.mux(&loop_dec, &loop_r));
+    let taken = mb.node("taken", &do_decjnz.and(&loop_dec.neq(&Sig::lit(0, 32))));
+
+    // Busy counter for COMPUTE.
+    let start_compute = mb.node("start_compute", &active.and(&op_compute));
+    mb.connect_sig(
+        &busy,
+        &start_compute.mux(&arg, &computing.mux(&busy.sub(&Sig::lit(1, 13)), &busy)),
+    );
+    // Outstanding-load flag.
+    mb.connect_sig(
+        &waiting,
+        &req_fire
+            .and(&op_load)
+            .mux(&Sig::lit(1, 1), &resp_fire.mux(&Sig::lit(0, 1), &waiting)),
+    );
+    mb.connect_sig(&halted, &active.and(&op_halt).mux(&Sig::lit(1, 1), &halted));
+    mb.connect_sig(&done, &halted);
+
+    // PC advance: NOP/DECJNZ-not-taken/STORE-fired advance by 1;
+    // COMPUTE advances when the countdown is issued; LOAD advances when
+    // the response returns; DECJNZ-taken jumps.
+    let pc1 = pc.add(&Sig::lit(1, 5));
+    let advance = mb.node(
+        "advance",
+        &active.and(
+            &op_compute
+                .or(&op_decjnz)
+                .or(&is(0))
+                .or(&op_store.and(&req_fire)),
+        ),
+    );
+    let next_pc = taken.mux(&arg.resize(5), &advance.or(&resp_fire).mux(&pc1, &pc));
+    mb.connect_sig(&pc, &next_pc);
+
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::make_memory_module;
+    use fireaxe_ir::build::ModuleBuilder;
+    use fireaxe_ir::typecheck::validate;
+    use fireaxe_ir::{Circuit, Interpreter};
+
+    /// Core + scratchpad SoC.
+    pub(crate) fn core_soc(program: &[Instr], loops: u32, mem_latency: u32) -> Circuit {
+        let layout = core_mem_layout();
+        let core = make_core_module("RocketLite", program, loops);
+        let mem = make_memory_module("Scratchpad", layout.data_bits, 64, mem_latency);
+        let mut top = ModuleBuilder::new("CoreSoc");
+        let done = top.output("done", 1);
+        top.inst("core", "RocketLite");
+        top.inst("mem", "Scratchpad");
+        let cv = top.inst_port("core", "mreq_valid");
+        top.connect_inst("mem", "req_valid", &cv);
+        let cb = top.inst_port("core", "mreq_bits");
+        top.connect_inst("mem", "req_bits", &cb);
+        let mr = top.inst_port("mem", "req_ready");
+        top.connect_inst("core", "mreq_ready", &mr);
+        let rv = top.inst_port("mem", "resp_valid");
+        top.connect_inst("core", "mresp_valid", &rv);
+        let rb = top.inst_port("mem", "resp_bits");
+        top.connect_inst("core", "mresp_bits", &rb);
+        let cr = top.inst_port("core", "mresp_ready");
+        top.connect_inst("mem", "resp_ready", &cr);
+        let cd = top.inst_port("core", "done");
+        top.connect_sig(&done, &cd);
+        Circuit::from_modules("CoreSoc", vec![top.finish(), core, mem], "CoreSoc")
+    }
+
+    fn cycles_to_done(c: &Circuit, max: u64) -> u64 {
+        let mut sim = Interpreter::new(c).unwrap();
+        for cycle in 0..max {
+            sim.eval().unwrap();
+            if sim.peek("done").to_u64() == 1 {
+                return cycle;
+            }
+            sim.tick();
+        }
+        panic!("core did not halt in {max} cycles");
+    }
+
+    #[test]
+    fn halts_immediately_on_halt_program() {
+        let c = core_soc(&[Instr::Halt], 1, 4);
+        validate(&c).unwrap();
+        assert!(cycles_to_done(&c, 10) <= 2);
+    }
+
+    #[test]
+    fn compute_takes_declared_cycles() {
+        let base = cycles_to_done(&core_soc(&[Instr::Compute(1), Instr::Halt], 1, 4), 100);
+        let more = cycles_to_done(&core_soc(&[Instr::Compute(21), Instr::Halt], 1, 4), 100);
+        assert_eq!(more - base, 20);
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        // store acc (0) xor'ed with loads; verify store lands in memory.
+        let prog = [
+            Instr::Load(1),  // acc ^= mem[1] (0)
+            Instr::Store(5), // mem[5] = acc
+            Instr::Halt,
+        ];
+        let c = core_soc(&prog, 1, 3);
+        let mut sim = Interpreter::new(&c).unwrap();
+        for _ in 0..100 {
+            sim.step().unwrap();
+        }
+        sim.eval().unwrap();
+        assert_eq!(sim.peek("done").to_u64(), 1);
+    }
+
+    #[test]
+    fn loop_count_scales_runtime() {
+        let c10 = cycles_to_done(&core_soc(&boot_program(4), 10, 4), 100_000);
+        let c20 = cycles_to_done(&core_soc(&boot_program(4), 20, 4), 100_000);
+        let per_iter = c20 - c10;
+        assert!(per_iter >= 10, "each iteration costs cycles: {per_iter}");
+        // Linear scaling.
+        let c40 = cycles_to_done(&core_soc(&boot_program(4), 40, 4), 100_000);
+        assert_eq!(c40 - c20, 2 * per_iter);
+    }
+
+    #[test]
+    fn memory_latency_shifts_boot_time() {
+        let fast = cycles_to_done(&core_soc(&boot_program(4), 50, 2), 200_000);
+        let slow = cycles_to_done(&core_soc(&boot_program(4), 50, 12), 200_000);
+        assert!(slow > fast);
+        // Boot is compute-heavy: relative shift stays moderate (the
+        // mechanism behind Rocket's ~1% Table II fast-mode error).
+        let rel = (slow - fast) as f64 / fast as f64;
+        assert!(rel < 1.0, "relative shift {rel}");
+    }
+}

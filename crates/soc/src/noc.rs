@@ -1,0 +1,666 @@
+//! Constellation-like NoC generator (paper §III-B, Fig. 4).
+//!
+//! Generates the three-layer hierarchy the paper partitions across:
+//!
+//! * **physical layer** (`NocPhysical`) — ring-connected router nodes with
+//!   registered (hence combinationally decoupled, latency-insensitive)
+//!   ring ports — exactly the property that makes router boundaries good
+//!   cut points;
+//! * **protocol layer** (`NocProtocol`) — per-node protocol converters
+//!   between the tiles' ready-valid streams and router flits;
+//! * **top layer** (`Noc`) — per-node clock-domain-crossing register
+//!   stages.
+//!
+//! All of it is real interpreted RTL. Flits carry an embedded valid bit;
+//! see [`crate::behaviors::FlitLayout`] for the packing.
+
+use crate::behaviors::FlitLayout;
+use fireaxe_ir::build::{ModuleBuilder, Sig};
+use fireaxe_ir::{Circuit, Module};
+
+/// NoC configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Number of nodes (tiles + subsystem).
+    pub nodes: usize,
+    /// Flit payload width in bits.
+    pub payload_bits: u32,
+}
+
+impl NocConfig {
+    /// The flit layout used on every link.
+    pub fn flit(&self) -> FlitLayout {
+        FlitLayout {
+            payload_bits: self.payload_bits,
+        }
+    }
+
+    /// Total flit width.
+    pub fn flit_bits(&self) -> u32 {
+        self.flit().width()
+    }
+}
+
+/// Builds the unidirectional ring router module.
+///
+/// Ports: `ring_in`/`ring_out` (flits, registered output — no
+/// combinational path, the property FireRipper's NoC mode relies on),
+/// `local_in_valid/local_in_bits/local_in_ready` (injection) and
+/// `local_out` (delivery), plus `my_id`.
+pub fn make_router_module(name: &str, cfg: &NocConfig) -> Module {
+    let f = cfg.flit_bits();
+    let p = cfg.payload_bits;
+    let mut mb = ModuleBuilder::new(name);
+    let ring_in = mb.input("ring_in", f);
+    let local_in_valid = mb.input("local_in_valid", 1);
+    let local_in_bits = mb.input("local_in_bits", f);
+    let my_id = mb.input("my_id", 6);
+    let ring_out = mb.output("ring_out", f);
+    let local_out = mb.output("local_out", f);
+    let local_in_ready = mb.output("local_in_ready", 1);
+
+    let in_valid = mb.node("in_valid", &ring_in.bits(p + 14, p + 14));
+    let in_dest = mb.node("in_dest", &ring_in.bits(p + 13, p + 8));
+    let deliver = mb.node("deliver", &in_valid.and(&in_dest.eq(&my_id)));
+    let forward = mb.node("forward", &in_valid.and(&deliver.not()));
+
+    // Registered outputs: the ring hop is one cycle.
+    let ring_out_r = mb.reg("ring_out_r", f, 0);
+    let local_out_r = mb.reg("local_out_r", f, 0);
+    // Forwarded traffic has priority over local injection.
+    let inject = mb.node("inject", &forward.not().and(&local_in_valid));
+    mb.connect_sig(
+        &ring_out_r,
+        &forward.mux(
+            &ring_in,
+            &inject.mux(&local_in_bits, &Sig::lit(0, 64).resize(f)),
+        ),
+    );
+    mb.connect_sig(
+        &local_out_r,
+        &deliver.mux(&ring_in, &Sig::lit(0, 64).resize(f)),
+    );
+    mb.connect_sig(&ring_out, &ring_out_r);
+    mb.connect_sig(&local_out, &local_out_r);
+    mb.connect_sig(&local_in_ready, &forward.not());
+    mb.finish()
+}
+
+/// Builds the protocol converter: tile-side ready-valid stream to router
+/// local ports. The rx direction adds one register stage.
+pub fn make_protocol_converter_module(name: &str, cfg: &NocConfig) -> Module {
+    let f = cfg.flit_bits();
+    let mut mb = ModuleBuilder::new(name);
+    let tile_tx_valid = mb.input("tile_tx_valid", 1);
+    let tile_tx_bits = mb.input("tile_tx_bits", f);
+    let loc_in_ready = mb.input("loc_in_ready", 1);
+    let loc_out = mb.input("loc_out", f);
+    let tile_tx_ready = mb.output("tile_tx_ready", 1);
+    let tile_rx_valid = mb.output("tile_rx_valid", 1);
+    let tile_rx_bits = mb.output("tile_rx_bits", f);
+    let loc_in_valid = mb.output("loc_in_valid", 1);
+    let loc_in_bits = mb.output("loc_in_bits", f);
+
+    mb.connect_sig(&tile_tx_ready, &loc_in_ready);
+    mb.connect_sig(&loc_in_valid, &tile_tx_valid);
+    mb.connect_sig(&loc_in_bits, &tile_tx_bits);
+    let rx_r = mb.reg("rx_r", f, 0);
+    mb.connect_sig(&rx_r, &loc_out);
+    let p = cfg.payload_bits;
+    let rxv = mb.node("rxv", &rx_r.bits(p + 14, p + 14));
+    mb.connect_sig(&tile_rx_valid, &rxv);
+    mb.connect_sig(&tile_rx_bits, &rx_r);
+    mb.finish()
+}
+
+/// Builds the clock-domain-crossing stage: two registers on the rx path,
+/// one on the tx path (valid/bits pairs; ready passes through).
+pub fn make_cdc_module(name: &str, cfg: &NocConfig) -> Module {
+    let f = cfg.flit_bits();
+    let mut mb = ModuleBuilder::new(name);
+    let tx_valid_in = mb.input("tx_valid_in", 1);
+    let tx_bits_in = mb.input("tx_bits_in", f);
+    let tx_ready_in = mb.input("tx_ready_in", 1);
+    let rx_valid_in = mb.input("rx_valid_in", 1);
+    let rx_bits_in = mb.input("rx_bits_in", f);
+    let tx_valid_out = mb.output("tx_valid_out", 1);
+    let tx_bits_out = mb.output("tx_bits_out", f);
+    let tx_ready_out = mb.output("tx_ready_out", 1);
+    let rx_valid_out = mb.output("rx_valid_out", 1);
+    let rx_bits_out = mb.output("rx_bits_out", f);
+
+    // tx: single sync stage.
+    mb.connect_sig(&tx_valid_out, &tx_valid_in);
+    mb.connect_sig(&tx_bits_out, &tx_bits_in);
+    mb.connect_sig(&tx_ready_out, &tx_ready_in);
+    // rx: double sync.
+    let s1v = mb.reg("s1v", 1, 0);
+    let s1b = mb.reg("s1b", f, 0);
+    let s2v = mb.reg("s2v", 1, 0);
+    let s2b = mb.reg("s2b", f, 0);
+    mb.connect_sig(&s1v, &rx_valid_in);
+    mb.connect_sig(&s1b, &rx_bits_in);
+    mb.connect_sig(&s2v, &s1v);
+    mb.connect_sig(&s2b, &s1b);
+    mb.connect_sig(&rx_valid_out, &s2v);
+    mb.connect_sig(&rx_bits_out, &s2b);
+    mb.finish()
+}
+
+/// Builds the bidirectional ring router (the paper's Fig. 9 "Ring" bus is
+/// "a bidirectional torus with a shortest path routing scheme").
+///
+/// Two independent registered rings (clockwise `cw_*`, counter-clockwise
+/// `ccw_*`); injection picks the shortest direction toward the
+/// destination. Local delivery is lossless via deflection: when both
+/// rings would deliver in the same cycle, the counter-clockwise flit is
+/// deflected onward and circles back.
+pub fn make_bidir_router_module(name: &str, cfg: &NocConfig) -> Module {
+    let f = cfg.flit_bits();
+    let p = cfg.payload_bits;
+    let n = cfg.nodes as u64;
+    let mut mb = ModuleBuilder::new(name);
+    let cw_in = mb.input("cw_in", f);
+    let ccw_in = mb.input("ccw_in", f);
+    let local_in_valid = mb.input("local_in_valid", 1);
+    let local_in_bits = mb.input("local_in_bits", f);
+    let my_id = mb.input("my_id", 6);
+    let cw_out = mb.output("cw_out", f);
+    let ccw_out = mb.output("ccw_out", f);
+    let local_out = mb.output("local_out", f);
+    let local_in_ready = mb.output("local_in_ready", 1);
+
+    let valid_of = |s: &Sig| s.bits(p + 14, p + 14);
+    let dest_of = |s: &Sig| s.bits(p + 13, p + 8);
+
+    let cw_valid = mb.node("cw_valid", &valid_of(&cw_in));
+    let cw_dest = mb.node("cw_dest", &dest_of(&cw_in));
+    let ccw_valid = mb.node("ccw_valid", &valid_of(&ccw_in));
+    let ccw_dest = mb.node("ccw_dest", &dest_of(&ccw_in));
+
+    let cw_here = mb.node("cw_here", &cw_valid.and(&cw_dest.eq(&my_id)));
+    let ccw_here = mb.node("ccw_here", &ccw_valid.and(&ccw_dest.eq(&my_id)));
+    let cw_fwd = mb.node("cw_fwd", &cw_valid.and(&cw_here.not()));
+    // Deflect the ccw flit when the cw ring wins local delivery.
+    let ccw_deliver = mb.node("ccw_deliver", &ccw_here.and(&cw_here.not()));
+    let ccw_fwd = mb.node("ccw_fwd", &ccw_valid.and(&ccw_deliver.not()));
+
+    // Shortest-path direction for the locally injected flit.
+    let inj_dest = mb.node("inj_dest", &dest_of(&local_in_bits));
+    let fwd_dist = mb.node(
+        "fwd_dist",
+        &inj_dest.geq(&my_id).mux(
+            &inj_dest.sub(&my_id),
+            &inj_dest.add(&Sig::lit(n, 6)).sub(&my_id).resize(6),
+        ),
+    );
+    let go_cw = mb.node(
+        "go_cw",
+        &fwd_dist.resize(7).lt(&Sig::lit(n.div_ceil(2) + 1, 7)),
+    );
+    let cw_slot_free = mb.node("cw_slot_free", &cw_fwd.not());
+    let ccw_slot_free = mb.node("ccw_slot_free", &ccw_fwd.not());
+    let can_inject = mb.node("can_inject", &go_cw.mux(&cw_slot_free, &ccw_slot_free));
+    mb.connect_sig(&local_in_ready, &can_inject);
+    let inject_cw = mb.node("inject_cw", &local_in_valid.and(&go_cw).and(&cw_slot_free));
+    let inject_ccw = mb.node(
+        "inject_ccw",
+        &local_in_valid.and(&go_cw.not()).and(&ccw_slot_free),
+    );
+
+    let zero = Sig::lit(0, 64).resize(f);
+    let cw_out_r = mb.reg("cw_out_r", f, 0);
+    let ccw_out_r = mb.reg("ccw_out_r", f, 0);
+    let local_out_r = mb.reg("local_out_r", f, 0);
+    mb.connect_sig(
+        &cw_out_r,
+        &cw_fwd.mux(&cw_in, &inject_cw.mux(&local_in_bits, &zero)),
+    );
+    mb.connect_sig(
+        &ccw_out_r,
+        &ccw_fwd.mux(&ccw_in, &inject_ccw.mux(&local_in_bits, &zero)),
+    );
+    mb.connect_sig(
+        &local_out_r,
+        &cw_here.mux(&cw_in, &ccw_deliver.mux(&ccw_in, &zero)),
+    );
+    mb.connect_sig(&cw_out, &cw_out_r);
+    mb.connect_sig(&ccw_out, &ccw_out_r);
+    mb.connect_sig(&local_out, &local_out_r);
+    mb.finish()
+}
+
+/// Standalone bidirectional-ring circuit: routers only, local ports
+/// punched to the top (`node{i}_*`).
+pub fn bidir_ring_circuit(cfg: &NocConfig) -> Circuit {
+    assert!((2..=64).contains(&cfg.nodes));
+    let f = cfg.flit_bits();
+    let n = cfg.nodes;
+    let router = make_bidir_router_module("BidirRouter", cfg);
+    let mut top = ModuleBuilder::new("BidirRing");
+    for i in 0..n {
+        top.inst(format!("r{i}"), "BidirRouter");
+    }
+    for i in 0..n {
+        let next = (i + 1) % n;
+        let prev = (i + n - 1) % n;
+        let cw = top.inst_port(&format!("r{i}"), "cw_out");
+        top.connect_inst(&format!("r{next}"), "cw_in", &cw);
+        let ccw = top.inst_port(&format!("r{i}"), "ccw_out");
+        top.connect_inst(&format!("r{prev}"), "ccw_in", &ccw);
+        top.connect_inst(&format!("r{i}"), "my_id", &Sig::lit(i as u64, 6));
+        let liv = top.input(format!("node{i}_tx_valid"), 1);
+        let lib = top.input(format!("node{i}_tx_bits"), f);
+        let lir = top.output(format!("node{i}_tx_ready"), 1);
+        let lo = top.output(format!("node{i}_rx"), f);
+        top.connect_inst(&format!("r{i}"), "local_in_valid", &liv);
+        top.connect_inst(&format!("r{i}"), "local_in_bits", &lib);
+        let rr = top.inst_port(&format!("r{i}"), "local_in_ready");
+        top.connect_sig(&lir, &rr);
+        let ro = top.inst_port(&format!("r{i}"), "local_out");
+        top.connect_sig(&lo, &ro);
+    }
+    Circuit::from_modules("BidirRing", vec![top.finish(), router], "BidirRing")
+}
+
+/// The generated NoC: its circuit modules plus the router instance paths
+/// (in node-index order) that NoC-partition-mode consumes.
+#[derive(Debug, Clone)]
+pub struct GeneratedNoc {
+    /// Modules to add to the design: `[Noc, NocProtocol, NocPhysical,
+    /// RingRouter, ProtoConv, NocCdc]`.
+    pub modules: Vec<Module>,
+    /// Name of the top NoC module to instantiate.
+    pub top_module: String,
+    /// Router instance paths *relative to the NoC instance* (prepend
+    /// `"<noc_inst>."` for absolute paths).
+    pub router_subpaths: Vec<String>,
+    /// Configuration echoed back.
+    pub config: NocConfig,
+}
+
+/// Generates the three-layer ring NoC.
+///
+/// Per node `i`, the top module exposes `node{i}_tx_valid/bits/ready`
+/// (into the NoC) and `node{i}_rx_valid/bits` (out of the NoC).
+///
+/// # Panics
+///
+/// Panics on fewer than 2 nodes or more than 64 (6-bit destinations).
+pub fn generate_ring_noc(cfg: &NocConfig) -> GeneratedNoc {
+    assert!(
+        (2..=64).contains(&cfg.nodes),
+        "ring NoC supports 2..=64 nodes"
+    );
+    let f = cfg.flit_bits();
+    let n = cfg.nodes;
+    let router = make_router_module("RingRouter", cfg);
+    let pc = make_protocol_converter_module("ProtoConv", cfg);
+    let cdc = make_cdc_module("NocCdc", cfg);
+
+    // Physical layer.
+    let mut phys = ModuleBuilder::new("NocPhysical");
+    for i in 0..n {
+        phys.inst(format!("r{i}"), "RingRouter");
+    }
+    for i in 0..n {
+        let next = (i + 1) % n;
+        let out = phys.inst_port(&format!("r{i}"), "ring_out");
+        phys.connect_inst(&format!("r{next}"), "ring_in", &out);
+        phys.connect_inst(&format!("r{i}"), "my_id", &Sig::lit(i as u64, 6));
+        // Punch local ports to the physical layer boundary.
+        let liv = phys.input(format!("node{i}_local_in_valid"), 1);
+        let lib = phys.input(format!("node{i}_local_in_bits"), f);
+        let lir = phys.output(format!("node{i}_local_in_ready"), 1);
+        let lo = phys.output(format!("node{i}_local_out"), f);
+        phys.connect_inst(&format!("r{i}"), "local_in_valid", &liv);
+        phys.connect_inst(&format!("r{i}"), "local_in_bits", &lib);
+        let r_ready = phys.inst_port(&format!("r{i}"), "local_in_ready");
+        phys.connect_sig(&lir, &r_ready);
+        let r_out = phys.inst_port(&format!("r{i}"), "local_out");
+        phys.connect_sig(&lo, &r_out);
+    }
+    let phys = phys.finish();
+
+    // Protocol layer.
+    let mut proto = ModuleBuilder::new("NocProtocol");
+    proto.inst("phys", "NocPhysical");
+    for i in 0..n {
+        proto.inst(format!("pc{i}"), "ProtoConv");
+        let v = proto.inst_port(&format!("pc{i}"), "loc_in_valid");
+        proto.connect_inst("phys", &format!("node{i}_local_in_valid"), &v);
+        let b = proto.inst_port(&format!("pc{i}"), "loc_in_bits");
+        proto.connect_inst("phys", &format!("node{i}_local_in_bits"), &b);
+        let r = proto.inst_port("phys", &format!("node{i}_local_in_ready"));
+        proto.connect_inst(&format!("pc{i}"), "loc_in_ready", &r);
+        let lo = proto.inst_port("phys", &format!("node{i}_local_out"));
+        proto.connect_inst(&format!("pc{i}"), "loc_out", &lo);
+        // Tile-facing ports up to the protocol boundary.
+        let ttv = proto.input(format!("node{i}_tx_valid"), 1);
+        let ttb = proto.input(format!("node{i}_tx_bits"), f);
+        let ttr = proto.output(format!("node{i}_tx_ready"), 1);
+        let trv = proto.output(format!("node{i}_rx_valid"), 1);
+        let trb = proto.output(format!("node{i}_rx_bits"), f);
+        proto.connect_inst(&format!("pc{i}"), "tile_tx_valid", &ttv);
+        proto.connect_inst(&format!("pc{i}"), "tile_tx_bits", &ttb);
+        let pr = proto.inst_port(&format!("pc{i}"), "tile_tx_ready");
+        proto.connect_sig(&ttr, &pr);
+        let pv = proto.inst_port(&format!("pc{i}"), "tile_rx_valid");
+        proto.connect_sig(&trv, &pv);
+        let pb = proto.inst_port(&format!("pc{i}"), "tile_rx_bits");
+        proto.connect_sig(&trb, &pb);
+    }
+    let proto = proto.finish();
+
+    // Top layer with CDCs.
+    let mut top = ModuleBuilder::new("Noc");
+    top.inst("proto", "NocProtocol");
+    for i in 0..n {
+        top.inst(format!("cdc{i}"), "NocCdc");
+        let tv = top.input(format!("node{i}_tx_valid"), 1);
+        let tb = top.input(format!("node{i}_tx_bits"), f);
+        let tr = top.output(format!("node{i}_tx_ready"), 1);
+        let rv = top.output(format!("node{i}_rx_valid"), 1);
+        let rb = top.output(format!("node{i}_rx_bits"), f);
+        top.connect_inst(&format!("cdc{i}"), "tx_valid_in", &tv);
+        top.connect_inst(&format!("cdc{i}"), "tx_bits_in", &tb);
+        let cv = top.inst_port(&format!("cdc{i}"), "tx_valid_out");
+        top.connect_inst("proto", &format!("node{i}_tx_valid"), &cv);
+        let cb = top.inst_port(&format!("cdc{i}"), "tx_bits_out");
+        top.connect_inst("proto", &format!("node{i}_tx_bits"), &cb);
+        let pr = top.inst_port("proto", &format!("node{i}_tx_ready"));
+        top.connect_inst(&format!("cdc{i}"), "tx_ready_in", &pr);
+        let cr = top.inst_port(&format!("cdc{i}"), "tx_ready_out");
+        top.connect_sig(&tr, &cr);
+        let prv = top.inst_port("proto", &format!("node{i}_rx_valid"));
+        top.connect_inst(&format!("cdc{i}"), "rx_valid_in", &prv);
+        let prb = top.inst_port("proto", &format!("node{i}_rx_bits"));
+        top.connect_inst(&format!("cdc{i}"), "rx_bits_in", &prb);
+        let crv = top.inst_port(&format!("cdc{i}"), "rx_valid_out");
+        top.connect_sig(&rv, &crv);
+        let crb = top.inst_port(&format!("cdc{i}"), "rx_bits_out");
+        top.connect_sig(&rb, &crb);
+    }
+    let top = top.finish();
+
+    GeneratedNoc {
+        modules: vec![top, proto, phys, router, pc, cdc],
+        top_module: "Noc".into(),
+        router_subpaths: (0..n).map(|i| format!("proto.phys.r{i}")).collect(),
+        config: cfg.clone(),
+    }
+}
+
+/// Standalone NoC circuit for testing (the NoC module as top).
+pub fn ring_noc_circuit(cfg: &NocConfig) -> Circuit {
+    let noc = generate_ring_noc(cfg);
+    Circuit::from_modules("Noc", noc.modules, noc.top_module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behaviors::flit_kind;
+    use fireaxe_ir::typecheck::validate;
+    use fireaxe_ir::{Bits, CombAnalysis, Interpreter};
+
+    fn cfg(nodes: usize) -> NocConfig {
+        NocConfig {
+            nodes,
+            payload_bits: 32,
+        }
+    }
+
+    #[test]
+    fn noc_validates_and_routers_are_decoupled() {
+        let c = ring_noc_circuit(&cfg(4));
+        validate(&c).unwrap();
+        // Router ring_out must have no combinational dependency on any
+        // input (the Fig. 4 property).
+        let a = CombAnalysis::run(&c).unwrap();
+        let info = a.module("RingRouter").unwrap();
+        assert!(info.output_deps["ring_out"].is_empty());
+        assert!(info.output_deps["local_out"].is_empty());
+        // local_in_ready IS combinational on ring_in (internal-only port).
+        assert!(info.depends("local_in_ready", "ring_in"));
+    }
+
+    #[test]
+    fn flit_traverses_ring_to_destination() {
+        let n = 4;
+        let c = ring_noc_circuit(&cfg(n));
+        let mut sim = Interpreter::new(&c).unwrap();
+        let layout = cfg(n).flit();
+        let flit = layout.pack(2, 0, flit_kind::REQ, 0xABCD);
+        // Inject at node 0 toward node 2.
+        sim.poke("node0_tx_valid", Bits::from_u64(1, 1));
+        sim.poke("node0_tx_bits", Bits::from_u64(flit, layout.width()));
+        sim.step().unwrap();
+        sim.poke("node0_tx_valid", Bits::from_u64(0, 1));
+        sim.poke("node0_tx_bits", Bits::from_u64(0, layout.width()));
+        // Walk until it pops out at node 2.
+        let mut arrived_at = None;
+        for cycle in 0..30 {
+            sim.eval().unwrap();
+            if sim.peek("node2_rx_valid").to_u64() == 1 {
+                let got = sim.peek("node2_rx_bits").to_u64();
+                let (v, dest, src, kind, payload) = layout.unpack(got);
+                assert!(v);
+                assert_eq!((dest, src, kind, payload), (2, 0, flit_kind::REQ, 0xABCD));
+                arrived_at = Some(cycle);
+                break;
+            }
+            // It must not appear anywhere else.
+            for other in [1usize, 3] {
+                assert_eq!(
+                    sim.peek(&format!("node{other}_rx_valid")).to_u64(),
+                    0,
+                    "flit misdelivered to node {other}"
+                );
+            }
+            sim.tick();
+        }
+        let arrived = arrived_at.expect("flit never arrived");
+        // 2 ring hops + pc/cdc register stages.
+        assert!((3..=10).contains(&arrived), "took {arrived} cycles");
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let n = 4;
+        let c = ring_noc_circuit(&cfg(n));
+        let mut sim = Interpreter::new(&c).unwrap();
+        let layout = cfg(n).flit();
+        // Node 3 -> node 1 requires wrapping through node 0.
+        let flit = layout.pack(1, 3, flit_kind::RESP, 7);
+        sim.poke("node3_tx_valid", Bits::from_u64(1, 1));
+        sim.poke("node3_tx_bits", Bits::from_u64(flit, layout.width()));
+        sim.step().unwrap();
+        sim.poke("node3_tx_valid", Bits::from_u64(0, 1));
+        sim.poke("node3_tx_bits", Bits::from_u64(0, layout.width()));
+        for _ in 0..30 {
+            sim.eval().unwrap();
+            if sim.peek("node1_rx_valid").to_u64() == 1 {
+                let (_, dest, src, _, _) = layout.unpack(sim.peek("node1_rx_bits").to_u64());
+                assert_eq!((dest, src), (1, 3));
+                return;
+            }
+            sim.tick();
+        }
+        panic!("wrap-around flit never arrived");
+    }
+
+    #[test]
+    fn forwarding_backpressures_local_injection() {
+        let c = ring_noc_circuit(&cfg(2));
+        let mut sim = Interpreter::new(&c).unwrap();
+        let layout = cfg(2).flit();
+        // Saturate node 0 with through-traffic from node 1 to node 1
+        // (dest != 0 keeps the router forwarding).
+        let through = layout.pack(1, 1, flit_kind::REQ, 1);
+        sim.poke("node1_tx_valid", Bits::from_u64(1, 1));
+        sim.poke("node1_tx_bits", Bits::from_u64(through, layout.width()));
+        sim.poke("node0_tx_valid", Bits::from_u64(1, 1));
+        sim.poke(
+            "node0_tx_bits",
+            Bits::from_u64(layout.pack(1, 0, flit_kind::REQ, 2), layout.width()),
+        );
+        // After the pipeline fills, node0's router forwards node1's flits
+        // and must deassert local readiness at least sometimes... run and
+        // observe tx_ready toggling low at node 0.
+        let mut saw_stall = false;
+        for _ in 0..20 {
+            sim.eval().unwrap();
+            if sim.peek("node0_tx_ready").to_u64() == 0 {
+                saw_stall = true;
+            }
+            sim.tick();
+        }
+        assert!(saw_stall, "local injection never backpressured");
+    }
+
+    #[test]
+    fn all_pairs_deliver_on_larger_ring() {
+        let n = 8;
+        let c = ring_noc_circuit(&cfg(n));
+        let layout = cfg(n).flit();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let mut sim = Interpreter::new(&c).unwrap();
+                let flit = layout.pack(dst as u64, src as u64, flit_kind::REQ, 0x55);
+                sim.poke(&format!("node{src}_tx_valid"), Bits::from_u64(1, 1));
+                sim.poke(
+                    &format!("node{src}_tx_bits"),
+                    Bits::from_u64(flit, layout.width()),
+                );
+                sim.step().unwrap();
+                sim.poke(&format!("node{src}_tx_valid"), Bits::from_u64(0, 1));
+                sim.poke(
+                    &format!("node{src}_tx_bits"),
+                    Bits::from_u64(0, layout.width()),
+                );
+                let mut delivered = false;
+                for _ in 0..4 * n {
+                    sim.eval().unwrap();
+                    if sim.peek(&format!("node{dst}_rx_valid")).to_u64() == 1 {
+                        let (_, d, s, _, p) =
+                            layout.unpack(sim.peek(&format!("node{dst}_rx_bits")).to_u64());
+                        assert_eq!((d, s, p), (dst as u64, src as u64, 0x55));
+                        delivered = true;
+                        break;
+                    }
+                    sim.tick();
+                }
+                assert!(delivered, "flit {src} -> {dst} never arrived");
+            }
+        }
+    }
+
+    #[test]
+    fn bidir_ring_takes_shortest_path() {
+        let n = 8;
+        let c = bidir_ring_circuit(&cfg(n));
+        fireaxe_ir::typecheck::validate(&c).unwrap();
+        let layout = cfg(n).flit();
+        // Measure delivery latency in both directions: node 0 -> 1 (1 hop
+        // cw) must be much faster than if it went 7 hops ccw, and
+        // node 0 -> 7 (1 hop ccw) likewise.
+        let deliver = |src: usize, dst: usize| -> u32 {
+            let mut sim = Interpreter::new(&c).unwrap();
+            let flit = layout.pack(dst as u64, src as u64, flit_kind::REQ, 7);
+            sim.poke(&format!("node{src}_tx_valid"), Bits::from_u64(1, 1));
+            sim.poke(
+                &format!("node{src}_tx_bits"),
+                Bits::from_u64(flit, layout.width()),
+            );
+            sim.step().unwrap();
+            sim.poke(&format!("node{src}_tx_valid"), Bits::from_u64(0, 1));
+            sim.poke(
+                &format!("node{src}_tx_bits"),
+                Bits::from_u64(0, layout.width()),
+            );
+            for cycle in 0..(4 * n as u32) {
+                sim.eval().unwrap();
+                let rx = sim.peek(&format!("node{dst}_rx")).to_u64();
+                if layout.unpack(rx).0 {
+                    return cycle;
+                }
+                sim.tick();
+            }
+            panic!("flit {src} -> {dst} never arrived");
+        };
+        let fwd = deliver(0, 1);
+        let bwd = deliver(0, n - 1);
+        assert!(fwd <= 3, "1 cw hop took {fwd} cycles");
+        assert!(bwd <= 3, "1 ccw hop took {bwd} cycles (shortest path!)");
+        let mid = deliver(0, n / 2);
+        assert!(mid >= fwd, "diameter hop count {mid} < neighbor {fwd}");
+    }
+
+    #[test]
+    fn bidir_ring_all_pairs() {
+        let n = 6;
+        let c = bidir_ring_circuit(&cfg(n));
+        let layout = cfg(n).flit();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let mut sim = Interpreter::new(&c).unwrap();
+                let flit = layout.pack(dst as u64, src as u64, flit_kind::RESP, 3);
+                sim.poke(&format!("node{src}_tx_valid"), Bits::from_u64(1, 1));
+                sim.poke(
+                    &format!("node{src}_tx_bits"),
+                    Bits::from_u64(flit, layout.width()),
+                );
+                sim.step().unwrap();
+                sim.poke(&format!("node{src}_tx_valid"), Bits::from_u64(0, 1));
+                sim.poke(
+                    &format!("node{src}_tx_bits"),
+                    Bits::from_u64(0, layout.width()),
+                );
+                let mut ok = false;
+                for _ in 0..4 * n {
+                    sim.eval().unwrap();
+                    let (v, d, s, _, _) =
+                        layout.unpack(sim.peek(&format!("node{dst}_rx")).to_u64());
+                    if v {
+                        assert_eq!((d, s), (dst as u64, src as u64));
+                        ok = true;
+                        break;
+                    }
+                    sim.tick();
+                }
+                assert!(ok, "{src} -> {dst} undelivered");
+            }
+        }
+    }
+
+    #[test]
+    fn bidir_router_is_boundary_decoupled() {
+        // Both ring directions are registered: legal NoC-mode cut points.
+        let c = bidir_ring_circuit(&cfg(4));
+        let a = CombAnalysis::run(&c).unwrap();
+        let info = a.module("BidirRouter").unwrap();
+        assert!(info.output_deps["cw_out"].is_empty());
+        assert!(info.output_deps["ccw_out"].is_empty());
+    }
+
+    #[test]
+    fn router_paths_resolve() {
+        let c = ring_noc_circuit(&cfg(3));
+        let noc = generate_ring_noc(&cfg(3));
+        for p in &noc.router_subpaths {
+            // Paths are relative to the NoC instance; in the standalone
+            // circuit the NoC is the top, so they resolve directly.
+            assert_eq!(
+                fireaxe_ripper::hier::resolve_path(&c, p).unwrap(),
+                "RingRouter"
+            );
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Full-SoC composition: tiles + interconnect + subsystem.
+//!
+//! * [`ring_soc`] — N tiles and the SoC subsystem on an (N+1)-node ring
+//!   NoC (the §V-A 24-core configuration, partitioned with
+//!   NoC-partition-mode);
+//! * [`xbar_soc`] — tiles hanging off a behavioral crossbar (the §VI-A
+//!   sweep configuration, where the partition interface width is varied
+//!   by pulling different numbers of tiles out).
+//!
+//! Both return the circuit plus the metadata FireRipper and the engine
+//! need (router paths, behavior keys are embedded in the circuit itself).
+
+use crate::behaviors::FlitLayout;
+use crate::boom::BoomConfig;
+use crate::noc::{generate_ring_noc, NocConfig};
+use fireaxe_ir::build::ModuleBuilder;
+use fireaxe_ir::{Circuit, ExternInfo, Module, Port, ResourceHints};
+
+/// Which core model populates the tiles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TileKind {
+    /// Out-of-order BOOM tiles of the given configuration.
+    Boom(BoomConfig),
+    /// In-order control tiles (the §V-A bug-isolation swap).
+    InOrder,
+}
+
+impl TileKind {
+    fn behavior_name(&self) -> &'static str {
+        match self {
+            TileKind::Boom(_) => "boom_tile",
+            TileKind::InOrder => "inorder_tile",
+        }
+    }
+
+    fn luts(&self) -> u64 {
+        match self {
+            TileKind::Boom(cfg) => cfg.total_luts(),
+            TileKind::InOrder => 90_000,
+        }
+    }
+
+    /// BOOM tiles carry the §V-A RTL bug; in-order tiles do not.
+    fn has_bug(&self) -> bool {
+        matches!(self, TileKind::Boom(_))
+    }
+}
+
+/// Ring-SoC configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSocConfig {
+    /// Number of core tiles (the subsystem adds one more NoC node).
+    pub tiles: usize,
+    /// Tile model.
+    pub tile_kind: TileKind,
+    /// Flit payload width.
+    pub payload_bits: u32,
+    /// Cycles between generated requests per tile.
+    pub tile_period: u64,
+    /// Subsystem service latency in cycles.
+    pub subsystem_latency: u64,
+    /// Run the heavy workload (larger binaries via filesystem overlays —
+    /// the condition under which the §V-A bug manifests).
+    pub heavy_workload: bool,
+    /// Responses per tile after which the buggy RTL traps.
+    pub bug_after: u64,
+}
+
+impl Default for RingSocConfig {
+    fn default() -> Self {
+        RingSocConfig {
+            tiles: 4,
+            tile_kind: TileKind::Boom(BoomConfig::large()),
+            payload_bits: 32,
+            tile_period: 8,
+            subsystem_latency: 12,
+            heavy_workload: false,
+            bug_after: 1_000,
+        }
+    }
+}
+
+/// A generated ring SoC.
+#[derive(Debug, Clone)]
+pub struct RingSoc {
+    /// The complete circuit (top: `RingSoc`).
+    pub circuit: Circuit,
+    /// Absolute router instance paths in node order (nodes `0..tiles` are
+    /// tiles; node `tiles` is the subsystem) — feed these to
+    /// [`fireaxe_ripper::Selection::NocRouters`].
+    pub router_paths: Vec<String>,
+    /// The flit layout in use.
+    pub flit: FlitLayout,
+}
+
+/// One shared tile module for all tile instances (FAME-5 requires
+/// duplicates of a single module); the per-tile id is recovered from the
+/// instance path at behavior-binding time.
+fn tile_module(
+    name: &str,
+    kind: &TileKind,
+    cfg: &RingSocConfig,
+    flit_bits: u32,
+    trace_bits: u32,
+) -> Module {
+    let mut m = Module::new(name);
+    m.ports = vec![
+        Port::input("tx_ready", 1),
+        Port::input("rx_valid", 1),
+        Port::input("rx_bits", flit_bits),
+        Port::output("tx_valid", 1),
+        Port::output("tx_bits", flit_bits),
+        Port::output("trap", 1),
+        Port::output("progress", 32),
+    ];
+    if trace_bits > 0 {
+        // Debug/trace port: widens the partition boundary (the Fig. 11/12
+        // interface-width knob) without affecting behavior.
+        m.ports.push(Port::output("trace_out", trace_bits));
+    }
+    // Core tiles couple their bus valid combinationally to the incoming
+    // ready (credit gating) — the cross-module coupling that makes
+    // exact-mode pay two link crossings per cycle on tile boundaries.
+    let comb_paths = vec![fireaxe_ir::CombPath {
+        input: "tx_ready".into(),
+        output: "tx_valid".into(),
+    }];
+    let behavior = format!(
+        "{}?id_from_path=1&subsystem={}&period={}&payload={}&heavy={}&bug={}&bug_after={}",
+        kind.behavior_name(),
+        cfg.tiles,
+        cfg.tile_period,
+        cfg.payload_bits,
+        u64::from(cfg.heavy_workload),
+        u64::from(kind.has_bug()),
+        cfg.bug_after,
+    );
+    m.extern_info = Some(ExternInfo {
+        behavior,
+        comb_paths,
+        resources: ResourceHints {
+            luts: kind.luts(),
+            regs: kind.luts() / 2,
+            brams: kind.luts() / 10_000,
+            dsps: kind.luts() / 40_000,
+        },
+    });
+    m
+}
+
+fn subsystem_module(name: &str, cfg: &RingSocConfig, id: usize, flit_bits: u32) -> Module {
+    let mut m = Module::new(name);
+    m.ports = vec![
+        Port::input("tx_ready", 1),
+        Port::input("rx_valid", 1),
+        Port::input("rx_bits", flit_bits),
+        Port::output("tx_valid", 1),
+        Port::output("tx_bits", flit_bits),
+        Port::output("serviced", 32),
+        Port::output("traps", 32),
+    ];
+    m.extern_info = Some(ExternInfo {
+        behavior: format!(
+            "soc_subsystem?id={id}&latency={}&payload={}",
+            cfg.subsystem_latency, cfg.payload_bits
+        ),
+        comb_paths: vec![],
+        resources: ResourceHints {
+            luts: 220_000,
+            regs: 110_000,
+            brams: 400,
+            dsps: 0,
+        },
+    });
+    m
+}
+
+/// Builds the ring SoC.
+///
+/// # Panics
+///
+/// Panics if `tiles` is 0 or the node count exceeds the NoC's 64-node
+/// limit.
+pub fn ring_soc(cfg: &RingSocConfig) -> RingSoc {
+    assert!(cfg.tiles >= 1, "need at least one tile");
+    let nodes = cfg.tiles + 1;
+    let noc_cfg = NocConfig {
+        nodes,
+        payload_bits: cfg.payload_bits,
+    };
+    let f = noc_cfg.flit_bits();
+    let noc = generate_ring_noc(&noc_cfg);
+
+    let mut modules = noc.modules.clone();
+    let mut top = ModuleBuilder::new("RingSoc");
+    let serviced = top.output("serviced", 32);
+    let traps = top.output("traps", 32);
+    top.inst("noc", &noc.top_module);
+
+    modules.push(tile_module("Tile", &cfg.tile_kind, cfg, f, 0));
+    for i in 0..cfg.tiles {
+        let inst = format!("tile{i}");
+        top.inst(&inst, "Tile");
+        let tv = top.inst_port(&inst, "tx_valid");
+        top.connect_inst("noc", &format!("node{i}_tx_valid"), &tv);
+        let tb = top.inst_port(&inst, "tx_bits");
+        top.connect_inst("noc", &format!("node{i}_tx_bits"), &tb);
+        let tr = top.inst_port("noc", &format!("node{i}_tx_ready"));
+        top.connect_inst(&inst, "tx_ready", &tr);
+        let rv = top.inst_port("noc", &format!("node{i}_rx_valid"));
+        top.connect_inst(&inst, "rx_valid", &rv);
+        let rb = top.inst_port("noc", &format!("node{i}_rx_bits"));
+        top.connect_inst(&inst, "rx_bits", &rb);
+    }
+    // Subsystem on the last node.
+    let sub_id = cfg.tiles;
+    modules.push(subsystem_module("SocSubsystem", cfg, sub_id, f));
+    top.inst("subsys", "SocSubsystem");
+    let tv = top.inst_port("subsys", "tx_valid");
+    top.connect_inst("noc", &format!("node{sub_id}_tx_valid"), &tv);
+    let tb = top.inst_port("subsys", "tx_bits");
+    top.connect_inst("noc", &format!("node{sub_id}_tx_bits"), &tb);
+    let tr = top.inst_port("noc", &format!("node{sub_id}_tx_ready"));
+    top.connect_inst("subsys", "tx_ready", &tr);
+    let rv = top.inst_port("noc", &format!("node{sub_id}_rx_valid"));
+    top.connect_inst("subsys", "rx_valid", &rv);
+    let rb = top.inst_port("noc", &format!("node{sub_id}_rx_bits"));
+    top.connect_inst("subsys", "rx_bits", &rb);
+    let s = top.inst_port("subsys", "serviced");
+    top.connect_sig(&serviced, &s);
+    let t = top.inst_port("subsys", "traps");
+    top.connect_sig(&traps, &t);
+
+    modules.insert(0, top.finish());
+    RingSoc {
+        circuit: Circuit::from_modules("RingSoc", modules, "RingSoc"),
+        router_paths: noc
+            .router_subpaths
+            .iter()
+            .map(|p| format!("noc.{p}"))
+            .collect(),
+        flit: noc_cfg.flit(),
+    }
+}
+
+/// Crossbar-SoC configuration (for the §VI-A width sweeps: the cut width
+/// is `tiles_extracted × per-tile boundary`, so pulling more tiles widens
+/// the interface).
+#[derive(Debug, Clone, PartialEq)]
+pub struct XbarSocConfig {
+    /// Number of tiles.
+    pub tiles: usize,
+    /// Tile model.
+    pub tile_kind: TileKind,
+    /// Flit payload width (directly controls per-tile boundary width).
+    pub payload_bits: u32,
+    /// Crossbar internal latency.
+    pub xbar_latency: u64,
+    /// Request period per tile.
+    pub tile_period: u64,
+    /// Subsystem latency.
+    pub subsystem_latency: u64,
+    /// Extra per-tile debug/trace boundary width in bits (the Fig. 11/12
+    /// interface-width knob; 0 disables the port).
+    pub trace_bits: u32,
+}
+
+impl Default for XbarSocConfig {
+    fn default() -> Self {
+        XbarSocConfig {
+            tiles: 4,
+            tile_kind: TileKind::Boom(BoomConfig::large()),
+            payload_bits: 32,
+            xbar_latency: 2,
+            tile_period: 8,
+            subsystem_latency: 12,
+            trace_bits: 0,
+        }
+    }
+}
+
+/// Builds the crossbar SoC: tiles 0..N-1 plus the subsystem on crossbar
+/// port N. Extract `["tile0", "tile1", ...]` with explicit selection to
+/// reproduce the Fig. 11/12 width sweeps.
+pub fn xbar_soc(cfg: &XbarSocConfig) -> RingSoc {
+    assert!(cfg.tiles >= 1, "need at least one tile");
+    let nodes = cfg.tiles + 1;
+    let flit = FlitLayout {
+        payload_bits: cfg.payload_bits,
+    };
+    let f = flit.width();
+
+    // Behavioral crossbar module.
+    let mut xbar = Module::new("Xbar");
+    for i in 0..nodes {
+        xbar.ports.push(Port::input(format!("node{i}_tx_valid"), 1));
+        xbar.ports.push(Port::input(format!("node{i}_tx_bits"), f));
+        xbar.ports
+            .push(Port::output(format!("node{i}_tx_ready"), 1));
+        xbar.ports
+            .push(Port::output(format!("node{i}_rx_valid"), 1));
+        xbar.ports.push(Port::output(format!("node{i}_rx_bits"), f));
+        if cfg.trace_bits > 0 && i < cfg.tiles {
+            // Trace aggregation port (consumed, never interpreted) so the
+            // tile's trace output crosses the partition boundary.
+            xbar.ports
+                .push(Port::input(format!("node{i}_trace"), cfg.trace_bits));
+        }
+    }
+    xbar.extern_info = Some(ExternInfo {
+        behavior: format!(
+            "xbar?nodes={nodes}&latency={}&payload={}",
+            cfg.xbar_latency, cfg.payload_bits
+        ),
+        comb_paths: vec![],
+        resources: ResourceHints {
+            luts: 60_000 + 9_000 * nodes as u64,
+            regs: 40_000,
+            brams: 32,
+            dsps: 0,
+        },
+    });
+
+    let ring_cfg = RingSocConfig {
+        tiles: cfg.tiles,
+        tile_kind: cfg.tile_kind.clone(),
+        payload_bits: cfg.payload_bits,
+        tile_period: cfg.tile_period,
+        subsystem_latency: cfg.subsystem_latency,
+        heavy_workload: false,
+        bug_after: u64::MAX / 2,
+    };
+
+    let mut modules = vec![xbar];
+    let mut top = ModuleBuilder::new("XbarSoc");
+    let serviced = top.output("serviced", 32);
+    let traps = top.output("traps", 32);
+    top.inst("xbar", "Xbar");
+    modules.push(tile_module(
+        "Tile",
+        &cfg.tile_kind,
+        &ring_cfg,
+        f,
+        cfg.trace_bits,
+    ));
+    for i in 0..cfg.tiles {
+        let inst = format!("tile{i}");
+        top.inst(&inst, "Tile");
+        let tv = top.inst_port(&inst, "tx_valid");
+        top.connect_inst("xbar", &format!("node{i}_tx_valid"), &tv);
+        let tb = top.inst_port(&inst, "tx_bits");
+        top.connect_inst("xbar", &format!("node{i}_tx_bits"), &tb);
+        let tr = top.inst_port("xbar", &format!("node{i}_tx_ready"));
+        top.connect_inst(&inst, "tx_ready", &tr);
+        let rv = top.inst_port("xbar", &format!("node{i}_rx_valid"));
+        top.connect_inst(&inst, "rx_valid", &rv);
+        let rb = top.inst_port("xbar", &format!("node{i}_rx_bits"));
+        top.connect_inst(&inst, "rx_bits", &rb);
+        if cfg.trace_bits > 0 {
+            let tr = top.inst_port(&inst, "trace_out");
+            top.connect_inst("xbar", &format!("node{i}_trace"), &tr);
+        }
+    }
+    let sub_id = cfg.tiles;
+    modules.push(subsystem_module("SocSubsystem", &ring_cfg, sub_id, f));
+    top.inst("subsys", "SocSubsystem");
+    let tv = top.inst_port("subsys", "tx_valid");
+    top.connect_inst("xbar", &format!("node{sub_id}_tx_valid"), &tv);
+    let tb = top.inst_port("subsys", "tx_bits");
+    top.connect_inst("xbar", &format!("node{sub_id}_tx_bits"), &tb);
+    let tr = top.inst_port("xbar", &format!("node{sub_id}_tx_ready"));
+    top.connect_inst("subsys", "tx_ready", &tr);
+    let rv = top.inst_port("xbar", &format!("node{sub_id}_rx_valid"));
+    top.connect_inst("subsys", "rx_valid", &rv);
+    let rb = top.inst_port("xbar", &format!("node{sub_id}_rx_bits"));
+    top.connect_inst("subsys", "rx_bits", &rb);
+    let s = top.inst_port("subsys", "serviced");
+    top.connect_sig(&serviced, &s);
+    let t = top.inst_port("subsys", "traps");
+    top.connect_sig(&traps, &t);
+
+    modules.insert(0, top.finish());
+    RingSoc {
+        circuit: Circuit::from_modules("XbarSoc", modules, "XbarSoc"),
+        router_paths: vec![],
+        flit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireaxe_ir::typecheck::validate;
+    use fireaxe_ripper::{noc_select, Selection};
+
+    #[test]
+    fn ring_soc_validates() {
+        let soc = ring_soc(&RingSocConfig::default());
+        validate(&soc.circuit).unwrap();
+        assert_eq!(soc.router_paths.len(), 5); // 4 tiles + subsystem
+    }
+
+    #[test]
+    fn noc_selection_absorbs_tiles() {
+        let soc = ring_soc(&RingSocConfig {
+            tiles: 4,
+            ..Default::default()
+        });
+        let sel = noc_select(&soc.circuit, &soc.router_paths, &[0, 1]).unwrap();
+        assert!(sel.contains(&"tile0".to_string()));
+        assert!(sel.contains(&"tile1".to_string()));
+        assert!(sel.contains(&"noc.cdc0".to_string()));
+        assert!(sel.contains(&"noc.proto.pc1".to_string()));
+        assert!(sel.contains(&"noc.proto.phys.r0".to_string()));
+        // Foreign nodes untouched.
+        assert!(!sel.iter().any(|p| p.contains("tile2")));
+        assert!(!sel.iter().any(|p| p.contains("subsys")));
+        let _ = Selection::NocRouters {
+            routers: soc.router_paths.clone(),
+            indices: vec![0, 1],
+        };
+    }
+
+    #[test]
+    fn xbar_soc_validates() {
+        let soc = xbar_soc(&XbarSocConfig::default());
+        validate(&soc.circuit).unwrap();
+    }
+
+    #[test]
+    fn tile_behavior_keys_are_self_describing() {
+        let soc = ring_soc(&RingSocConfig {
+            tiles: 2,
+            heavy_workload: true,
+            bug_after: 777,
+            ..Default::default()
+        });
+        let t0 = soc.circuit.module("Tile").unwrap();
+        let key = &t0.extern_info.as_ref().unwrap().behavior;
+        assert!(key.starts_with("boom_tile?"));
+        assert!(key.contains("heavy=1"));
+        assert!(key.contains("bug_after=777"));
+        assert!(key.contains("subsystem=2"));
+    }
+}

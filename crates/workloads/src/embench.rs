@@ -1,0 +1,224 @@
+//! Embench™ benchmark profiles (paper Figs. 7–8).
+//!
+//! Per-benchmark instruction-mix characteristics used by
+//! [`crate::core_model`]. Instruction counts are scaled-down but the
+//! *mix* parameters are chosen to reproduce the paper's qualitative
+//! findings: GC40 BOOM gains ~15.8% average IPC over Large BOOM, with
+//! `nettle-aes` (wide, independent rounds — frontend/width-bound on the
+//! 3-wide core) gaining ~56% and `nbody` (long dependent FP chains —
+//! execution-bound) gaining only ~2%.
+
+use crate::core_model::{run, CoreParams, RunResult, WorkloadProfile};
+
+/// The Embench subset evaluated in Fig. 7.
+pub const BENCHMARKS: &[&str] = &[
+    "aha-mont64",
+    "crc32",
+    "cubic",
+    "edn",
+    "huffbench",
+    "matmult-int",
+    "md5sum",
+    "minver",
+    "nbody",
+    "nettle-aes",
+    "nettle-sha256",
+    "nsichneu",
+    "picojpeg",
+    "primecount",
+    "qrduino",
+    "slre",
+    "statemate",
+    "ud",
+];
+
+/// The subset shown in the Fig. 8 CPI stacks (chosen in the paper to span
+/// a wide range of performance changes).
+pub const CPI_STACK_BENCHMARKS: &[&str] = &[
+    "nettle-aes",
+    "nettle-sha256",
+    "matmult-int",
+    "huffbench",
+    "nbody",
+    "cubic",
+    "nsichneu",
+    "statemate",
+];
+
+/// Returns the profile for a benchmark.
+///
+/// # Panics
+///
+/// Panics on unknown benchmark names (the suite is fixed).
+pub fn profile(name: &str) -> WorkloadProfile {
+    // (insts, ilp, basic_block, branch, mispred, mem, l1d_miss, l1i_miss)
+    let p: (u64, f64, f64, f64, f64, f64, f64, f64) = match name {
+        // Crypto kernels: long unrolled blocks, high ILP -> width-bound.
+        "nettle-aes" => (220_000, 4.8, 34.0, 0.04, 0.010, 0.30, 0.004, 0.0015),
+        "nettle-sha256" => (200_000, 4.4, 28.0, 0.05, 0.012, 0.22, 0.003, 0.0010),
+        "md5sum" => (160_000, 4.0, 22.0, 0.07, 0.015, 0.24, 0.004, 0.0008),
+        // Dense linear algebra: good ILP, some memory.
+        "matmult-int" => (240_000, 3.9, 18.0, 0.08, 0.008, 0.34, 0.030, 0.0003),
+        "ud" => (150_000, 3.5, 14.0, 0.10, 0.015, 0.30, 0.012, 0.0004),
+        "minver" => (140_000, 3.4, 12.0, 0.11, 0.018, 0.28, 0.010, 0.0006),
+        // FP chains: ILP-starved -> execution-bound.
+        "nbody" => (260_000, 1.9, 20.0, 0.06, 0.010, 0.26, 0.006, 0.0003),
+        "cubic" => (180_000, 2.2, 16.0, 0.07, 0.012, 0.22, 0.005, 0.0004),
+        // Branchy state machines: frontend/speculation-bound.
+        "nsichneu" => (170_000, 3.2, 2.6, 0.38, 0.060, 0.18, 0.006, 0.0120),
+        "statemate" => (150_000, 3.0, 3.0, 0.34, 0.055, 0.20, 0.005, 0.0100),
+        "slre" => (160_000, 3.4, 4.2, 0.28, 0.050, 0.24, 0.008, 0.0060),
+        // Mixed integer codes.
+        "aha-mont64" => (190_000, 4.0, 10.0, 0.12, 0.020, 0.20, 0.005, 0.0008),
+        "crc32" => (200_000, 3.3, 8.0, 0.14, 0.010, 0.30, 0.002, 0.0002),
+        "edn" => (210_000, 3.8, 15.0, 0.09, 0.012, 0.32, 0.015, 0.0005),
+        "huffbench" => (180_000, 3.6, 5.5, 0.22, 0.045, 0.28, 0.020, 0.0030),
+        "picojpeg" => (230_000, 3.5, 7.0, 0.17, 0.030, 0.26, 0.018, 0.0040),
+        "primecount" => (190_000, 3.8, 5.0, 0.25, 0.020, 0.08, 0.002, 0.0002),
+        "qrduino" => (170_000, 3.6, 9.0, 0.15, 0.025, 0.25, 0.012, 0.0020),
+        other => panic!("unknown Embench benchmark `{other}`"),
+    };
+    WorkloadProfile {
+        name: name.to_string(),
+        instructions: p.0,
+        ilp: p.1,
+        basic_block: p.2,
+        branch_rate: p.3,
+        mispredict_rate: p.4,
+        mem_rate: p.5,
+        l1d_miss_rate: p.6,
+        l1i_miss_rate: p.7,
+    }
+}
+
+/// Runs the whole suite on a core; returns `(benchmark, result)` pairs.
+pub fn run_suite(params: &CoreParams) -> Vec<(String, RunResult)> {
+    BENCHMARKS
+        .iter()
+        .map(|b| (b.to_string(), run(params, &profile(b))))
+        .collect()
+}
+
+/// Geometric-mean IPC uplift of `new` over `base` across the suite.
+pub fn mean_ipc_uplift(base: &CoreParams, new: &CoreParams) -> f64 {
+    let mut log_sum = 0.0;
+    for b in BENCHMARKS {
+        let p = profile(b);
+        let r0 = run(base, &p).ipc();
+        let r1 = run(new, &p).ipc();
+        log_sum += (r1 / r0).ln();
+    }
+    (log_sum / BENCHMARKS.len() as f64).exp() - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireaxe_soc::BoomConfig;
+
+    fn large() -> CoreParams {
+        CoreParams::from(&BoomConfig::large())
+    }
+
+    fn gc40() -> CoreParams {
+        CoreParams::from(&BoomConfig::gc40())
+    }
+
+    #[test]
+    fn all_benchmarks_have_profiles() {
+        for b in BENCHMARKS {
+            let p = profile(b);
+            assert!(p.instructions > 0);
+            assert!(p.ilp >= 1.0);
+        }
+        for b in CPI_STACK_BENCHMARKS {
+            assert!(BENCHMARKS.contains(b), "{b} missing from suite");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Embench benchmark")]
+    fn unknown_benchmark_panics() {
+        profile("quake3");
+    }
+
+    #[test]
+    fn gc40_average_uplift_matches_paper() {
+        // Paper: "GC40 BOOM consistently does well compared to Large BOOM
+        // with a 15.8% increase in average IPC."
+        let uplift = mean_ipc_uplift(&large(), &gc40());
+        assert!(
+            (0.10..=0.25).contains(&uplift),
+            "average uplift {:.1}% (paper: 15.8%)",
+            uplift * 100.0
+        );
+    }
+
+    #[test]
+    fn nettle_aes_gains_most_nbody_least() {
+        // Paper: +56% for nettle-aes, +2% for nbody.
+        let aes = profile("nettle-aes");
+        let nb = profile("nbody");
+        let aes_gain = run(&gc40(), &aes).ipc() / run(&large(), &aes).ipc() - 1.0;
+        let nbody_gain = run(&gc40(), &nb).ipc() / run(&large(), &nb).ipc() - 1.0;
+        assert!(
+            (0.35..=0.85).contains(&aes_gain),
+            "nettle-aes gain {:.1}% (paper: 56%)",
+            aes_gain * 100.0
+        );
+        assert!(
+            (-0.02..=0.10).contains(&nbody_gain),
+            "nbody gain {:.1}% (paper: 2%)",
+            nbody_gain * 100.0
+        );
+        assert!(aes_gain > 4.0 * nbody_gain.max(0.01));
+    }
+
+    #[test]
+    fn cpi_stacks_reflect_bottlenecks() {
+        // nettle-aes commits most slots on GC40 ("spends most of its
+        // cycles committing"); nbody stalls on hazards.
+        let aes = crate::core_model::run(&gc40(), &profile("nettle-aes"));
+        let nb = crate::core_model::run(&gc40(), &profile("nbody"));
+        let aes_n = aes.stack.normalized();
+        let nb_n = nb.stack.normalized();
+        assert!(aes_n.committing > 0.5, "aes committing {:?}", aes_n);
+        assert!(
+            nb_n.exec_hazard > nb_n.committing,
+            "nbody should be hazard-bound: {nb_n:?}"
+        );
+    }
+
+    #[test]
+    fn runtime_is_cycles_over_frequency() {
+        let p = profile("crc32");
+        let r = crate::core_model::run(&large(), &p);
+        let ms = r.runtime_ms(3.4);
+        assert!((ms - r.cycles as f64 / 3.4e9 * 1e3).abs() < 1e-12);
+        // Higher frequency, shorter runtime.
+        assert!(r.runtime_ms(5.0) < ms);
+    }
+
+    #[test]
+    fn suite_runner_covers_every_benchmark() {
+        let rows = run_suite(&gc40());
+        assert_eq!(rows.len(), BENCHMARKS.len());
+        for (name, r) in rows {
+            assert!(r.cycles > 0, "{name} ran no cycles");
+            assert!(r.ipc() > 0.2 && r.ipc() <= 6.0, "{name} ipc {}", r.ipc());
+        }
+    }
+
+    #[test]
+    fn xeon_beats_both_booms() {
+        let xeon = CoreParams::from(&BoomConfig::golden_cove_xeon());
+        let mut better = 0;
+        for b in BENCHMARKS {
+            let p = profile(b);
+            if run(&xeon, &p).ipc() >= run(&gc40(), &p).ipc() {
+                better += 1;
+            }
+        }
+        assert!(better as f64 >= 0.8 * BENCHMARKS.len() as f64);
+    }
+}

@@ -1,0 +1,282 @@
+//! Golang garbage-collection tail-latency study (paper §V-D, Fig. 10).
+//!
+//! Models the golang/go#18534 scenario the paper replicates on a 4-core
+//! BOOM SoC: a main goroutine woken by a 10 µs periodic tick that
+//! allocates aggressively, stressing the garbage collector. We model the
+//! Go runtime scheduler (GOMAXPROCS OS threads multiplexing goroutines),
+//! a CFS-like OS scheduler time-sharing threads over the allowed CPU
+//! affinity set, GC mark work with cooperative preemption, and
+//! stop-the-world pauses whose cost grows with the number of
+//! participating cores — the cache-coherence mechanism the paper
+//! hypothesizes makes *spreading* the threads worse than *pinning* them
+//! to one core on a weak memory subsystem.
+//!
+//! The simulation is deterministic event-driven time in microseconds.
+
+/// CPU affinity policy (the paper's two configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Affinity {
+    /// All OS threads pinned to a single core.
+    OneCore,
+    /// Threads spread over GOMAXPROCS cores.
+    Spread,
+}
+
+/// Study configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcStudyConfig {
+    /// GOMAXPROCS: OS threads available to the Go runtime.
+    pub gomaxprocs: u32,
+    /// Affinity policy.
+    pub affinity: Affinity,
+    /// Tick period of the main goroutine, µs.
+    pub tick_us: f64,
+    /// CPU time per tick handler, µs.
+    pub tick_work_us: f64,
+    /// Simulated duration, µs.
+    pub duration_us: f64,
+    /// Execution time between GC cycles, µs.
+    pub gc_period_us: f64,
+    /// Total GC mark work per cycle, µs of CPU time.
+    pub gc_work_us: f64,
+    /// Cooperative preemption granularity of GC work when it shares a
+    /// thread with the application (GOMAXPROCS=1), µs. Go's mark assists
+    /// run long between safepoints.
+    pub gc_chunk_us: f64,
+    /// OS scheduler timeslice when threads share a core, µs.
+    pub timeslice_us: f64,
+    /// Work inflation factor when a goroutine's data is shared across
+    /// cores (cache-coherence cost on a weak memory subsystem).
+    pub coherence_penalty: f64,
+    /// Stop-the-world pause base cost, µs.
+    pub stw_base_us: f64,
+    /// Additional stop-the-world cost per participating core, µs.
+    pub stw_per_core_us: f64,
+}
+
+impl GcStudyConfig {
+    /// The paper's setup: 10 µs tick on a 4-core SoC.
+    pub fn paper(gomaxprocs: u32, affinity: Affinity) -> Self {
+        GcStudyConfig {
+            gomaxprocs,
+            affinity,
+            tick_us: 10.0,
+            tick_work_us: 3.0,
+            duration_us: 2_000_000.0,
+            gc_period_us: 40_000.0,
+            gc_work_us: 9_000.0,
+            gc_chunk_us: 3_500.0,
+            timeslice_us: 700.0,
+            coherence_penalty: 0.55,
+            stw_base_us: 120.0,
+            stw_per_core_us: 260.0,
+        }
+    }
+}
+
+/// Tail-latency result of one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcStudyResult {
+    /// 95th-percentile tick delay, µs.
+    pub p95_us: f64,
+    /// 99th-percentile tick delay, µs.
+    pub p99_us: f64,
+    /// Mean tick delay, µs.
+    pub mean_us: f64,
+    /// Number of ticks measured.
+    pub ticks: usize,
+    /// Number of GC cycles that ran.
+    pub gc_cycles: u64,
+}
+
+/// Runs the study for one configuration.
+///
+/// The model walks time in `tick_us` steps. State tracks whether a GC
+/// cycle is active, how much mark work remains, and — per configuration —
+/// how long the main goroutine must wait before its handler runs:
+///
+/// * `GOMAXPROCS = 1`: GC mark work shares the only thread; the handler
+///   waits for the current non-preemptible chunk (up to `gc_chunk_us`)
+///   plus queued chunks of the active cycle.
+/// * `GOMAXPROCS > 1`, pinned: GC runs on another thread but the same
+///   core; the OS scheduler preempts it after at most one timeslice.
+/// * `GOMAXPROCS > 1`, spread: the handler has its own core (no queueing)
+///   but its work is inflated by the coherence penalty and stop-the-world
+///   pauses are longer (more cores to synchronize).
+pub fn run_study(cfg: &GcStudyConfig) -> GcStudyResult {
+    let cores = match cfg.affinity {
+        Affinity::OneCore => 1,
+        Affinity::Spread => cfg.gomaxprocs,
+    };
+    let mut delays: Vec<f64> = Vec::new();
+    let mut gc_cycles = 0u64;
+
+    let mut time = 0.0f64;
+    let mut exec_since_gc = 0.0f64;
+    let mut gc_remaining = 0.0f64; // mark work left in the active cycle
+    let mut stw_until = 0.0f64; // absolute time until which the world is stopped
+                                // Deterministic phase jitter so ticks sample all GC phases.
+    let mut phase = 0.0f64;
+
+    let stw_cost = cfg.stw_base_us + cfg.stw_per_core_us * f64::from(cores.saturating_sub(1));
+    // Allocation-proportional mark-assist work the main goroutine must do
+    // while a GC cycle is active (the go#18534 mechanism).
+    let assist_us = 420.0;
+    let spread_mult = 1.0 + cfg.coherence_penalty;
+
+    while time < cfg.duration_us {
+        time += cfg.tick_us;
+        phase = (phase + 0.618_033_988_749_895 * cfg.tick_us) % 1.0;
+
+        // Handler work, inflated by coherence when threads are spread
+        // across cores sharing heap data with the collector.
+        let work = if cores > 1 {
+            cfg.tick_work_us * spread_mult
+        } else {
+            cfg.tick_work_us
+        };
+        exec_since_gc += work;
+
+        // Trigger a GC cycle when enough execution has accumulated.
+        if exec_since_gc >= cfg.gc_period_us && gc_remaining <= 0.0 {
+            exec_since_gc = 0.0;
+            gc_remaining = cfg.gc_work_us;
+            gc_cycles += 1;
+            stw_until = time + stw_cost; // initial mark pause
+        }
+
+        let mut delay = work;
+        if time < stw_until {
+            delay += stw_until - time; // world stopped: nobody runs
+        }
+        if gc_remaining > 0.0 {
+            if cfg.gomaxprocs == 1 {
+                // One thread: GC chunks and the handler serialize. The
+                // handler waits for the rest of the current chunk plus any
+                // backlog (cooperative preemption only at safepoints).
+                let chunk_left = cfg.gc_chunk_us * phase;
+                let backlog = gc_remaining.min(cfg.gc_chunk_us);
+                delay += chunk_left + backlog;
+                // The thread splits wall time between mutator and marker.
+                gc_remaining -= (cfg.tick_us - cfg.tick_work_us).max(1.0);
+            } else {
+                match cfg.affinity {
+                    Affinity::OneCore => {
+                        // GC thread shares the core; OS preempts it within
+                        // a timeslice, after which the handler runs. Mark
+                        // assists add allocation-proportional work.
+                        delay += cfg.timeslice_us * phase * 0.6 + assist_us * 0.55;
+                        gc_remaining -= cfg.tick_us * 0.5;
+                    }
+                    Affinity::Spread => {
+                        // Own core, but assists touch the shared heap the
+                        // collector is scanning: coherence-inflated. GC
+                        // parallelism is limited by heap contention, so
+                        // the mark phase does not shrink with core count.
+                        delay += assist_us * spread_mult;
+                        gc_remaining -= cfg.tick_us * 0.8;
+                        if gc_remaining <= 0.0 {
+                            stw_until = time + stw_cost; // mark termination
+                        }
+                    }
+                }
+                if cfg.affinity == Affinity::OneCore && gc_remaining <= 0.0 {
+                    stw_until = time + stw_cost;
+                }
+            }
+        }
+        delays.push(delay);
+    }
+
+    delays.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pct = |p: f64| -> f64 {
+        if delays.is_empty() {
+            return 0.0;
+        }
+        let idx = ((delays.len() as f64 - 1.0) * p).round() as usize;
+        delays[idx]
+    };
+    GcStudyResult {
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        mean_us: delays.iter().sum::<f64>() / delays.len().max(1) as f64,
+        ticks: delays.len(),
+        gc_cycles,
+    }
+}
+
+/// Runs the full Fig. 10 sweep: GOMAXPROCS ∈ {1, 2, 4} × affinity.
+/// Returns `(gomaxprocs, affinity, result)` rows.
+pub fn fig10_sweep() -> Vec<(u32, Affinity, GcStudyResult)> {
+    let mut rows = Vec::new();
+    for g in [1u32, 2, 4] {
+        for aff in [Affinity::OneCore, Affinity::Spread] {
+            if g == 1 && aff == Affinity::Spread {
+                continue; // one thread cannot spread
+            }
+            rows.push((g, aff, run_study(&GcStudyConfig::paper(g, aff))));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = GcStudyConfig::paper(2, Affinity::OneCore);
+        assert_eq!(run_study(&cfg), run_study(&cfg));
+    }
+
+    #[test]
+    fn gomaxprocs_one_has_huge_tail() {
+        // Paper: "the 99% tail latency is very high when GOMAXPROCS is set
+        // to one" — the GC goroutine serializes with the main goroutine.
+        let single = run_study(&GcStudyConfig::paper(1, Affinity::OneCore));
+        let multi = run_study(&GcStudyConfig::paper(2, Affinity::OneCore));
+        assert!(
+            single.p99_us > 4.0 * multi.p99_us,
+            "single {} vs multi {}",
+            single.p99_us,
+            multi.p99_us
+        );
+        assert!(
+            single.p99_us > 1_000.0,
+            "p99 {} should be ms-scale",
+            single.p99_us
+        );
+    }
+
+    #[test]
+    fn pinning_beats_spreading() {
+        // Paper's surprising result: pinning all threads to one core gives
+        // lower tail latency than spreading them, because of cache
+        // coherence overheads on the weak memory subsystem.
+        for g in [2u32, 4] {
+            let pinned = run_study(&GcStudyConfig::paper(g, Affinity::OneCore));
+            let spread = run_study(&GcStudyConfig::paper(g, Affinity::Spread));
+            assert!(
+                spread.p99_us > pinned.p99_us,
+                "GOMAXPROCS={g}: spread {} <= pinned {}",
+                spread.p99_us,
+                pinned.p99_us
+            );
+        }
+    }
+
+    #[test]
+    fn p95_below_p99() {
+        for (_, _, r) in fig10_sweep() {
+            assert!(r.p95_us <= r.p99_us);
+            assert!(r.ticks > 100_000);
+            assert!(r.gc_cycles > 10);
+        }
+    }
+
+    #[test]
+    fn sweep_covers_five_bars() {
+        assert_eq!(fig10_sweep().len(), 5);
+    }
+}

@@ -1,0 +1,469 @@
+//! The leaky-DMA effect (paper §V-C, Fig. 9).
+//!
+//! Models the server-SoC study: a NIC with per-core TX/RX queues doing
+//! DDIO — injecting received packets directly into a slice of the LLC (2
+//! ways of a 128 kB L2) and fetching transmit packets from it — while a
+//! varying number of cores forward packets. When the aggregate packet
+//! buffer footprint exceeds the DDIO slice, incoming packets evict
+//! not-yet-processed ones and cache lines ping-pong between LLC, DRAM and
+//! the cores: the *leaky DMA* problem. We measure, like the paper's NIC
+//! hardware counters, the average request→response latency of NIC reads
+//! (TX fetch) and NIC writes (RX inject), under two bus topologies —
+//! a crossbar (low base latency, one shared server: queueing explodes
+//! under load) and a ring NoC (higher per-hop base cost, distributed
+//! servers: scales better past ~6 cores).
+
+/// Bus topology under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusTopology {
+    /// Central crossbar: single arbitration point.
+    Xbar,
+    /// Bidirectional ring NoC with shortest-path routing.
+    Ring,
+}
+
+/// Study configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakyDmaConfig {
+    /// Cores actively forwarding packets (the Fig. 9 x-axis, 1..=12).
+    pub forwarding_cores: usize,
+    /// Total cores in the SoC (fixes the ring size).
+    pub total_cores: usize,
+    /// Bus topology.
+    pub topology: BusTopology,
+    /// LLC (L2) capacity in kB (paper: resized to 128 kB).
+    pub llc_kb: u32,
+    /// LLC associativity.
+    pub llc_ways: u32,
+    /// Ways reserved for DDIO (paper: 2).
+    pub ddio_ways: u32,
+    /// Packet size in bytes (paper: 1500 B).
+    pub packet_bytes: u32,
+    /// Descriptor-queue depth per core (paper: 128).
+    pub descriptors: u32,
+    /// Packets forwarded per core in the measurement.
+    pub packets_per_core: u32,
+    /// Cycles between packet arrivals per core.
+    pub packet_interval: u64,
+    /// DRAM access latency in cycles.
+    pub dram_latency: u64,
+    /// LLC hit latency in cycles.
+    pub llc_latency: u64,
+}
+
+impl Default for LeakyDmaConfig {
+    fn default() -> Self {
+        LeakyDmaConfig {
+            forwarding_cores: 1,
+            total_cores: 12,
+            topology: BusTopology::Xbar,
+            llc_kb: 128,
+            llc_ways: 8,
+            ddio_ways: 2,
+            packet_bytes: 1500,
+            descriptors: 128,
+            packets_per_core: 150,
+            packet_interval: 2_600,
+            dram_latency: 70,
+            llc_latency: 14,
+        }
+    }
+}
+
+/// Measured latencies (the Fig. 9 y-axis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakyDmaResult {
+    /// Average NIC→LLC write (RX inject) latency, cycles.
+    pub nic_write_avg: f64,
+    /// Average NIC←LLC read (TX fetch) latency, cycles.
+    pub nic_read_avg: f64,
+    /// LLC hit rate of NIC TX reads.
+    pub tx_read_hit_rate: f64,
+    /// Total bus transactions.
+    pub transactions: u64,
+}
+
+const LINE_BYTES: u64 = 64;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LlcEntry {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+}
+
+struct Llc {
+    sets: Vec<Vec<LlcEntry>>,
+    ways: usize,
+    ddio_ways: usize,
+    set_mask: u64,
+}
+
+impl Llc {
+    fn new(kb: u32, ways: u32, ddio_ways: u32) -> Self {
+        let lines = u64::from(kb) * 1024 / LINE_BYTES;
+        let sets = (lines / u64::from(ways)).max(1) as usize;
+        assert!(
+            sets.is_power_of_two(),
+            "LLC set count must be a power of two"
+        );
+        Llc {
+            sets: vec![vec![LlcEntry::default(); ways as usize]; sets],
+            ways: ways as usize,
+            ddio_ways: ddio_ways as usize,
+            set_mask: sets as u64 - 1,
+        }
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr / LINE_BYTES;
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
+    }
+
+    fn lookup(&mut self, addr: u64, now: u64) -> bool {
+        let (si, tag) = self.index(addr);
+        for e in &mut self.sets[si] {
+            if e.valid && e.tag == tag {
+                e.last_use = now;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Allocates `addr`, restricted to the DDIO slice when `io` is true.
+    /// Returns `true` if the evicted victim was dirty (writeback needed).
+    fn allocate(&mut self, addr: u64, io: bool, dirty: bool, now: u64) -> bool {
+        let (si, tag) = self.index(addr);
+        // Already present: update.
+        for e in &mut self.sets[si] {
+            if e.valid && e.tag == tag {
+                e.last_use = now;
+                e.dirty |= dirty;
+                return false;
+            }
+        }
+        let range = if io { 0..self.ddio_ways } else { 0..self.ways };
+        let set = &mut self.sets[si];
+        let mut victim = range.start;
+        for w in range {
+            if !set[w].valid {
+                victim = w;
+                break;
+            }
+            if set[w].last_use < set[victim].last_use {
+                victim = w;
+            }
+        }
+        let was_dirty = set[victim].valid && set[victim].dirty;
+        set[victim] = LlcEntry {
+            tag,
+            valid: true,
+            dirty,
+            last_use: now,
+        };
+        was_dirty
+    }
+}
+
+/// Bus servers: a single arbiter for the crossbar, one injection server
+/// per node for the ring.
+struct Bus {
+    topology: BusTopology,
+    xbar_free: u64,
+    node_free: Vec<u64>,
+    nodes: usize,
+    transactions: u64,
+}
+
+impl Bus {
+    fn new(topology: BusTopology, nodes: usize) -> Self {
+        Bus {
+            topology,
+            xbar_free: 0,
+            node_free: vec![0; nodes],
+            nodes,
+            transactions: 0,
+        }
+    }
+
+    /// Issues one line transaction from `src` at time `t`; returns
+    /// `(completion_time_of_bus_phase, bus_latency)`.
+    fn access(&mut self, src: usize, t: u64) -> (u64, u64) {
+        self.transactions += 1;
+        match self.topology {
+            BusTopology::Xbar => {
+                // Central arbiter: base 10 cycles, 2-cycle occupancy.
+                let start = t.max(self.xbar_free);
+                self.xbar_free = start + 2;
+                let done = start + 10;
+                (done, done - t)
+            }
+            BusTopology::Ring => {
+                // Injection server per node; shortest-path hops to the
+                // LLC home node (node 0) at 3 cycles per hop.
+                let hops = {
+                    let d = src % self.nodes;
+                    d.min(self.nodes - d).max(2) as u64
+                };
+                let start = t.max(self.node_free[src % self.nodes]);
+                self.node_free[src % self.nodes] = start + 2;
+                let done = start + 4 + 4 * hops;
+                (done, done - t)
+            }
+        }
+    }
+}
+
+/// Runs the study for one `(forwarding_cores, topology)` point.
+///
+/// The simulation interleaves packet phases across cores in event order
+/// (RX inject → core forward → NIC TX fetch), so evictions between a
+/// packet's injection and its processing — the leaky-DMA mechanism —
+/// happen exactly as they would on hardware. The NIC serializes TX
+/// fetches at link rate, so transmit backlogs grow with offered load.
+pub fn run_leaky_dma(cfg: &LeakyDmaConfig) -> LeakyDmaResult {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut llc = Llc::new(cfg.llc_kb, cfg.llc_ways, cfg.ddio_ways);
+    let mut bus = Bus::new(cfg.topology, cfg.total_cores + 2); // + NIC + mem
+    let lines_per_packet = u64::from(cfg.packet_bytes).div_ceil(LINE_BYTES);
+    let nic_node = cfg.total_cores;
+
+    let ring_bytes = u64::from(cfg.descriptors) * u64::from(cfg.packet_bytes);
+    let rx_base = |core: u64| core * 2 * ring_bytes;
+    let tx_base = |core: u64| core * 2 * ring_bytes + ring_bytes;
+
+    let mut write_lat_sum = 0.0;
+    let mut write_cnt = 0u64;
+    let mut read_lat_sum = 0.0;
+    let mut read_cnt = 0u64;
+    let mut read_hits = 0u64;
+
+    let mut core_free = vec![0u64; cfg.forwarding_cores];
+    let mut nic_tx_free = 0u64;
+    // NIC link-rate serialization of transmissions, cycles per packet.
+    let tx_serialize = 150u64;
+
+    #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+    enum Phase {
+        Rx,
+        Core,
+        Tx,
+    }
+    // (time, seq for determinism, phase, core, pkt)
+    type Event = (u64, u64, Phase, usize, u32);
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for c in 0..cfg.forwarding_cores {
+        for k in 0..cfg.packets_per_core {
+            let jitter = (c as u64 * 191) % cfg.packet_interval;
+            seq += 1;
+            heap.push(Reverse((
+                u64::from(k) * cfg.packet_interval + jitter,
+                seq,
+                Phase::Rx,
+                c,
+                k,
+            )));
+        }
+    }
+
+    while let Some(Reverse((at, _, phase, core, pkt))) = heap.pop() {
+        let c = core as u64;
+        let desc = u64::from(pkt % cfg.descriptors);
+        let rx_addr = rx_base(c) + desc * u64::from(cfg.packet_bytes);
+        let tx_addr = tx_base(c) + desc * u64::from(cfg.packet_bytes);
+        match phase {
+            Phase::Rx => {
+                // NIC RX inject: DDIO writes into the LLC IO ways.
+                let mut t = at;
+                for l in 0..lines_per_packet {
+                    let addr = rx_addr + l * LINE_BYTES;
+                    let (done, bus_lat) = bus.access(nic_node, t);
+                    let dirty_evict = llc.allocate(addr, true, true, done);
+                    let lat = bus_lat
+                        + cfg.llc_latency
+                        + if dirty_evict { cfg.dram_latency / 2 } else { 0 };
+                    write_lat_sum += lat as f64;
+                    write_cnt += 1;
+                    t = done;
+                }
+                seq += 1;
+                heap.push(Reverse((t, seq, Phase::Core, core, pkt)));
+            }
+            Phase::Core => {
+                // Not the core's turn yet: requeue at its free time so bus
+                // accesses always happen near the current event time.
+                if core_free[core] > at {
+                    seq += 1;
+                    heap.push(Reverse((core_free[core], seq, Phase::Core, core, pkt)));
+                    continue;
+                }
+                // The core forwards: read RX lines, process, write TX.
+                let mut tc = at;
+                for l in 0..lines_per_packet {
+                    let addr = rx_addr + l * LINE_BYTES;
+                    let (done, _bus) = bus.access(core, tc);
+                    let hit = llc.lookup(addr, done);
+                    tc = done
+                        + if hit {
+                            cfg.llc_latency
+                        } else {
+                            cfg.dram_latency
+                        };
+                }
+                tc += 180; // header rewrite / forwarding work
+                for l in 0..lines_per_packet {
+                    let addr = tx_addr + l * LINE_BYTES;
+                    let (done, _bus) = bus.access(core, tc);
+                    llc.allocate(addr, false, true, done);
+                    tc = done + cfg.llc_latency / 2;
+                }
+                core_free[core] = tc;
+                seq += 1;
+                heap.push(Reverse((tc, seq, Phase::Tx, core, pkt)));
+            }
+            Phase::Tx => {
+                // NIC transmits at link rate: wait for the TX port.
+                if nic_tx_free > at {
+                    seq += 1;
+                    heap.push(Reverse((nic_tx_free, seq, Phase::Tx, core, pkt)));
+                    continue;
+                }
+                // NIC TX fetch.
+                let mut tn = at;
+                for l in 0..lines_per_packet {
+                    let addr = tx_addr + l * LINE_BYTES;
+                    let (done, bus_lat) = bus.access(nic_node, tn);
+                    let hit = llc.lookup(addr, done);
+                    let lat = bus_lat
+                        + if hit {
+                            cfg.llc_latency
+                        } else {
+                            cfg.dram_latency
+                        };
+                    if hit {
+                        read_hits += 1;
+                    }
+                    read_lat_sum += lat as f64;
+                    read_cnt += 1;
+                    tn = done;
+                }
+                nic_tx_free = tn.max(nic_tx_free) + tx_serialize;
+            }
+        }
+    }
+
+    LeakyDmaResult {
+        nic_write_avg: write_lat_sum / write_cnt.max(1) as f64,
+        nic_read_avg: read_lat_sum / read_cnt.max(1) as f64,
+        tx_read_hit_rate: read_hits as f64 / read_cnt.max(1) as f64,
+        transactions: bus.transactions,
+    }
+}
+
+/// The Fig. 9 sweep: `(cores, topology) -> result` for 1..=max cores.
+pub fn fig9_sweep(max_cores: usize) -> Vec<(usize, BusTopology, LeakyDmaResult)> {
+    let mut out = Vec::new();
+    for topology in [BusTopology::Xbar, BusTopology::Ring] {
+        for cores in 1..=max_cores {
+            let cfg = LeakyDmaConfig {
+                forwarding_cores: cores,
+                topology,
+                ..Default::default()
+            };
+            out.push((cores, topology, run_leaky_dma(&cfg)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(cores: usize, topo: BusTopology) -> LeakyDmaResult {
+        run_leaky_dma(&LeakyDmaConfig {
+            forwarding_cores: cores,
+            topology: topo,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(at(4, BusTopology::Xbar), at(4, BusTopology::Xbar));
+    }
+
+    #[test]
+    fn latency_rises_with_core_count() {
+        // Paper: "the read and write latencies increase as the number of
+        // cores forwarding packets increases" — cache contention on the
+        // limited DDIO ways.
+        for topo in [BusTopology::Xbar, BusTopology::Ring] {
+            let low = at(1, topo);
+            let high = at(12, topo);
+            assert!(
+                high.nic_read_avg > 1.3 * low.nic_read_avg,
+                "{topo:?} read: {} -> {}",
+                low.nic_read_avg,
+                high.nic_read_avg
+            );
+            assert!(
+                high.nic_write_avg > low.nic_write_avg,
+                "{topo:?} write: {} -> {}",
+                low.nic_write_avg,
+                high.nic_write_avg
+            );
+        }
+    }
+
+    #[test]
+    fn hit_rate_collapses_with_cores() {
+        let low = at(1, BusTopology::Ring);
+        let high = at(12, BusTopology::Ring);
+        assert!(low.tx_read_hit_rate > high.tx_read_hit_rate + 0.15);
+    }
+
+    #[test]
+    fn ring_has_higher_overhead_under_low_load() {
+        // Paper: "a NoC has a higher per bus transaction overhead compared
+        // to a cross-bar under low load".
+        let xbar = at(1, BusTopology::Xbar);
+        let ring = at(1, BusTopology::Ring);
+        assert!(ring.nic_write_avg > xbar.nic_write_avg);
+    }
+
+    #[test]
+    fn xbar_write_latency_overtakes_ring_at_scale() {
+        // Paper: "the write latency of the cross bar bus increases much
+        // more quickly than the Ring bus topology, resulting in a longer
+        // latency when scaling up to more than 6 cores".
+        let x12 = at(12, BusTopology::Xbar);
+        let r12 = at(12, BusTopology::Ring);
+        assert!(
+            x12.nic_write_avg > r12.nic_write_avg,
+            "xbar {} vs ring {} at 12 cores",
+            x12.nic_write_avg,
+            r12.nic_write_avg
+        );
+        // Growth rate comparison.
+        let x1 = at(1, BusTopology::Xbar);
+        let r1 = at(1, BusTopology::Ring);
+        let x_growth = x12.nic_write_avg / x1.nic_write_avg;
+        let r_growth = r12.nic_write_avg / r1.nic_write_avg;
+        assert!(x_growth > r_growth, "xbar {x_growth} vs ring {r_growth}");
+    }
+
+    #[test]
+    fn sweep_has_both_topologies() {
+        let s = fig9_sweep(4);
+        assert_eq!(s.len(), 8);
+    }
+}

@@ -1,0 +1,24 @@
+//! # fireaxe-workloads — system-level workload models
+//!
+//! The full-stack studies the paper runs on FireAxe, reimplemented as
+//! deterministic performance models driven by the same mechanisms:
+//!
+//! * [`core_model`] + [`embench`] — an interval-style OoO core model with
+//!   TIP-style CPI attribution and Embench instruction-mix profiles
+//!   (Figs. 7–8: Large BOOM vs GC40 BOOM vs Xeon);
+//! * [`golang_gc`] — the golang/go#18534 GC tail-latency replication
+//!   (Fig. 10: GOMAXPROCS and CPU-affinity sweep);
+//! * [`leaky_dma`] — the DDIO leaky-DMA study with a DDIO-sliced LLC,
+//!   per-core NIC queues, and crossbar-vs-ring buses (Fig. 9).
+
+#![warn(missing_docs)]
+
+pub mod core_model;
+pub mod embench;
+pub mod golang_gc;
+pub mod leaky_dma;
+
+pub use core_model::{run, CoreParams, CpiStack, RunResult, WorkloadProfile};
+pub use embench::{mean_ipc_uplift, profile, run_suite, BENCHMARKS, CPI_STACK_BENCHMARKS};
+pub use golang_gc::{fig10_sweep, run_study, Affinity, GcStudyConfig, GcStudyResult};
+pub use leaky_dma::{fig9_sweep, run_leaky_dma, BusTopology, LeakyDmaConfig, LeakyDmaResult};

@@ -1,0 +1,57 @@
+//! Automated partitioning (paper §VIII-B future work): FireRipper
+//! estimates per-instance resources, decides what must leave the
+//! remainder FPGA, and packs the rest — then the suggestion compiles and
+//! runs like any hand-written spec.
+//!
+//! Run with: `cargo run --release -p fireaxe --example auto_partition`
+
+use fireaxe::prelude::*;
+use fireaxe::ripper::{suggest_partitions, AutoPartitionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Automated partitioning (paper §VIII-B) ==\n");
+
+    // An SoC of eight Large-BOOM tiles on a crossbar: ~5.1 MLUTs total,
+    // far beyond one U250.
+    let soc = xbar_soc(&XbarSocConfig {
+        tiles: 8,
+        tile_kind: TileKind::Boom(BoomConfig::large()),
+        ..Default::default()
+    });
+    let total = estimate(&soc.circuit);
+    let u250 = FpgaSpec::alveo_u250();
+    println!(
+        "design: {} kLUT total on a {} kLUT FPGA -> cannot fit monolithically\n",
+        total.luts / 1000,
+        u250.luts / 1000
+    );
+
+    let suggestion =
+        suggest_partitions(&soc.circuit, &AutoPartitionConfig::for_fpga(u250.clone()))?;
+    println!(
+        "suggestion: {} extra FPGA(s); remainder at {:.1}% LUT",
+        suggestion.groups.len(),
+        suggestion.remainder_utilization * 100.0
+    );
+    for (g, util) in suggestion.groups.iter().zip(&suggestion.group_utilization) {
+        println!(
+            "  group `{}`: {} instances at {:.1}% LUT{}",
+            g.name,
+            g.selection_len(),
+            util * 100.0,
+            if g.fame5 { "  (FAME-5 threadable)" } else { "" }
+        );
+    }
+
+    // The suggestion is a normal spec: compile and simulate it.
+    let spec = PartitionSpec::fast(suggestion.groups);
+    let (design, mut sim) = fireaxe::FireAxe::new(soc.circuit, spec).build()?;
+    let m = sim.run_target_cycles(1_000)?;
+    println!(
+        "\ncompiled to {} partitions over {} links; simulated at {:.3} MHz",
+        design.partitions.len(),
+        design.links.len(),
+        m.target_mhz()
+    );
+    Ok(())
+}

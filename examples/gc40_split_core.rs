@@ -1,0 +1,90 @@
+//! Case study §V-B: the GC40 BOOM core — too large to build
+//! monolithically on a Xilinx Alveo U250 — split across two FPGAs with
+//! exact-mode, booting its workload at ~0.2 MHz.
+//!
+//! Run with: `cargo run --release -p fireaxe --example gc40_split_core`
+
+use fireaxe::prelude::*;
+use fireaxe::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== GC40 BOOM split-core case study (paper §V-B) ==\n");
+
+    // Table I.
+    println!(
+        "{:<22}{:>12}{:>12}{:>12}",
+        "", "Large BOOM", "GC40 BOOM", "GC Xeon"
+    );
+    type Row = (&'static str, fn(&BoomConfig) -> u64);
+    let rows: [Row; 7] = [
+        ("Issue width", |c| c.issue_width.into()),
+        ("ROB entries", |c| c.rob_entries.into()),
+        ("I-Phys Regs", |c| c.int_phys_regs.into()),
+        ("F-Phys Regs", |c| c.fp_phys_regs.into()),
+        ("Ld queue entries", |c| c.ldq_entries.into()),
+        ("St queue entries", |c| c.stq_entries.into()),
+        ("Fetch buffer entries", |c| c.fetch_buf_entries.into()),
+    ];
+    let configs = [
+        BoomConfig::large(),
+        BoomConfig::gc40(),
+        BoomConfig::golden_cove_xeon(),
+    ];
+    for (name, f) in rows {
+        println!(
+            "{:<22}{:>12}{:>12}{:>12}",
+            name,
+            f(&configs[0]),
+            f(&configs[1]),
+            f(&configs[2])
+        );
+    }
+    println!(
+        "{:<22}{:>12}{:>12}{:>12}\n",
+        "Area (mm^2, 16nm)",
+        configs[0].area_mm2(),
+        configs[1].area_mm2(),
+        configs[2].area_mm2()
+    );
+
+    let gc40 = BoomConfig::gc40();
+    let circuit = fireaxe::soc::boom::core_circuit(&gc40);
+    let u250 = FpgaSpec::alveo_u250();
+
+    // 1. Monolithic build fails.
+    let mono = fit(&circuit, &u250);
+    println!("monolithic on {u250}: {mono}");
+    assert!(!mono.routable);
+
+    // 2. Split: backend + LSU on one FPGA, frontend + memory on the other.
+    let spec = PartitionSpec::exact(vec![PartitionGroup::instances(
+        "backend_fpga",
+        vec!["backend".into(), "lsu".into()],
+    )]);
+    let (design, mut sim) = fireaxe::FireAxe::new(circuit, spec)
+        .platform(Platform::OnPremQsfp)
+        .clock_mhz(10.0) // the paper builds GC40 bitstreams at 10 MHz
+        .check_fit()
+        .build()?;
+    println!(
+        "partitioned: {} links, boundary {} bits (paper: >7000)",
+        design.links.len(),
+        design.report.total_boundary_width()
+    );
+    for p in &design.partitions {
+        for t in &p.threads {
+            let report = fit(&t.circuit, &u250);
+            println!("  {:14} {}", t.name, report);
+        }
+    }
+
+    let m = sim.run_target_cycles(20_000)?;
+    let backend = design.node_index(0, 0);
+    println!(
+        "\nsimulated {} cycles at {:.3} MHz (paper: 0.2 MHz); {} instructions committed",
+        m.target_cycles,
+        m.target_mhz(),
+        sim.target(backend).peek("backend_commits").to_u64()
+    );
+    Ok(())
+}

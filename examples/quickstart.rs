@@ -1,0 +1,69 @@
+//! Quickstart: build a small SoC, partition a tile onto its own FPGA,
+//! and measure the simulation rate on each platform.
+//!
+//! Run with: `cargo run --release -p fireaxe --example quickstart`
+
+use fireaxe::prelude::*;
+use fireaxe::Platform;
+
+fn build_soc() -> Circuit {
+    // A tile with a combinational response path (the interesting case for
+    // exact-mode: two link crossings per cycle) behind an SoC hub.
+    let mut tile = ModuleBuilder::new("Tile");
+    let req = tile.input("req", 64);
+    let rsp = tile.output("rsp", 64);
+    let acc = tile.reg("acc", 64, 0);
+    tile.connect_sig(&acc, &acc.add(&req));
+    tile.connect_sig(&rsp, &acc.add(&req));
+
+    let mut top = ModuleBuilder::new("Soc");
+    let i = top.input("i", 64);
+    let o = top.output("o", 64);
+    top.inst("tile0", "Tile");
+    let hub = top.reg("hub", 64, 1);
+    top.connect_inst("tile0", "req", &hub);
+    let rsp = top.inst_port("tile0", "rsp");
+    top.connect_sig(&hub, &rsp.xor(&i));
+    top.connect_sig(&o, &hub);
+    Circuit::from_modules("Soc", vec![top.finish(), tile.finish()], "Soc")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== FireAxe quickstart ==\n");
+    let circuit = build_soc();
+
+    for (label, mode) in [
+        ("exact-mode", PartitionMode::Exact),
+        ("fast-mode ", PartitionMode::Fast),
+    ] {
+        for platform in [
+            Platform::OnPremQsfp,
+            Platform::CloudF1,
+            Platform::HostManaged,
+        ] {
+            let spec = PartitionSpec {
+                mode,
+                channel_policy: ChannelPolicy::Separated,
+                groups: vec![PartitionGroup::instances("tile", vec!["tile0".into()])],
+            };
+            let (design, mut sim) = fireaxe::FireAxe::new(circuit.clone(), spec)
+                .platform(platform)
+                .clock_mhz(30.0)
+                .build()?;
+            let cycles = match platform {
+                Platform::HostManaged => 50,
+                _ => 2_000,
+            };
+            let m = sim.run_target_cycles(cycles)?;
+            println!(
+                "{label} on {:24} boundary {:4} bits  ->  {:8.3} MHz  ({} links)",
+                format!("{platform:?}:"),
+                design.report.total_boundary_width(),
+                m.target_mhz(),
+                design.links.len(),
+            );
+        }
+    }
+    println!("\npaper reference: ~1.6 MHz QSFP, ~1.0 MHz p2p PCIe, 26.4 kHz host-managed");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Case study §V-A: a 24-core SoC on a ring NoC, split across five FPGAs
+//! with NoC-partition-mode, hunting the RTL bug that only manifests with
+//! larger binaries — and disappears when BOOM is swapped for in-order
+//! cores.
+//!
+//! Run with: `cargo run --release -p fireaxe --example ring_soc_24_cores`
+//! (Scale note: we simulate fewer cycles than the paper's 3-billion-cycle
+//! run; the bug threshold is scaled accordingly.)
+
+use fireaxe::prelude::*;
+use fireaxe::Platform;
+
+fn run(kind: TileKind, heavy: bool, label: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let tiles = 24;
+    let fpgas = 5; // 4 x 6 tiles + SoC subsystem
+    let soc = ring_soc(&RingSocConfig {
+        tiles,
+        tile_kind: kind,
+        tile_period: 4,
+        subsystem_latency: 8,
+        heavy_workload: heavy,
+        bug_after: 150, // scaled from "3 billion cycles in"
+        ..Default::default()
+    });
+    let per = tiles / (fpgas - 1);
+    let groups: Vec<PartitionGroup> = (0..fpgas - 1)
+        .map(|g| PartitionGroup {
+            name: format!("fpga{g}"),
+            selection: Selection::NocRouters {
+                routers: soc.router_paths.clone(),
+                indices: (g * per..(g + 1) * per).collect(),
+            },
+            fame5: false,
+        })
+        .collect();
+    let (design, mut sim) = fireaxe::FireAxe::new(soc.circuit, PartitionSpec::exact(groups))
+        .platform(Platform::OnPremQsfp)
+        .build()?;
+    let m = sim.run_target_cycles(20_000)?;
+    let rest = design.node_index(fpgas - 1, 0);
+    let serviced = sim.target(rest).peek("subsys.serviced").to_u64();
+    let traps = sim.target(rest).peek("subsys.traps").to_u64();
+    println!(
+        "{label:<34} {:>2} FPGAs  {:>8} cycles  {:.3} MHz  serviced {:>6}  traps {}",
+        design.partitions.len(),
+        m.target_cycles,
+        m.target_mhz(),
+        serviced,
+        traps,
+    );
+    if traps > 0 {
+        println!("  -> RTL bug reproduced: SBI trap reported by a BOOM tile");
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== 24-core ring SoC on 5 FPGAs (paper §V-A, Fig. 6) ==\n");
+    run(
+        TileKind::Boom(BoomConfig::large()),
+        false,
+        "BOOM, small binaries:",
+    )?;
+    run(
+        TileKind::Boom(BoomConfig::large()),
+        true,
+        "BOOM, larger binaries (overlay):",
+    )?;
+    run(TileKind::InOrder, true, "in-order swap, larger binaries:")?;
+    println!(
+        "\npaper: bug found 3e9 cycles in at 0.58 MHz; 460x faster than the 1.26 kHz\n\
+         commercial software RTL simulator. Swapping in in-order cores isolated the\n\
+         bug to the BOOM RTL."
+    );
+    Ok(())
+}

@@ -1,0 +1,296 @@
+//! Cross-crate end-to-end tests: text IR in → FireRipper → multi-FPGA
+//! simulation → measured rates, plus performance-trend checks that back
+//! the figure reproductions.
+
+use fireaxe::prelude::*;
+use fireaxe::Platform;
+use std::collections::BTreeMap;
+
+/// A small SoC written in the textual IR format.
+const SOC_TEXT: &str = "\
+circuit Soc :
+  top Soc
+  module Soc :
+    input i : UInt<8>
+    output o : UInt<8>
+    inst t of Tile
+    reg hub : UInt<8>, init 1
+    t.req <= hub
+    hub <= xor(t.rsp, i)
+    o <= hub
+  module Tile :
+    input req : UInt<8>
+    output rsp : UInt<8>
+    reg acc : UInt<8>, init 0
+    acc <= add(acc, req)
+    rsp <= add(acc, req)
+";
+
+#[test]
+fn text_to_partitioned_simulation() {
+    let circuit = fireaxe::ir::parser::parse_circuit(SOC_TEXT).unwrap();
+    let spec = PartitionSpec::exact(vec![PartitionGroup::instances("t", vec!["t".into()])]);
+    let (design, mut sim) = fireaxe::FireAxe::new(circuit, spec).build().unwrap();
+    let m = sim.run_target_cycles(200).unwrap();
+    assert_eq!(m.target_cycles, 200);
+    assert!(m.target_mhz() > 0.1);
+    assert_eq!(design.partitions.len(), 2);
+}
+
+#[test]
+fn printer_parser_roundtrip_through_partitioning() {
+    // Print the partitioned artifacts and re-parse them.
+    let circuit = fireaxe::ir::parser::parse_circuit(SOC_TEXT).unwrap();
+    let spec = PartitionSpec::fast(vec![PartitionGroup::instances("t", vec!["t".into()])]);
+    let design = compile(&circuit, &spec).unwrap();
+    for p in &design.partitions {
+        for t in &p.threads {
+            let text = fireaxe::ir::printer::print_circuit(&t.circuit);
+            let back = fireaxe::ir::parser::parse_circuit(&text).unwrap();
+            assert_eq!(back, t.circuit, "roundtrip failed for {}", t.name);
+        }
+    }
+}
+
+/// Monolithic interpretation of the ring SoC (behaviors bound directly)
+/// to compare against the partitioned run.
+fn monolithic_serviced(soc: &RingSoc, cycles: u64) -> u64 {
+    let mut interp = fireaxe::ir::Interpreter::new(&soc.circuit).unwrap();
+    for (path, key, bound) in interp.extern_instances() {
+        if !bound {
+            let model = fireaxe::soc::make_behavior(&key, &path).unwrap();
+            interp.bind_behavior(&path, model).unwrap();
+        }
+    }
+    interp.reset();
+    for _ in 0..cycles {
+        interp.step().unwrap();
+    }
+    interp.peek("subsys.serviced").to_u64()
+}
+
+#[test]
+fn noc_partitioned_exact_matches_monolithic_ring_soc() {
+    // The §V-A flow end to end: NoC-partition-mode extraction must leave
+    // system behavior bit-identical (exact-mode).
+    let soc = ring_soc(&RingSocConfig {
+        tiles: 2,
+        tile_period: 4,
+        subsystem_latency: 6,
+        ..Default::default()
+    });
+    let cycles = 600u64;
+    let golden = monolithic_serviced(&soc, cycles);
+    assert!(golden > 20, "monolithic SoC should make progress: {golden}");
+
+    let spec = PartitionSpec::exact(vec![PartitionGroup {
+        name: "fpga0".into(),
+        selection: Selection::NocRouters {
+            routers: soc.router_paths.clone(),
+            indices: vec![0],
+        },
+        fame5: false,
+    }]);
+    let (design, mut sim) = fireaxe::FireAxe::new(soc.circuit.clone(), spec)
+        .build()
+        .unwrap();
+    sim.run_target_cycles(cycles).unwrap();
+    let rest = design.node_index(1, 0);
+    // The remainder may have advanced past `cycles`; re-run monolithic to
+    // the node's actual cycle for an apples-to-apples check.
+    let node_cycles = sim.node_target_cycles(rest);
+    let golden_at = monolithic_serviced(&soc, node_cycles);
+    // Peek the extern's own (post-tick) slot: the top-level `serviced`
+    // port is a combinational copy that is only refreshed on eval.
+    let part = sim.target(rest).peek("subsys.serviced").to_u64();
+    assert_eq!(
+        part, golden_at,
+        "exact-mode NoC partition must match monolithic at cycle {node_cycles}"
+    );
+    let _ = golden;
+}
+
+#[test]
+fn rate_drops_with_fpga_count() {
+    // Fig. 13 trend: more FPGAs in the ring -> lower rate.
+    let rate = |fpgas: usize| {
+        let tiles = 6;
+        let soc = ring_soc(&RingSocConfig {
+            tiles,
+            tile_period: 4,
+            ..Default::default()
+        });
+        let per = tiles / (fpgas - 1);
+        let groups: Vec<PartitionGroup> = (0..fpgas - 1)
+            .map(|g| PartitionGroup {
+                name: format!("fpga{g}"),
+                selection: Selection::NocRouters {
+                    routers: soc.router_paths.clone(),
+                    indices: (g * per..(g + 1) * per).collect(),
+                },
+                fame5: false,
+            })
+            .collect();
+        let (_d, mut sim) = fireaxe::FireAxe::new(soc.circuit, PartitionSpec::exact(groups))
+            .build()
+            .unwrap();
+        sim.run_target_cycles(150).unwrap().target_mhz()
+    };
+    let two = rate(2);
+    let four = rate(4);
+    assert!(
+        four < two,
+        "4-FPGA rate {four:.3} MHz should be below 2-FPGA rate {two:.3} MHz"
+    );
+}
+
+#[test]
+fn wider_interfaces_are_slower() {
+    // Fig. 11 trend: pulling more tiles out widens the boundary and drops
+    // the rate.
+    let rate = |tiles_out: usize| {
+        let soc = xbar_soc(&XbarSocConfig {
+            tiles: 4,
+            trace_bits: 2_048,
+            ..Default::default()
+        });
+        let paths: Vec<String> = (0..tiles_out).map(|i| format!("tile{i}")).collect();
+        let spec = PartitionSpec::fast(vec![PartitionGroup::instances("tiles", paths)]);
+        let (design, mut sim) = fireaxe::FireAxe::new(soc.circuit, spec).build().unwrap();
+        let width = design.report.total_boundary_width();
+        let mhz = sim.run_target_cycles(300).unwrap().target_mhz();
+        (width, mhz)
+    };
+    let (w1, r1) = rate(1);
+    let (w4, r4) = rate(4);
+    assert!(w4 > 3 * w1);
+    assert!(
+        r4 < r1,
+        "wider boundary {w4}b at {r4:.3} MHz vs {w1}b at {r1:.3} MHz"
+    );
+}
+
+#[test]
+fn host_managed_pcie_is_khz_scale() {
+    // §IV-A: "maximum simulation frequency is limited to 26.4 KHz".
+    let circuit = fireaxe::ir::parser::parse_circuit(SOC_TEXT).unwrap();
+    let spec = PartitionSpec::fast(vec![PartitionGroup::instances("t", vec!["t".into()])]);
+    let (_d, mut sim) = fireaxe::FireAxe::new(circuit, spec)
+        .platform(Platform::HostManaged)
+        .build()
+        .unwrap();
+    let khz = sim.run_target_cycles(60).unwrap().target_hz() / 1e3;
+    assert!(
+        (10.0..=40.0).contains(&khz),
+        "host-managed rate {khz:.1} kHz (paper: 26.4 kHz)"
+    );
+}
+
+#[test]
+fn qsfp_beats_cloud_by_about_1_5x() {
+    // §VI-A2: "FireAxe's performance on the cloud is 1.5x lower than on
+    // the local FPGA setup".
+    let rate = |p: Platform| {
+        let circuit = fireaxe::ir::parser::parse_circuit(SOC_TEXT).unwrap();
+        let spec = PartitionSpec::fast(vec![PartitionGroup::instances("t", vec!["t".into()])]);
+        let (_d, mut sim) = fireaxe::FireAxe::new(circuit, spec)
+            .platform(p)
+            .build()
+            .unwrap();
+        sim.run_target_cycles(400).unwrap().target_mhz()
+    };
+    let local = rate(Platform::OnPremQsfp);
+    let cloud = rate(Platform::CloudF1);
+    let ratio = local / cloud;
+    assert!(
+        (1.2..=2.2).contains(&ratio),
+        "local {local:.2} MHz / cloud {cloud:.2} MHz = {ratio:.2} (paper ~1.5x)"
+    );
+}
+
+#[test]
+fn compiler_feedback_estimate_tracks_measured_rate() {
+    // FireRipper's quick estimate should land within ~3x of the engine.
+    let circuit = fireaxe::ir::parser::parse_circuit(SOC_TEXT).unwrap();
+    let spec = PartitionSpec::exact(vec![PartitionGroup::instances("t", vec!["t".into()])]);
+    let design = compile(&circuit, &spec).unwrap();
+    let est = estimate_target_mhz(&design, LinkModel::qsfp_aurora(), 30.0);
+    let (_d, mut sim) = fireaxe::FireAxe::new(circuit, spec).build().unwrap();
+    let measured = sim.run_target_cycles(400).unwrap().target_mhz();
+    let ratio = est / measured;
+    assert!(
+        (0.3..=3.0).contains(&ratio),
+        "estimate {est:.3} vs measured {measured:.3} MHz"
+    );
+}
+
+#[test]
+fn bridge_driven_stimulus_reaches_partitioned_design() {
+    let circuit = fireaxe::ir::parser::parse_circuit(SOC_TEXT).unwrap();
+    let spec = PartitionSpec::exact(vec![PartitionGroup::instances("t", vec!["t".into()])]);
+    let bridge = ScriptBridge::new(|cycle| {
+        let mut m = BTreeMap::new();
+        m.insert("i".to_string(), fireaxe::ir::Bits::from_u64(cycle % 251, 8));
+        m
+    })
+    .recording();
+    let (design, mut sim) = fireaxe::FireAxe::new(circuit, spec)
+        .bridge(1, Box::new(bridge))
+        .build()
+        .unwrap();
+    sim.run_target_cycles(100).unwrap();
+    let rest = design.node_index(1, 0);
+    let b = sim
+        .bridge_mut(rest)
+        .as_any()
+        .downcast_mut::<ScriptBridge>()
+        .unwrap();
+    assert!(b.log().len() >= 100);
+    // Output actually evolves (stimulus reached the design).
+    let distinct: std::collections::BTreeSet<u64> = b
+        .log()
+        .iter()
+        .filter_map(|t| t.values.get("o"))
+        .map(|v| v.to_u64())
+        .collect();
+    // The xor/add dynamics settle into a small orbit; what matters is that
+    // the time-varying stimulus visibly reached the partitioned design.
+    assert!(distinct.len() >= 5, "distinct {distinct:?}");
+}
+
+#[test]
+fn fast_mode_advantage_fades_with_width() {
+    // The Fig. 11 crossover: at a low bitstream frequency, fast-mode is
+    // ~2x on narrow boundaries but converges toward exact-mode once
+    // (de)serialization rivals the link latency.
+    let rate = |mode: PartitionMode, trace_bits: u32| -> f64 {
+        let soc = xbar_soc(&XbarSocConfig {
+            tiles: 1,
+            trace_bits,
+            tile_period: 4,
+            ..Default::default()
+        });
+        let spec = PartitionSpec {
+            mode,
+            channel_policy: ChannelPolicy::Separated,
+            groups: vec![PartitionGroup::instances("t", vec!["tile0".into()])],
+        };
+        let (_d, mut sim) = fireaxe::FireAxe::new(soc.circuit, spec)
+            .platform(Platform::OnPremQsfp)
+            .clock_mhz(10.0)
+            .build()
+            .unwrap();
+        sim.run_target_cycles(250).unwrap().target_mhz()
+    };
+    let narrow_ratio = rate(PartitionMode::Fast, 0) / rate(PartitionMode::Exact, 0);
+    let wide_ratio = rate(PartitionMode::Fast, 6_000) / rate(PartitionMode::Exact, 6_000);
+    assert!(
+        narrow_ratio > 1.5,
+        "narrow-boundary fast/exact ratio {narrow_ratio:.2} (paper ~2x)"
+    );
+    assert!(
+        wide_ratio < 1.3,
+        "wide-boundary ratio {wide_ratio:.2} should collapse (the crossover)"
+    );
+    assert!(narrow_ratio > wide_ratio);
+}
