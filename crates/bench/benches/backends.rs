@@ -1,0 +1,112 @@
+//! DES vs threaded backend throughput on the NoC-partitioned ring SoC.
+//!
+//! The paper's FPGA fleets run partitions concurrently; this bench asks
+//! whether the software engine can too. A 6-tile ring SoC is cut along
+//! NoC router boundaries into 4 partitions (3 router groups + the rest),
+//! then driven for a fixed target-cycle budget on both backends. Both
+//! produce bit-identical target state (asserted here before timing), so
+//! the comparison is purely host throughput: virtual-time discrete-event
+//! scheduling on one core vs free-running OS threads per partition.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fireaxe::prelude::*;
+use std::time::Instant;
+
+const CYCLES: u64 = 1_500;
+
+fn noc_4partition_design() -> (Circuit, PartitionSpec) {
+    let soc = ring_soc(&RingSocConfig {
+        tiles: 6,
+        tile_period: 4,
+        ..Default::default()
+    });
+    let groups: Vec<PartitionGroup> = (0..3)
+        .map(|g| PartitionGroup {
+            name: format!("fpga{g}"),
+            selection: Selection::NocRouters {
+                routers: soc.router_paths.clone(),
+                indices: vec![2 * g, 2 * g + 1],
+            },
+            fame5: false,
+        })
+        .collect();
+    (soc.circuit, PartitionSpec::exact(groups))
+}
+
+fn build(circuit: &Circuit, spec: &PartitionSpec, backend: Backend) -> DistributedSim {
+    let (design, sim) = fireaxe::FireAxe::new(circuit.clone(), spec.clone())
+        .backend(backend)
+        .build()
+        .unwrap();
+    assert_eq!(design.partitions.len(), 4, "expected a 4-partition cut");
+    sim
+}
+
+fn run_once(circuit: &Circuit, spec: &PartitionSpec, backend: Backend) -> SimMetrics {
+    let mut sim = build(circuit, spec, backend);
+    sim.run_target_cycles(CYCLES).unwrap()
+}
+
+fn final_state(circuit: &Circuit, spec: &PartitionSpec, backend: Backend) -> Vec<(usize, u64)> {
+    let mut sim = build(circuit, spec, backend);
+    sim.run_target_cycles(CYCLES).unwrap();
+    let mut out = Vec::new();
+    for ni in 0..sim.node_names().len() {
+        let t = sim.target(ni);
+        for (port, _) in t.output_ports() {
+            out.push((ni, t.peek(&port).to_u64()));
+        }
+    }
+    out
+}
+
+fn backend_throughput(c: &mut Criterion) {
+    let (circuit, spec) = noc_4partition_design();
+
+    // Parity gate: timing a wrong answer is meaningless.
+    assert_eq!(
+        final_state(&circuit, &spec, Backend::Des),
+        final_state(&circuit, &spec, Backend::Threads(0)),
+        "backends disagree on final target state"
+    );
+
+    let mut g = c.benchmark_group("backend");
+    g.sample_size(10);
+    g.bench_function("des_noc4", |bench| {
+        bench.iter(|| black_box(run_once(&circuit, &spec, Backend::Des)))
+    });
+    g.bench_function("threads_noc4", |bench| {
+        bench.iter(|| black_box(run_once(&circuit, &spec, Backend::Threads(0))))
+    });
+    g.finish();
+
+    // Headline number: target cycles per wall second over the simulation
+    // loop only (partition compile + sim build is backend-independent and
+    // excluded), best of five runs per backend so a single noisy run on
+    // a loaded host doesn't decide the comparison. Per-node FMR makes
+    // stalls visible.
+    for (name, backend) in [("des", Backend::Des), ("threads", Backend::Threads(0))] {
+        let mut best_rate = 0.0f64;
+        let mut fmr_worst = 0.0f64;
+        let mut cycles = 0;
+        for _ in 0..5 {
+            let mut sim = build(&circuit, &spec, backend);
+            let t = Instant::now();
+            let m = sim.run_target_cycles(CYCLES).unwrap();
+            let secs = t.elapsed().as_secs_f64();
+            best_rate = best_rate.max(m.target_cycles as f64 / secs);
+            fmr_worst = m
+                .counters
+                .iter()
+                .map(NodeCounters::fmr)
+                .fold(fmr_worst, f64::max);
+            cycles = m.target_cycles;
+        }
+        println!(
+            "backend/{name:<8} {best_rate:>12.0} target-cycles/s  (cycles {cycles}, worst FMR {fmr_worst:.1}, best of 5)",
+        );
+    }
+}
+
+criterion_group!(benches, backend_throughput);
+criterion_main!(benches);

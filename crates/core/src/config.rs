@@ -2,53 +2,56 @@
 //!
 //! FireSim drives simulations from declarative config files
 //! (`config_runtime.yaml` etc.); this module provides the equivalent for
-//! FireAxe-rs: a serde-serializable [`RunConfig`] describing the
-//! partitioning, platform, and clocks of a run, convertible into a
-//! [`FireAxe`] flow. Configs are plain JSON so they can be generated,
-//! checked in, and diffed like the paper's artifact scripts.
+//! FireAxe-rs: a JSON-serializable [`RunConfig`] describing the
+//! partitioning, platform, clocks, and execution backend of a run,
+//! convertible into a [`FireAxe`] flow. Configs are plain JSON so they
+//! can be generated, checked in, and diffed like the paper's artifact
+//! scripts. (De)serialization is hand-rolled over [`crate::json`] since
+//! the workspace builds offline.
 
 use crate::flow::{FireAxe, Platform};
+use crate::json::{self, Value};
 use fireaxe_ir::Circuit;
 use fireaxe_ripper::{ChannelPolicy, PartitionGroup, PartitionMode, PartitionSpec, Selection};
-use serde::{Deserialize, Serialize};
+use fireaxe_sim::Backend;
+use std::collections::BTreeMap;
 
 /// One partition group in a config file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupConfig {
     /// Group name.
     pub name: String,
     /// Explicit instance paths (mutually exclusive with `router_indices`).
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub instances: Vec<String>,
     /// NoC-partition-mode router indices (requires `routers` at the top
     /// level).
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub router_indices: Vec<usize>,
     /// FAME-5 multi-threading.
-    #[serde(default)]
     pub fame5: bool,
 }
 
 /// A complete run configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
     /// `"exact"` or `"fast"`.
     pub mode: String,
     /// `"onprem-qsfp"`, `"cloud-f1"`, or `"host-managed"`.
     pub platform: String,
+    /// Execution backend: `"des"` (deterministic discrete-event golden
+    /// model, the default) or `"threads"` (one OS thread per partition).
+    pub backend: String,
+    /// Worker thread cap for the `"threads"` backend; `0` means one
+    /// thread per partition.
+    pub threads: usize,
     /// Bitstream frequency in MHz for all partitions.
-    #[serde(default = "default_clock")]
     pub clock_mhz: f64,
     /// Per-partition clock overrides: `[partition index, MHz]` pairs.
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub partition_clocks: Vec<(usize, f64)>,
     /// Router paths for NoC-partition-mode groups, in index order.
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub routers: Vec<String>,
     /// Partition groups.
     pub groups: Vec<GroupConfig>,
     /// Enforce FPGA fit/topology checks before running.
-    #[serde(default)]
     pub check_fit: bool,
 }
 
@@ -60,7 +63,7 @@ fn default_clock() -> f64 {
 #[derive(Debug)]
 pub enum ConfigError {
     /// JSON syntax or schema problem.
-    Parse(serde_json::Error),
+    Parse(String),
     /// Semantically invalid field value.
     Invalid {
         /// Offending field.
@@ -83,19 +86,233 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+fn schema_err(field: &'static str, message: impl Into<String>) -> ConfigError {
+    ConfigError::Invalid {
+        field,
+        message: message.into(),
+    }
+}
+
+fn get_str(
+    obj: &BTreeMap<String, Value>,
+    field: &'static str,
+) -> Result<Option<String>, ConfigError> {
+    match obj.get(field) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| schema_err(field, "expected a string")),
+    }
+}
+
+fn require_str(obj: &BTreeMap<String, Value>, field: &'static str) -> Result<String, ConfigError> {
+    get_str(obj, field)?.ok_or_else(|| schema_err(field, "missing required field"))
+}
+
+fn get_usize(
+    obj: &BTreeMap<String, Value>,
+    field: &'static str,
+) -> Result<Option<usize>, ConfigError> {
+    match obj.get(field) {
+        None => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| schema_err(field, "expected a number"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(schema_err(field, "expected a non-negative integer"));
+            }
+            Ok(Some(n as usize))
+        }
+    }
+}
+
+impl GroupConfig {
+    fn from_value(v: &Value) -> Result<Self, ConfigError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| schema_err("groups", "each group must be an object"))?;
+        let mut instances = Vec::new();
+        if let Some(arr) = obj.get("instances") {
+            for item in arr
+                .as_array()
+                .ok_or_else(|| schema_err("instances", "expected an array of strings"))?
+            {
+                instances.push(
+                    item.as_str()
+                        .ok_or_else(|| schema_err("instances", "expected an array of strings"))?
+                        .to_string(),
+                );
+            }
+        }
+        let mut router_indices = Vec::new();
+        if let Some(arr) = obj.get("router_indices") {
+            for item in arr
+                .as_array()
+                .ok_or_else(|| schema_err("router_indices", "expected an array of integers"))?
+            {
+                let n = item
+                    .as_f64()
+                    .ok_or_else(|| schema_err("router_indices", "expected an array of integers"))?;
+                router_indices.push(n as usize);
+            }
+        }
+        Ok(GroupConfig {
+            name: require_str(obj, "name")?,
+            instances,
+            router_indices,
+            fame5: obj.get("fame5").and_then(Value::as_bool).unwrap_or(false),
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("name".to_string(), Value::String(self.name.clone()));
+        if !self.instances.is_empty() {
+            m.insert(
+                "instances".to_string(),
+                Value::Array(
+                    self.instances
+                        .iter()
+                        .map(|s| Value::String(s.clone()))
+                        .collect(),
+                ),
+            );
+        }
+        if !self.router_indices.is_empty() {
+            m.insert(
+                "router_indices".to_string(),
+                Value::Array(
+                    self.router_indices
+                        .iter()
+                        .map(|&i| Value::Number(i as f64))
+                        .collect(),
+                ),
+            );
+        }
+        m.insert("fame5".to_string(), Value::Bool(self.fame5));
+        Value::Object(m)
+    }
+}
+
 impl RunConfig {
     /// Parses a JSON config.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError::Parse`] on malformed JSON.
+    /// Returns [`ConfigError::Parse`] on malformed JSON and
+    /// [`ConfigError::Invalid`] on schema violations.
     pub fn from_json(text: &str) -> Result<Self, ConfigError> {
-        serde_json::from_str(text).map_err(ConfigError::Parse)
+        let root = json::parse(text).map_err(|e| ConfigError::Parse(e.to_string()))?;
+        let obj = root
+            .as_object()
+            .ok_or_else(|| ConfigError::Parse("top-level value must be an object".into()))?;
+
+        let mut partition_clocks = Vec::new();
+        if let Some(arr) = obj.get("partition_clocks") {
+            for pair in arr
+                .as_array()
+                .ok_or_else(|| schema_err("partition_clocks", "expected an array of pairs"))?
+            {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| schema_err("partition_clocks", "expected [index, mhz] pairs"))?;
+                let idx = pair[0]
+                    .as_f64()
+                    .ok_or_else(|| schema_err("partition_clocks", "index must be a number"))?;
+                let mhz = pair[1]
+                    .as_f64()
+                    .ok_or_else(|| schema_err("partition_clocks", "mhz must be a number"))?;
+                partition_clocks.push((idx as usize, mhz));
+            }
+        }
+
+        let mut routers = Vec::new();
+        if let Some(arr) = obj.get("routers") {
+            for item in arr
+                .as_array()
+                .ok_or_else(|| schema_err("routers", "expected an array of strings"))?
+            {
+                routers.push(
+                    item.as_str()
+                        .ok_or_else(|| schema_err("routers", "expected an array of strings"))?
+                        .to_string(),
+                );
+            }
+        }
+
+        let groups = obj
+            .get("groups")
+            .ok_or_else(|| schema_err("groups", "missing required field"))?
+            .as_array()
+            .ok_or_else(|| schema_err("groups", "expected an array"))?
+            .iter()
+            .map(GroupConfig::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(RunConfig {
+            mode: require_str(obj, "mode")?,
+            platform: require_str(obj, "platform")?,
+            backend: get_str(obj, "backend")?.unwrap_or_else(|| "des".to_string()),
+            threads: get_usize(obj, "threads")?.unwrap_or(0),
+            clock_mhz: obj
+                .get("clock_mhz")
+                .and_then(Value::as_f64)
+                .unwrap_or_else(default_clock),
+            partition_clocks,
+            routers,
+            groups,
+            check_fit: obj
+                .get("check_fit")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+        })
     }
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        let mut m = BTreeMap::new();
+        m.insert("mode".to_string(), Value::String(self.mode.clone()));
+        m.insert("platform".to_string(), Value::String(self.platform.clone()));
+        if self.backend != "des" {
+            m.insert("backend".to_string(), Value::String(self.backend.clone()));
+        }
+        if self.threads != 0 {
+            m.insert("threads".to_string(), Value::Number(self.threads as f64));
+        }
+        m.insert("clock_mhz".to_string(), Value::Number(self.clock_mhz));
+        if !self.partition_clocks.is_empty() {
+            m.insert(
+                "partition_clocks".to_string(),
+                Value::Array(
+                    self.partition_clocks
+                        .iter()
+                        .map(|&(i, mhz)| {
+                            Value::Array(vec![Value::Number(i as f64), Value::Number(mhz)])
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if !self.routers.is_empty() {
+            m.insert(
+                "routers".to_string(),
+                Value::Array(
+                    self.routers
+                        .iter()
+                        .map(|s| Value::String(s.clone()))
+                        .collect(),
+                ),
+            );
+        }
+        m.insert(
+            "groups".to_string(),
+            Value::Array(self.groups.iter().map(GroupConfig::to_value).collect()),
+        );
+        m.insert("check_fit".to_string(), Value::Bool(self.check_fit));
+        Value::Object(m).to_pretty()
     }
 
     /// Resolves the partition mode.
@@ -129,6 +346,22 @@ impl RunConfig {
                 message: format!(
                     "`{other}` (expected `onprem-qsfp`, `cloud-f1`, or `host-managed`)"
                 ),
+            }),
+        }
+    }
+
+    /// Resolves the execution backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] for unknown backend strings.
+    pub fn execution_backend(&self) -> Result<Backend, ConfigError> {
+        match self.backend.as_str() {
+            "des" => Ok(Backend::Des),
+            "threads" => Ok(Backend::Threads(self.threads)),
+            other => Err(ConfigError::Invalid {
+                field: "backend",
+                message: format!("`{other}` (expected `des` or `threads`)"),
             }),
         }
     }
@@ -189,7 +422,8 @@ impl RunConfig {
     pub fn to_flow(&self, circuit: Circuit) -> Result<FireAxe, ConfigError> {
         let mut fa = FireAxe::new(circuit, self.partition_spec()?)
             .platform(self.platform()?)
-            .clock_mhz(self.clock_mhz);
+            .clock_mhz(self.clock_mhz)
+            .backend(self.execution_backend()?);
         for (p, mhz) in &self.partition_clocks {
             fa = fa.partition_clock_mhz(*p, *mhz);
         }
@@ -218,6 +452,7 @@ mod tests {
         let cfg = RunConfig::from_json(EXAMPLE).unwrap();
         assert_eq!(cfg.partition_mode().unwrap(), PartitionMode::Fast);
         assert_eq!(cfg.platform().unwrap(), Platform::OnPremQsfp);
+        assert_eq!(cfg.execution_backend().unwrap(), Backend::Des);
         let spec = cfg.partition_spec().unwrap();
         assert_eq!(spec.groups.len(), 1);
         assert!(spec.groups[0].fame5);
@@ -232,6 +467,21 @@ mod tests {
         assert!(cfg.partition_mode().is_err());
         cfg.platform = "mainframe".into();
         assert!(cfg.platform().is_err());
+        cfg.backend = "warp".into();
+        assert!(cfg.execution_backend().is_err());
+    }
+
+    #[test]
+    fn backend_field_parses_threads() {
+        let text = r#"{
+            "mode": "exact", "platform": "onprem-qsfp",
+            "backend": "threads", "threads": 4,
+            "groups": [{ "name": "g", "instances": ["a"] }]
+        }"#;
+        let cfg = RunConfig::from_json(text).unwrap();
+        assert_eq!(cfg.execution_backend().unwrap(), Backend::Threads(4));
+        let back = RunConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]
@@ -261,6 +511,21 @@ mod tests {
             cfg.partition_spec(),
             Err(ConfigError::Invalid {
                 field: "routers",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        assert!(matches!(
+            RunConfig::from_json("{ not json"),
+            Err(ConfigError::Parse(_))
+        ));
+        assert!(matches!(
+            RunConfig::from_json(r#"{"mode": "exact", "platform": "cloud-f1"}"#),
+            Err(ConfigError::Invalid {
+                field: "groups",
                 ..
             })
         ));

@@ -10,7 +10,7 @@
 use fireaxe_fpga::{fit, FitReport, FpgaSpec};
 use fireaxe_ir::Circuit;
 use fireaxe_ripper::{compile, PartitionSpec, PartitionedDesign};
-use fireaxe_sim::{BehaviorRegistry, Bridge, DistributedSim, SimBuilder};
+use fireaxe_sim::{Backend, BehaviorRegistry, Bridge, DistributedSim, SimBuilder};
 use fireaxe_transport::LinkModel;
 use std::collections::BTreeMap;
 
@@ -109,6 +109,7 @@ pub struct FireAxe {
     bridges: BTreeMap<usize, Box<dyn Bridge>>,
     check_fit: bool,
     extra_behaviors: Option<BehaviorRegistry>,
+    backend: Backend,
 }
 
 impl std::fmt::Debug for FireAxe {
@@ -132,7 +133,17 @@ impl FireAxe {
             bridges: BTreeMap::new(),
             check_fit: false,
             extra_behaviors: None,
+            backend: Backend::Des,
         }
+    }
+
+    /// Selects the execution backend for cycle-budgeted runs (default:
+    /// the deterministic DES golden model). `Backend::Threads` runs each
+    /// partition thread on its own OS thread with bit-identical target
+    /// results.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Selects the platform (default: on-premises QSFP).
@@ -215,6 +226,7 @@ impl FireAxe {
         let mut builder = SimBuilder::new(&design)
             .transport(self.platform.transport())
             .clock_mhz(self.clock_mhz)
+            .backend(self.backend)
             .behaviors(registry);
         for (p, mhz) in &self.partition_clocks {
             builder = builder.partition_clock_mhz(*p, *mhz);
@@ -242,9 +254,15 @@ mod tests {
 
     #[test]
     fn platform_transport_mapping() {
-        assert_eq!(Platform::OnPremQsfp.transport().kind, TransportKind::QsfpAurora);
+        assert_eq!(
+            Platform::OnPremQsfp.transport().kind,
+            TransportKind::QsfpAurora
+        );
         assert_eq!(Platform::CloudF1.transport().kind, TransportKind::PeerPcie);
-        assert_eq!(Platform::HostManaged.transport().kind, TransportKind::HostPcie);
+        assert_eq!(
+            Platform::HostManaged.transport().kind,
+            TransportKind::HostPcie
+        );
         assert_eq!(Platform::OnPremQsfp.fpga().name, "Xilinx Alveo U250");
         assert_eq!(Platform::CloudF1.fpga().name, "AWS F1 VU9P");
     }

@@ -62,6 +62,7 @@
 pub mod config;
 pub mod cost;
 pub mod flow;
+pub mod json;
 pub mod topology;
 pub mod validation;
 
@@ -80,8 +81,8 @@ pub mod prelude {
         compile, ChannelPolicy, PartitionGroup, PartitionMode, PartitionSpec, Selection,
     };
     pub use fireaxe_sim::{
-        estimate_target_mhz, BehaviorRegistry, ConstBridge, DistributedSim, ScriptBridge,
-        SimBuilder, SimMetrics,
+        estimate_target_mhz, Backend, BehaviorRegistry, ConstBridge, DistributedSim, NodeCounters,
+        ScriptBridge, SimBuilder, SimMetrics,
     };
     pub use fireaxe_soc::{
         ring_soc, xbar_soc, BoomConfig, RingSoc, RingSocConfig, TileKind, XbarSocConfig,

@@ -1,0 +1,225 @@
+//! Minimal benchmark harness with a criterion-compatible surface.
+//!
+//! This workspace builds fully offline, so the real `criterion` crate is
+//! unavailable; this crate implements the subset of its API the FireAxe
+//! benches use — [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`, `Bencher::iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Timing is wall-clock: each benchmark is
+//! warmed up briefly, then sampled, and the mean/min per-iteration time
+//! is printed in a stable single-line format.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measure_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            measure_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `name` and prints its timing.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, self.measure_time, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 30,
+            measure_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measure_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as the benchmark `group/name` and prints its timing.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.measure_time, f);
+        self
+    }
+
+    /// Finishes the group (drop-equivalent; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the
+/// measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_budget: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it enough times for stable numbers.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate: find an iteration count that takes ≥ ~1 ms, capped
+        // so slow routines still finish quickly.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters *= 2;
+        }
+        let deadline = Instant::now() + Duration::from_millis(200);
+        for _ in 0..self.sample_budget.max(1) {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F>(name: &str, sample_size: usize, _measure: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        sample_budget: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {name:<40} (no samples)");
+        return;
+    }
+    let per_iter = |d: &Duration| d.as_nanos() as f64 / b.iters_per_sample as f64;
+    let min = b.samples.iter().map(per_iter).fold(f64::INFINITY, f64::min);
+    let sum: f64 = b.samples.iter().map(per_iter).sum();
+    let mean = sum / b.samples.len() as f64;
+    println!(
+        "bench {name:<40} mean {:>12} min {:>12} ({} samples x {} iters)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        b.samples.len(),
+        b.iters_per_sample
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into one runner function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5_000.0).ends_with("us"));
+        assert!(fmt_ns(5_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(5e9).ends_with('s'));
+    }
+}

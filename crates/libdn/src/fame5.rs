@@ -48,11 +48,19 @@ impl Fame5Group {
     }
 
     /// Immutable access to a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.threads()`.
     pub fn member(&self, idx: usize) -> &LiBdn {
         &self.members[idx]
     }
 
     /// Mutable access to a member (for pushing/popping its channels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.threads()`.
     pub fn member_mut(&mut self, idx: usize) -> &mut LiBdn {
         &mut self.members[idx]
     }

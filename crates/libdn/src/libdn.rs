@@ -150,6 +150,11 @@ impl LiBdn {
         self.capacity = capacity.max(1);
     }
 
+    /// Current token queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Returns `true` if input channel `chan` can accept a token.
     pub fn can_accept(&self, chan: usize) -> bool {
         self.in_queues
@@ -202,10 +207,19 @@ impl LiBdn {
     ///
     /// # Errors
     ///
-    /// Propagates model evaluation failures.
+    /// Returns [`LibdnError::NoSuchChannel`] for a bad index and
+    /// propagates model evaluation failures.
     pub fn sample_output(&mut self, chan: usize) -> Result<Bits> {
         self.model.eval()?;
-        let spec = &self.spec.outputs[chan].channel;
+        let spec = &self
+            .spec
+            .outputs
+            .get(chan)
+            .ok_or_else(|| LibdnError::NoSuchChannel {
+                libdn: self.spec.name.clone(),
+                channel: chan,
+            })?
+            .channel;
         let mut vals = BTreeMap::new();
         for (port, _) in &spec.ports {
             vals.insert(port.clone(), self.model.peek(port));
@@ -285,6 +299,14 @@ impl LiBdn {
             }
         }
         self.in_queues.iter().all(|q| !q.is_empty()) && self.fired.iter().all(|&f| f)
+    }
+
+    /// Returns `true` if the LI-BDN is starved: at least one input
+    /// channel holds no token, so the fireFSM (and any output FSM
+    /// depending on that channel) cannot run. Used by the engine to
+    /// attribute host cycles to input-wait stalls.
+    pub fn waiting_on_input(&self) -> bool {
+        self.in_queues.iter().any(|q| q.is_empty())
     }
 
     /// One-line stall report for deadlock diagnostics.

@@ -1,0 +1,193 @@
+//! Minimal property-testing harness with a proptest-compatible surface.
+//!
+//! This workspace builds fully offline, so the real `proptest` crate is
+//! unavailable; this crate implements the subset of its API the FireAxe
+//! test suites use — [`Strategy`], `any`, ranges, tuples, `prop_map`,
+//! [`collection::vec`], the [`proptest!`] macro, and the `prop_assert*`
+//! macros — over a small deterministic PRNG. There is no shrinking: when
+//! a case fails, the harness panics with the fully rendered inputs so the
+//! case can be checked in as an explicit regression test.
+//!
+//! Determinism: every test derives its seed from its module path and test
+//! name (override globally with the `PROPTEST_SEED` environment variable),
+//! so failures reproduce across runs and machines.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+///
+/// Supports the optional `#![proptest_config(...)]` inner attribute used
+/// to set the number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )*
+                    let rendered = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),*),
+                        $(&$arg),*
+                    );
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1,
+                            config.cases,
+                            e,
+                            rendered
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts two values are not equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0u64..1000) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 1000);
+        }
+
+        #[test]
+        fn mapped_tuples_compose(v in (0u8..10, 0u8..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(v <= 18);
+        }
+
+        #[test]
+        fn vec_len_obeys_size_range(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn exact_vec_len(v in crate::collection::vec(any::<u64>(), 5)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_test("same-name");
+        let mut b = TestRng::for_test("same-name");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

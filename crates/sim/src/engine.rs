@@ -13,6 +13,15 @@
 //! member thread per host edge, round-robin — N host cycles per target
 //! cycle, which is what lets the inter-FPGA latency amortize across
 //! threads.
+//!
+//! Two execution [`Backend`]s drive the same node runtime. The
+//! discrete-event backend above is the golden model: single-threaded,
+//! virtual-time, fully deterministic. [`Backend::Threads`] instead runs
+//! each partition thread on its own OS thread (see [`crate::threaded`]),
+//! exchanging tokens over channels with no virtual clock. The LI-BDN
+//! protocol guarantees the target-visible cycle sequence is independent
+//! of host-side token timing, so both backends produce bit-identical
+//! target state for the same cycle budget.
 
 use crate::bridge::{Bridge, ConstBridge};
 use crate::error::{Result, SimError};
@@ -136,31 +145,118 @@ impl PartialOrd for Delivery {
     }
 }
 
-struct NodeRt {
-    name: String,
-    libdn: LiBdn,
-    partition: usize,
+pub(crate) struct NodeRt {
+    pub(crate) name: String,
+    pub(crate) libdn: LiBdn,
+    pub(crate) partition: usize,
     /// The simulated FPGA's transmitter: one token serialized at a time
     /// regardless of how many links fan out of the node (limited SERDES /
     /// QSFP cages). This is what degrades rates as more FPGAs join a ring
     /// (paper Fig. 13).
     tx_busy_until_ps: u64,
-    env_inputs: Vec<usize>,
-    env_outputs: Vec<usize>,
-    bridge: Box<dyn Bridge>,
-    out_links: Vec<usize>,
+    pub(crate) env_inputs: Vec<usize>,
+    pub(crate) env_outputs: Vec<usize>,
+    pub(crate) bridge: Box<dyn Bridge>,
+    pub(crate) out_links: Vec<usize>,
     /// Tokens that arrived but couldn't enter a full input queue yet.
-    staged: Vec<VecDeque<Bits>>,
-    env_produced: u64,
-    env_consumed: Vec<u64>,
+    pub(crate) staged: Vec<VecDeque<Bits>>,
+    pub(crate) env_produced: u64,
+    pub(crate) env_consumed: Vec<u64>,
     last_advance_ps: u64,
+    pub(crate) counters: NodeCounters,
 }
 
-struct LinkRt {
-    spec: LinkSpec,
+impl NodeRt {
+    /// Backend-independent front half of servicing a node: move staged
+    /// link tokens into the LI-BDN input queues, top up environment
+    /// input channels from the bridge, and run one host cycle of LI-BDN
+    /// work. Returns `true` on any progress.
+    ///
+    /// `budget` is the target-cycle stop line of the current run: a node
+    /// at the budget takes no further host cycles and the bridge is
+    /// never asked to produce stimulus for cycles past it, so both
+    /// backends consume *exactly* the same bridge cycles and halt every
+    /// node at the identical target cycle.
+    pub(crate) fn ingest_and_step(&mut self, budget: Option<u64>) -> Result<bool> {
+        let mut progressed = false;
+
+        // 1. Move staged link tokens into the LI-BDN queues.
+        for chan in 0..self.staged.len() {
+            while !self.staged[chan].is_empty() && self.libdn.can_accept(chan) {
+                let tok = self.staged[chan].pop_front().expect("nonempty");
+                self.libdn.push_input(chan, tok)?;
+                self.counters.tokens_enqueued += 1;
+                progressed = true;
+            }
+        }
+
+        // 2. Top up environment input channels (one token per target
+        //    cycle, produced in cycle order, never past the budget).
+        for ei in 0..self.env_inputs.len() {
+            let chan = self.env_inputs[ei];
+            while self.libdn.can_accept(chan) && budget.is_none_or(|b| self.env_produced < b) {
+                let cycle = self.env_produced;
+                let values = self.bridge.produce(cycle);
+                let token = self.libdn.spec().inputs[chan].pack(&values);
+                self.libdn.push_input(chan, token)?;
+                self.counters.tokens_enqueued += 1;
+                self.env_produced += 1;
+            }
+        }
+
+        // 3. One host cycle of LI-BDN work, unless this node already hit
+        //    the budget (its outputs for every budgeted cycle have
+        //    necessarily fired, so peers cannot be waiting on it).
+        if budget.is_none_or(|b| self.libdn.target_cycle() < b) {
+            let starved = self.libdn.waiting_on_input();
+            let before = self.libdn.target_cycle();
+            let stepped = self.libdn.host_step()?;
+            if self.libdn.target_cycle() == before && starved {
+                self.counters.input_stall_host_cycles += 1;
+            }
+            progressed |= stepped;
+        }
+        Ok(progressed)
+    }
+
+    /// Drains environment output channels into the bridge
+    /// (backend-independent tail of servicing). Returns `true` on any
+    /// progress.
+    pub(crate) fn drain_env_outputs(&mut self) -> bool {
+        let mut progressed = false;
+        for eo in 0..self.env_outputs.len() {
+            let chan = self.env_outputs[eo];
+            let spec = self.libdn.spec().outputs[chan].channel.clone();
+            while let Some(token) = self.libdn.pop_output(chan) {
+                let values = spec.unpack(&token);
+                let cycle = self.env_consumed[eo];
+                self.env_consumed[eo] += 1;
+                self.counters.tokens_dequeued += 1;
+                self.bridge.consume(cycle, &spec.name, &values);
+                progressed = true;
+            }
+        }
+        progressed
+    }
+
+    /// Snapshot of this node's counters with the live LI-BDN totals
+    /// folded in.
+    fn counters_snapshot(&self) -> NodeCounters {
+        NodeCounters {
+            node: self.name.clone(),
+            partition: self.partition,
+            host_cycles: self.libdn.host_cycles(),
+            target_cycles: self.libdn.target_cycle(),
+            ..self.counters.clone()
+        }
+    }
+}
+
+pub(crate) struct LinkRt {
+    pub(crate) spec: LinkSpec,
     model: LinkModel,
     busy_until_ps: u64,
-    tokens: u64,
+    pub(crate) tokens: u64,
     payload: VecDeque<(u64, Bits)>, // (seq, token) awaiting delivery
 }
 
@@ -174,17 +270,72 @@ struct PartitionRt {
     next_edge_ps: u64,
 }
 
+/// Execution backend for [`DistributedSim::run_target_cycles`].
+///
+/// [`Backend::Des`] is the golden model: a single-threaded
+/// discrete-event simulation in virtual picoseconds, fully deterministic
+/// and the only backend that models transport/clock timing (so
+/// [`SimMetrics::target_mhz`] is meaningful). [`Backend::Threads`] runs
+/// each partition thread on its own OS thread exchanging tokens over
+/// channels — a functional backend for raw host throughput. By the
+/// LI-BDN timing-independence property, both backends produce
+/// bit-identical target state and identical
+/// [`SimMetrics::target_cycles`] for the same cycle budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Deterministic discrete-event simulation (the default).
+    #[default]
+    Des,
+    /// One OS thread per partition thread, capped at the given worker
+    /// count; `Threads(0)` means one worker per node.
+    Threads(usize),
+}
+
+/// Per-node (i.e. per partition thread) execution counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Node name.
+    pub node: String,
+    /// Owning partition index.
+    pub partition: usize,
+    /// Tokens pushed into this node's LI-BDN input queues (link + env).
+    pub tokens_enqueued: u64,
+    /// Tokens popped from this node's output queues (link + env).
+    pub tokens_dequeued: u64,
+    /// Host cycles spent starved — stepped without target progress while
+    /// at least one input channel held no token.
+    pub input_stall_host_cycles: u64,
+    /// Total host cycles consumed.
+    pub host_cycles: u64,
+    /// Completed target cycles.
+    pub target_cycles: u64,
+}
+
+impl NodeCounters {
+    /// FPGA-to-Model cycle Ratio: host cycles per completed target
+    /// cycle (lower is better; 1.0 is the decoupled ideal).
+    pub fn fmr(&self) -> f64 {
+        if self.target_cycles == 0 {
+            return f64::INFINITY;
+        }
+        self.host_cycles as f64 / self.target_cycles as f64
+    }
+}
+
 /// Per-run measurements.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimMetrics {
     /// Completed target cycles (minimum across nodes).
     pub target_cycles: u64,
-    /// Virtual time elapsed, picoseconds.
+    /// Virtual time elapsed, picoseconds (0 under [`Backend::Threads`],
+    /// which has no virtual clock).
     pub time_ps: u64,
     /// Tokens carried per link.
     pub link_tokens: Vec<u64>,
     /// Host cycles consumed per node.
     pub host_cycles: Vec<u64>,
+    /// Per-node execution counters (token traffic, stalls, FMR).
+    pub counters: Vec<NodeCounters>,
 }
 
 impl SimMetrics {
@@ -213,6 +364,7 @@ pub struct SimBuilder<'a> {
     bridges: BTreeMap<usize, Box<dyn Bridge>>,
     behaviors: BehaviorRegistry,
     deadlock_horizon_edges: u64,
+    backend: Backend,
 }
 
 impl<'a> std::fmt::Debug for SimBuilder<'a> {
@@ -236,7 +388,15 @@ impl<'a> SimBuilder<'a> {
             bridges: BTreeMap::new(),
             behaviors: BehaviorRegistry::new(),
             deadlock_horizon_edges: 100_000,
+            backend: Backend::Des,
         }
+    }
+
+    /// Selects the execution backend for cycle-budgeted runs (see
+    /// [`Backend`]); the default is the deterministic DES golden model.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Transport used by links without an explicit override.
@@ -335,15 +495,32 @@ impl<'a> SimBuilder<'a> {
                     env_produced: 0,
                     env_consumed: vec![0; n_out_env],
                     last_advance_ps: 0,
+                    counters: NodeCounters::default(),
                 });
                 members.push(flat);
             }
             let _ = part.fame5; // threads encode FAME-5; scheduling is uniform
+            if members.is_empty() {
+                return Err(SimError::Config {
+                    message: format!("partition {pi} ({}) has no threads", part.name),
+                });
+            }
             partitions.push(PartitionRt {
                 members,
                 rr: 0,
                 period_ps,
                 next_edge_ps: 0,
+            });
+        }
+
+        // Bridges are attached by flat node index; anything left over
+        // points at a node that doesn't exist.
+        if let Some(&node) = self.bridges.keys().next() {
+            return Err(SimError::Config {
+                message: format!(
+                    "bridge attached to nonexistent node index {node} (design has {} nodes)",
+                    nodes.len()
+                ),
             });
         }
 
@@ -354,6 +531,21 @@ impl<'a> SimBuilder<'a> {
                 .get(&li)
                 .copied()
                 .unwrap_or(self.default_transport);
+            let bad = |what: &str, idx: usize| SimError::Config {
+                message: format!("link {li}: {what} index {idx} out of range"),
+            };
+            let from = nodes
+                .get(l.from_node)
+                .ok_or_else(|| bad("from-node", l.from_node))?;
+            if l.from_chan >= from.libdn.spec().outputs.len() {
+                return Err(bad("from-channel", l.from_chan));
+            }
+            let to = nodes
+                .get(l.to_node)
+                .ok_or_else(|| bad("to-node", l.to_node))?;
+            if l.to_chan >= to.staged.len() {
+                return Err(bad("to-channel", l.to_chan));
+            }
             nodes[l.from_node].out_links.push(li);
             links.push(LinkRt {
                 spec: l.clone(),
@@ -373,6 +565,8 @@ impl<'a> SimBuilder<'a> {
             seq: 0,
             deadlock_horizon_edges: self.deadlock_horizon_edges,
             edges_since_progress: 0,
+            backend: self.backend,
+            cycle_budget: None,
         };
         sim.seed_fast_mode_links()?;
         Ok(sim)
@@ -381,14 +575,18 @@ impl<'a> SimBuilder<'a> {
 
 /// A running multi-partition simulation.
 pub struct DistributedSim {
-    nodes: Vec<NodeRt>,
-    links: Vec<LinkRt>,
+    pub(crate) nodes: Vec<NodeRt>,
+    pub(crate) links: Vec<LinkRt>,
     partitions: Vec<PartitionRt>,
     pending: BinaryHeap<Delivery>,
     time_ps: u64,
     seq: u64,
-    deadlock_horizon_edges: u64,
+    pub(crate) deadlock_horizon_edges: u64,
     edges_since_progress: u64,
+    backend: Backend,
+    /// Target-cycle stop line of the current budgeted run; see
+    /// [`NodeRt::ingest_and_step`].
+    cycle_budget: Option<u64>,
 }
 
 impl std::fmt::Debug for DistributedSim {
@@ -418,6 +616,11 @@ impl DistributedSim {
     }
 
     /// Completed target cycles of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range (see
+    /// [`PartitionedDesign::node_index`]).
     pub fn node_target_cycles(&self, node: usize) -> u64 {
         self.nodes[node].libdn.target_cycle()
     }
@@ -443,15 +646,26 @@ impl DistributedSim {
             time_ps: self.time_ps,
             link_tokens: self.links.iter().map(|l| l.tokens).collect(),
             host_cycles: self.nodes.iter().map(|n| n.libdn.host_cycles()).collect(),
+            counters: self.nodes.iter().map(NodeRt::counters_snapshot).collect(),
         }
     }
 
     /// Access a node's bridge (e.g. to read a recorded trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range (see
+    /// [`PartitionedDesign::node_index`]).
     pub fn bridge_mut(&mut self, node: usize) -> &mut dyn Bridge {
         self.nodes[node].bridge.as_mut()
     }
 
     /// Access a node's wrapped target model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range (see
+    /// [`PartitionedDesign::node_index`]).
     pub fn target(&self, node: usize) -> &dyn TargetModel {
         self.nodes[node].libdn.model()
     }
@@ -461,14 +675,32 @@ impl DistributedSim {
         self.nodes.iter().map(|n| n.name.clone()).collect()
     }
 
-    /// Runs until every node has completed at least `cycles` target
-    /// cycles.
+    /// Runs until every node has completed *exactly* `cycles` target
+    /// cycles (nodes already past `cycles` are left untouched).
+    ///
+    /// The stop line is enforced per node on both backends: no node
+    /// over-runs the budget and no bridge is asked for stimulus past it,
+    /// which is what makes final target state bit-identical between
+    /// [`Backend::Des`] and [`Backend::Threads`].
     ///
     /// # Errors
     ///
     /// [`SimError::Deadlock`] when no progress is possible.
     pub fn run_target_cycles(&mut self, cycles: u64) -> Result<SimMetrics> {
-        self.run_while(|sim| sim.target_cycles() < cycles)
+        match self.backend {
+            Backend::Des => {
+                self.cycle_budget = Some(cycles);
+                let out = self.run_while(|sim| sim.target_cycles() < cycles);
+                self.cycle_budget = None;
+                out
+            }
+            Backend::Threads(workers) => crate::threaded::run(self, cycles, workers),
+        }
+    }
+
+    /// The backend this simulation executes budgeted runs on.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Returns `true` if any node's bridge reports done.
@@ -505,13 +737,17 @@ impl DistributedSim {
     /// [`SimError::Deadlock`] when the deadlock horizon is exceeded.
     pub fn step_one_edge(&mut self) -> Result<()> {
         // Next edge time across partitions (ties: lowest partition index).
-        let (pi, edge_ps) = self
+        let Some((pi, edge_ps)) = self
             .partitions
             .iter()
             .enumerate()
             .map(|(i, p)| (i, p.next_edge_ps))
             .min_by_key(|&(i, t)| (t, i))
-            .expect("at least one partition");
+        else {
+            return Err(SimError::Config {
+                message: "cannot step: the design has no partitions".into(),
+            });
+        };
         self.time_ps = edge_ps;
 
         // Deliver tokens due by now.
@@ -557,37 +793,13 @@ impl DistributedSim {
 
     fn service_node(&mut self, ni: usize) -> Result<bool> {
         let now = self.time_ps;
-        let mut progressed = false;
 
-        // 1. Move staged link tokens into the LI-BDN queues.
-        for chan in 0..self.nodes[ni].staged.len() {
-            while !self.nodes[ni].staged[chan].is_empty() && self.nodes[ni].libdn.can_accept(chan) {
-                let tok = self.nodes[ni].staged[chan].pop_front().expect("nonempty");
-                self.nodes[ni].libdn.push_input(chan, tok)?;
-            }
-        }
-        // 2. Top up environment input channels (one token per target
-        //    cycle, produced in cycle order).
-        for ei in 0..self.nodes[ni].env_inputs.len() {
-            let chan = self.nodes[ni].env_inputs[ei];
-            while self.nodes[ni].libdn.can_accept(chan) {
-                let cycle = self.nodes[ni].env_produced;
-                let values = self.nodes[ni].bridge.produce(cycle);
-                let spec = self.nodes[ni].libdn.spec().inputs[chan].clone();
-                let token = spec.pack(&values);
-                self.nodes[ni].libdn.push_input(chan, token)?;
-                self.nodes[ni].env_produced += 1;
-            }
-        }
-
-        // 3. One host cycle of LI-BDN work.
+        // 1–3. Stage tokens, top up env inputs, one host cycle.
         let before = self.nodes[ni].libdn.target_cycle();
-        let stepped = self.nodes[ni].libdn.host_step()?;
+        let mut progressed = self.nodes[ni].ingest_and_step(self.cycle_budget)?;
         if self.nodes[ni].libdn.target_cycle() > before {
             self.nodes[ni].last_advance_ps = now;
-            progressed = true;
         }
-        progressed |= stepped;
 
         // 4. Drain output channels into links.
         for li_pos in 0..self.nodes[ni].out_links.len() {
@@ -617,22 +829,13 @@ impl DistributedSim {
                     link: li,
                 });
                 self.links[li].tokens += 1;
+                self.nodes[ni].counters.tokens_dequeued += 1;
                 progressed = true;
             }
         }
 
         // 5. Drain environment output channels into the bridge.
-        for eo in 0..self.nodes[ni].env_outputs.len() {
-            let chan = self.nodes[ni].env_outputs[eo];
-            let spec = self.nodes[ni].libdn.spec().outputs[chan].channel.clone();
-            while let Some(token) = self.nodes[ni].libdn.pop_output(chan) {
-                let values = spec.unpack(&token);
-                let cycle = self.nodes[ni].env_consumed[eo];
-                self.nodes[ni].env_consumed[eo] += 1;
-                self.nodes[ni].bridge.consume(cycle, &spec.name, &values);
-                progressed = true;
-            }
-        }
+        progressed |= self.nodes[ni].drain_env_outputs();
         Ok(progressed)
     }
 }
@@ -939,5 +1142,54 @@ mod tests {
         let host = rate(LinkModel::host_pcie());
         assert!(qsfp > pcie);
         assert!(pcie > host);
+    }
+
+    #[test]
+    fn bridge_on_nonexistent_node_is_a_config_error() {
+        let c = soc();
+        let spec = PartitionSpec::exact(vec![PartitionGroup::instances(
+            "tile",
+            vec!["tile0".into()],
+        )]);
+        let design = compile(&c, &spec).unwrap();
+        let err = SimBuilder::new(&design)
+            .bridge(99, Box::new(ScriptBridge::new(|_| Default::default())))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(&err, SimError::Config { message } if message.contains("99")),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn empty_design_run_is_a_config_error_on_both_backends() {
+        let design = fireaxe_ripper::PartitionedDesign {
+            partitions: Vec::new(),
+            links: Vec::new(),
+            mode: PartitionMode::Exact,
+            report: Default::default(),
+        };
+        for backend in [Backend::Des, Backend::Threads(0)] {
+            let mut sim = SimBuilder::new(&design).backend(backend).build().unwrap();
+            let err = sim.run_target_cycles(5).unwrap_err();
+            assert!(matches!(err, SimError::Config { .. }), "{backend:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn corrupt_link_index_is_a_config_error() {
+        let c = soc();
+        let spec = PartitionSpec::exact(vec![PartitionGroup::instances(
+            "tile",
+            vec!["tile0".into()],
+        )]);
+        let mut design = compile(&c, &spec).unwrap();
+        design.links[0].to_node = 42;
+        let err = SimBuilder::new(&design).build().unwrap_err();
+        assert!(
+            matches!(&err, SimError::Config { message } if message.contains("to-node")),
+            "got {err}"
+        );
     }
 }

@@ -20,8 +20,9 @@ pub mod bridge;
 pub mod engine;
 pub mod error;
 pub mod perf;
+pub mod threaded;
 
 pub use bridge::{Bridge, ConstBridge, RecordedToken, ScriptBridge};
-pub use engine::{BehaviorRegistry, DistributedSim, SimBuilder, SimMetrics};
+pub use engine::{Backend, BehaviorRegistry, DistributedSim, NodeCounters, SimBuilder, SimMetrics};
 pub use error::{Result, SimError};
 pub use perf::estimate_target_mhz;

@@ -1,0 +1,500 @@
+//! The multi-threaded execution backend ([`Backend::Threads`]).
+//!
+//! Each partition thread emitted by FireRipper becomes an OS thread
+//! driving its own LI-BDN; inter-partition links become message
+//! channels. There is no virtual clock and no transport timing — this
+//! backend answers "how fast can the host actually push tokens", while
+//! the discrete-event backend remains the golden timing model.
+//!
+//! Correctness rests on the LI-BDN theorem the paper's exact mode is
+//! built on: the target-visible cycle sequence of a node depends only on
+//! the *values* of its input tokens per target cycle, never on their
+//! host-side arrival times. Both backends feed every node the identical
+//! token values in the identical per-channel order (links are FIFO
+//! channels; environment stimulus is produced per target cycle), and
+//! [`run`] halts every node at exactly the same target cycle, so the
+//! final target register state is bit-for-bit identical to a DES run of
+//! the same budget regardless of OS scheduling.
+
+use crate::engine::{Backend, DistributedSim, NodeRt, SimMetrics};
+use crate::error::{Result, SimError};
+use fireaxe_ir::Bits;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Mutex};
+
+// Keep the compile-time dependency explicit even though `Backend` is only
+// referenced in docs here.
+const _: Backend = Backend::Des;
+
+/// Spin iterations between checks of the global progress counter.
+const SPIN_CHECK_INTERVAL: u64 = 1 << 10;
+/// Consecutive stale progress checks before declaring deadlock.
+const STUCK_CHECKS_BEFORE_DEADLOCK: u64 = 1 << 8;
+/// Minimum host queue depth while the threaded backend runs. The DES
+/// backend keeps queues FPGA-shallow because depth shapes virtual-time
+/// backpressure; here there is no virtual clock, and the LI-BDN theorem
+/// makes buffering depth invisible to target state — so deeper queues
+/// just let partitions run further ahead before a thread starves and
+/// the OS has to switch. The configured depth is restored after the
+/// run so later DES-only calls on the same sim are unaffected.
+const RUNAHEAD_CAPACITY: usize = 64;
+
+/// One node owned by a worker, with its channel endpoints.
+struct WorkerNode<'a> {
+    node: &'a mut NodeRt,
+    /// `(input channel, link index, receiver)` per incoming link.
+    rx: Vec<(usize, usize, Receiver<Bits>)>,
+    /// `(output channel, link index, sender)` per outgoing link.
+    tx: Vec<(usize, usize, Sender<Bits>)>,
+    /// Tokens sent per `tx` entry, kept thread-local and merged into the
+    /// shared link metrics after the workers join (no per-token atomics
+    /// on the hot path).
+    tx_sent: Vec<u64>,
+}
+
+/// Shared coordination state for one threaded run.
+struct Shared {
+    /// Bumped on any node progress; workers watch it to tell "the system
+    /// is busy elsewhere" apart from "nothing can move".
+    progress: AtomicU64,
+    /// Set on deadlock or error; all workers drain out.
+    abort: AtomicBool,
+    /// First error raised by any worker.
+    error: Mutex<Option<SimError>>,
+}
+
+/// Runs `sim` until every node has completed exactly `budget` target
+/// cycles, using `workers` OS threads (0 = one per node).
+///
+/// # Errors
+///
+/// [`SimError::Deadlock`] when no node can make progress.
+pub(crate) fn run(sim: &mut DistributedSim, budget: u64, workers: usize) -> Result<SimMetrics> {
+    let n_nodes = sim.nodes.len();
+    if n_nodes == 0 {
+        // Same typed error the DES backend raises from `step_one_edge`.
+        return Err(SimError::Config {
+            message: "cannot step: the design has no partitions".into(),
+        });
+    }
+
+    // One FIFO channel per link. The sender lives with the producing
+    // node's worker, the receiver with the consuming node's.
+    let mut rx_lists: Vec<Vec<(usize, usize, Receiver<Bits>)>> =
+        (0..n_nodes).map(|_| Vec::new()).collect();
+    let mut tx_lists: Vec<Vec<(usize, usize, Sender<Bits>)>> =
+        (0..n_nodes).map(|_| Vec::new()).collect();
+    for (li, link) in sim.links.iter().enumerate() {
+        let (tx, rx) = mpsc::channel::<Bits>();
+        tx_lists[link.spec.from_node].push((link.spec.from_chan, li, tx));
+        rx_lists[link.spec.to_node].push((link.spec.to_chan, li, rx));
+    }
+
+    let shared = Shared {
+        progress: AtomicU64::new(0),
+        abort: AtomicBool::new(false),
+        error: Mutex::new(None),
+    };
+    let n_links = sim.links.len();
+
+    // Deepen host queues for runahead (see [`RUNAHEAD_CAPACITY`]).
+    let saved_capacity: Vec<usize> = sim
+        .nodes
+        .iter_mut()
+        .map(|n| {
+            let cap = n.libdn.capacity();
+            n.libdn.set_capacity(cap.max(RUNAHEAD_CAPACITY));
+            cap
+        })
+        .collect();
+
+    // Distribute nodes round-robin over the worker pool.
+    let n_workers = if workers == 0 {
+        n_nodes
+    } else {
+        workers.min(n_nodes)
+    };
+    let mut pools: Vec<Vec<WorkerNode<'_>>> = (0..n_workers).map(|_| Vec::new()).collect();
+    for (ni, node) in sim.nodes.iter_mut().enumerate() {
+        let mut rx = std::mem::take(&mut rx_lists[ni]);
+        let mut tx = std::mem::take(&mut tx_lists[ni]);
+        // Deterministic endpoint order (not required for correctness —
+        // tokens are ordered per channel — but keeps behavior easy to
+        // reason about).
+        rx.sort_by_key(|&(chan, li, _)| (chan, li));
+        tx.sort_by_key(|&(chan, li, _)| (chan, li));
+        let tx_sent = vec![0u64; tx.len()];
+        pools[ni % n_workers].push(WorkerNode {
+            node,
+            rx,
+            tx,
+            tx_sent,
+        });
+    }
+
+    let horizon = sim.deadlock_horizon_edges;
+    let link_counts = std::thread::scope(|scope| {
+        let handles: Vec<_> = pools
+            .into_iter()
+            .map(|pool| {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(pool, budget, shared, horizon))
+            })
+            .collect();
+        let mut counts = vec![0u64; n_links];
+        for handle in handles {
+            for (li, sent) in handle.join().expect("worker thread panicked") {
+                counts[li] += sent;
+            }
+        }
+        counts
+    });
+
+    for (node, cap) in sim.nodes.iter_mut().zip(saved_capacity) {
+        node.libdn.set_capacity(cap);
+    }
+
+    if let Some(err) = shared
+        .error
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
+        return Err(err);
+    }
+    for (li, tokens) in link_counts.into_iter().enumerate() {
+        sim.links[li].tokens += tokens;
+    }
+    if shared.abort.load(Ordering::Relaxed) {
+        let report = sim.nodes.iter().map(|n| n.libdn.stall_report()).collect();
+        return Err(SimError::Deadlock { time_ps: 0, report });
+    }
+    Ok(sim.metrics())
+}
+
+/// Services the worker's node pool until every node reaches the budget,
+/// an error/deadlock aborts the run, or nothing moves for long enough.
+/// Returns `(link index, tokens sent)` for every outgoing endpoint this
+/// worker owned, for merging into the shared metrics.
+fn worker_loop(
+    mut pool: Vec<WorkerNode<'_>>,
+    budget: u64,
+    shared: &Shared,
+    horizon: u64,
+) -> Vec<(usize, u64)> {
+    let mut spins: u64 = 0;
+    let mut stuck_checks: u64 = 0;
+    let mut last_progress = shared.progress.load(Ordering::Relaxed);
+    // Scale the stale-check count with the configured DES horizon so
+    // `SimBuilder::deadlock_horizon` tightens both backends.
+    let max_stuck = STUCK_CHECKS_BEFORE_DEADLOCK
+        .min(horizon / SPIN_CHECK_INTERVAL + 2)
+        .max(2);
+
+    loop {
+        if shared.abort.load(Ordering::Relaxed) {
+            return sent_counts(&pool);
+        }
+        let mut all_done = true;
+        let mut progressed = false;
+        for wn in &mut pool {
+            // A node at the budget has consumed every input token it will
+            // ever need (producers are budget-gated too) — skip it.
+            if wn.node.libdn.target_cycle() >= budget {
+                continue;
+            }
+            match service(wn, budget) {
+                Ok(p) => progressed |= p,
+                Err(e) => {
+                    let mut slot = shared
+                        .error
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    slot.get_or_insert(e);
+                    shared.abort.store(true, Ordering::Relaxed);
+                    return sent_counts(&pool);
+                }
+            }
+            all_done &= wn.node.libdn.target_cycle() >= budget;
+        }
+        if all_done {
+            return sent_counts(&pool);
+        }
+        if progressed {
+            shared.progress.fetch_add(1, Ordering::Relaxed);
+            spins = 0;
+            stuck_checks = 0;
+            continue;
+        }
+        spins += 1;
+        if spins.is_multiple_of(SPIN_CHECK_INTERVAL) {
+            let now = shared.progress.load(Ordering::Relaxed);
+            if now == last_progress {
+                stuck_checks += 1;
+                if stuck_checks >= max_stuck {
+                    // Nothing moved anywhere across many checks: deadlock.
+                    shared.abort.store(true, Ordering::Relaxed);
+                    return sent_counts(&pool);
+                }
+            } else {
+                last_progress = now;
+                stuck_checks = 0;
+            }
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Flattens a worker pool's thread-local per-endpoint send counts into
+/// `(link index, tokens)` pairs.
+fn sent_counts(pool: &[WorkerNode<'_>]) -> Vec<(usize, u64)> {
+    pool.iter()
+        .flat_map(|wn| {
+            wn.tx
+                .iter()
+                .zip(&wn.tx_sent)
+                .map(|((_, li, _), sent)| (*li, *sent))
+        })
+        .collect()
+}
+
+/// One service pass over a node: drain incoming channels into the
+/// staging buffers, then repeat ingest → host step → drain outputs for
+/// as long as the node makes progress. Unlike the DES backend — which
+/// must take exactly one host cycle per virtual clock edge — the
+/// threaded backend has no virtual clock, so batching host steps per
+/// pass is free and amortizes the channel/atomic traffic.
+fn service(wn: &mut WorkerNode<'_>, budget: u64) -> Result<bool> {
+    for (chan, _li, rx) in &wn.rx {
+        while let Ok(token) = rx.try_recv() {
+            wn.node.staged[*chan].push_back(token);
+        }
+    }
+
+    let mut progressed = false;
+    loop {
+        let mut pass = wn.node.ingest_and_step(Some(budget))?;
+
+        for (ti, (chan, _li, tx)) in wn.tx.iter().enumerate() {
+            while let Some(token) = wn.node.libdn.pop_output(*chan) {
+                wn.node.counters.tokens_dequeued += 1;
+                wn.tx_sent[ti] += 1;
+                // A send can only fail once the receiver's worker has
+                // exited on abort; the run is over either way.
+                let _ = tx.send(token);
+                pass = true;
+            }
+        }
+
+        pass |= wn.node.drain_env_outputs();
+        progressed |= pass;
+        if !pass || wn.node.libdn.target_cycle() >= budget {
+            return Ok(progressed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::bridge::ScriptBridge;
+    use crate::engine::{Backend, SimBuilder};
+    use crate::error::SimError;
+    use fireaxe_ir::build::ModuleBuilder;
+    use fireaxe_ir::{Bits, Circuit};
+    use fireaxe_ripper::{compile, ChannelPolicy, PartitionGroup, PartitionMode, PartitionSpec};
+    use fireaxe_transport::LinkModel;
+
+    fn soc() -> Circuit {
+        let mut tile = ModuleBuilder::new("Tile");
+        let req = tile.input("req", 8);
+        let rsp = tile.output("rsp", 8);
+        let acc = tile.reg("acc", 8, 0);
+        tile.connect_sig(&acc, &acc.add(&req));
+        tile.connect_sig(&rsp, &acc.add(&req));
+        let tile = tile.finish();
+
+        let mut top = ModuleBuilder::new("Soc");
+        let i = top.input("i", 8);
+        let o = top.output("o", 8);
+        top.inst("tile0", "Tile");
+        let hub = top.reg("hub", 8, 1);
+        top.connect_inst("tile0", "req", &hub);
+        let rsp = top.inst_port("tile0", "rsp");
+        top.connect_sig(&hub, &rsp.xor(&i));
+        top.connect_sig(&o, &hub);
+        Circuit::from_modules("Soc", vec![top.finish(), tile], "Soc")
+    }
+
+    fn spec(mode: PartitionMode) -> PartitionSpec {
+        PartitionSpec {
+            mode,
+            channel_policy: ChannelPolicy::Separated,
+            groups: vec![PartitionGroup::instances("tile", vec!["tile0".into()])],
+        }
+    }
+
+    fn trace(backend: Backend, mode: PartitionMode, cycles: u64) -> (Vec<(u64, u64)>, u64) {
+        let c = soc();
+        let design = compile(&c, &spec(mode)).unwrap();
+        let rest = design.node_index(1, 0);
+        let bridge = ScriptBridge::new(|cycle| {
+            let mut m = std::collections::BTreeMap::new();
+            m.insert("i".to_string(), Bits::from_u64(cycle % 251, 8));
+            m
+        })
+        .recording();
+        let mut sim = SimBuilder::new(&design)
+            .backend(backend)
+            .bridge(rest, Box::new(bridge))
+            .build()
+            .unwrap();
+        let metrics = sim.run_target_cycles(cycles).unwrap();
+        let b = sim
+            .bridge_mut(rest)
+            .as_any()
+            .downcast_mut::<ScriptBridge>()
+            .unwrap();
+        let mut t: Vec<(u64, u64)> = b
+            .log()
+            .iter()
+            .filter_map(|r| r.values.get("o").map(|v| (r.cycle, v.to_u64())))
+            .collect();
+        t.sort_unstable();
+        (t, metrics.target_cycles)
+    }
+
+    #[test]
+    fn threads_match_des_bit_for_bit_exact_mode() {
+        let (des, des_cycles) = trace(Backend::Des, PartitionMode::Exact, 60);
+        let (thr, thr_cycles) = trace(Backend::Threads(0), PartitionMode::Exact, 60);
+        assert_eq!(des_cycles, thr_cycles);
+        assert_eq!(des, thr, "threaded backend must be bit-exact vs DES");
+    }
+
+    #[test]
+    fn threads_match_des_bit_for_bit_fast_mode() {
+        let (des, _) = trace(Backend::Des, PartitionMode::Fast, 60);
+        let (thr, _) = trace(Backend::Threads(0), PartitionMode::Fast, 60);
+        assert_eq!(des, thr, "seeded links must behave identically");
+    }
+
+    #[test]
+    fn worker_cap_smaller_than_node_count_still_exact() {
+        let (des, _) = trace(Backend::Des, PartitionMode::Exact, 40);
+        let (thr, _) = trace(Backend::Threads(1), PartitionMode::Exact, 40);
+        assert_eq!(des, thr);
+    }
+
+    #[test]
+    fn final_register_state_is_identical() {
+        let c = soc();
+        let design = compile(&c, &spec(PartitionMode::Exact)).unwrap();
+        let run = |backend| {
+            let mut sim = SimBuilder::new(&design).backend(backend).build().unwrap();
+            let m = sim.run_target_cycles(37).unwrap();
+            let mut states = Vec::new();
+            for ni in 0..design.node_count() {
+                let t = sim.target(ni);
+                for (port, _) in t.output_ports() {
+                    states.push((ni, port.clone(), t.peek(&port).to_u64()));
+                }
+            }
+            (m.target_cycles, states)
+        };
+        assert_eq!(run(Backend::Des), run(Backend::Threads(0)));
+    }
+
+    #[test]
+    fn budgeted_runs_stop_every_node_exactly() {
+        let c = soc();
+        let design = compile(&c, &spec(PartitionMode::Exact)).unwrap();
+        for backend in [Backend::Des, Backend::Threads(0)] {
+            let mut sim = SimBuilder::new(&design).backend(backend).build().unwrap();
+            sim.run_target_cycles(25).unwrap();
+            for ni in 0..design.node_count() {
+                assert_eq!(sim.node_target_cycles(ni), 25, "{backend:?} node {ni}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_counters_account_for_tokens() {
+        let c = soc();
+        let design = compile(&c, &spec(PartitionMode::Exact)).unwrap();
+        let mut sim = SimBuilder::new(&design)
+            .backend(Backend::Threads(0))
+            .build()
+            .unwrap();
+        let m = sim.run_target_cycles(30).unwrap();
+        assert_eq!(m.counters.len(), design.node_count());
+        for ctr in &m.counters {
+            assert_eq!(ctr.target_cycles, 30);
+            // Every node both receives and emits boundary tokens.
+            assert!(ctr.tokens_enqueued >= 30, "{ctr:?}");
+            assert!(ctr.tokens_dequeued >= 30, "{ctr:?}");
+            assert!(ctr.fmr() >= 1.0);
+        }
+        // Link token counts carried over into the shared metrics.
+        assert!(m.link_tokens.iter().all(|&t| t >= 30));
+    }
+
+    #[test]
+    fn threaded_backend_detects_deadlock() {
+        // Monolithic channels on a Fig. 2-style circular dependency
+        // deadlock under DES; the threaded backend must report it too
+        // (not hang).
+        let mut tile = ModuleBuilder::new("Fig2Side");
+        let sink_in = tile.input("sink_in", 8);
+        let src_in = tile.input("src_in", 8);
+        let sink_out = tile.output("sink_out", 8);
+        let src_out = tile.output("src_out", 8);
+        let x = tile.reg("x", 8, 1);
+        tile.connect_sig(&sink_out, &x.add(&sink_in));
+        tile.connect_sig(&src_out, &x);
+        tile.connect_sig(&x, &src_in);
+        let tile = tile.finish();
+
+        let mut top = ModuleBuilder::new("Soc");
+        let i = top.input("i", 8);
+        let o = top.output("o", 8);
+        top.inst("t", "Fig2Side");
+        let y = top.reg("y", 8, 2);
+        top.connect_inst("t", "sink_in", &y);
+        let t_src = top.inst_port("t", "src_out");
+        top.connect_inst("t", "src_in", &y.add(&t_src));
+        let t_snk = top.inst_port("t", "sink_out");
+        top.connect_sig(&y, &t_snk.xor(&i));
+        top.connect_sig(&o, &y);
+        let c = Circuit::from_modules("Soc", vec![top.finish(), tile], "Soc");
+
+        let spec = PartitionSpec {
+            mode: PartitionMode::Exact,
+            channel_policy: ChannelPolicy::Monolithic,
+            groups: vec![PartitionGroup::instances("t", vec!["t".into()])],
+        };
+        let design = compile(&c, &spec).unwrap();
+        let mut sim = SimBuilder::new(&design)
+            .backend(Backend::Threads(0))
+            .deadlock_horizon(2048)
+            .build()
+            .unwrap();
+        let err = sim.run_target_cycles(10).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }), "got {err}");
+    }
+
+    #[test]
+    fn des_timing_metrics_stay_des_only() {
+        let c = soc();
+        let design = compile(&c, &spec(PartitionMode::Exact)).unwrap();
+        let mut thr = SimBuilder::new(&design)
+            .backend(Backend::Threads(0))
+            .transport(LinkModel::qsfp_aurora())
+            .build()
+            .unwrap();
+        let m = thr.run_target_cycles(20).unwrap();
+        // No virtual clock: the threaded backend reports no target rate.
+        assert_eq!(m.time_ps, 0);
+        assert_eq!(m.target_mhz(), 0.0);
+    }
+}

@@ -166,6 +166,15 @@ fn stimulus(cycle: u64) -> u64 {
 }
 
 fn partitioned_trace(c: &Circuit, mode: PartitionMode, cycles: usize) -> Vec<(u64, u64)> {
+    partitioned_trace_on(c, mode, cycles, Backend::Des)
+}
+
+fn partitioned_trace_on(
+    c: &Circuit,
+    mode: PartitionMode,
+    cycles: usize,
+    backend: Backend,
+) -> Vec<(u64, u64)> {
     let spec = PartitionSpec {
         mode,
         channel_policy: ChannelPolicy::Separated,
@@ -178,6 +187,7 @@ fn partitioned_trace(c: &Circuit, mode: PartitionMode, cycles: usize) -> Vec<(u6
     })
     .recording();
     let (design, mut sim) = fireaxe::FireAxe::new(c.clone(), spec)
+        .backend(backend)
         .bridge(1, Box::new(bridge))
         .build()
         .unwrap();
@@ -204,6 +214,27 @@ fn partitioned_trace(c: &Circuit, mode: PartitionMode, cycles: usize) -> Vec<(u6
         .take(cycles)
         .map(|(a, b)| (a.unwrap(), b.unwrap()))
         .collect()
+}
+
+/// Deterministic replay of the shrunken case recorded in
+/// `props.proptest-regressions`: register init values wider than the
+/// register. Exact-mode partitioning must still match the monolithic
+/// interpreter bit for bit.
+#[test]
+fn regression_register_inits_wider_than_register() {
+    let rules = vec![RegRule { op: 0, a: 0, b: 0 }, RegRule { op: 0, a: 0, b: 0 }];
+    let inits = vec![
+        26878071216826627,
+        2819299258004080555,
+        5527288683126244663,
+        17068007786349050263,
+        9104386042750791233,
+    ];
+    let c = random_soc(&rules, &inits);
+    let cycles = 40;
+    let golden = golden_trace(&c, cycles);
+    let exact = partitioned_trace(&c, PartitionMode::Exact, cycles);
+    assert_eq!(&exact[..], &golden[..]);
 }
 
 proptest! {
@@ -240,6 +271,50 @@ proptest! {
         let a = partitioned_trace(&c, PartitionMode::Fast, 30);
         let b = partitioned_trace(&c, PartitionMode::Fast, 30);
         prop_assert_eq!(a, b);
+    }
+}
+
+// ---------- Backend parity ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// Backend parity, the threaded-execution counterpart of the central
+    /// theorem: on random circuits, a `Backend::Threads` run is
+    /// bit-identical to both the `Backend::Des` golden model *and* the
+    /// monolithic interpreter (exact mode), despite OS scheduling being
+    /// free to deliver tokens in any host-side order.
+    #[test]
+    fn threaded_backend_matches_des_and_monolithic(
+        rules in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(op, a, b)| RegRule { op, a, b }),
+            2..5,
+        ),
+        inits in proptest::collection::vec(any::<u64>(), 5),
+    ) {
+        let c = random_soc(&rules, &inits);
+        let cycles = 25;
+        let golden = golden_trace(&c, cycles);
+        let des = partitioned_trace_on(&c, PartitionMode::Exact, cycles, Backend::Des);
+        let threads = partitioned_trace_on(&c, PartitionMode::Exact, cycles, Backend::Threads(0));
+        prop_assert_eq!(&des[..], &golden[..]);
+        prop_assert_eq!(&threads[..], &des[..]);
+    }
+
+    /// Fast mode seeds links from reset state; both backends must agree
+    /// on the seeded (modified-target) trace too.
+    #[test]
+    fn threaded_backend_matches_des_fast_mode(
+        rules in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(op, a, b)| RegRule { op, a, b }),
+            2..4,
+        ),
+        inits in proptest::collection::vec(any::<u64>(), 5),
+    ) {
+        let c = random_soc(&rules, &inits);
+        let des = partitioned_trace_on(&c, PartitionMode::Fast, 25, Backend::Des);
+        let threads = partitioned_trace_on(&c, PartitionMode::Fast, 25, Backend::Threads(0));
+        prop_assert_eq!(threads, des);
     }
 }
 
