@@ -33,22 +33,38 @@ fn noc_4partition_design() -> (Circuit, PartitionSpec) {
     (soc.circuit, PartitionSpec::exact(groups))
 }
 
-fn build(circuit: &Circuit, spec: &PartitionSpec, backend: Backend) -> DistributedSim {
-    let (design, sim) = fireaxe::FireAxe::new(circuit.clone(), spec.clone())
-        .backend(backend)
-        .build()
-        .unwrap();
+fn build(
+    circuit: &Circuit,
+    spec: &PartitionSpec,
+    backend: Backend,
+    reliable: bool,
+) -> DistributedSim {
+    let mut flow = fireaxe::FireAxe::new(circuit.clone(), spec.clone()).backend(backend);
+    if reliable {
+        // Protocol armed, fault schedule empty: every frame still gets
+        // sequenced, CRC'd, tracked for ACK, and timeout-scanned, so this
+        // measures the pure reliability-layer overhead.
+        flow = flow
+            .fault_spec(FaultSpec::quiet(0))
+            .retry_policy(RetryPolicy::default());
+    }
+    let (design, sim) = flow.build().unwrap();
     assert_eq!(design.partitions.len(), 4, "expected a 4-partition cut");
     sim
 }
 
-fn run_once(circuit: &Circuit, spec: &PartitionSpec, backend: Backend) -> SimMetrics {
-    let mut sim = build(circuit, spec, backend);
+fn run_once(
+    circuit: &Circuit,
+    spec: &PartitionSpec,
+    backend: Backend,
+    reliable: bool,
+) -> SimMetrics {
+    let mut sim = build(circuit, spec, backend, reliable);
     sim.run_target_cycles(CYCLES).unwrap()
 }
 
 fn final_state(circuit: &Circuit, spec: &PartitionSpec, backend: Backend) -> Vec<(usize, u64)> {
-    let mut sim = build(circuit, spec, backend);
+    let mut sim = build(circuit, spec, backend, false);
     sim.run_target_cycles(CYCLES).unwrap();
     let mut out = Vec::new();
     for ni in 0..sim.node_names().len() {
@@ -73,10 +89,19 @@ fn backend_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("backend");
     g.sample_size(10);
     g.bench_function("des_noc4", |bench| {
-        bench.iter(|| black_box(run_once(&circuit, &spec, Backend::Des)))
+        bench.iter(|| black_box(run_once(&circuit, &spec, Backend::Des, false)))
     });
     g.bench_function("threads_noc4", |bench| {
-        bench.iter(|| black_box(run_once(&circuit, &spec, Backend::Threads(0))))
+        bench.iter(|| black_box(run_once(&circuit, &spec, Backend::Threads(0), false)))
+    });
+    // Reliability layer armed but with no faults scheduled: the delta
+    // against the plain variants is the pure protocol cost (framing, CRC,
+    // sequence/ACK tracking, retransmit-timer scans).
+    g.bench_function("des_noc4_reliable", |bench| {
+        bench.iter(|| black_box(run_once(&circuit, &spec, Backend::Des, true)))
+    });
+    g.bench_function("threads_noc4_reliable", |bench| {
+        bench.iter(|| black_box(run_once(&circuit, &spec, Backend::Threads(0), true)))
     });
     g.finish();
 
@@ -85,12 +110,17 @@ fn backend_throughput(c: &mut Criterion) {
     // excluded), best of five runs per backend so a single noisy run on
     // a loaded host doesn't decide the comparison. Per-node FMR makes
     // stalls visible.
-    for (name, backend) in [("des", Backend::Des), ("threads", Backend::Threads(0))] {
+    for (name, backend, reliable) in [
+        ("des", Backend::Des, false),
+        ("threads", Backend::Threads(0), false),
+        ("des+rel", Backend::Des, true),
+        ("threads+rel", Backend::Threads(0), true),
+    ] {
         let mut best_rate = 0.0f64;
         let mut fmr_worst = 0.0f64;
         let mut cycles = 0;
         for _ in 0..5 {
-            let mut sim = build(&circuit, &spec, backend);
+            let mut sim = build(&circuit, &spec, backend, reliable);
             let t = Instant::now();
             let m = sim.run_target_cycles(CYCLES).unwrap();
             let secs = t.elapsed().as_secs_f64();
@@ -103,7 +133,7 @@ fn backend_throughput(c: &mut Criterion) {
             cycles = m.target_cycles;
         }
         println!(
-            "backend/{name:<8} {best_rate:>12.0} target-cycles/s  (cycles {cycles}, worst FMR {fmr_worst:.1}, best of 5)",
+            "backend/{name:<12} {best_rate:>12.0} target-cycles/s  (cycles {cycles}, worst FMR {fmr_worst:.1}, best of 5)",
         );
     }
 }

@@ -1,0 +1,159 @@
+//! Deterministic fault matrix: fixed seeds × fault kinds × both
+//! backends, each cell asserting that a recovered fault-injected run
+//! ends bit-identical to the fault-free DES golden run.
+//!
+//! This is the CI-facing version of the `fault_recovery` property suite:
+//! no randomness, a fixed list of campaigns, table output, and a
+//! non-zero exit code on any parity mismatch — so a regression in the
+//! reliability protocol or checkpoint/rollback recovery fails the build
+//! even if the unit suites are skipped.
+
+use fireaxe::prelude::*;
+use std::process::ExitCode;
+
+const CYCLES: u64 = 300;
+const SEEDS: [u64; 3] = [1, 42, 0xF1AE];
+const CHECKPOINT_INTERVAL: u64 = 32;
+const MAX_ROLLBACKS: u32 = 16;
+
+fn noc_design() -> (Circuit, PartitionSpec) {
+    let soc = ring_soc(&RingSocConfig {
+        tiles: 6,
+        tile_period: 4,
+        ..Default::default()
+    });
+    let groups: Vec<PartitionGroup> = (0..3)
+        .map(|g| PartitionGroup {
+            name: format!("fpga{g}"),
+            selection: Selection::NocRouters {
+                routers: soc.router_paths.clone(),
+                indices: vec![2 * g, 2 * g + 1],
+            },
+            fame5: false,
+        })
+        .collect();
+    (soc.circuit, PartitionSpec::exact(groups))
+}
+
+/// The campaign for one matrix cell: a single fault kind at a rate high
+/// enough to exercise the protocol constantly, or a transient outage
+/// long enough to force rollback, or everything at once.
+fn campaign(kind: &str, seed: u64) -> FaultSpec {
+    let quiet = FaultSpec::quiet(seed);
+    match kind {
+        "drop" => FaultSpec {
+            drop_per_mille: 150,
+            ..quiet
+        },
+        "corrupt" => FaultSpec {
+            corrupt_per_mille: 150,
+            ..quiet
+        },
+        "duplicate" => FaultSpec {
+            duplicate_per_mille: 150,
+            ..quiet
+        },
+        "stall" => FaultSpec {
+            stall_per_mille: 100,
+            max_stall_quanta: 3,
+            ..quiet
+        },
+        "outage" => FaultSpec {
+            down: vec![(5, 25)],
+            down_link: Some(0),
+            ..quiet
+        },
+        "mix" => FaultSpec {
+            drop_per_mille: 60,
+            corrupt_per_mille: 60,
+            duplicate_per_mille: 60,
+            stall_per_mille: 40,
+            max_stall_quanta: 2,
+            down: vec![(10, 22)],
+            down_link: Some(1),
+            ..quiet
+        },
+        other => unreachable!("unknown fault kind {other}"),
+    }
+}
+
+/// Final target-visible state: every node's completed cycle count and
+/// output-port values.
+type Fingerprint = Vec<(usize, String, u64, u64)>;
+
+fn run(
+    circuit: &Circuit,
+    spec: &PartitionSpec,
+    backend: Backend,
+    faults: Option<FaultSpec>,
+) -> Result<(Fingerprint, u64), SimError> {
+    let mut flow = fireaxe::FireAxe::new(circuit.clone(), spec.clone()).backend(backend);
+    if let Some(fs) = faults {
+        flow = flow
+            .fault_spec(fs)
+            .retry_policy(RetryPolicy {
+                max_retries: 6,
+                timeout_cycles: 8,
+            })
+            .checkpoint_interval(CHECKPOINT_INTERVAL)
+            .max_rollbacks(MAX_ROLLBACKS);
+    }
+    let (_, mut sim) = flow.build().map_err(|e| match e {
+        FlowError::Sim(e) => e,
+        other => panic!("flow setup failed: {other}"),
+    })?;
+    sim.run_target_cycles_recovering(CYCLES)?;
+    let rollbacks = sim.rollbacks_taken();
+    let mut fp = Vec::new();
+    for ni in 0..sim.node_names().len() {
+        let cycles = sim.node_target_cycles(ni);
+        let t = sim.target(ni);
+        for (port, _) in t.output_ports() {
+            fp.push((ni, port.clone(), t.peek(&port).to_u64(), cycles));
+        }
+    }
+    Ok((fp, rollbacks))
+}
+
+fn main() -> ExitCode {
+    let (circuit, spec) = noc_design();
+    let (golden, _) =
+        run(&circuit, &spec, Backend::Des, None).expect("fault-free golden run failed");
+
+    println!("== Fault matrix: {CYCLES} cycles, golden = fault-free DES ==\n");
+    println!(
+        "{:<10} {:>8}  {:<11} {:>9}  result",
+        "kind", "seed", "backend", "rollbacks"
+    );
+    let mut failures = 0u32;
+    for kind in ["drop", "corrupt", "duplicate", "stall", "outage", "mix"] {
+        for seed in SEEDS {
+            for backend in [Backend::Des, Backend::Threads(0)] {
+                let cell = run(&circuit, &spec, backend, Some(campaign(kind, seed)));
+                let verdict = match cell {
+                    Ok((ref fp, _)) if *fp == golden => "ok",
+                    Ok(_) => {
+                        failures += 1;
+                        "PARITY MISMATCH"
+                    }
+                    Err(ref e) => {
+                        failures += 1;
+                        eprintln!("  error: {e}");
+                        "FAILED"
+                    }
+                };
+                let rollbacks = cell.as_ref().map(|&(_, r)| r).unwrap_or(0);
+                println!(
+                    "{kind:<10} {seed:>8}  {:<11} {rollbacks:>9}  {verdict}",
+                    format!("{backend:?}"),
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} cell(s) failed");
+        return ExitCode::FAILURE;
+    }
+    println!("\nall cells bit-identical to the fault-free golden run");
+    ExitCode::SUCCESS
+}

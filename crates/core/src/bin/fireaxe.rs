@@ -98,8 +98,11 @@ fn run() -> Result<(), String> {
     }
 
     let (_design, mut sim) = flow.build().map_err(|e| e.to_string())?;
+    // `recovering` so configs with `checkpoint_interval` set survive
+    // injected link outages by rolling back; without checkpoints it is
+    // exactly `run_target_cycles`.
     let metrics = sim
-        .run_target_cycles(args.cycles)
+        .run_target_cycles_recovering(args.cycles)
         .map_err(|e| e.to_string())?;
     println!(
         "simulated {} target cycles in {:.3} ms of virtual time: {:.3} MHz",
@@ -107,6 +110,12 @@ fn run() -> Result<(), String> {
         metrics.time_ps as f64 / 1e9,
         metrics.target_mhz()
     );
+    if sim.rollbacks_taken() > 0 {
+        println!(
+            "recovered from link faults via {} checkpoint rollback(s)",
+            sim.rollbacks_taken()
+        );
+    }
     Ok(())
 }
 

@@ -14,6 +14,8 @@ use crate::json::{self, Value};
 use fireaxe_ir::Circuit;
 use fireaxe_ripper::{ChannelPolicy, PartitionGroup, PartitionMode, PartitionSpec, Selection};
 use fireaxe_sim::Backend;
+use fireaxe_transport::fault::FaultSpec;
+use fireaxe_transport::reliable::RetryPolicy;
 use std::collections::BTreeMap;
 
 /// One partition group in a config file.
@@ -28,6 +30,42 @@ pub struct GroupConfig {
     pub router_indices: Vec<usize>,
     /// FAME-5 multi-threading.
     pub fame5: bool,
+}
+
+/// Deterministic fault-injection campaign (the `"fault"` object).
+///
+/// Rates are per-mille per physical transmission attempt; `down` lists
+/// half-open `[start, end)` windows in per-link attempt-index space
+/// (`end: null` means the link never comes back). Setting `fault` arms
+/// the link reliability protocol even if `"reliability"` is omitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Master seed for the whole campaign.
+    pub seed: u64,
+    /// Token-drop probability, ‰ per attempt.
+    pub drop_per_mille: u16,
+    /// Bit-flip corruption probability, ‰ per attempt.
+    pub corrupt_per_mille: u16,
+    /// Duplication probability, ‰ per attempt.
+    pub duplicate_per_mille: u16,
+    /// Transient-stall probability, ‰ per attempt.
+    pub stall_per_mille: u16,
+    /// Maximum stall length in retry-timeout quanta.
+    pub max_stall_quanta: u32,
+    /// Hard link-down windows `[start, end)` in attempt indices.
+    pub down: Vec<(u64, u64)>,
+    /// Restrict `down` windows to one link (`None` = every link).
+    pub down_link: Option<usize>,
+}
+
+/// Link reliability protocol knobs (the `"reliability"` object).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityConfig {
+    /// Retransmissions allowed per frame before `LinkDown`.
+    pub max_retries: u32,
+    /// Base retransmit timeout in sender host cycles (doubles per
+    /// consecutive timeout).
+    pub timeout_cycles: u64,
 }
 
 /// A complete run configuration.
@@ -53,6 +91,16 @@ pub struct RunConfig {
     pub groups: Vec<GroupConfig>,
     /// Enforce FPGA fit/topology checks before running.
     pub check_fit: bool,
+    /// Fault-injection campaign (None = clean wires).
+    pub fault: Option<FaultConfig>,
+    /// Reliability protocol override (None = protocol defaults when
+    /// `fault` is set, raw lossless links otherwise).
+    pub reliability: Option<ReliabilityConfig>,
+    /// Snapshot the simulation every N target cycles for rollback
+    /// recovery (0 disables checkpointing).
+    pub checkpoint_interval: u64,
+    /// Rollback budget for recoverable `LinkDown` escalations.
+    pub max_rollbacks: u32,
 }
 
 fn default_clock() -> f64 {
@@ -125,6 +173,144 @@ fn get_usize(
             }
             Ok(Some(n as usize))
         }
+    }
+}
+
+fn get_u64(obj: &BTreeMap<String, Value>, field: &'static str) -> Result<Option<u64>, ConfigError> {
+    match obj.get(field) {
+        None => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| schema_err(field, "expected a number"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(schema_err(field, "expected a non-negative integer"));
+            }
+            Ok(Some(n as u64))
+        }
+    }
+}
+
+fn get_per_mille(obj: &BTreeMap<String, Value>, field: &'static str) -> Result<u16, ConfigError> {
+    let v = get_u64(obj, field)?.unwrap_or(0);
+    u16::try_from(v)
+        .ok()
+        .filter(|&p| p <= 1000)
+        .ok_or_else(|| schema_err(field, format!("{v}‰ is not a per-mille rate (0..=1000)")))
+}
+
+impl FaultConfig {
+    fn from_value(v: &Value) -> Result<Self, ConfigError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| schema_err("fault", "expected an object"))?;
+        let mut down = Vec::new();
+        if let Some(arr) = obj.get("down") {
+            for pair in arr
+                .as_array()
+                .ok_or_else(|| schema_err("down", "expected an array of [start, end] pairs"))?
+            {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| schema_err("down", "expected [start, end] pairs"))?;
+                let start = pair[0]
+                    .as_f64()
+                    .filter(|n| *n >= 0.0)
+                    .ok_or_else(|| schema_err("down", "start must be a non-negative number"))?;
+                // `null` end = the window never closes (permanent outage).
+                let end = match &pair[1] {
+                    Value::Null => u64::MAX,
+                    v => v
+                        .as_f64()
+                        .filter(|n| *n >= 0.0)
+                        .ok_or_else(|| schema_err("down", "end must be a number or null"))?
+                        as u64,
+                };
+                down.push((start as u64, end));
+            }
+        }
+        Ok(FaultConfig {
+            seed: get_u64(obj, "seed")?.unwrap_or(0),
+            drop_per_mille: get_per_mille(obj, "drop_per_mille")?,
+            corrupt_per_mille: get_per_mille(obj, "corrupt_per_mille")?,
+            duplicate_per_mille: get_per_mille(obj, "duplicate_per_mille")?,
+            stall_per_mille: get_per_mille(obj, "stall_per_mille")?,
+            max_stall_quanta: get_u64(obj, "max_stall_quanta")?.unwrap_or(1) as u32,
+            down,
+            down_link: get_usize(obj, "down_link")?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("seed".to_string(), Value::Number(self.seed as f64));
+        let mille = [
+            ("drop_per_mille", self.drop_per_mille),
+            ("corrupt_per_mille", self.corrupt_per_mille),
+            ("duplicate_per_mille", self.duplicate_per_mille),
+            ("stall_per_mille", self.stall_per_mille),
+        ];
+        for (k, v) in mille {
+            if v != 0 {
+                m.insert(k.to_string(), Value::Number(f64::from(v)));
+            }
+        }
+        if self.max_stall_quanta != 1 {
+            m.insert(
+                "max_stall_quanta".to_string(),
+                Value::Number(f64::from(self.max_stall_quanta)),
+            );
+        }
+        if !self.down.is_empty() {
+            m.insert(
+                "down".to_string(),
+                Value::Array(
+                    self.down
+                        .iter()
+                        .map(|&(s, e)| {
+                            let end = if e == u64::MAX {
+                                Value::Null
+                            } else {
+                                Value::Number(e as f64)
+                            };
+                            Value::Array(vec![Value::Number(s as f64), end])
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if let Some(link) = self.down_link {
+            m.insert("down_link".to_string(), Value::Number(link as f64));
+        }
+        Value::Object(m)
+    }
+}
+
+impl ReliabilityConfig {
+    fn from_value(v: &Value) -> Result<Self, ConfigError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| schema_err("reliability", "expected an object"))?;
+        let defaults = RetryPolicy::default();
+        Ok(ReliabilityConfig {
+            max_retries: get_u64(obj, "max_retries")?.unwrap_or(u64::from(defaults.max_retries))
+                as u32,
+            timeout_cycles: get_u64(obj, "timeout_cycles")?.unwrap_or(defaults.timeout_cycles),
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "max_retries".to_string(),
+            Value::Number(f64::from(self.max_retries)),
+        );
+        m.insert(
+            "timeout_cycles".to_string(),
+            Value::Number(self.timeout_cycles as f64),
+        );
+        Value::Object(m)
     }
 }
 
@@ -268,6 +454,13 @@ impl RunConfig {
                 .get("check_fit")
                 .and_then(Value::as_bool)
                 .unwrap_or(false),
+            fault: obj.get("fault").map(FaultConfig::from_value).transpose()?,
+            reliability: obj
+                .get("reliability")
+                .map(ReliabilityConfig::from_value)
+                .transpose()?,
+            checkpoint_interval: get_u64(obj, "checkpoint_interval")?.unwrap_or(0),
+            max_rollbacks: get_u64(obj, "max_rollbacks")?.unwrap_or(8) as u32,
         })
     }
 
@@ -312,6 +505,24 @@ impl RunConfig {
             Value::Array(self.groups.iter().map(GroupConfig::to_value).collect()),
         );
         m.insert("check_fit".to_string(), Value::Bool(self.check_fit));
+        if let Some(fault) = &self.fault {
+            m.insert("fault".to_string(), fault.to_value());
+        }
+        if let Some(rel) = &self.reliability {
+            m.insert("reliability".to_string(), rel.to_value());
+        }
+        if self.checkpoint_interval != 0 {
+            m.insert(
+                "checkpoint_interval".to_string(),
+                Value::Number(self.checkpoint_interval as f64),
+            );
+        }
+        if self.max_rollbacks != 8 {
+            m.insert(
+                "max_rollbacks".to_string(),
+                Value::Number(f64::from(self.max_rollbacks)),
+            );
+        }
         Value::Object(m).to_pretty()
     }
 
@@ -364,6 +575,50 @@ impl RunConfig {
                 message: format!("`{other}` (expected `des` or `threads`)"),
             }),
         }
+    }
+
+    /// Resolves and validates the fault-injection campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] when the rates sum past 1000‰ or
+    /// a down window is empty.
+    pub fn fault_spec(&self) -> Result<Option<FaultSpec>, ConfigError> {
+        let Some(f) = &self.fault else {
+            return Ok(None);
+        };
+        let spec = FaultSpec {
+            seed: f.seed,
+            drop_per_mille: f.drop_per_mille,
+            corrupt_per_mille: f.corrupt_per_mille,
+            duplicate_per_mille: f.duplicate_per_mille,
+            stall_per_mille: f.stall_per_mille,
+            max_stall_quanta: f.max_stall_quanta,
+            down: f.down.clone(),
+            down_link: f.down_link,
+        };
+        spec.validate()
+            .map_err(|e| schema_err("fault", e.to_string()))?;
+        Ok(Some(spec))
+    }
+
+    /// Resolves and validates the reliability protocol knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] for a zero retransmit timeout.
+    pub fn retry_policy(&self) -> Result<Option<RetryPolicy>, ConfigError> {
+        let Some(r) = &self.reliability else {
+            return Ok(None);
+        };
+        let policy = RetryPolicy {
+            max_retries: r.max_retries,
+            timeout_cycles: r.timeout_cycles,
+        };
+        policy
+            .validate()
+            .map_err(|e| schema_err("reliability", e.to_string()))?;
+        Ok(Some(policy))
     }
 
     /// Builds the [`PartitionSpec`] this config describes.
@@ -423,7 +678,15 @@ impl RunConfig {
         let mut fa = FireAxe::new(circuit, self.partition_spec()?)
             .platform(self.platform()?)
             .clock_mhz(self.clock_mhz)
-            .backend(self.execution_backend()?);
+            .backend(self.execution_backend()?)
+            .checkpoint_interval(self.checkpoint_interval)
+            .max_rollbacks(self.max_rollbacks);
+        if let Some(spec) = self.fault_spec()? {
+            fa = fa.fault_spec(spec);
+        }
+        if let Some(policy) = self.retry_policy()? {
+            fa = fa.retry_policy(policy);
+        }
         for (p, mhz) in &self.partition_clocks {
             fa = fa.partition_clock_mhz(*p, *mhz);
         }
@@ -529,6 +792,107 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    const FAULTY: &str = r#"{
+        "mode": "exact", "platform": "onprem-qsfp",
+        "backend": "threads",
+        "checkpoint_interval": 8,
+        "max_rollbacks": 16,
+        "fault": {
+            "seed": 99,
+            "drop_per_mille": 50,
+            "corrupt_per_mille": 25,
+            "duplicate_per_mille": 10,
+            "stall_per_mille": 5,
+            "max_stall_quanta": 3,
+            "down": [[10, 30], [100, null]],
+            "down_link": 0
+        },
+        "reliability": { "max_retries": 6, "timeout_cycles": 16 },
+        "groups": [{ "name": "t", "instances": ["tile0"] }]
+    }"#;
+
+    #[test]
+    fn fault_and_reliability_knobs_parse_and_roundtrip() {
+        let cfg = RunConfig::from_json(FAULTY).unwrap();
+        let spec = cfg.fault_spec().unwrap().unwrap();
+        assert_eq!(spec.seed, 99);
+        assert_eq!(spec.drop_per_mille, 50);
+        assert_eq!(spec.down, vec![(10, 30), (100, u64::MAX)]);
+        assert_eq!(spec.down_link, Some(0));
+        let policy = cfg.retry_policy().unwrap().unwrap();
+        assert_eq!(policy.max_retries, 6);
+        assert_eq!(policy.timeout_cycles, 16);
+        assert_eq!(cfg.checkpoint_interval, 8);
+        assert_eq!(cfg.max_rollbacks, 16);
+        let back = RunConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn fault_validation_errors_surface() {
+        // Rates that sum past 1000‰ are rejected with the field named.
+        let mut cfg = RunConfig::from_json(FAULTY).unwrap();
+        cfg.fault.as_mut().unwrap().drop_per_mille = 999;
+        assert!(matches!(
+            cfg.fault_spec(),
+            Err(ConfigError::Invalid { field: "fault", .. })
+        ));
+        // A single rate past 1000‰ never even parses.
+        let bad = FAULTY.replace("\"drop_per_mille\": 50", "\"drop_per_mille\": 1500");
+        assert!(matches!(
+            RunConfig::from_json(&bad),
+            Err(ConfigError::Invalid {
+                field: "drop_per_mille",
+                ..
+            })
+        ));
+        // Zero retransmit timeout is invalid.
+        let mut cfg = RunConfig::from_json(FAULTY).unwrap();
+        cfg.reliability.as_mut().unwrap().timeout_cycles = 0;
+        assert!(matches!(
+            cfg.retry_policy(),
+            Err(ConfigError::Invalid {
+                field: "reliability",
+                ..
+            })
+        ));
+        // Empty down windows are caught by spec validation.
+        let mut cfg = RunConfig::from_json(FAULTY).unwrap();
+        cfg.fault.as_mut().unwrap().down = vec![(30, 10)];
+        assert!(matches!(
+            cfg.fault_spec(),
+            Err(ConfigError::Invalid { field: "fault", .. })
+        ));
+    }
+
+    #[test]
+    fn flow_from_config_survives_faults() {
+        use fireaxe_ir::build::ModuleBuilder;
+        let mut tile = ModuleBuilder::new("Tile");
+        let req = tile.input("req", 8);
+        let rsp = tile.output("rsp", 8);
+        let r = tile.reg("r", 8, 0);
+        tile.connect_sig(&r, &req);
+        tile.connect_sig(&rsp, &r);
+        let mut top = ModuleBuilder::new("Soc");
+        let i = top.input("i", 8);
+        let o = top.output("o", 8);
+        top.inst("tile0", "Tile");
+        top.connect_inst("tile0", "req", &i);
+        let rsp = top.inst_port("tile0", "rsp");
+        top.connect_sig(&o, &rsp);
+        let circuit =
+            fireaxe_ir::Circuit::from_modules("Soc", vec![top.finish(), tile.finish()], "Soc");
+
+        let cfg = RunConfig::from_json(FAULTY).unwrap();
+        let (design, mut sim) = cfg.to_flow(circuit).unwrap().build().unwrap();
+        assert_eq!(design.partitions.len(), 2);
+        // The transient [10, 30) outage is ridden out by rollback;
+        // the run completes despite the noisy links.
+        sim.run_target_cycles_recovering(40).unwrap();
+        assert_eq!(sim.target_cycles(), 40);
     }
 
     #[test]

@@ -11,6 +11,8 @@ use fireaxe_fpga::{fit, FitReport, FpgaSpec};
 use fireaxe_ir::Circuit;
 use fireaxe_ripper::{compile, PartitionSpec, PartitionedDesign};
 use fireaxe_sim::{Backend, BehaviorRegistry, Bridge, DistributedSim, SimBuilder};
+use fireaxe_transport::fault::FaultSpec;
+use fireaxe_transport::reliable::RetryPolicy;
 use fireaxe_transport::LinkModel;
 use std::collections::BTreeMap;
 
@@ -110,6 +112,10 @@ pub struct FireAxe {
     check_fit: bool,
     extra_behaviors: Option<BehaviorRegistry>,
     backend: Backend,
+    fault_spec: Option<FaultSpec>,
+    retry_policy: Option<RetryPolicy>,
+    checkpoint_interval: u64,
+    max_rollbacks: u32,
 }
 
 impl std::fmt::Debug for FireAxe {
@@ -134,7 +140,39 @@ impl FireAxe {
             check_fit: false,
             extra_behaviors: None,
             backend: Backend::Des,
+            fault_spec: None,
+            retry_policy: None,
+            checkpoint_interval: 0,
+            max_rollbacks: 8,
         }
+    }
+
+    /// Arms deterministic fault injection on every inter-partition link
+    /// (which also turns on the reliability protocol).
+    pub fn fault_spec(mut self, spec: FaultSpec) -> Self {
+        self.fault_spec = Some(spec);
+        self
+    }
+
+    /// Overrides the reliability protocol's retry/timeout knobs (also
+    /// turns the protocol on, even with a quiet fault spec).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = Some(policy);
+        self
+    }
+
+    /// Snapshot the simulation every `cycles` target cycles so
+    /// `DistributedSim::run_target_cycles_recovering` can roll back and
+    /// replay through recoverable link outages (0 disables).
+    pub fn checkpoint_interval(mut self, cycles: u64) -> Self {
+        self.checkpoint_interval = cycles;
+        self
+    }
+
+    /// Rollback budget for recoverable `LinkDown` escalations.
+    pub fn max_rollbacks(mut self, rollbacks: u32) -> Self {
+        self.max_rollbacks = rollbacks;
+        self
     }
 
     /// Selects the execution backend for cycle-budgeted runs (default:
@@ -227,7 +265,15 @@ impl FireAxe {
             .transport(self.platform.transport())
             .clock_mhz(self.clock_mhz)
             .backend(self.backend)
-            .behaviors(registry);
+            .behaviors(registry)
+            .checkpoint_interval(self.checkpoint_interval)
+            .max_rollbacks(self.max_rollbacks);
+        if let Some(spec) = self.fault_spec.take() {
+            builder = builder.fault_spec(spec);
+        }
+        if let Some(policy) = self.retry_policy.take() {
+            builder = builder.retry_policy(policy);
+        }
         for (p, mhz) in &self.partition_clocks {
             builder = builder.partition_clock_mhz(*p, *mhz);
         }

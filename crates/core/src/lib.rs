@@ -82,11 +82,13 @@ pub mod prelude {
     };
     pub use fireaxe_sim::{
         estimate_target_mhz, Backend, BehaviorRegistry, ConstBridge, DistributedSim, NodeCounters,
-        ScriptBridge, SimBuilder, SimMetrics,
+        ScriptBridge, SimBuilder, SimCheckpoint, SimError, SimMetrics, StallReport,
     };
     pub use fireaxe_soc::{
         ring_soc, xbar_soc, BoomConfig, RingSoc, RingSocConfig, TileKind, XbarSocConfig,
     };
+    pub use fireaxe_transport::fault::{Fault, FaultEvent, FaultSpec};
+    pub use fireaxe_transport::reliable::RetryPolicy;
     pub use fireaxe_transport::{LinkModel, TransportKind};
 }
 

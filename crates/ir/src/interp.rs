@@ -18,7 +18,13 @@
 use crate::ast::*;
 use crate::bits::{Bits, Width};
 use crate::error::{IrError, Result};
+use std::any::Any;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Opaque captured state of an [`ExternBehavior`] model, produced by
+/// [`ExternBehavior::snapshot`]. Each implementation downcasts it back
+/// to its own concrete type in [`ExternBehavior::restore`].
+pub type BehaviorSnapshot = Box<dyn Any + Send>;
 
 /// Cycle-level model bound to an extern behavioral module instance.
 ///
@@ -41,6 +47,22 @@ pub trait ExternBehavior: std::fmt::Debug + Send {
     /// Advances internal state by one target cycle using the final settled
     /// input values.
     fn tick(&mut self, inputs: &BTreeMap<String, Bits>);
+
+    /// Captures the model's private state for checkpoint/rollback.
+    ///
+    /// `None` (the default) marks the model non-checkpointable, which
+    /// disables [`Interpreter::snapshot`] for any design containing it.
+    /// Plain-data models typically return a boxed clone of themselves.
+    fn snapshot(&self) -> Option<BehaviorSnapshot> {
+        None
+    }
+
+    /// Restores state captured by [`ExternBehavior::snapshot`]; returns
+    /// `false` when the snapshot is not this model's (leaving state
+    /// untouched).
+    fn restore(&mut self, _snap: &BehaviorSnapshot) -> bool {
+        false
+    }
 }
 
 /// A compiled expression over value slots.
@@ -181,6 +203,39 @@ struct ExternInst {
     source_output_slots: Vec<(String, usize)>,
     sink_output_slots: Vec<(String, usize)>,
     model: Option<Box<dyn ExternBehavior>>,
+}
+
+/// A captured copy of an [`Interpreter`]'s architectural state: every
+/// value slot, every memory's contents, the cycle counter, and the
+/// private state of every extern behavioral model.
+///
+/// Produced by [`Interpreter::snapshot`] and consumed by
+/// [`Interpreter::restore_snapshot`], this is the foundation of the
+/// simulator's checkpoint/rollback recovery: restoring a snapshot and
+/// replaying the same inputs reproduces the same trace bit for bit.
+pub struct InterpSnapshot {
+    slots: Vec<Bits>,
+    mems: Vec<Vec<Bits>>,
+    cycle: u64,
+    externs: Vec<BehaviorSnapshot>,
+}
+
+impl std::fmt::Debug for InterpSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InterpSnapshot")
+            .field("slots", &self.slots.len())
+            .field("mems", &self.mems.len())
+            .field("cycle", &self.cycle)
+            .field("externs", &self.externs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl InterpSnapshot {
+    /// Cycle count at capture time.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
 }
 
 /// A flattened, schedule-ordered netlist with live state: the interpreter.
@@ -476,6 +531,57 @@ impl Interpreter {
     /// Number of completed target cycles since reset.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Captures the full architectural state (slots, memories, cycle,
+    /// extern behavioral model state).
+    ///
+    /// Returns `None` when the netlist contains an extern behavioral
+    /// instance whose model is unbound or does not implement
+    /// [`ExternBehavior::snapshot`]: such state cannot be captured, so
+    /// the design cannot be checkpointed.
+    pub fn snapshot(&self) -> Option<InterpSnapshot> {
+        let mut externs = Vec::with_capacity(self.externs.len());
+        for e in &self.externs {
+            externs.push(e.model.as_ref()?.snapshot()?);
+        }
+        Some(InterpSnapshot {
+            slots: self.slots.clone(),
+            mems: self.mems.iter().map(|m| m.data.clone()).collect(),
+            cycle: self.cycle,
+            externs,
+        })
+    }
+
+    /// Restores state captured by [`Interpreter::snapshot`]. Returns
+    /// `false` (leaving the interpreter untouched) when the snapshot's
+    /// shape does not match this netlist. If an extern model rejects its
+    /// sub-snapshot mid-restore — impossible for snapshots taken from
+    /// the same design — architectural state may be partially restored.
+    pub fn restore_snapshot(&mut self, snap: &InterpSnapshot) -> bool {
+        if snap.slots.len() != self.slots.len()
+            || snap.mems.len() != self.mems.len()
+            || snap.externs.len() != self.externs.len()
+            || snap
+                .mems
+                .iter()
+                .zip(&self.mems)
+                .any(|(s, m)| s.len() != m.data.len())
+        {
+            return false;
+        }
+        self.slots.clone_from(&snap.slots);
+        for (m, s) in self.mems.iter_mut().zip(&snap.mems) {
+            m.data.clone_from(s);
+        }
+        self.cycle = snap.cycle;
+        for (e, s) in self.externs.iter_mut().zip(&snap.externs) {
+            let restored = e.model.as_mut().is_some_and(|model| model.restore(s));
+            if !restored {
+                return false;
+            }
+        }
+        true
     }
 
     /// Names and widths of the top-level input ports.
@@ -1050,6 +1156,57 @@ mod tests {
         sim.eval().unwrap();
         assert_eq!(sim.peek("q").to_u64(), 0);
         assert_eq!(sim.peek("r").to_u64(), 0);
+    }
+
+    #[test]
+    fn snapshot_restores_slots_mems_and_cycle() {
+        let mut mb = ModuleBuilder::new("SnapM");
+        let waddr = mb.input("waddr", 3);
+        let wdata = mb.input("wdata", 8);
+        let wen = mb.input("wen", 1);
+        let out = mb.output("out", 8);
+        let count = mb.reg("count", 8, 0);
+        mb.connect_sig(&count, &count.add(&Sig::lit(1, 8)));
+        let mem = mb.mem("store", 8, 8);
+        mb.mem_write(&mem, &waddr, &wdata, &wen);
+        let rd = mb.mem_read("rd", &mem, &waddr);
+        mb.connect_sig(&out, &rd.add(&count));
+        let c = Circuit::from_modules("SnapM", vec![mb.finish()], "SnapM");
+
+        let mut sim = Interpreter::new(&c).unwrap();
+        sim.poke("waddr", Bits::from_u64(2, 3));
+        sim.poke("wdata", Bits::from_u64(0x11, 8));
+        sim.poke("wen", Bits::from_u64(1, 1));
+        for _ in 0..3 {
+            sim.step().unwrap();
+        }
+        let snap = sim.snapshot().unwrap();
+        assert_eq!(snap.cycle(), 3);
+
+        // Diverge: different writes, more cycles.
+        sim.poke("wdata", Bits::from_u64(0xEE, 8));
+        for _ in 0..5 {
+            sim.step().unwrap();
+        }
+        sim.eval().unwrap();
+        let diverged = sim.peek("out").clone();
+
+        // Roll back and replay the original inputs: identical state.
+        assert!(sim.restore_snapshot(&snap));
+        assert_eq!(sim.cycle(), 3);
+        sim.poke("wdata", Bits::from_u64(0x11, 8));
+        sim.eval().unwrap();
+        assert_eq!(sim.peek_mem("store", 2).unwrap().to_u64(), 0x11);
+        assert_ne!(sim.peek("out"), &diverged);
+        assert_eq!(sim.peek("out").to_u64(), 0x11 + 3);
+    }
+
+    #[test]
+    fn snapshot_unsupported_with_externs() {
+        let mut sim = Interpreter::new(&extern_circuit()).unwrap();
+        sim.bind_behavior("d", Box::new(Doubler::default()))
+            .unwrap();
+        assert!(sim.snapshot().is_none());
     }
 
     #[test]

@@ -59,4 +59,4 @@ pub use ast::{
 pub use bits::{Bits, Width};
 pub use comb::{CombAnalysis, ModuleCombInfo};
 pub use error::{IrError, Result};
-pub use interp::{ExternBehavior, Interpreter};
+pub use interp::{BehaviorSnapshot, ExternBehavior, InterpSnapshot, Interpreter};

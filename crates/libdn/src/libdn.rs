@@ -15,7 +15,7 @@
 
 use crate::channel::ChannelSpec;
 use crate::error::{LibdnError, Result};
-use crate::target::TargetModel;
+use crate::target::{TargetModel, TargetSnapshot};
 use fireaxe_ir::Bits;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -79,6 +79,36 @@ impl LiBdnSpec {
             .iter()
             .map(|o| u64::from(o.channel.width().get()))
             .sum()
+    }
+}
+
+/// Captured state of a running [`LiBdn`]: channel queues, output FSMs,
+/// cycle counters, and the wrapped target model's own snapshot.
+pub struct LiBdnSnapshot {
+    in_queues: Vec<VecDeque<Bits>>,
+    out_queues: Vec<VecDeque<Bits>>,
+    fired: Vec<bool>,
+    target_cycle: u64,
+    host_cycles: u64,
+    target: TargetSnapshot,
+}
+
+impl std::fmt::Debug for LiBdnSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiBdnSnapshot")
+            .field("target_cycle", &self.target_cycle)
+            .field("host_cycles", &self.host_cycles)
+            .field("in_queues", &self.in_queues)
+            .field("out_queues", &self.out_queues)
+            .field("fired", &self.fired)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LiBdnSnapshot {
+    /// Target cycle count at capture time.
+    pub fn target_cycle(&self) -> u64 {
+        self.target_cycle
     }
 }
 
@@ -334,6 +364,61 @@ impl LiBdn {
         )
     }
 
+    /// Per-input-channel occupancy, `(channel name, queued tokens)` —
+    /// structured stall forensics for the engine's `StallReport`.
+    pub fn input_levels(&self) -> Vec<(String, usize)> {
+        self.spec
+            .inputs
+            .iter()
+            .zip(&self.in_queues)
+            .map(|(c, q)| (c.name.clone(), q.len()))
+            .collect()
+    }
+
+    /// Per-output-channel fired flags, `(channel name, fired this target
+    /// cycle)` — structured stall forensics.
+    pub fn output_fired(&self) -> Vec<(String, bool)> {
+        self.spec
+            .outputs
+            .iter()
+            .zip(&self.fired)
+            .map(|(o, f)| (o.channel.name.clone(), *f))
+            .collect()
+    }
+
+    /// Captures queue/FSM state plus the wrapped model's state.
+    ///
+    /// Returns `None` when the model cannot be snapshotted (see
+    /// [`TargetModel::snapshot`]).
+    pub fn snapshot(&self) -> Option<LiBdnSnapshot> {
+        Some(LiBdnSnapshot {
+            in_queues: self.in_queues.clone(),
+            out_queues: self.out_queues.clone(),
+            fired: self.fired.clone(),
+            target_cycle: self.target_cycle,
+            host_cycles: self.host_cycles,
+            target: self.model.snapshot()?,
+        })
+    }
+
+    /// Restores state captured by [`LiBdn::snapshot`]. Returns `false`
+    /// when the snapshot does not fit this LI-BDN or its model.
+    pub fn restore(&mut self, snap: &LiBdnSnapshot) -> bool {
+        if snap.in_queues.len() != self.in_queues.len()
+            || snap.out_queues.len() != self.out_queues.len()
+            || snap.fired.len() != self.fired.len()
+            || !self.model.restore(&snap.target)
+        {
+            return false;
+        }
+        self.in_queues.clone_from(&snap.in_queues);
+        self.out_queues.clone_from(&snap.out_queues);
+        self.fired.clone_from(&snap.fired);
+        self.target_cycle = snap.target_cycle;
+        self.host_cycles = snap.host_cycles;
+        true
+    }
+
     fn poke_available_inputs(&mut self) {
         for (ci, q) in self.in_queues.iter().enumerate() {
             if let Some(tok) = q.front() {
@@ -541,6 +626,42 @@ mod tests {
             bdn.host_step().unwrap();
         }
         assert_eq!(bdn.host_cycles(), 7);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_queues_and_target() {
+        let mut bdn = make_bdn(&reg_stage(), vec![]);
+        bdn.push_input(0, Bits::from_u64(9, 8)).unwrap();
+        while bdn.target_cycle() < 1 {
+            bdn.host_step().unwrap();
+        }
+        bdn.push_input(0, Bits::from_u64(5, 8)).unwrap();
+        let snap = bdn.snapshot().unwrap();
+        assert_eq!(snap.target_cycle(), 1);
+
+        // Diverge, then roll back.
+        while bdn.target_cycle() < 2 {
+            bdn.host_step().unwrap();
+        }
+        assert!(bdn.restore(&snap));
+        assert_eq!(bdn.target_cycle(), 1);
+        assert_eq!(bdn.input_pending(0), 1, "queued token restored");
+        // Replay: the same outputs emerge (reset value, then 9).
+        while bdn.target_cycle() < 2 {
+            bdn.host_step().unwrap();
+        }
+        assert_eq!(bdn.pop_output(0).unwrap().to_u64(), 0);
+        assert_eq!(bdn.pop_output(0).unwrap().to_u64(), 9);
+    }
+
+    #[test]
+    fn structured_stall_accessors() {
+        let mut bdn = make_bdn(&comb_stage(), vec![0]);
+        assert_eq!(bdn.input_levels(), vec![("in_a".to_string(), 0)]);
+        assert_eq!(bdn.output_fired(), vec![("out_y".to_string(), false)]);
+        bdn.push_input(0, Bits::from_u64(1, 8)).unwrap();
+        bdn.host_step().unwrap();
+        assert_eq!(bdn.input_levels(), vec![("in_a".to_string(), 0)]);
     }
 
     #[test]

@@ -9,8 +9,14 @@
 //! BOOM-tile-sized components whose RTL we do not model).
 
 use crate::error::{LibdnError, Result};
-use fireaxe_ir::{Bits, Circuit, Interpreter, Width};
+use fireaxe_ir::{Bits, Circuit, InterpSnapshot, Interpreter, Width};
+use std::any::Any;
 use std::collections::BTreeMap;
+
+/// Opaque captured state of a [`TargetModel`], produced by
+/// [`TargetModel::snapshot`]. Each implementation downcasts it back to
+/// its own concrete type in [`TargetModel::restore`].
+pub type TargetSnapshot = Box<dyn Any + Send>;
 
 /// A cycle-accurate model of a target design with named ports.
 ///
@@ -49,6 +55,20 @@ pub trait TargetModel: std::fmt::Debug + Send {
     /// the model exposes memories (RTL-interpreted targets do).
     fn peek_mem(&self, _path: &str, _index: usize) -> Option<Bits> {
         None
+    }
+
+    /// Captures the model's architectural state for checkpoint/rollback,
+    /// or `None` when the model cannot be snapshotted (the default —
+    /// behavioral models hold arbitrary private state).
+    fn snapshot(&self) -> Option<TargetSnapshot> {
+        None
+    }
+
+    /// Restores state captured by [`TargetModel::snapshot`]; returns
+    /// `false` (leaving the model untouched) when the snapshot is not one
+    /// of this model's or does not fit.
+    fn restore(&mut self, _snap: &TargetSnapshot) -> bool {
+        false
     }
 }
 
@@ -118,6 +138,19 @@ impl TargetModel for InterpreterTarget {
 
     fn peek_mem(&self, path: &str, index: usize) -> Option<Bits> {
         self.interp.peek_mem(path, index).cloned()
+    }
+
+    fn snapshot(&self) -> Option<TargetSnapshot> {
+        self.interp
+            .snapshot()
+            .map(|s| Box::new(s) as TargetSnapshot)
+    }
+
+    fn restore(&mut self, snap: &TargetSnapshot) -> bool {
+        match snap.downcast_ref::<InterpSnapshot>() {
+            Some(s) => self.interp.restore_snapshot(s),
+            None => false,
+        }
     }
 }
 
@@ -296,6 +329,36 @@ mod tests {
         t.poke("x", Bits::from_u64(9, 8));
         t.eval().unwrap();
         assert_eq!(t.peek("prev").to_u64(), 7);
+    }
+
+    #[test]
+    fn interpreter_target_snapshot_round_trip() {
+        let mut t = InterpreterTarget::new(&counter()).unwrap();
+        t.reset();
+        t.poke("en", Bits::from_u64(1, 1));
+        for _ in 0..4 {
+            t.eval().unwrap();
+            t.tick();
+        }
+        let snap = t.snapshot().unwrap();
+        for _ in 0..6 {
+            t.eval().unwrap();
+            t.tick();
+        }
+        t.eval().unwrap();
+        assert_eq!(t.peek("out").to_u64(), 10);
+        assert!(t.restore(&snap));
+        t.eval().unwrap();
+        assert_eq!(t.peek("out").to_u64(), 4);
+        // A foreign snapshot is rejected without touching state.
+        let foreign: TargetSnapshot = Box::new(17u32);
+        assert!(!t.restore(&foreign));
+    }
+
+    #[test]
+    fn behavioral_target_has_no_snapshot() {
+        let t = BehavioralTarget::new(Echoer::default());
+        assert!(TargetModel::snapshot(&t).is_none());
     }
 
     #[test]

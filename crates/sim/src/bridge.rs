@@ -26,6 +26,13 @@ pub trait Bridge: fmt::Debug + Send {
         false
     }
 
+    /// The engine rolled the simulation back: output tokens with index
+    /// `>= cycle` will be consumed again and inputs re-produced from
+    /// `cycle` on. Bridges that accumulate state from consumed tokens
+    /// should forget everything at or past `cycle`; stateless bridges can
+    /// ignore this (the default).
+    fn rollback_to_cycle(&mut self, _cycle: u64) {}
+
     /// Downcasting support (retrieve recorded traces after a run).
     fn as_any(&mut self) -> &mut dyn Any;
 }
@@ -157,6 +164,13 @@ impl Bridge for ScriptBridge {
         self.done
     }
 
+    fn rollback_to_cycle(&mut self, cycle: u64) {
+        self.log.retain(|t| t.cycle < cycle);
+        // The rolled-back tokens will be consumed again; any stop
+        // condition they satisfied will re-fire on replay.
+        self.done = false;
+    }
+
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
@@ -192,5 +206,26 @@ mod tests {
         b.consume(1, "env_out_src", &out);
         assert!(b.done());
         assert_eq!(b.log().len(), 2);
+    }
+
+    #[test]
+    fn script_bridge_rollback_truncates_and_rearms() {
+        let mut b = ScriptBridge::new(|_| BTreeMap::new())
+            .recording()
+            .until(|t| t.cycle == 2);
+        for cycle in 0..3 {
+            b.consume(cycle, "env_out", &BTreeMap::new());
+        }
+        assert!(b.done());
+        assert_eq!(b.log().len(), 3);
+        b.rollback_to_cycle(1);
+        assert!(!b.done());
+        assert_eq!(b.log().len(), 1);
+        // Replay re-records and re-fires the stop condition.
+        for cycle in 1..3 {
+            b.consume(cycle, "env_out", &BTreeMap::new());
+        }
+        assert!(b.done());
+        assert_eq!(b.log().len(), 3);
     }
 }

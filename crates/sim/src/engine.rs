@@ -24,12 +24,17 @@
 //! target state for the same cycle budget.
 
 use crate::bridge::{Bridge, ConstBridge};
-use crate::error::{Result, SimError};
+use crate::error::{NodeStall, Result, SimError, StallReport};
 use fireaxe_ir::{Bits, Interpreter};
-use fireaxe_libdn::{InterpreterTarget, LiBdn, TargetModel};
+use fireaxe_libdn::{InterpreterTarget, LiBdn, LiBdnSnapshot, TargetModel};
 use fireaxe_ripper::{LinkSpec, PartitionedDesign};
+use fireaxe_transport::fault::{FaultEvent, FaultPlan, FaultSpec};
+use fireaxe_transport::reliable::{des_delivery, RetryPolicy, FRAME_HEADER_BITS};
 use fireaxe_transport::{mhz_to_period_ps, LinkModel};
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Most recent fault events retained for stall forensics.
+const FAULT_LOG_WINDOW: usize = 64;
 
 /// Factory producing a behavior from `(full key, instance path)`.
 type BehaviorFactory = Box<dyn Fn(&str, &str) -> Box<dyn fireaxe_ir::ExternBehavior> + Send + Sync>;
@@ -252,12 +257,31 @@ impl NodeRt {
     }
 }
 
+/// Resolved reliability-layer configuration, shared by both backends.
+#[derive(Debug, Clone)]
+pub(crate) struct ReliabilityCfg {
+    pub(crate) policy: RetryPolicy,
+    pub(crate) spec: FaultSpec,
+}
+
 pub(crate) struct LinkRt {
     pub(crate) spec: LinkSpec,
     model: LinkModel,
     busy_until_ps: u64,
     pub(crate) tokens: u64,
     payload: VecDeque<(u64, Bits)>, // (seq, token) awaiting delivery
+    /// Deterministic fault schedule (present iff reliability is on).
+    pub(crate) plan: Option<FaultPlan>,
+    /// Lifetime physical-transmission counter — the fault-plan index.
+    /// Deliberately *not* restored on rollback, so finite down windows
+    /// are eventually consumed and replay can make progress.
+    pub(crate) fault_attempts: u64,
+    /// Next fresh frame sequence number on this link.
+    next_seq: u64,
+    /// Latest scheduled arrival: the wire is in-order (go-back-N keeps no
+    /// reorder buffer), so a retransmit-delayed frame also delays its
+    /// successors.
+    last_arrival_ps: u64,
 }
 
 struct PartitionRt {
@@ -365,6 +389,10 @@ pub struct SimBuilder<'a> {
     behaviors: BehaviorRegistry,
     deadlock_horizon_edges: u64,
     backend: Backend,
+    fault_spec: Option<FaultSpec>,
+    retry_policy: Option<RetryPolicy>,
+    checkpoint_interval: u64,
+    max_rollbacks: u32,
 }
 
 impl<'a> std::fmt::Debug for SimBuilder<'a> {
@@ -389,6 +417,10 @@ impl<'a> SimBuilder<'a> {
             behaviors: BehaviorRegistry::new(),
             deadlock_horizon_edges: 100_000,
             backend: Backend::Des,
+            fault_spec: None,
+            retry_policy: None,
+            checkpoint_interval: 0,
+            max_rollbacks: 8,
         }
     }
 
@@ -450,6 +482,35 @@ impl<'a> SimBuilder<'a> {
         self
     }
 
+    /// Enables the reliability layer with a fault-injection campaign.
+    /// Validated at [`SimBuilder::build`].
+    pub fn fault_spec(mut self, spec: FaultSpec) -> Self {
+        self.fault_spec = Some(spec);
+        self
+    }
+
+    /// Enables the reliability layer with explicit retry/backoff knobs
+    /// (fault-free unless a [`SimBuilder::fault_spec`] is also given).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = Some(policy);
+        self
+    }
+
+    /// Target cycles between automatic checkpoints taken by
+    /// [`DistributedSim::run_target_cycles_recovering`]; `0` (the
+    /// default) disables checkpointing.
+    pub fn checkpoint_interval(mut self, cycles: u64) -> Self {
+        self.checkpoint_interval = cycles;
+        self
+    }
+
+    /// Rollback/replay attempts a recovering run may spend before
+    /// propagating [`SimError::LinkDown`] (default 8).
+    pub fn max_rollbacks(mut self, rollbacks: u32) -> Self {
+        self.max_rollbacks = rollbacks;
+        self
+    }
+
     /// Builds the simulation: elaborates every partition circuit, binds
     /// behaviors, wraps LI-BDNs, seeds fast-mode links.
     ///
@@ -457,6 +518,19 @@ impl<'a> SimBuilder<'a> {
     ///
     /// Propagates elaboration failures and missing behaviors.
     pub fn build(mut self) -> Result<DistributedSim> {
+        let reliability = if self.fault_spec.is_some() || self.retry_policy.is_some() {
+            let spec = self
+                .fault_spec
+                .take()
+                .unwrap_or_else(|| FaultSpec::quiet(0));
+            let policy = self.retry_policy.unwrap_or_default();
+            spec.validate()?;
+            policy.validate()?;
+            Some(ReliabilityCfg { policy, spec })
+        } else {
+            None
+        };
+
         let mut nodes = Vec::new();
         let mut partitions: Vec<PartitionRt> = Vec::new();
         for (pi, part) in self.design.partitions.iter().enumerate() {
@@ -465,7 +539,7 @@ impl<'a> SimBuilder<'a> {
                 .get(&pi)
                 .copied()
                 .unwrap_or(self.default_clock_mhz);
-            let period_ps = mhz_to_period_ps(mhz);
+            let period_ps = mhz_to_period_ps(mhz)?;
             let mut members = Vec::new();
             for t in &part.threads {
                 let flat = nodes.len();
@@ -553,7 +627,24 @@ impl<'a> SimBuilder<'a> {
                 busy_until_ps: 0,
                 tokens: 0,
                 payload: VecDeque::new(),
+                plan: reliability.as_ref().map(|r| r.spec.plan_for_link(li)),
+                fault_attempts: 0,
+                next_seq: 0,
+                last_arrival_ps: 0,
             });
+        }
+
+        if let Some(r) = &reliability {
+            if let Some(dl) = r.spec.down_link {
+                if dl >= links.len() {
+                    return Err(SimError::Config {
+                        message: format!(
+                            "fault spec targets down_link {dl} but the design has {} links",
+                            links.len()
+                        ),
+                    });
+                }
+            }
         }
 
         let mut sim = DistributedSim {
@@ -567,9 +658,65 @@ impl<'a> SimBuilder<'a> {
             edges_since_progress: 0,
             backend: self.backend,
             cycle_budget: None,
+            reliability,
+            checkpoint_interval: self.checkpoint_interval,
+            max_rollbacks: self.max_rollbacks,
+            rollbacks_taken: 0,
+            fault_log: VecDeque::new(),
         };
         sim.seed_fast_mode_links()?;
         Ok(sim)
+    }
+}
+
+#[derive(Debug)]
+struct NodeCheckpoint {
+    libdn: LiBdnSnapshot,
+    staged: Vec<VecDeque<Bits>>,
+    env_produced: u64,
+    env_consumed: Vec<u64>,
+    counters: NodeCounters,
+    tx_busy_until_ps: u64,
+    last_advance_ps: u64,
+}
+
+#[derive(Debug)]
+struct LinkCheckpoint {
+    busy_until_ps: u64,
+    tokens: u64,
+    payload: VecDeque<(u64, Bits)>,
+    next_seq: u64,
+    last_arrival_ps: u64,
+}
+
+#[derive(Debug)]
+struct PartitionCheckpoint {
+    rr: usize,
+    next_edge_ps: u64,
+}
+
+/// Complete captured state of a [`DistributedSim`], produced by
+/// [`DistributedSim::checkpoint`] and consumed by
+/// [`DistributedSim::restore`].
+#[derive(Debug)]
+pub struct SimCheckpoint {
+    nodes: Vec<NodeCheckpoint>,
+    links: Vec<LinkCheckpoint>,
+    partitions: Vec<PartitionCheckpoint>,
+    pending: Vec<Delivery>,
+    time_ps: u64,
+    seq: u64,
+    edges_since_progress: u64,
+}
+
+impl SimCheckpoint {
+    /// Completed target cycles (minimum across nodes) at capture time.
+    pub fn target_cycles(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.libdn.target_cycle())
+            .min()
+            .unwrap_or(0)
     }
 }
 
@@ -587,6 +734,14 @@ pub struct DistributedSim {
     /// Target-cycle stop line of the current budgeted run; see
     /// [`NodeRt::ingest_and_step`].
     cycle_budget: Option<u64>,
+    /// Reliability layer (fault injection + retransmission protocol);
+    /// `None` runs the ideal lossless transports.
+    pub(crate) reliability: Option<ReliabilityCfg>,
+    checkpoint_interval: u64,
+    max_rollbacks: u32,
+    rollbacks_taken: u64,
+    /// Bounded window of recent injected faults, for stall forensics.
+    pub(crate) fault_log: VecDeque<FaultEvent>,
 }
 
 impl std::fmt::Debug for DistributedSim {
@@ -703,6 +858,203 @@ impl DistributedSim {
         self.backend
     }
 
+    /// Rollback/replay recoveries taken so far (see
+    /// [`DistributedSim::run_target_cycles_recovering`]).
+    pub fn rollbacks_taken(&self) -> u64 {
+        self.rollbacks_taken
+    }
+
+    /// Appends injected-fault events to the bounded forensics window.
+    pub(crate) fn log_faults(&mut self, events: impl IntoIterator<Item = FaultEvent>) {
+        for e in events {
+            if self.fault_log.len() == FAULT_LOG_WINDOW {
+                self.fault_log.pop_front();
+            }
+            self.fault_log.push_back(e);
+        }
+    }
+
+    /// Structured forensics of the current stall state: every node's
+    /// target cycle and channel occupancy, tokens still in flight, and
+    /// the recent fault history.
+    pub(crate) fn stall_report(&self) -> StallReport {
+        let staged: u64 = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.staged.iter().map(|q| q.len() as u64))
+            .sum();
+        StallReport {
+            time_ps: self.time_ps,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| NodeStall {
+                    node: n.name.clone(),
+                    target_cycle: n.libdn.target_cycle(),
+                    waiting_inputs: n.libdn.input_levels(),
+                    fired_outputs: n.libdn.output_fired(),
+                })
+                .collect(),
+            tokens_in_flight: self.pending.len() as u64 + staged,
+            recent_faults: self.fault_log.iter().copied().collect(),
+        }
+    }
+
+    /// Captures the complete simulation state (target registers and
+    /// memories, LI-BDN queues and fireFSM state, staged tokens,
+    /// in-flight deliveries, per-node cycle counts, virtual clocks) so a
+    /// later [`DistributedSim::restore`] replays deterministically.
+    ///
+    /// Per-link fault-plan attempt counters are *not* part of a
+    /// checkpoint: replaying after a rollback consumes fresh fault-plan
+    /// indices, which is what lets a finite down window eventually pass.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotUnsupported`] when a node's target model
+    /// cannot be snapshotted (behavioral targets).
+    pub fn checkpoint(&self) -> Result<SimCheckpoint> {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let libdn = n
+                .libdn
+                .snapshot()
+                .ok_or_else(|| SimError::SnapshotUnsupported {
+                    node: n.name.clone(),
+                })?;
+            nodes.push(NodeCheckpoint {
+                libdn,
+                staged: n.staged.clone(),
+                env_produced: n.env_produced,
+                env_consumed: n.env_consumed.clone(),
+                counters: n.counters.clone(),
+                tx_busy_until_ps: n.tx_busy_until_ps,
+                last_advance_ps: n.last_advance_ps,
+            });
+        }
+        Ok(SimCheckpoint {
+            nodes,
+            links: self
+                .links
+                .iter()
+                .map(|l| LinkCheckpoint {
+                    busy_until_ps: l.busy_until_ps,
+                    tokens: l.tokens,
+                    payload: l.payload.clone(),
+                    next_seq: l.next_seq,
+                    last_arrival_ps: l.last_arrival_ps,
+                })
+                .collect(),
+            partitions: self
+                .partitions
+                .iter()
+                .map(|p| PartitionCheckpoint {
+                    rr: p.rr,
+                    next_edge_ps: p.next_edge_ps,
+                })
+                .collect(),
+            pending: self.pending.iter().copied().collect(),
+            time_ps: self.time_ps,
+            seq: self.seq,
+            edges_since_progress: self.edges_since_progress,
+        })
+    }
+
+    /// Rewinds the simulation to a state captured by
+    /// [`DistributedSim::checkpoint`] and tells every bridge to forget
+    /// output tokens that will be consumed again.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] when the checkpoint does not fit this
+    /// simulation (different design or node shapes).
+    pub fn restore(&mut self, ckpt: &SimCheckpoint) -> Result<()> {
+        if ckpt.nodes.len() != self.nodes.len()
+            || ckpt.links.len() != self.links.len()
+            || ckpt.partitions.len() != self.partitions.len()
+        {
+            return Err(SimError::Config {
+                message: "checkpoint shape does not match this simulation".into(),
+            });
+        }
+        for (n, c) in self.nodes.iter_mut().zip(&ckpt.nodes) {
+            if !n.libdn.restore(&c.libdn) {
+                return Err(SimError::Config {
+                    message: format!("checkpoint does not fit node `{}`", n.name),
+                });
+            }
+            n.staged.clone_from(&c.staged);
+            n.env_produced = c.env_produced;
+            n.env_consumed.clone_from(&c.env_consumed);
+            n.counters = c.counters.clone();
+            n.tx_busy_until_ps = c.tx_busy_until_ps;
+            n.last_advance_ps = c.last_advance_ps;
+            let rollback_cycle = c.env_consumed.iter().copied().min().unwrap_or(0);
+            n.bridge.rollback_to_cycle(rollback_cycle);
+        }
+        for (l, c) in self.links.iter_mut().zip(&ckpt.links) {
+            l.busy_until_ps = c.busy_until_ps;
+            l.tokens = c.tokens;
+            l.payload.clone_from(&c.payload);
+            l.next_seq = c.next_seq;
+            l.last_arrival_ps = c.last_arrival_ps;
+            // l.fault_attempts intentionally left running.
+        }
+        for (p, c) in self.partitions.iter_mut().zip(&ckpt.partitions) {
+            p.rr = c.rr;
+            p.next_edge_ps = c.next_edge_ps;
+        }
+        self.pending = ckpt.pending.iter().copied().collect();
+        self.time_ps = ckpt.time_ps;
+        self.seq = ckpt.seq;
+        self.edges_since_progress = ckpt.edges_since_progress;
+        Ok(())
+    }
+
+    /// Like [`DistributedSim::run_target_cycles`], but checkpoints every
+    /// `checkpoint_interval` target cycles (see
+    /// [`SimBuilder::checkpoint_interval`]) and, when a link exhausts its
+    /// retry budget, rolls back to the last checkpoint and replays — up
+    /// to [`SimBuilder::max_rollbacks`] times. Because fault plans are
+    /// keyed by the link's lifetime attempt counter, each replay consumes
+    /// fresh fault-plan indices, so transient link-down windows clear and
+    /// the run converges on the same target state as a fault-free run.
+    ///
+    /// With `checkpoint_interval == 0` this is plain
+    /// [`DistributedSim::run_target_cycles`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::LinkDown`] once the rollback budget is exhausted;
+    /// [`SimError::SnapshotUnsupported`] when checkpointing is requested
+    /// over a non-snapshottable target; other run errors propagate.
+    pub fn run_target_cycles_recovering(&mut self, cycles: u64) -> Result<SimMetrics> {
+        if self.checkpoint_interval == 0 {
+            return self.run_target_cycles(cycles);
+        }
+        let mut ckpt = self.checkpoint()?;
+        let mut rollbacks_left = self.max_rollbacks;
+        while self.target_cycles() < cycles {
+            let stop = self
+                .target_cycles()
+                .saturating_add(self.checkpoint_interval)
+                .min(cycles);
+            match self.run_target_cycles(stop) {
+                Ok(_) => ckpt = self.checkpoint()?,
+                Err(e @ SimError::LinkDown { .. }) => {
+                    if rollbacks_left == 0 {
+                        return Err(e);
+                    }
+                    rollbacks_left -= 1;
+                    self.rollbacks_taken += 1;
+                    self.restore(&ckpt)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.metrics())
+    }
+
     /// Returns `true` if any node's bridge reports done.
     pub fn any_bridge_done(&self) -> bool {
         self.nodes.iter().any(|n| n.bridge.done())
@@ -781,10 +1133,8 @@ impl DistributedSim {
         } else {
             self.edges_since_progress += 1;
             if self.edges_since_progress > self.deadlock_horizon_edges && self.pending.is_empty() {
-                let report = self.nodes.iter().map(|n| n.libdn.stall_report()).collect();
                 return Err(SimError::Deadlock {
-                    time_ps: self.time_ps,
-                    report,
+                    report: self.stall_report(),
                 });
             }
         }
@@ -801,7 +1151,13 @@ impl DistributedSim {
             self.nodes[ni].last_advance_ps = now;
         }
 
-        // 4. Drain output channels into links.
+        // 4. Drain output channels into links. With the reliability layer
+        //    on, each token is framed (sequence number + CRC) and its
+        //    delivery delay is walked through the link's fault plan: every
+        //    failed physical attempt charges that retry's backoff timeout
+        //    in sender host cycles, exactly the schedule the threaded
+        //    backend's live protocol would follow.
+        let rel_policy = self.reliability.as_ref().map(|r| r.policy);
         for li_pos in 0..self.nodes[ni].out_links.len() {
             let li = self.nodes[ni].out_links[li_pos];
             loop {
@@ -815,16 +1171,63 @@ impl DistributedSim {
                 let tx_period = self.partitions[self.nodes[ni].partition].period_ps;
                 let rx_part = self.nodes[self.links[li].spec.to_node].partition;
                 let rx_period = self.partitions[rx_part].period_ps;
-                let width = self.links[li].spec.width;
+                let wire_width = match rel_policy {
+                    Some(_) => self.links[li].spec.width.saturating_add(FRAME_HEADER_BITS),
+                    None => self.links[li].spec.width,
+                };
                 let model = self.links[li].model;
-                let transfer = model.transfer_ps(width, tx_period, rx_period);
-                let ser_tx = model.serialization_cycles(width) * tx_period;
+                let transfer = model.transfer_ps(wire_width, tx_period, rx_period);
+                let ser_tx = model.serialization_cycles(wire_width) * tx_period;
+                let delay = match rel_policy {
+                    None => transfer,
+                    Some(policy) => {
+                        let link = &mut self.links[li];
+                        let plan = link.plan.clone().expect("plan exists when reliability on");
+                        let frame_seq = link.next_seq;
+                        link.next_seq += 1;
+                        let start = link.fault_attempts;
+                        let mut ctr = start;
+                        let outcome =
+                            des_delivery(&plan, &policy, frame_seq, &mut ctr, transfer, tx_period);
+                        link.fault_attempts = ctr;
+                        match outcome {
+                            Ok(d) => {
+                                self.log_faults(d.events);
+                                d.delay_ps
+                            }
+                            Err(attempts) => {
+                                // Reconstruct the fatal frame's fault events
+                                // (the analytic walk reports only success).
+                                let events: Vec<FaultEvent> = (start..ctr)
+                                    .filter_map(|attempt| {
+                                        plan.fault_at(attempt).map(|fault| FaultEvent {
+                                            link: li,
+                                            attempt,
+                                            seq: frame_seq,
+                                            fault,
+                                        })
+                                    })
+                                    .collect();
+                                self.log_faults(events);
+                                return Err(SimError::LinkDown {
+                                    link: li,
+                                    attempts,
+                                    report: self.stall_report(),
+                                });
+                            }
+                        }
+                    }
+                };
                 self.links[li].busy_until_ps = now + ser_tx.max(1);
                 self.nodes[ni].tx_busy_until_ps = now + ser_tx.max(tx_period);
                 self.seq += 1;
                 self.links[li].payload.push_back((self.seq, token));
+                let at_ps = now
+                    .saturating_add(delay)
+                    .max(self.links[li].last_arrival_ps);
+                self.links[li].last_arrival_ps = at_ps;
                 self.pending.push(Delivery {
-                    at_ps: now + transfer,
+                    at_ps,
                     seq: self.seq,
                     link: li,
                 });

@@ -1,6 +1,85 @@
-//! Simulation engine errors.
+//! Simulation engine errors and stall forensics.
 
+use fireaxe_transport::fault::FaultEvent;
 use std::fmt;
+
+/// One node's view of a stall: where its target clock stopped and which
+/// channels were holding it up.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeStall {
+    /// Node (partition thread) name.
+    pub node: String,
+    /// Target cycle the node had completed when the stall was declared.
+    pub target_cycle: u64,
+    /// Per-input-channel `(name, queued tokens)` — channels at 0 are the
+    /// ones the fireFSM is starved on.
+    pub waiting_inputs: Vec<(String, usize)>,
+    /// Per-output-channel `(name, fired this target cycle)` — unfired
+    /// outputs still owe the peer a token.
+    pub fired_outputs: Vec<(String, bool)>,
+}
+
+impl fmt::Display for NodeStall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ins: Vec<String> = self
+            .waiting_inputs
+            .iter()
+            .map(|(n, q)| format!("{n}={q}"))
+            .collect();
+        let outs: Vec<String> = self
+            .fired_outputs
+            .iter()
+            .map(|(n, fired)| format!("{n}{}", if *fired { "*" } else { "" }))
+            .collect();
+        write!(
+            f,
+            "{} @cycle {}: in[{}] out[{}]",
+            self.node,
+            self.target_cycle,
+            ins.join(", "),
+            outs.join(", ")
+        )
+    }
+}
+
+/// Structured forensics attached to [`SimError::Deadlock`] and
+/// [`SimError::LinkDown`]: what every node was waiting on, how many
+/// tokens were still in flight, and the fault-plan events that preceded
+/// the stall.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StallReport {
+    /// Virtual time at which the stall was declared, picoseconds (0
+    /// under the threaded backend, which has no virtual clock).
+    pub time_ps: u64,
+    /// Per-node stall detail.
+    pub nodes: Vec<NodeStall>,
+    /// Tokens sent but not yet delivered (in transport flight or in
+    /// undelivered retransmit buffers).
+    pub tokens_in_flight: u64,
+    /// Most recent injected fault events (bounded window, oldest first).
+    pub recent_faults: Vec<FaultEvent>,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "t={} ns, {} token(s) in flight",
+            self.time_ps / 1000,
+            self.tokens_in_flight
+        )?;
+        for n in &self.nodes {
+            writeln!(f, "  {n}")?;
+        }
+        if !self.recent_faults.is_empty() {
+            writeln!(f, "  recent faults:")?;
+            for e in &self.recent_faults {
+                writeln!(f, "    {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Errors raised while building or running a distributed simulation.
 #[derive(Debug)]
@@ -9,10 +88,26 @@ pub enum SimError {
     /// in flight (e.g. the paper's Fig. 2a non-separated-channel
     /// deadlock).
     Deadlock {
-        /// Virtual time at which the deadlock was declared, picoseconds.
-        time_ps: u64,
-        /// Per-node stall reports.
-        report: Vec<String>,
+        /// Stall forensics.
+        report: StallReport,
+    },
+    /// A link exhausted its retry budget: the reliability layer could not
+    /// deliver a token within the configured retransmission policy.
+    /// Recoverable via checkpoint/rollback (see
+    /// `DistributedSim::run_target_cycles_recovering`).
+    LinkDown {
+        /// Failing link index.
+        link: usize,
+        /// Physical transmission attempts consumed on the fatal frame.
+        attempts: u32,
+        /// Stall forensics at the moment of escalation.
+        report: StallReport,
+    },
+    /// Checkpointing was requested but a node's target model cannot be
+    /// snapshotted (e.g. it wraps extern behavioral state).
+    SnapshotUnsupported {
+        /// Name of the offending node.
+        node: String,
     },
     /// The run exceeded its host-step budget without meeting its stop
     /// condition.
@@ -29,7 +124,8 @@ pub enum SimError {
         /// The unregistered key.
         key: String,
     },
-    /// Bad configuration (unknown partition/node/link index, etc.).
+    /// Bad configuration (unknown partition/node/link index, invalid
+    /// fault spec or retry policy, etc.).
     Config {
         /// Explanation.
         message: String,
@@ -43,11 +139,20 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { time_ps, report } => write!(
+            SimError::Deadlock { report } => {
+                write!(f, "simulation deadlocked at {report}")
+            }
+            SimError::LinkDown {
+                link,
+                attempts,
+                report,
+            } => write!(
                 f,
-                "simulation deadlocked at t={} ns:\n{}",
-                time_ps / 1000,
-                report.join("\n")
+                "link {link} down after {attempts} transmission attempts, at {report}"
+            ),
+            SimError::SnapshotUnsupported { node } => write!(
+                f,
+                "node `{node}` cannot be checkpointed (behavioral target state)"
             ),
             SimError::StepLimit { limit } => {
                 write!(f, "host-step limit of {limit} exceeded")
@@ -82,6 +187,14 @@ impl From<fireaxe_libdn::LibdnError> for SimError {
 impl From<fireaxe_ir::IrError> for SimError {
     fn from(e: fireaxe_ir::IrError) -> Self {
         SimError::Ir(e)
+    }
+}
+
+impl From<fireaxe_transport::TransportError> for SimError {
+    fn from(e: fireaxe_transport::TransportError) -> Self {
+        SimError::Config {
+            message: e.to_string(),
+        }
     }
 }
 

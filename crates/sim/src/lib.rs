@@ -23,6 +23,8 @@ pub mod perf;
 pub mod threaded;
 
 pub use bridge::{Bridge, ConstBridge, RecordedToken, ScriptBridge};
-pub use engine::{Backend, BehaviorRegistry, DistributedSim, NodeCounters, SimBuilder, SimMetrics};
-pub use error::{Result, SimError};
+pub use engine::{
+    Backend, BehaviorRegistry, DistributedSim, NodeCounters, SimBuilder, SimCheckpoint, SimMetrics,
+};
+pub use error::{NodeStall, Result, SimError, StallReport};
 pub use perf::estimate_target_mhz;

@@ -20,7 +20,9 @@ pub const FSM_OVERHEAD_CYCLES: u64 = 2;
 ///
 /// `host_mhz` is the bitstream frequency assumed for every partition.
 pub fn estimate_target_mhz(design: &PartitionedDesign, transport: LinkModel, host_mhz: f64) -> f64 {
-    let period_ps = mhz_to_period_ps(host_mhz);
+    let Ok(period_ps) = mhz_to_period_ps(host_mhz) else {
+        return 0.0;
+    };
     // Per-cycle cost is set by the slowest node pair. Group links by
     // unordered node pair and charge `crossings` sequential transfers of
     // the average token in each direction.

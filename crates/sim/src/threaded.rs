@@ -15,10 +15,34 @@
 //! [`run`] halts every node at exactly the same target cycle, so the
 //! final target register state is bit-for-bit identical to a DES run of
 //! the same budget regardless of OS scheduling.
+//!
+//! When the reliability layer is configured (see
+//! `SimBuilder::fault_spec` / `SimBuilder::retry_policy`), this backend
+//! runs the real protocol live over its channels: every token is sealed
+//! into a sequenced, CRC'd [`Frame`]; the link's deterministic
+//! [`FaultPlan`] is applied at each physical transmission (drops,
+//! bit-flips, duplicates, stalls, down windows); receivers deliver
+//! strictly in order and return cumulative ACKs over a reverse channel;
+//! senders retransmit go-back-N on timeout (counted in service passes)
+//! and escalate to [`SimError::LinkDown`] when the retry budget runs
+//! out. Because the protocol delivers exactly the sent token sequence in
+//! per-channel order no matter what the fault plan does, the LI-BDN
+//! theorem still applies and fault-injected runs remain bit-identical to
+//! fault-free ones.
+//!
+//! At the end of every run the channel endpoints are *reconciled*:
+//! frames still in flight — in a channel, held back by a stall, or
+//! sitting unacknowledged in a retransmit buffer — are drained through
+//! the receive protocol into the consuming node's staging buffers, so a
+//! subsequent run (e.g. the next checkpoint chunk of
+//! `DistributedSim::run_target_cycles_recovering`) observes exactly the
+//! state a single longer run would have.
 
 use crate::engine::{Backend, DistributedSim, NodeRt, SimMetrics};
-use crate::error::{Result, SimError};
-use fireaxe_ir::Bits;
+use crate::error::{Result, SimError, StallReport};
+use fireaxe_transport::fault::{Fault, FaultEvent, FaultPlan};
+use fireaxe_transport::reliable::{corrupt, Frame, RetryPolicy, RxState, RxVerdict, TxState};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Mutex};
@@ -39,18 +63,115 @@ const STUCK_CHECKS_BEFORE_DEADLOCK: u64 = 1 << 8;
 /// the OS has to switch. The configured depth is restored after the
 /// run so later DES-only calls on the same sim are unaffected.
 const RUNAHEAD_CAPACITY: usize = 64;
+/// Go-back-N send window: a sender stops accepting fresh tokens for a
+/// link once this many frames are unacknowledged, bounding retransmit
+/// bursts.
+const RELIABLE_WINDOW: usize = 64;
+
+/// Sender endpoint of one link, owned by the producing node's worker.
+struct TxEp {
+    /// Output channel index on the producing node.
+    chan: usize,
+    /// Link index.
+    li: usize,
+    sender: Sender<Frame>,
+    /// Reverse ACK channel (reliability on only).
+    ack_rx: Option<Receiver<u64>>,
+    /// Protocol state; `None` runs the raw lossless channel.
+    state: Option<TxState>,
+    /// Deterministic fault schedule (set iff reliability is on).
+    plan: Option<FaultPlan>,
+    /// Lifetime physical-transmission counter, carried across runs via
+    /// `LinkRt::fault_attempts`.
+    fault_attempts: u64,
+    /// Fresh tokens accepted for transmission (link metric).
+    tokens: u64,
+    /// Faults injected by this endpoint, merged into the sim's forensics
+    /// window after the run.
+    events: Vec<FaultEvent>,
+}
+
+impl TxEp {
+    /// One physical transmission of `frame`, with the link's fault plan
+    /// applied: drops and down windows lose the frame, corruption flips a
+    /// payload bit (the CRC stays stale so the receiver rejects it),
+    /// duplication sends two copies, a stall tags the frame with a
+    /// receiver-side hold time.
+    fn physical_send(&mut self, frame: &Frame) {
+        let fault = match &self.plan {
+            Some(plan) => {
+                let attempt = self.fault_attempts;
+                self.fault_attempts += 1;
+                let fault = plan.fault_at(attempt);
+                if let Some(f) = fault {
+                    self.events.push(FaultEvent {
+                        link: self.li,
+                        attempt,
+                        seq: frame.seq,
+                        fault: f,
+                    });
+                }
+                fault
+            }
+            None => None,
+        };
+        // A send can only fail once every receiver endpoint has been
+        // collected after the workers join; sends during the run always
+        // succeed, and reconciliation recovers anything unacknowledged.
+        match fault {
+            Some(Fault::Drop) | Some(Fault::Down) => {}
+            Some(Fault::Corrupt { bit }) => {
+                let mut bad = frame.clone();
+                bad.payload = corrupt(&bad.payload, bit);
+                let _ = self.sender.send(bad);
+            }
+            Some(Fault::Duplicate) => {
+                let _ = self.sender.send(frame.clone());
+                let _ = self.sender.send(frame.clone());
+            }
+            Some(Fault::Stall { quanta }) => {
+                let mut slow = frame.clone();
+                slow.delay_quanta = quanta;
+                let _ = self.sender.send(slow);
+            }
+            None => {
+                let _ = self.sender.send(frame.clone());
+            }
+        }
+    }
+}
+
+/// Receiver endpoint of one link, owned by the consuming node's worker.
+struct RxEp {
+    /// Input channel index on the consuming node.
+    chan: usize,
+    /// Link index.
+    li: usize,
+    receiver: Receiver<Frame>,
+    /// Reverse ACK channel (reliability on only).
+    ack_tx: Option<Sender<u64>>,
+    /// Protocol state; `None` runs the raw lossless channel.
+    state: Option<RxState>,
+    /// In-order delay line modeling transient stalls: `(remaining service
+    /// passes, frame)`; only the head counts down (head-of-line
+    /// blocking, like the real in-order wire).
+    delayed: VecDeque<(u64, Frame)>,
+}
 
 /// One node owned by a worker, with its channel endpoints.
 struct WorkerNode<'a> {
     node: &'a mut NodeRt,
-    /// `(input channel, link index, receiver)` per incoming link.
-    rx: Vec<(usize, usize, Receiver<Bits>)>,
-    /// `(output channel, link index, sender)` per outgoing link.
-    tx: Vec<(usize, usize, Sender<Bits>)>,
-    /// Tokens sent per `tx` entry, kept thread-local and merged into the
-    /// shared link metrics after the workers join (no per-token atomics
-    /// on the hot path).
-    tx_sent: Vec<u64>,
+    rx: Vec<RxEp>,
+    tx: Vec<TxEp>,
+    /// Whether this node's budget completion has been added to
+    /// `Shared::nodes_done` (counted exactly once).
+    done_counted: bool,
+}
+
+/// Endpoint state a worker hands back for post-run reconciliation.
+struct NodeEndpoints {
+    tx: Vec<TxEp>,
+    rx: Vec<RxEp>,
 }
 
 /// Shared coordination state for one threaded run.
@@ -58,6 +179,11 @@ struct Shared {
     /// Bumped on any node progress; workers watch it to tell "the system
     /// is busy elsewhere" apart from "nothing can move".
     progress: AtomicU64,
+    /// Nodes (across all workers) that have reached the budget. With the
+    /// reliability protocol on, a worker whose own nodes are done must
+    /// keep pumping ACKs and retransmissions until this reaches the node
+    /// count — exiting early would strand frames a peer is waiting for.
+    nodes_done: AtomicU64,
     /// Set on deadlock or error; all workers drain out.
     abort: AtomicBool,
     /// First error raised by any worker.
@@ -69,7 +195,9 @@ struct Shared {
 ///
 /// # Errors
 ///
-/// [`SimError::Deadlock`] when no node can make progress.
+/// [`SimError::Deadlock`] when no node can make progress;
+/// [`SimError::LinkDown`] when the reliability layer exhausts a link's
+/// retry budget.
 pub(crate) fn run(sim: &mut DistributedSim, budget: u64, workers: usize) -> Result<SimMetrics> {
     let n_nodes = sim.nodes.len();
     if n_nodes == 0 {
@@ -78,21 +206,40 @@ pub(crate) fn run(sim: &mut DistributedSim, budget: u64, workers: usize) -> Resu
             message: "cannot step: the design has no partitions".into(),
         });
     }
+    let policy = sim.reliability.as_ref().map(|r| r.policy);
 
-    // One FIFO channel per link. The sender lives with the producing
-    // node's worker, the receiver with the consuming node's.
-    let mut rx_lists: Vec<Vec<(usize, usize, Receiver<Bits>)>> =
-        (0..n_nodes).map(|_| Vec::new()).collect();
-    let mut tx_lists: Vec<Vec<(usize, usize, Sender<Bits>)>> =
-        (0..n_nodes).map(|_| Vec::new()).collect();
+    // One FIFO data channel per link (plus a reverse ACK channel when the
+    // reliability protocol is on). The sender endpoint lives with the
+    // producing node's worker, the receiver with the consuming node's.
+    let mut rx_lists: Vec<Vec<RxEp>> = (0..n_nodes).map(|_| Vec::new()).collect();
+    let mut tx_lists: Vec<Vec<TxEp>> = (0..n_nodes).map(|_| Vec::new()).collect();
     for (li, link) in sim.links.iter().enumerate() {
-        let (tx, rx) = mpsc::channel::<Bits>();
-        tx_lists[link.spec.from_node].push((link.spec.from_chan, li, tx));
-        rx_lists[link.spec.to_node].push((link.spec.to_chan, li, rx));
+        let (data_tx, data_rx) = mpsc::channel::<Frame>();
+        let (ack_tx, ack_rx) = mpsc::channel::<u64>();
+        tx_lists[link.spec.from_node].push(TxEp {
+            chan: link.spec.from_chan,
+            li,
+            sender: data_tx,
+            ack_rx: policy.map(|_| ack_rx),
+            state: policy.map(TxState::new),
+            plan: link.plan.clone(),
+            fault_attempts: link.fault_attempts,
+            tokens: 0,
+            events: Vec::new(),
+        });
+        rx_lists[link.spec.to_node].push(RxEp {
+            chan: link.spec.to_chan,
+            li,
+            receiver: data_rx,
+            ack_tx: policy.map(|_| ack_tx),
+            state: policy.map(|_| RxState::new()),
+            delayed: VecDeque::new(),
+        });
     }
 
     let shared = Shared {
         progress: AtomicU64::new(0),
+        nodes_done: AtomicU64::new(0),
         abort: AtomicBool::new(false),
         error: Mutex::new(None),
     };
@@ -122,38 +269,37 @@ pub(crate) fn run(sim: &mut DistributedSim, budget: u64, workers: usize) -> Resu
         // Deterministic endpoint order (not required for correctness —
         // tokens are ordered per channel — but keeps behavior easy to
         // reason about).
-        rx.sort_by_key(|&(chan, li, _)| (chan, li));
-        tx.sort_by_key(|&(chan, li, _)| (chan, li));
-        let tx_sent = vec![0u64; tx.len()];
+        rx.sort_by_key(|ep| (ep.chan, ep.li));
+        tx.sort_by_key(|ep| (ep.chan, ep.li));
         pools[ni % n_workers].push(WorkerNode {
             node,
             rx,
             tx,
-            tx_sent,
+            done_counted: false,
         });
     }
 
     let horizon = sim.deadlock_horizon_edges;
-    let link_counts = std::thread::scope(|scope| {
+    let endpoints = std::thread::scope(|scope| {
         let handles: Vec<_> = pools
             .into_iter()
             .map(|pool| {
                 let shared = &shared;
-                scope.spawn(move || worker_loop(pool, budget, shared, horizon))
+                scope.spawn(move || worker_loop(pool, budget, shared, horizon, policy, n_nodes))
             })
             .collect();
-        let mut counts = vec![0u64; n_links];
+        let mut all: Vec<NodeEndpoints> = Vec::with_capacity(n_nodes);
         for handle in handles {
-            for (li, sent) in handle.join().expect("worker thread panicked") {
-                counts[li] += sent;
-            }
+            all.extend(handle.join().expect("worker thread panicked"));
         }
-        counts
+        all
     });
 
     for (node, cap) in sim.nodes.iter_mut().zip(saved_capacity) {
         node.libdn.set_capacity(cap);
     }
+
+    reconcile(sim, endpoints, n_links);
 
     if let Some(err) = shared
         .error
@@ -161,28 +307,97 @@ pub(crate) fn run(sim: &mut DistributedSim, budget: u64, workers: usize) -> Resu
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .take()
     {
-        return Err(err);
-    }
-    for (li, tokens) in link_counts.into_iter().enumerate() {
-        sim.links[li].tokens += tokens;
+        // Workers can't see the whole system; attach the real forensics
+        // now that node and link state is back in one place.
+        return Err(match err {
+            SimError::LinkDown { link, attempts, .. } => SimError::LinkDown {
+                link,
+                attempts,
+                report: sim.stall_report(),
+            },
+            other => other,
+        });
     }
     if shared.abort.load(Ordering::Relaxed) {
-        let report = sim.nodes.iter().map(|n| n.libdn.stall_report()).collect();
-        return Err(SimError::Deadlock { time_ps: 0, report });
+        return Err(SimError::Deadlock {
+            report: sim.stall_report(),
+        });
     }
     Ok(sim.metrics())
 }
 
+/// Folds the workers' endpoint state back into the simulation: link
+/// metrics and fault-plan counters, the fault forensics window, and —
+/// crucially — every token still in flight. In-channel frames, stalled
+/// frames, and unacknowledged retransmit-buffer frames are drained
+/// through the receive protocol (which dedupes and drops corrupt copies)
+/// into the consuming node's staging buffers, so no sent token is ever
+/// lost between runs.
+fn reconcile(sim: &mut DistributedSim, endpoints: Vec<NodeEndpoints>, n_links: usize) {
+    let mut tx_by_link: Vec<Option<TxEp>> = (0..n_links).map(|_| None).collect();
+    let mut rx_by_link: Vec<Option<RxEp>> = (0..n_links).map(|_| None).collect();
+    for ne in endpoints {
+        for ep in ne.tx {
+            let li = ep.li;
+            tx_by_link[li] = Some(ep);
+        }
+        for ep in ne.rx {
+            let li = ep.li;
+            rx_by_link[li] = Some(ep);
+        }
+    }
+    for li in 0..n_links {
+        let mut tx_ep = tx_by_link[li].take().expect("every link has a sender");
+        let mut rx_ep = rx_by_link[li].take().expect("every link has a receiver");
+        let to = sim.links[li].spec.to_node;
+        let chan = sim.links[li].spec.to_chan;
+        match rx_ep.state.as_mut() {
+            Some(state) => {
+                let staged = &mut sim.nodes[to].staged[chan];
+                let mut deliver = |state: &mut RxState, frame: &Frame| {
+                    if let RxVerdict::Deliver { payload, .. } = state.on_frame(frame) {
+                        staged.push_back(payload);
+                    }
+                };
+                for (_, frame) in rx_ep.delayed.drain(..) {
+                    deliver(state, &frame);
+                }
+                while let Ok(frame) = rx_ep.receiver.try_recv() {
+                    deliver(state, &frame);
+                }
+                // Sent-but-unacked frames the wire lost: the retransmit
+                // buffer still holds the originals, in sequence order, so
+                // feeding them through the same protocol delivers exactly
+                // the missing suffix.
+                if let Some(tx_state) = tx_ep.state.as_mut() {
+                    for frame in tx_state.take_unacked() {
+                        deliver(state, &frame);
+                    }
+                }
+            }
+            None => {
+                while let Ok(frame) = rx_ep.receiver.try_recv() {
+                    sim.nodes[to].staged[chan].push_back(frame.payload);
+                }
+            }
+        }
+        sim.links[li].tokens += tx_ep.tokens;
+        sim.links[li].fault_attempts = tx_ep.fault_attempts;
+        sim.log_faults(tx_ep.events);
+    }
+}
+
 /// Services the worker's node pool until every node reaches the budget,
 /// an error/deadlock aborts the run, or nothing moves for long enough.
-/// Returns `(link index, tokens sent)` for every outgoing endpoint this
-/// worker owned, for merging into the shared metrics.
+/// Returns the pool's endpoint state for reconciliation.
 fn worker_loop(
     mut pool: Vec<WorkerNode<'_>>,
     budget: u64,
     shared: &Shared,
     horizon: u64,
-) -> Vec<(usize, u64)> {
+    policy: Option<RetryPolicy>,
+    total_nodes: usize,
+) -> Vec<NodeEndpoints> {
     let mut spins: u64 = 0;
     let mut stuck_checks: u64 = 0;
     let mut last_progress = shared.progress.load(Ordering::Relaxed);
@@ -194,17 +409,25 @@ fn worker_loop(
 
     loop {
         if shared.abort.load(Ordering::Relaxed) {
-            return sent_counts(&pool);
+            return into_endpoints(pool);
         }
         let mut all_done = true;
         let mut progressed = false;
         for wn in &mut pool {
-            // A node at the budget has consumed every input token it will
-            // ever need (producers are budget-gated too) — skip it.
-            if wn.node.libdn.target_cycle() >= budget {
-                continue;
-            }
-            match service(wn, budget) {
+            // A node at the budget takes no more host cycles, but with
+            // the reliability protocol on it must keep pumping ACKs and
+            // retransmissions: a peer below budget may still be waiting
+            // on a frame this node's endpoints owe it.
+            let outcome = if wn.node.libdn.target_cycle() >= budget {
+                if policy.is_some() {
+                    pump_protocol(wn)
+                } else {
+                    Ok(false)
+                }
+            } else {
+                service(wn, budget, policy)
+            };
+            match outcome {
                 Ok(p) => progressed |= p,
                 Err(e) => {
                     let mut slot = shared
@@ -213,13 +436,26 @@ fn worker_loop(
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                     slot.get_or_insert(e);
                     shared.abort.store(true, Ordering::Relaxed);
-                    return sent_counts(&pool);
+                    return into_endpoints(pool);
                 }
             }
-            all_done &= wn.node.libdn.target_cycle() >= budget;
+            let done = wn.node.libdn.target_cycle() >= budget;
+            if done && !wn.done_counted {
+                wn.done_counted = true;
+                shared.nodes_done.fetch_add(1, Ordering::Relaxed);
+            }
+            all_done &= done;
         }
         if all_done {
-            return sent_counts(&pool);
+            // With the protocol on, this worker's endpoints may still owe
+            // peers ACKs or retransmissions: keep pumping until every
+            // node in the system is done (reconciliation then recovers
+            // anything left unacknowledged).
+            let system_done = policy.is_none()
+                || shared.nodes_done.load(Ordering::Relaxed) as usize == total_nodes;
+            if system_done {
+                return into_endpoints(pool);
+            }
         }
         if progressed {
             shared.progress.fetch_add(1, Ordering::Relaxed);
@@ -235,7 +471,7 @@ fn worker_loop(
                 if stuck_checks >= max_stuck {
                     // Nothing moved anywhere across many checks: deadlock.
                     shared.abort.store(true, Ordering::Relaxed);
-                    return sent_counts(&pool);
+                    return into_endpoints(pool);
                 }
             } else {
                 last_progress = now;
@@ -246,43 +482,162 @@ fn worker_loop(
     }
 }
 
-/// Flattens a worker pool's thread-local per-endpoint send counts into
-/// `(link index, tokens)` pairs.
-fn sent_counts(pool: &[WorkerNode<'_>]) -> Vec<(usize, u64)> {
-    pool.iter()
-        .flat_map(|wn| {
-            wn.tx
-                .iter()
-                .zip(&wn.tx_sent)
-                .map(|((_, li, _), sent)| (*li, *sent))
+/// Strips the node borrows off a worker pool, keeping the owned endpoint
+/// state for reconciliation.
+fn into_endpoints(pool: Vec<WorkerNode<'_>>) -> Vec<NodeEndpoints> {
+    pool.into_iter()
+        .map(|wn| NodeEndpoints {
+            tx: wn.tx,
+            rx: wn.rx,
         })
         .collect()
 }
 
-/// One service pass over a node: drain incoming channels into the
-/// staging buffers, then repeat ingest → host step → drain outputs for
-/// as long as the node makes progress. Unlike the DES backend — which
-/// must take exactly one host cycle per virtual clock edge — the
-/// threaded backend has no virtual clock, so batching host steps per
-/// pass is free and amortizes the channel/atomic traffic.
-fn service(wn: &mut WorkerNode<'_>, budget: u64) -> Result<bool> {
-    for (chan, _li, rx) in &wn.rx {
-        while let Ok(token) = rx.try_recv() {
-            wn.node.staged[*chan].push_back(token);
+/// Drains pending cumulative ACKs into the sender protocol state.
+fn drain_acks(ep: &mut TxEp) {
+    if let (Some(state), Some(ack_rx)) = (ep.state.as_mut(), ep.ack_rx.as_ref()) {
+        while let Ok(ack) = ack_rx.try_recv() {
+            state.on_ack(ack);
         }
     }
+}
 
+/// Advances the sender's timeout clock one service pass; on expiry,
+/// physically retransmits the go-back-N set.
+///
+/// # Errors
+///
+/// [`SimError::LinkDown`] when the oldest unacked frame has exhausted its
+/// retry budget (the run-level code attaches real forensics).
+fn tick_timeouts(ep: &mut TxEp) -> Result<bool> {
+    let frames = match ep.state.as_mut().map(TxState::on_tick) {
+        None => return Ok(false),
+        Some(Ok(frames)) => frames,
+        Some(Err(attempts)) => {
+            return Err(SimError::LinkDown {
+                link: ep.li,
+                attempts,
+                report: StallReport::default(),
+            })
+        }
+    };
+    let retransmitted = !frames.is_empty();
+    for frame in &frames {
+        ep.physical_send(frame);
+    }
+    Ok(retransmitted)
+}
+
+/// Drains one receiver endpoint: new frames enter the in-order delay
+/// line; the head counts down its stall hold (one pass per call); ready
+/// frames run through the receive protocol, which delivers in-sequence
+/// payloads to the node's staging buffer and returns cumulative ACKs.
+fn process_rx(ep: &mut RxEp, staged: &mut [VecDeque<fireaxe_ir::Bits>]) -> bool {
+    match ep.state.as_mut() {
+        None => {
+            let mut progressed = false;
+            while let Ok(frame) = ep.receiver.try_recv() {
+                staged[ep.chan].push_back(frame.payload);
+                progressed = true;
+            }
+            progressed
+        }
+        Some(state) => {
+            while let Ok(frame) = ep.receiver.try_recv() {
+                let hold = u64::from(frame.delay_quanta);
+                ep.delayed.push_back((hold, frame));
+            }
+            let mut progressed = false;
+            loop {
+                match ep.delayed.front_mut() {
+                    None => break,
+                    Some((hold, _)) if *hold > 0 => {
+                        *hold -= 1;
+                        break;
+                    }
+                    Some(_) => {
+                        let (_, frame) = ep.delayed.pop_front().expect("nonempty");
+                        match state.on_frame(&frame) {
+                            RxVerdict::Deliver { payload, ack } => {
+                                staged[ep.chan].push_back(payload);
+                                if let Some(ack_tx) = &ep.ack_tx {
+                                    let _ = ack_tx.send(ack);
+                                }
+                                progressed = true;
+                            }
+                            RxVerdict::DuplicateAck { ack } | RxVerdict::Gap { ack } => {
+                                if let Some(ack_tx) = &ep.ack_tx {
+                                    let _ = ack_tx.send(ack);
+                                }
+                            }
+                            RxVerdict::Corrupt => {}
+                        }
+                    }
+                }
+            }
+            progressed
+        }
+    }
+}
+
+/// Protocol maintenance for a node that has already reached the budget:
+/// receive (and ACK) peers' frames, process ACKs, retransmit on timeout.
+/// No host cycles are taken.
+fn pump_protocol(wn: &mut WorkerNode<'_>) -> Result<bool> {
     let mut progressed = false;
+    for ep in &mut wn.rx {
+        progressed |= process_rx(ep, &mut wn.node.staged);
+    }
+    for ep in &mut wn.tx {
+        drain_acks(ep);
+        progressed |= tick_timeouts(ep)?;
+    }
+    Ok(progressed)
+}
+
+/// One service pass over a node: drain incoming channels into the
+/// staging buffers, then repeat ingest → host step → drain outputs for
+/// as long as the node makes progress, then advance the retransmission
+/// timers once. Unlike the DES backend — which must take exactly one
+/// host cycle per virtual clock edge — the threaded backend has no
+/// virtual clock, so batching host steps per pass is free and amortizes
+/// the channel/atomic traffic.
+fn service(wn: &mut WorkerNode<'_>, budget: u64, policy: Option<RetryPolicy>) -> Result<bool> {
+    let mut progressed = false;
+    for ep in &mut wn.rx {
+        progressed |= process_rx(ep, &mut wn.node.staged);
+    }
+
     loop {
         let mut pass = wn.node.ingest_and_step(Some(budget))?;
 
-        for (ti, (chan, _li, tx)) in wn.tx.iter().enumerate() {
-            while let Some(token) = wn.node.libdn.pop_output(*chan) {
+        for ep in &mut wn.tx {
+            drain_acks(ep);
+            loop {
+                // Go-back-N window: stop accepting fresh tokens while too
+                // many frames are unacknowledged.
+                if ep
+                    .state
+                    .as_ref()
+                    .is_some_and(|s| s.in_flight() >= RELIABLE_WINDOW)
+                {
+                    break;
+                }
+                let Some(token) = wn.node.libdn.pop_output(ep.chan) else {
+                    break;
+                };
                 wn.node.counters.tokens_dequeued += 1;
-                wn.tx_sent[ti] += 1;
-                // A send can only fail once the receiver's worker has
-                // exited on abort; the run is over either way.
-                let _ = tx.send(token);
+                ep.tokens += 1;
+                let frame = match ep.state.as_mut() {
+                    Some(state) => state.send(token),
+                    None => Frame {
+                        seq: 0,
+                        crc: 0,
+                        delay_quanta: 0,
+                        payload: token,
+                    },
+                };
+                ep.physical_send(&frame);
                 pass = true;
             }
         }
@@ -290,9 +645,15 @@ fn service(wn: &mut WorkerNode<'_>, budget: u64) -> Result<bool> {
         pass |= wn.node.drain_env_outputs();
         progressed |= pass;
         if !pass || wn.node.libdn.target_cycle() >= budget {
-            return Ok(progressed);
+            break;
         }
     }
+
+    let _ = policy; // timeouts are pass-counted; the policy lives in TxState
+    for ep in &mut wn.tx {
+        progressed |= tick_timeouts(ep)?;
+    }
+    Ok(progressed)
 }
 
 #[cfg(test)]
@@ -303,6 +664,8 @@ mod tests {
     use fireaxe_ir::build::ModuleBuilder;
     use fireaxe_ir::{Bits, Circuit};
     use fireaxe_ripper::{compile, ChannelPolicy, PartitionGroup, PartitionMode, PartitionSpec};
+    use fireaxe_transport::fault::FaultSpec;
+    use fireaxe_transport::reliable::RetryPolicy;
     use fireaxe_transport::LinkModel;
 
     fn soc() -> Circuit {
@@ -481,6 +844,10 @@ mod tests {
             .unwrap();
         let err = sim.run_target_cycles(10).unwrap_err();
         assert!(matches!(err, SimError::Deadlock { .. }), "got {err}");
+        // The structured report names every node and its stalled cycle.
+        if let SimError::Deadlock { report } = err {
+            assert_eq!(report.nodes.len(), design.node_count());
+        }
     }
 
     #[test]
@@ -496,5 +863,89 @@ mod tests {
         // No virtual clock: the threaded backend reports no target rate.
         assert_eq!(m.time_ps, 0);
         assert_eq!(m.target_mhz(), 0.0);
+    }
+
+    #[test]
+    fn reliability_layer_is_transparent_under_faults() {
+        // A noisy-but-recoverable fault campaign must leave the
+        // target-visible trace bit-identical to the no-reliability run.
+        let (clean, clean_cycles) = trace(Backend::Threads(0), PartitionMode::Exact, 50);
+        let c = soc();
+        let design = compile(&c, &spec(PartitionMode::Exact)).unwrap();
+        let rest = design.node_index(1, 0);
+        let bridge = ScriptBridge::new(|cycle| {
+            let mut m = std::collections::BTreeMap::new();
+            m.insert("i".to_string(), Bits::from_u64(cycle % 251, 8));
+            m
+        })
+        .recording();
+        let mut sim = SimBuilder::new(&design)
+            .backend(Backend::Threads(0))
+            .bridge(rest, Box::new(bridge))
+            .fault_spec(FaultSpec {
+                drop_per_mille: 80,
+                corrupt_per_mille: 80,
+                duplicate_per_mille: 80,
+                stall_per_mille: 40,
+                max_stall_quanta: 2,
+                ..FaultSpec::quiet(0xFA01)
+            })
+            .retry_policy(RetryPolicy {
+                max_retries: 8,
+                timeout_cycles: 8,
+            })
+            .build()
+            .unwrap();
+        let m = sim.run_target_cycles(50).unwrap();
+        assert_eq!(m.target_cycles, clean_cycles);
+        let b = sim
+            .bridge_mut(rest)
+            .as_any()
+            .downcast_mut::<ScriptBridge>()
+            .unwrap();
+        let mut t: Vec<(u64, u64)> = b
+            .log()
+            .iter()
+            .filter_map(|r| r.values.get("o").map(|v| (r.cycle, v.to_u64())))
+            .collect();
+        t.sort_unstable();
+        assert_eq!(t, clean, "faults must be invisible to target state");
+    }
+
+    #[test]
+    fn threaded_permanent_down_escalates_to_link_down() {
+        let c = soc();
+        let design = compile(&c, &spec(PartitionMode::Exact)).unwrap();
+        let mut sim = SimBuilder::new(&design)
+            .backend(Backend::Threads(0))
+            .fault_spec(FaultSpec {
+                down: vec![(0, u64::MAX)],
+                down_link: Some(0),
+                ..FaultSpec::quiet(7)
+            })
+            .retry_policy(RetryPolicy {
+                max_retries: 2,
+                timeout_cycles: 2,
+            })
+            .build()
+            .unwrap();
+        let err = sim.run_target_cycles(20).unwrap_err();
+        match err {
+            SimError::LinkDown {
+                link,
+                attempts,
+                report,
+            } => {
+                assert_eq!(link, 0);
+                assert_eq!(attempts, 3);
+                assert_eq!(report.nodes.len(), design.node_count());
+                assert!(
+                    report.recent_faults.iter().all(|e| e.link == 0),
+                    "forensics carry the down-link events: {report}"
+                );
+                assert!(!report.recent_faults.is_empty());
+            }
+            other => panic!("expected LinkDown, got {other}"),
+        }
     }
 }

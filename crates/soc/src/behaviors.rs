@@ -11,8 +11,32 @@
 //! All models are deterministic: traffic patterns come from a small LCG
 //! seeded by configuration, never from wall-clock or global RNG state.
 
-use fireaxe_ir::{Bits, ExternBehavior};
+use fireaxe_ir::{BehaviorSnapshot, Bits, ExternBehavior};
 use std::collections::{BTreeMap, VecDeque};
+
+/// Mechanical checkpoint support for plain-data models: the snapshot is
+/// a boxed clone of the whole model, restore copies it back. Every model
+/// in this crate keeps its entire simulation state in ordinary fields,
+/// so clone-the-struct is exact — which is what lets designs built from
+/// these behavioral models participate in the simulator's
+/// checkpoint/rollback recovery.
+macro_rules! clone_snapshot {
+    () => {
+        fn snapshot(&self) -> Option<BehaviorSnapshot> {
+            Some(Box::new(self.clone()))
+        }
+
+        fn restore(&mut self, snap: &BehaviorSnapshot) -> bool {
+            match snap.downcast_ref::<Self>() {
+                Some(s) => {
+                    self.clone_from(s);
+                    true
+                }
+                None => false,
+            }
+        }
+    };
+}
 
 /// Parses `name?k=v&k=v` keys.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,7 +135,7 @@ impl Lcg {
 }
 
 /// Frontend: streams fetch packets; stalls briefly after redirects.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FrontendModel {
     packet_id: u64,
     stall: u64,
@@ -129,6 +153,8 @@ impl FrontendModel {
 }
 
 impl ExternBehavior for FrontendModel {
+    clone_snapshot!();
+
     fn reset(&mut self) {
         self.packet_id = 0;
         self.stall = 0;
@@ -161,7 +187,7 @@ impl ExternBehavior for FrontendModel {
 
 /// Backend: consumes fetch packets, retires up to `issue` µops per cycle,
 /// generates deterministic redirects and LSU traffic, counts commits.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BackendModel {
     issue: u64,
     rob: u64,
@@ -189,6 +215,8 @@ impl BackendModel {
 }
 
 impl ExternBehavior for BackendModel {
+    clone_snapshot!();
+
     fn reset(&mut self) {
         self.occupancy = 0;
         self.commits = 0;
@@ -249,7 +277,7 @@ impl ExternBehavior for BackendModel {
 
 /// LSU: turns issue requests into dmem traffic and completes them when
 /// responses return.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LsuModel {
     pending: VecDeque<u64>,
     done_now: Option<u64>,
@@ -265,6 +293,8 @@ impl LsuModel {
 }
 
 impl ExternBehavior for LsuModel {
+    clone_snapshot!();
+
     fn reset(&mut self) {
         self.pending.clear();
         self.done_now = None;
@@ -302,7 +332,7 @@ impl ExternBehavior for LsuModel {
 }
 
 /// Memory subsystem: fixed-latency responder.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemSysModel {
     latency: u64,
     in_flight: VecDeque<(u64, u64)>, // (ready_at, tag)
@@ -322,6 +352,8 @@ impl MemSysModel {
 }
 
 impl ExternBehavior for MemSysModel {
+    clone_snapshot!();
+
     fn reset(&mut self) {
         self.in_flight.clear();
         self.now = 0;
@@ -418,7 +450,7 @@ impl FlitLayout {
 ///
 /// Ports: `tx_valid/tx_ready/tx_bits` (out), `rx_valid/rx_bits` (in,
 /// always accepted), `trap` (out, sticky).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TileModel {
     id: u64,
     subsystem: u64,
@@ -468,6 +500,8 @@ impl TileModel {
 }
 
 impl ExternBehavior for TileModel {
+    clone_snapshot!();
+
     fn reset(&mut self) {
         self.cycle = 0;
         self.responses = 0;
@@ -542,7 +576,7 @@ impl ExternBehavior for TileModel {
 
 /// The SoC subsystem (memory controller + I/O): answers tile requests
 /// after a fixed service latency.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SubsystemModel {
     latency: u64,
     now: u64,
@@ -572,6 +606,8 @@ impl SubsystemModel {
 }
 
 impl ExternBehavior for SubsystemModel {
+    clone_snapshot!();
+
     fn reset(&mut self) {
         self.now = 0;
         self.queue.clear();
@@ -631,7 +667,7 @@ impl ExternBehavior for SubsystemModel {
 /// internal latency; one delivery per output port per cycle, FIFO per
 /// destination. Used by the Fig. 11/12 sweep SoCs where the bus topology
 /// is a crossbar.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct XbarModel {
     nodes: usize,
     latency: u64,
@@ -658,6 +694,8 @@ impl XbarModel {
 }
 
 impl ExternBehavior for XbarModel {
+    clone_snapshot!();
+
     fn reset(&mut self) {
         self.now = 0;
         for q in &mut self.queues {

@@ -1,0 +1,338 @@
+//! Deterministic, seed-driven link fault injection.
+//!
+//! The exactness theorem (paper §III) assumes every inter-FPGA token
+//! eventually arrives intact — but the physical transports of §IV drop,
+//! corrupt, duplicate, and stall in practice. This module models those
+//! failures as a *fault plan*: a pure function from `(seed, link,
+//! transmit-attempt index)` to an optional [`Fault`], plus hard
+//! link-down windows expressed in attempt-index space. Because the plan
+//! is deterministic and keyed by the link's lifetime attempt counter,
+//! fault campaigns replay bit-for-bit, and the reliability layer in
+//! [`crate::reliable`] can be proven transparent against a fault-free
+//! golden run.
+//!
+//! Attempt-index keying (rather than wall- or virtual-time keying) is
+//! what lets both execution backends — the virtual-time DES and the
+//! free-running threaded backend — consume the *same* plan: each physical
+//! transmission of a frame, including every retransmission, consumes the
+//! next attempt index on its link.
+
+use crate::TransportError;
+use std::fmt;
+
+/// One injected fault on a single transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The frame is lost on the wire.
+    Drop,
+    /// One payload bit is flipped in flight (index taken modulo the
+    /// payload width); the CRC catches it at the receiver.
+    Corrupt {
+        /// Raw bit index before the modulo.
+        bit: u32,
+    },
+    /// The frame is delivered twice.
+    Duplicate,
+    /// The frame is delivered, but only after a transient stall of
+    /// `quanta` timeout quanta.
+    Stall {
+        /// Stall length in retry-timeout quanta.
+        quanta: u32,
+    },
+    /// The link is inside a hard down window: nothing gets through.
+    Down,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Drop => write!(f, "drop"),
+            Fault::Corrupt { bit } => write!(f, "corrupt(bit {bit})"),
+            Fault::Duplicate => write!(f, "duplicate"),
+            Fault::Stall { quanta } => write!(f, "stall({quanta}q)"),
+            Fault::Down => write!(f, "link-down"),
+        }
+    }
+}
+
+/// A fault that was actually injected, for stall forensics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Link index the fault fired on.
+    pub link: usize,
+    /// The link's lifetime transmit-attempt index.
+    pub attempt: u64,
+    /// Sequence number of the affected frame.
+    pub seq: u64,
+    /// What happened.
+    pub fault: Fault,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "link {} attempt {} seq {}: {}",
+            self.link, self.attempt, self.seq, self.fault
+        )
+    }
+}
+
+/// Declarative fault campaign for a simulation's links.
+///
+/// Rates are per-mille probabilities drawn independently per transmit
+/// attempt; `down` lists half-open `[start, end)` windows of the
+/// per-link attempt counter during which the link is hard-down. The same
+/// spec is instantiated per link via [`FaultSpec::plan_for_link`], which
+/// mixes the link index into the seed so links fail independently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Master seed for the whole campaign.
+    pub seed: u64,
+    /// Token-drop probability per attempt, out of 1000.
+    pub drop_per_mille: u16,
+    /// Bit-flip corruption probability per attempt, out of 1000.
+    pub corrupt_per_mille: u16,
+    /// Duplication probability per attempt, out of 1000.
+    pub duplicate_per_mille: u16,
+    /// Transient-stall probability per attempt, out of 1000.
+    pub stall_per_mille: u16,
+    /// Maximum stall length in retry-timeout quanta (stalls are drawn
+    /// uniformly in `1..=max_stall_quanta`).
+    pub max_stall_quanta: u32,
+    /// Hard link-down windows, half-open `[start, end)` in per-link
+    /// attempt-index space.
+    pub down: Vec<(u64, u64)>,
+    /// Restrict the `down` windows to this link index (`None` applies
+    /// them to every link).
+    pub down_link: Option<usize>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            drop_per_mille: 0,
+            corrupt_per_mille: 0,
+            duplicate_per_mille: 0,
+            stall_per_mille: 0,
+            max_stall_quanta: 1,
+            down: Vec::new(),
+            down_link: None,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A spec with the given seed and no faults enabled — a convenient
+    /// starting point for builder-style construction in tests.
+    pub fn quiet(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Sum of all per-attempt fault probabilities, out of 1000.
+    pub fn total_per_mille(&self) -> u32 {
+        u32::from(self.drop_per_mille)
+            + u32::from(self.corrupt_per_mille)
+            + u32::from(self.duplicate_per_mille)
+            + u32::from(self.stall_per_mille)
+    }
+
+    /// Validates rates and windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::BadFaultSpec`] when the per-mille rates
+    /// sum past 1000, a stall rate is set with `max_stall_quanta == 0`,
+    /// or a down window is empty/inverted.
+    pub fn validate(&self) -> Result<(), TransportError> {
+        let bad = |message: String| TransportError::BadFaultSpec { message };
+        let total = self.total_per_mille();
+        if total > 1000 {
+            return Err(bad(format!(
+                "fault rates sum to {total}\u{2030}, must be \u{2264} 1000\u{2030}"
+            )));
+        }
+        if self.stall_per_mille > 0 && self.max_stall_quanta == 0 {
+            return Err(bad(
+                "stall_per_mille is set but max_stall_quanta is 0".to_string()
+            ));
+        }
+        for &(start, end) in &self.down {
+            if start >= end {
+                return Err(bad(format!(
+                    "down window [{start}, {end}) is empty or inverted"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiates the per-link deterministic plan.
+    pub fn plan_for_link(&self, link: usize) -> FaultPlan {
+        FaultPlan {
+            link,
+            link_seed: splitmix64(self.seed ^ (link as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            spec: self.clone(),
+        }
+    }
+}
+
+/// A single link's deterministic fault schedule: a pure function from
+/// the link's lifetime transmit-attempt index to an optional [`Fault`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    link: usize,
+    link_seed: u64,
+    spec: FaultSpec,
+}
+
+impl FaultPlan {
+    /// The link this plan drives.
+    pub fn link(&self) -> usize {
+        self.link
+    }
+
+    /// Returns `true` when `attempt` falls inside a hard down window
+    /// applicable to this link.
+    pub fn is_down(&self, attempt: u64) -> bool {
+        if self.spec.down_link.is_some_and(|l| l != self.link) {
+            return false;
+        }
+        self.spec
+            .down
+            .iter()
+            .any(|&(start, end)| attempt >= start && attempt < end)
+    }
+
+    /// The fault (if any) injected on transmit attempt `attempt`.
+    ///
+    /// Hard down windows dominate the probabilistic draws.
+    pub fn fault_at(&self, attempt: u64) -> Option<Fault> {
+        if self.is_down(attempt) {
+            return Some(Fault::Down);
+        }
+        let h = splitmix64(self.link_seed ^ attempt);
+        let draw = (h % 1000) as u16;
+        let mut bound = self.spec.drop_per_mille;
+        if draw < bound {
+            return Some(Fault::Drop);
+        }
+        bound += self.spec.corrupt_per_mille;
+        if draw < bound {
+            return Some(Fault::Corrupt {
+                bit: (h >> 32) as u32,
+            });
+        }
+        bound += self.spec.duplicate_per_mille;
+        if draw < bound {
+            return Some(Fault::Duplicate);
+        }
+        bound += self.spec.stall_per_mille;
+        if draw < bound {
+            let span = self.spec.max_stall_quanta.max(1);
+            return Some(Fault::Stall {
+                quanta: 1 + ((h >> 40) as u32 % span),
+            });
+        }
+        None
+    }
+}
+
+/// SplitMix64: the statelessly seekable PRNG behind the fault draws.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy() -> FaultSpec {
+        FaultSpec {
+            seed: 42,
+            drop_per_mille: 100,
+            corrupt_per_mille: 100,
+            duplicate_per_mille: 100,
+            stall_per_mille: 100,
+            max_stall_quanta: 3,
+            down: vec![(50, 60)],
+            down_link: None,
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_link_independent() {
+        let spec = noisy();
+        let a = spec.plan_for_link(0);
+        let b = spec.plan_for_link(0);
+        let c = spec.plan_for_link(1);
+        let seq_a: Vec<_> = (0..200).map(|i| a.fault_at(i)).collect();
+        let seq_b: Vec<_> = (0..200).map(|i| b.fault_at(i)).collect();
+        let seq_c: Vec<_> = (0..200).map(|i| c.fault_at(i)).collect();
+        assert_eq!(seq_a, seq_b, "same link, same seed => same schedule");
+        assert_ne!(seq_a, seq_c, "different links draw independently");
+    }
+
+    #[test]
+    fn down_windows_dominate() {
+        let plan = noisy().plan_for_link(3);
+        for attempt in 50..60 {
+            assert_eq!(plan.fault_at(attempt), Some(Fault::Down));
+        }
+        assert!(!plan.is_down(60));
+    }
+
+    #[test]
+    fn down_link_restricts_scope() {
+        let spec = FaultSpec {
+            down_link: Some(1),
+            ..noisy()
+        };
+        assert!(spec.plan_for_link(1).is_down(55));
+        assert!(!spec.plan_for_link(0).is_down(55));
+    }
+
+    #[test]
+    fn rates_land_near_nominal() {
+        let spec = FaultSpec {
+            down: Vec::new(),
+            ..noisy()
+        };
+        let plan = spec.plan_for_link(0);
+        let n = 20_000u64;
+        let faults = (0..n).filter(|&i| plan.fault_at(i).is_some()).count();
+        let rate = faults as f64 / n as f64;
+        // 400/1000 nominal; allow generous sampling slack.
+        assert!((0.35..0.45).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn quiet_spec_injects_nothing() {
+        let plan = FaultSpec::quiet(7).plan_for_link(0);
+        assert!((0..10_000).all(|i| plan.fault_at(i).is_none()));
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut s = noisy();
+        s.drop_per_mille = 900;
+        assert!(matches!(
+            s.validate(),
+            Err(TransportError::BadFaultSpec { .. })
+        ));
+        let mut s = noisy();
+        s.max_stall_quanta = 0;
+        assert!(s.validate().is_err());
+        let mut s = noisy();
+        s.down = vec![(10, 10)];
+        assert!(s.validate().is_err());
+        assert!(noisy().validate().is_ok());
+    }
+}

@@ -19,6 +19,9 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
+pub mod reliable;
+
 pub mod calibration {
     //! Calibrated transport constants.
     //!
@@ -56,6 +59,44 @@ pub mod calibration {
 }
 
 use std::fmt;
+
+/// Errors raised by transport-layer configuration and modeling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// A host clock frequency that is zero, negative, or NaN.
+    NonPositiveFrequency {
+        /// The offending frequency in MHz.
+        mhz: f64,
+    },
+    /// An ill-formed fault specification (see [`fault::FaultSpec`]).
+    BadFaultSpec {
+        /// Explanation.
+        message: String,
+    },
+    /// An ill-formed retry policy (see [`reliable::RetryPolicy`]).
+    BadRetryPolicy {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::NonPositiveFrequency { mhz } => {
+                write!(f, "host frequency must be positive, got {mhz} MHz")
+            }
+            TransportError::BadFaultSpec { message } => {
+                write!(f, "bad fault spec: {message}")
+            }
+            TransportError::BadRetryPolicy { message } => {
+                write!(f, "bad retry policy: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
 
 /// The transports FireAxe supports (paper §IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -131,11 +172,14 @@ impl LinkModel {
 
     /// Host cycles needed to (de)serialize a token of `width_bits` at one
     /// end of the link.
+    ///
+    /// A `beat_bits` of [`u64::MAX`] (the loopback convention) is free; a
+    /// degenerate `beat_bits` of zero is treated as one bit per cycle.
     pub fn serialization_cycles(&self, width_bits: u64) -> u64 {
         if self.beat_bits == u64::MAX || width_bits == 0 {
             return 0;
         }
-        width_bits.div_ceil(self.beat_bits)
+        width_bits.div_ceil(self.beat_bits.max(1))
     }
 
     /// End-to-end transfer time for one token in picoseconds, given the
@@ -144,21 +188,28 @@ impl LinkModel {
     /// The sender serializes at its host clock, the wire adds fixed
     /// latency, the receiver deserializes at its own clock — matching the
     /// paper's observation that both interface width and bitstream
-    /// frequency move the (de)serialization term.
+    /// frequency move the (de)serialization term. Saturates at
+    /// [`u64::MAX`] picoseconds rather than wrapping on pathological
+    /// widths/periods.
     pub fn transfer_ps(&self, width_bits: u64, tx_period_ps: u64, rx_period_ps: u64) -> u64 {
         let ser = self.serialization_cycles(width_bits);
-        ser * tx_period_ps + self.latency_ns * 1000 + ser * rx_period_ps
+        ser.saturating_mul(tx_period_ps)
+            .saturating_add(self.latency_ns.saturating_mul(1000))
+            .saturating_add(ser.saturating_mul(rx_period_ps))
     }
 }
 
 /// Converts a host clock frequency in MHz to a period in picoseconds.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on non-positive frequencies.
-pub fn mhz_to_period_ps(mhz: f64) -> u64 {
-    assert!(mhz > 0.0, "host frequency must be positive");
-    (1_000_000.0 / mhz).round() as u64
+/// Returns [`TransportError::NonPositiveFrequency`] for zero, negative,
+/// or NaN frequencies.
+pub fn mhz_to_period_ps(mhz: f64) -> Result<u64, TransportError> {
+    if mhz.is_nan() || mhz <= 0.0 {
+        return Err(TransportError::NonPositiveFrequency { mhz });
+    }
+    Ok((1_000_000.0 / mhz).round() as u64)
 }
 
 #[cfg(test)]
@@ -193,8 +244,8 @@ mod tests {
     #[test]
     fn transfer_time_composition() {
         let q = LinkModel::qsfp_aurora();
-        let period = mhz_to_period_ps(30.0); // ~33,333 ps
-                                             // 256-bit token: 2 beats each side + 450 ns wire.
+        let period = mhz_to_period_ps(30.0).unwrap(); // ~33,333 ps
+                                                      // 256-bit token: 2 beats each side + 450 ns wire.
         let t = q.transfer_ps(256, period, period);
         assert_eq!(t, 2 * period + 450_000 + 2 * period);
     }
@@ -205,7 +256,7 @@ mod tests {
         // 30 MHz bitstream should land near the paper's 1.6 MHz (QSFP)
         // and 1.0 MHz (p2p PCIe) headline numbers, with a couple of host
         // cycles of FSM overhead.
-        let period = mhz_to_period_ps(30.0);
+        let period = mhz_to_period_ps(30.0).unwrap();
         let fsm_overhead = 2 * period;
         let rate = |m: LinkModel| 1e12 / (m.transfer_ps(300, period, period) + fsm_overhead) as f64;
         let qsfp_mhz = rate(LinkModel::qsfp_aurora()) / 1e6;
@@ -225,14 +276,19 @@ mod tests {
         // At a 10 MHz bitstream, serialization of ~1500 bits rivals the
         // QSFP wire latency (the Fig. 11 crossover condition).
         let q = LinkModel::qsfp_aurora();
-        let period = mhz_to_period_ps(10.0);
+        let period = mhz_to_period_ps(10.0).unwrap();
         let ser_ns = q.serialization_cycles(1500) * period / 1000;
         assert!(ser_ns as f64 > 0.8 * q.latency_ns as f64);
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
     fn zero_frequency_rejected() {
-        mhz_to_period_ps(0.0);
+        for bad in [0.0, -3.5, f64::NAN] {
+            assert!(matches!(
+                mhz_to_period_ps(bad),
+                Err(TransportError::NonPositiveFrequency { .. })
+            ));
+        }
+        assert_eq!(mhz_to_period_ps(30.0).unwrap(), 33_333);
     }
 }

@@ -1,0 +1,128 @@
+//! Property tests for `LinkModel` timing math and the fault/reliability
+//! primitives: zero-width tokens, the `beat_bits == u64::MAX` loopback
+//! convention, widths near `u64` overflow, CRC sensitivity, and fault-plan
+//! determinism.
+
+use fireaxe_ir::Bits;
+use fireaxe_transport::fault::FaultSpec;
+use fireaxe_transport::reliable::{corrupt, crc32};
+use fireaxe_transport::{mhz_to_period_ps, LinkModel, TransportKind};
+use proptest::prelude::*;
+
+fn any_model() -> impl Strategy<Value = LinkModel> {
+    (0u64..100_001, 1u64..4097).prop_map(|(latency_ns, beat_bits)| LinkModel {
+        kind: TransportKind::QsfpAurora,
+        latency_ns,
+        beat_bits,
+    })
+}
+
+/// Values in the top half of the `u64` range, where multiplications
+/// overflow — the vendored proptest only has exclusive ranges, so the
+/// extremes are reached by offsetting from the midpoint.
+fn huge() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|x| u64::MAX / 2 + x % (u64::MAX / 2 + 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialization_cycles_covers_width(model in any_model(), width in 0u64..(1u64 << 40)) {
+        let cycles = model.serialization_cycles(width);
+        // Enough beats to carry the token...
+        prop_assert!(cycles.saturating_mul(model.beat_bits) >= width);
+        // ...but never a whole beat more than needed.
+        if width > 0 {
+            prop_assert!((cycles - 1).saturating_mul(model.beat_bits) < width);
+        } else {
+            prop_assert_eq!(cycles, 0);
+        }
+    }
+
+    #[test]
+    fn zero_width_tokens_cost_only_latency(model in any_model(), tx in 1u64..1_000_001, rx in 1u64..1_000_001) {
+        prop_assert_eq!(model.serialization_cycles(0), 0);
+        prop_assert_eq!(model.transfer_ps(0, tx, rx), model.latency_ns * 1000);
+    }
+
+    #[test]
+    fn loopback_beat_width_is_free(width in any::<u64>(), tx in any::<u64>(), rx in any::<u64>()) {
+        let model = LinkModel {
+            kind: TransportKind::Loopback,
+            latency_ns: 0,
+            beat_bits: u64::MAX,
+        };
+        prop_assert_eq!(model.serialization_cycles(width), 0);
+        prop_assert_eq!(model.transfer_ps(width, tx, rx), 0);
+    }
+
+    #[test]
+    fn transfer_saturates_instead_of_wrapping(width in huge(), period in huge()) {
+        // Pathological widths × periods must clamp to u64::MAX, not wrap
+        // around to a tiny virtual-time charge.
+        let model = LinkModel {
+            kind: TransportKind::HostPcie,
+            latency_ns: u64::MAX,
+            beat_bits: 1,
+        };
+        prop_assert_eq!(model.transfer_ps(width, period, period), u64::MAX);
+    }
+
+    #[test]
+    fn degenerate_zero_beat_acts_as_one_bit_per_cycle(width in 1u64..(1u64 << 32)) {
+        let zero_beat = LinkModel {
+            kind: TransportKind::QsfpAurora,
+            latency_ns: 450,
+            beat_bits: 0,
+        };
+        let one_beat = LinkModel { beat_bits: 1, ..zero_beat };
+        prop_assert_eq!(
+            zero_beat.serialization_cycles(width),
+            one_beat.serialization_cycles(width)
+        );
+    }
+
+    #[test]
+    fn transfer_is_monotone_in_width(model in any_model(), a in 0u64..(1u64 << 32), b in 0u64..(1u64 << 32), tx in 1u64..100_001, rx in 1u64..100_001) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(model.transfer_ps(lo, tx, rx) <= model.transfer_ps(hi, tx, rx));
+    }
+
+    #[test]
+    fn period_round_trips_within_rounding(milli_mhz in 10u64..10_000_000) {
+        // 0.01 MHz .. 10 GHz, stepped in milli-MHz (no float strategies
+        // in the vendored harness).
+        let mhz = milli_mhz as f64 / 1000.0;
+        let period = mhz_to_period_ps(mhz).unwrap();
+        prop_assert!(period >= 1);
+        let back = 1_000_000.0 / period as f64;
+        // round() on the period keeps the reconstructed frequency within 1%.
+        prop_assert!((back - mhz).abs() / mhz < 0.01);
+    }
+
+    #[test]
+    fn crc_catches_any_single_bit_flip(value in any::<u64>(), width in 1u32..65, bit in any::<u32>()) {
+        let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+        let token = Bits::from_u64(masked, width);
+        prop_assert_ne!(crc32(&token), crc32(&corrupt(&token, bit)));
+    }
+
+    #[test]
+    fn fault_plan_is_a_pure_function(seed in any::<u64>(), link in 0usize..65, attempt in any::<u64>()) {
+        let spec = FaultSpec {
+            drop_per_mille: 200,
+            corrupt_per_mille: 200,
+            duplicate_per_mille: 200,
+            stall_per_mille: 200,
+            max_stall_quanta: 5,
+            ..FaultSpec::quiet(seed)
+        };
+        let plan = spec.plan_for_link(link);
+        prop_assert_eq!(plan.fault_at(attempt), plan.fault_at(attempt));
+        prop_assert_eq!(
+            spec.plan_for_link(link).fault_at(attempt),
+            plan.fault_at(attempt)
+        );
+    }
+}
