@@ -25,17 +25,46 @@ fn bits_ops(c: &mut Criterion) {
 }
 
 fn interpreter_step(c: &mut Criterion) {
+    use fireaxe::ir::ExecEngine;
     let circuit = fireaxe::soc::validation::sha3_soc(8);
-    c.bench_function("interp/sha3_soc_cycle", |bench| {
-        let mut sim = Interpreter::new(&circuit).unwrap();
-        sim.poke("go", Bits::from_u64(1, 1));
-        bench.iter(|| {
-            sim.step().unwrap();
-        })
-    });
+    // One entry per execution engine, same workload: the compiled
+    // instruction tape (default) vs the tree-walking reference.
+    for (name, engine) in [
+        ("interp/sha3_soc_cycle", ExecEngine::Compiled),
+        ("interp/sha3_soc_cycle_reference", ExecEngine::Reference),
+    ] {
+        c.bench_function(name, |bench| {
+            let mut sim = Interpreter::with_engine(&circuit, engine).unwrap();
+            sim.poke("go", Bits::from_u64(1, 1));
+            bench.iter(|| {
+                sim.step().unwrap();
+            })
+        });
+    }
     c.bench_function("interp/elaborate_sha3_soc", |bench| {
         bench.iter(|| black_box(Interpreter::new(black_box(&circuit)).unwrap()))
     });
+    // Settle-loop throughput on the pure-RTL 4-node NoC ring, the
+    // all-<=64-bit design the zero-allocation guard runs against.
+    let noc = fireaxe::soc::noc::ring_noc_circuit(&fireaxe::soc::noc::NocConfig {
+        nodes: 4,
+        payload_bits: 32,
+    });
+    for (name, engine) in [
+        ("interp/noc_ring4_cycle", ExecEngine::Compiled),
+        ("interp/noc_ring4_cycle_reference", ExecEngine::Reference),
+    ] {
+        c.bench_function(name, |bench| {
+            let mut sim = Interpreter::with_engine(&noc, engine).unwrap();
+            sim.poke_u64("node0_tx_valid", 1);
+            let mut n = 0u64;
+            bench.iter(|| {
+                n = n.wrapping_add(0x9E37_79B9);
+                sim.poke_u64("node0_tx_bits", n & 0x3FFF_FFFF);
+                sim.step().unwrap();
+            })
+        });
+    }
 }
 
 fn channel_pack(c: &mut Criterion) {

@@ -1,0 +1,311 @@
+//! Interpreter-engine throughput benchmark and allocation regression
+//! guard.
+//!
+//! Runs the same workloads through both execution engines (the compiled
+//! instruction tape and the tree-walking reference), reports settle-loop
+//! throughput in cycles/s, and enforces two CI invariants:
+//!
+//! 1. **Bit-exactness** — both engines must end every workload in an
+//!    identical architectural state (probe signals compared).
+//! 2. **Zero per-cycle heap allocation** — on an all-≤64-bit pure-RTL
+//!    design (the 4-node NoC ring), the compiled engine's steady-state
+//!    poke/eval/tick loop must not allocate at all. A counting global
+//!    allocator measures the delta over a thousand cycles; any nonzero
+//!    count is a regression and fails the build. The binary is
+//!    single-threaded precisely so this counter is meaningful.
+//!
+//! Results land in `BENCH_interp.json` for the before/after table in
+//! EXPERIMENTS.md. Throughput numbers are machine-dependent; the two
+//! invariants are not.
+
+use fireaxe::ir::{Bits, ExecEngine, Interpreter};
+use fireaxe::prelude::*;
+use fireaxe::soc::noc::{ring_noc_circuit, NocConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation made by the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+struct WorkloadResult {
+    name: &'static str,
+    cycles: u64,
+    compiled_cps: f64,
+    reference_cps: f64,
+    probes_match: bool,
+}
+
+impl WorkloadResult {
+    fn speedup(&self) -> f64 {
+        self.compiled_cps / self.reference_cps
+    }
+}
+
+/// Drives a NoC ring: every node injects a flit each cycle it can.
+/// Port-name strings live in the driver so the measured loop itself is
+/// allocation-free on the harness side.
+struct NocDriver {
+    valid_names: Vec<String>,
+    bits_names: Vec<String>,
+}
+
+impl NocDriver {
+    fn new(cfg: &NocConfig) -> Self {
+        NocDriver {
+            valid_names: (0..cfg.nodes)
+                .map(|i| format!("node{i}_tx_valid"))
+                .collect(),
+            bits_names: (0..cfg.nodes).map(|i| format!("node{i}_tx_bits")).collect(),
+        }
+    }
+
+    fn run(&self, sim: &mut Interpreter, cfg: &NocConfig, cycles: u64) {
+        let n = cfg.nodes;
+        let layout = cfg.flit();
+        let w = layout.width();
+        for c in 0..cycles {
+            for i in 0..n {
+                let dest = (i + 1 + (c as usize % (n - 1))) % n;
+                let flit = layout.pack(dest as u64, i as u64, 0, (c ^ i as u64) & 0xFFFF);
+                sim.poke_u64(&self.valid_names[i], (c % 3 != 0) as u64);
+                sim.poke_u64(&self.bits_names[i], flit & ((1u64 << w) - 1));
+            }
+            sim.eval().unwrap();
+            sim.tick();
+        }
+        sim.eval().unwrap();
+    }
+}
+
+fn noc_probes(sim: &Interpreter, cfg: &NocConfig) -> Vec<Bits> {
+    (0..cfg.nodes)
+        .flat_map(|i| {
+            [
+                sim.peek(&format!("node{i}_rx_valid")).clone(),
+                sim.peek(&format!("node{i}_rx_bits")).clone(),
+                sim.peek(&format!("node{i}_tx_ready")).clone(),
+            ]
+        })
+        .collect()
+}
+
+fn bench_noc_ring() -> WorkloadResult {
+    let cfg = NocConfig {
+        nodes: 4,
+        payload_bits: 32,
+    };
+    let circuit = ring_noc_circuit(&cfg);
+    let driver = NocDriver::new(&cfg);
+    let cycles = 30_000u64;
+    let mut out = [0.0f64; 2];
+    let mut probes: Vec<Vec<Bits>> = Vec::new();
+    for (k, engine) in [ExecEngine::Compiled, ExecEngine::Reference]
+        .into_iter()
+        .enumerate()
+    {
+        let mut sim = Interpreter::with_engine(&circuit, engine).unwrap();
+        driver.run(&mut sim, &cfg, 64); // warmup
+        let t0 = Instant::now();
+        driver.run(&mut sim, &cfg, cycles);
+        out[k] = cycles as f64 / t0.elapsed().as_secs_f64();
+        probes.push(noc_probes(&sim, &cfg));
+    }
+    WorkloadResult {
+        name: "noc_ring_4",
+        cycles,
+        compiled_cps: out[0],
+        reference_cps: out[1],
+        probes_match: probes[0] == probes[1],
+    }
+}
+
+/// The steady-state allocation guard: after warmup, a compiled-engine
+/// poke/eval/tick loop over the all-narrow NoC ring must not touch the
+/// heap at all.
+fn alloc_guard() -> Result<(), String> {
+    let cfg = NocConfig {
+        nodes: 4,
+        payload_bits: 32,
+    };
+    let circuit = ring_noc_circuit(&cfg);
+    let driver = NocDriver::new(&cfg);
+    let mut sim = Interpreter::with_engine(&circuit, ExecEngine::Compiled).unwrap();
+    // Warm up: first eval force-settles everything, Vec capacities and
+    // interned lookups reach steady state.
+    driver.run(&mut sim, &cfg, 64);
+    let guard_cycles = 1_000u64;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    driver.run(&mut sim, &cfg, guard_cycles);
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    if delta != 0 {
+        return Err(format!(
+            "compiled engine allocated {delta} times over {guard_cycles} steady-state cycles \
+             on an all-<=64-bit design (expected 0)"
+        ));
+    }
+    println!(
+        "alloc guard: 0 heap allocations over {guard_cycles} compiled-engine cycles (noc_ring_4)"
+    );
+    Ok(())
+}
+
+fn bind_all(sim: &mut Interpreter) {
+    for (path, key, bound) in sim.extern_instances() {
+        if !bound {
+            let model = fireaxe::soc::make_behavior(&key, &path).unwrap();
+            sim.bind_behavior(&path, model).unwrap();
+        }
+    }
+    sim.reset();
+}
+
+fn bench_soc24() -> WorkloadResult {
+    let soc = ring_soc(&RingSocConfig {
+        tiles: 24,
+        tile_period: 4,
+        subsystem_latency: 8,
+        heavy_workload: true,
+        ..Default::default()
+    });
+    let cycles = 2_000u64;
+    let mut out = [0.0f64; 2];
+    let mut probes: Vec<(Bits, u64)> = Vec::new();
+    for (k, engine) in [ExecEngine::Compiled, ExecEngine::Reference]
+        .into_iter()
+        .enumerate()
+    {
+        let mut sim = Interpreter::with_engine(&soc.circuit, engine).unwrap();
+        bind_all(&mut sim);
+        for _ in 0..64 {
+            sim.step().unwrap(); // warmup
+        }
+        let t0 = Instant::now();
+        for _ in 0..cycles {
+            sim.step().unwrap();
+        }
+        out[k] = cycles as f64 / t0.elapsed().as_secs_f64();
+        sim.eval().unwrap();
+        probes.push((sim.peek("subsys.serviced").clone(), sim.cycle()));
+    }
+    WorkloadResult {
+        name: "soc24_fig6",
+        cycles,
+        compiled_cps: out[0],
+        reference_cps: out[1],
+        probes_match: probes[0] == probes[1],
+    }
+}
+
+fn bench_sha3() -> WorkloadResult {
+    let circuit = fireaxe::soc::validation::sha3_soc(8);
+    let cycles = 5_000u64;
+    let mut out = [0.0f64; 2];
+    let mut probes: Vec<Vec<Bits>> = Vec::new();
+    for (k, engine) in [ExecEngine::Compiled, ExecEngine::Reference]
+        .into_iter()
+        .enumerate()
+    {
+        let mut sim = Interpreter::with_engine(&circuit, engine).unwrap();
+        sim.poke_u64("go", 1);
+        for _ in 0..64 {
+            sim.step().unwrap(); // warmup
+        }
+        let t0 = Instant::now();
+        for _ in 0..cycles {
+            sim.step().unwrap();
+        }
+        out[k] = cycles as f64 / t0.elapsed().as_secs_f64();
+        sim.eval().unwrap();
+        probes.push(
+            sim.signal_paths()
+                .iter()
+                .map(|p| sim.peek(p).clone())
+                .collect::<Vec<_>>(),
+        );
+    }
+    WorkloadResult {
+        name: "sha3",
+        cycles,
+        compiled_cps: out[0],
+        reference_cps: out[1],
+        probes_match: probes[0] == probes[1],
+    }
+}
+
+fn write_json(results: &[WorkloadResult]) -> std::io::Result<()> {
+    let mut s = String::from("{\n  \"benchmark\": \"interp_engines\",\n  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cycles\": {}, \"compiled_cps\": {:.0}, \
+             \"reference_cps\": {:.0}, \"speedup\": {:.2}, \"probes_match\": {}}}{}\n",
+            r.name,
+            r.cycles,
+            r.compiled_cps,
+            r.reference_cps,
+            r.speedup(),
+            r.probes_match,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write("BENCH_interp.json", s)
+}
+
+fn main() -> ExitCode {
+    println!("== Interpreter engine throughput (compiled tape vs tree reference) ==\n");
+    let results = [bench_noc_ring(), bench_soc24(), bench_sha3()];
+    println!(
+        "{:<12} {:>10} {:>14} {:>14} {:>8}  exact",
+        "workload", "cycles", "compiled c/s", "reference c/s", "speedup"
+    );
+    let mut ok = true;
+    for r in &results {
+        println!(
+            "{:<12} {:>10} {:>14.0} {:>14.0} {:>7.2}x  {}",
+            r.name,
+            r.cycles,
+            r.compiled_cps,
+            r.reference_cps,
+            r.speedup(),
+            if r.probes_match { "yes" } else { "NO" }
+        );
+        ok &= r.probes_match;
+    }
+    println!();
+    if let Err(e) = alloc_guard() {
+        eprintln!("FAIL: {e}");
+        ok = false;
+    }
+    if let Err(e) = write_json(&results) {
+        eprintln!("warning: could not write BENCH_interp.json: {e}");
+    } else {
+        println!("wrote BENCH_interp.json");
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nFAIL: engine parity or allocation regression detected");
+        ExitCode::FAILURE
+    }
+}

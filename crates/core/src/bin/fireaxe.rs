@@ -91,7 +91,8 @@ fn run() -> Result<(), String> {
     for note in &design.report.notes {
         println!("  note: {note}");
     }
-    let est = estimate_target_mhz(&design, platform.transport(), cfg.clock_mhz);
+    let est = estimate_target_mhz(&design, platform.transport(), cfg.clock_mhz)
+        .map_err(|e| e.to_string())?;
     println!("estimated rate: {est:.3} MHz");
     if args.estimate_only {
         return Ok(());

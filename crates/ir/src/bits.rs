@@ -73,10 +73,27 @@ impl fmt::Display for Width {
 /// // Addition wraps at the result width (8 bits here):
 /// assert_eq!(b.add(&b).to_u64(), (250u64 + 250) & 0xff);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct Bits {
     words: Vec<u64>,
     width: Width,
+}
+
+impl Clone for Bits {
+    fn clone(&self) -> Self {
+        Bits {
+            words: self.words.clone(),
+            width: self.width,
+        }
+    }
+
+    /// Reuses the existing word allocation — hot paths (the compiled
+    /// execution engine, extern input refresh) rely on this being
+    /// allocation-free once buffers are warm.
+    fn clone_from(&mut self, source: &Self) {
+        self.words.clone_from(&source.words);
+        self.width = source.width;
+    }
 }
 
 impl Bits {
@@ -153,6 +170,48 @@ impl Bits {
     /// The backing little-endian words.
     pub fn as_words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Overwrites the value in place from the low 64 bits of `value`,
+    /// keeping the current width and heap allocation. Bits above the
+    /// width are masked off; words above the first are zeroed.
+    ///
+    /// This is the zero-allocation store used by the compiled execution
+    /// engine's word-packed fast path.
+    pub fn set_from_u64(&mut self, value: u64) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+        if let Some(w0) = self.words.first_mut() {
+            *w0 = value;
+        }
+        self.mask_top();
+    }
+
+    /// In-place equivalent of `*self = src.resize(self.width())`: copies
+    /// `src`'s words (truncating or zero-extending) while keeping this
+    /// value's width and allocation. Never allocates.
+    pub fn assign_resized(&mut self, src: &Bits) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w = src.words.get(i).copied().unwrap_or(0);
+        }
+        self.mask_top();
+    }
+
+    /// `self == src.resize(self.width())`, computed without allocating.
+    pub fn eq_resized(&self, src: &Bits) -> bool {
+        let n = self.words.len();
+        let rem = self.width.get() % 64;
+        for (i, w) in self.words.iter().enumerate() {
+            let mut want = src.words.get(i).copied().unwrap_or(0);
+            if i + 1 == n && rem != 0 {
+                want &= (1u64 << rem) - 1;
+            }
+            if *w != want {
+                return false;
+            }
+        }
+        true
     }
 
     /// Returns `true` when every bit is zero.
@@ -627,6 +686,54 @@ mod tests {
         let z = Bits::zero(0);
         assert!(z.is_zero());
         assert_eq!(z.cat(&Bits::from_u64(3, 2)).to_u64(), 3);
+    }
+
+    #[test]
+    fn set_from_u64_masks_and_zeroes_upper_words() {
+        let mut b = Bits::from_words(&[u64::MAX, u64::MAX], 100);
+        b.set_from_u64(0xABCD);
+        assert_eq!(b, Bits::from_u64(0xABCD, 100));
+        let mut narrow = Bits::zero(4);
+        narrow.set_from_u64(0xFF);
+        assert_eq!(narrow.to_u64(), 0xF);
+        let mut zw = Bits::zero(0);
+        zw.set_from_u64(7); // inert
+        assert!(zw.is_zero());
+    }
+
+    #[test]
+    fn assign_resized_matches_resize() {
+        for (src_w, dst_w) in [(8u32, 80u32), (80, 8), (64, 64), (100, 33)] {
+            let src = Bits::from_words(&[0xDEAD_BEEF_CAFE_F00D, 0x1234_5678], src_w);
+            let mut dst = Bits::ones(dst_w);
+            dst.assign_resized(&src);
+            assert_eq!(dst, src.resize(dst_w), "src {src_w} -> dst {dst_w}");
+        }
+    }
+
+    #[test]
+    fn eq_resized_matches_resize_equality() {
+        for (a_w, b_w) in [(8u32, 80u32), (80, 8), (64, 64), (100, 33), (3, 7)] {
+            let a = Bits::from_words(&[0xDEAD_BEEF_CAFE_F00D, 0x1234_5678], a_w);
+            let b = Bits::from_words(&[0xDEAD_BEEF_CAFE_F00D, 0x1234_5678], b_w);
+            assert_eq!(a.eq_resized(&b), a == b.resize(a_w), "a {a_w} vs b {b_w}");
+            assert!(a.eq_resized(&a.clone()));
+            assert_eq!(
+                a.eq_resized(&Bits::zero(b_w)),
+                a == Bits::zero(b_w).resize(a_w)
+            );
+        }
+    }
+
+    #[test]
+    fn clone_from_reuses_and_copies() {
+        let src = Bits::from_words(&[1, 2, 3], 180);
+        let mut dst = Bits::zero(180);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        let mut shrunk = Bits::ones(200);
+        shrunk.clone_from(&Bits::from_u64(9, 8));
+        assert_eq!(shrunk, Bits::from_u64(9, 8));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crate::ast::*;
 use crate::bits::{Bits, Width};
 use crate::error::{IrError, Result};
+use crate::exec::ExecEngine;
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
@@ -67,7 +68,7 @@ pub trait ExternBehavior: std::fmt::Debug + Send {
 
 /// A compiled expression over value slots.
 #[derive(Debug, Clone)]
-enum CExpr {
+pub(crate) enum CExpr {
     Lit(Bits),
     Slot(usize),
     Unary(UnOp, Box<CExpr>),
@@ -81,7 +82,7 @@ enum CExpr {
 }
 
 impl CExpr {
-    fn eval(&self, slots: &[Bits]) -> Bits {
+    pub(crate) fn eval(&self, slots: &[Bits]) -> Bits {
         match self {
             CExpr::Lit(b) => b.clone(),
             CExpr::Slot(i) => slots[*i].clone(),
@@ -168,41 +169,101 @@ impl CExpr {
 }
 
 #[derive(Debug)]
-enum DefKind {
+pub(crate) enum DefKind {
     Expr(CExpr),
     MemRead { mem: usize, addr: CExpr },
     ExternComb { ext: usize },
 }
 
 #[derive(Debug)]
-struct Def {
-    kind: DefKind,
-    writes: Vec<usize>,
-    reads: Vec<usize>,
+pub(crate) struct Def {
+    pub(crate) kind: DefKind,
+    pub(crate) writes: Vec<usize>,
+    pub(crate) reads: Vec<usize>,
 }
 
 #[derive(Debug)]
-struct RegState {
-    slot: usize,
-    init: Bits,
-    next: Option<CExpr>,
+pub(crate) struct RegState {
+    pub(crate) slot: usize,
+    pub(crate) init: Bits,
+    pub(crate) next: Option<CExpr>,
 }
 
 #[derive(Debug)]
-struct MemState {
-    width: Width,
-    data: Vec<Bits>,
-    writes: Vec<(CExpr, CExpr, CExpr)>, // (addr, data, en)
+pub(crate) struct MemState {
+    pub(crate) width: Width,
+    pub(crate) data: Vec<Bits>,
+    pub(crate) writes: Vec<(CExpr, CExpr, CExpr)>, // (addr, data, en)
 }
 
 #[derive(Debug)]
-struct ExternInst {
-    path: String,
-    behavior_key: String,
-    input_slots: Vec<(String, usize)>,
-    source_output_slots: Vec<(String, usize)>,
-    sink_output_slots: Vec<(String, usize)>,
-    model: Option<Box<dyn ExternBehavior>>,
+pub(crate) struct ExternInst {
+    pub(crate) path: String,
+    pub(crate) behavior_key: String,
+    /// Input ports sorted by name so the zip against `inputs_buf` (a
+    /// `BTreeMap`, iterated in key order) lines up entry for entry.
+    pub(crate) input_slots: Vec<(String, usize)>,
+    pub(crate) source_output_slots: Vec<(String, usize)>,
+    pub(crate) sink_output_slots: Vec<(String, usize)>,
+    pub(crate) model: Option<Box<dyn ExternBehavior>>,
+    /// Persistent input map handed to the behavioral model; refreshed in
+    /// place each call so no per-cycle map construction is needed.
+    pub(crate) inputs_buf: BTreeMap<String, Bits>,
+}
+
+/// Refreshes `e.inputs_buf` from the current slot values without
+/// allocating: `input_slots` is name-sorted, matching the map's iteration
+/// order, so a single zip updates every entry in place.
+pub(crate) fn sync_extern_inputs(slots: &[Bits], e: &mut ExternInst) {
+    for ((_, si), (_, buf)) in e.input_slots.iter().zip(e.inputs_buf.iter_mut()) {
+        buf.clone_from(&slots[*si]);
+    }
+}
+
+/// Publishes every bound extern model's register-driven source outputs
+/// into their slots (start-of-cycle values).
+pub(crate) fn publish_sources(slots: &mut [Bits], externs: &mut [ExternInst]) {
+    for e in externs {
+        if let Some(model) = &mut e.model {
+            let outs = model.source_outputs();
+            for (name, slot) in &e.source_output_slots {
+                if let Some(v) = outs.get(name) {
+                    slots[*slot].assign_resized(v);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one extern combinational settle: syncs inputs, calls the model,
+/// and stores each produced sink output. `on_write(slot, changed)` is
+/// invoked for every sink output the model produced, with `changed`
+/// reporting whether the stored value differs from what the slot held —
+/// the compiled engine uses this for dirty propagation.
+pub(crate) fn run_extern_comb(
+    slots: &mut [Bits],
+    e: &mut ExternInst,
+    mut on_write: impl FnMut(usize, bool),
+) -> Result<()> {
+    sync_extern_inputs(slots, e);
+    let model = e
+        .model
+        .as_mut()
+        .ok_or_else(|| IrError::ExternWithoutBehavior {
+            module: e.path.clone(),
+            behavior: e.behavior_key.clone(),
+        })?;
+    let outs = model.comb_outputs(&e.inputs_buf);
+    for (name, slot) in &e.sink_output_slots {
+        if let Some(v) = outs.get(name) {
+            let changed = !slots[*slot].eq_resized(v);
+            if changed {
+                slots[*slot].assign_resized(v);
+            }
+            on_write(*slot, changed);
+        }
+    }
+    Ok(())
 }
 
 /// A captured copy of an [`Interpreter`]'s architectural state: every
@@ -241,27 +302,43 @@ impl InterpSnapshot {
 /// A flattened, schedule-ordered netlist with live state: the interpreter.
 #[derive(Debug)]
 pub struct Interpreter {
-    slots: Vec<Bits>,
+    pub(crate) slots: Vec<Bits>,
     slot_names: HashMap<String, usize>,
     mem_names: HashMap<String, usize>,
-    defs: Vec<Def>,
-    schedule: Vec<usize>,
-    regs: Vec<RegState>,
-    mems: Vec<MemState>,
-    externs: Vec<ExternInst>,
-    top_inputs: Vec<(String, usize)>,
+    pub(crate) defs: Vec<Def>,
+    pub(crate) schedule: Vec<usize>,
+    pub(crate) regs: Vec<RegState>,
+    pub(crate) mems: Vec<MemState>,
+    pub(crate) externs: Vec<ExternInst>,
+    pub(crate) top_inputs: Vec<(String, usize)>,
     top_outputs: Vec<(String, usize)>,
-    cycle: u64,
+    pub(crate) cycle: u64,
+    engine: ExecEngine,
+    tape: Option<crate::exec::Tape>,
 }
 
 impl Interpreter {
     /// Elaborates `circuit` into an executable netlist.
+    ///
+    /// The execution engine defaults to the compiled instruction tape;
+    /// set the `FIREAXE_ENGINE` environment variable to `reference` to
+    /// fall back to the tree-walking evaluator, or use
+    /// [`Interpreter::with_engine`] / [`Interpreter::set_engine`].
     ///
     /// # Errors
     ///
     /// Propagates validation errors and returns [`IrError::CombCycle`] if
     /// the flattened combinational definitions cannot be scheduled.
     pub fn new(circuit: &Circuit) -> Result<Self> {
+        Self::with_engine(circuit, ExecEngine::from_env())
+    }
+
+    /// Elaborates `circuit` and selects the execution engine explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Interpreter::new`].
+    pub fn with_engine(circuit: &Circuit, engine: ExecEngine) -> Result<Self> {
         crate::typecheck::validate(circuit)?;
         let mut b = Builder {
             circuit,
@@ -277,21 +354,54 @@ impl Interpreter {
                 top_inputs: Vec::new(),
                 top_outputs: Vec::new(),
                 cycle: 0,
+                engine,
+                tape: None,
             },
         };
         b.elaborate("", &circuit.top)?;
         let mut interp = b.interp;
         let top = circuit.top_module();
         for p in &top.ports {
-            let slot = interp.slot_names[&p.name.clone()];
+            let slot = interp.slot_names[&p.name];
             match p.direction {
                 Direction::Input => interp.top_inputs.push((p.name.clone(), slot)),
                 Direction::Output => interp.top_outputs.push((p.name.clone(), slot)),
             }
         }
         interp.schedule = schedule_defs(&interp.defs, interp.slots.len())?;
+        interp.tape = Some(crate::exec::Tape::build(&interp));
         interp.reset();
         Ok(interp)
+    }
+
+    /// The execution engine currently in use.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
+    /// Switches execution engine at a cycle boundary. Both engines share
+    /// the same architectural state, so the trace is unaffected.
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
+        self.invalidate_tape();
+    }
+
+    /// Enables or disables the compiled engine's dirty-set scheduler.
+    /// When off, every settle pass re-runs every definition (still on the
+    /// word-packed tape). Has no effect on the reference engine.
+    pub fn set_dirty_skipping(&mut self, on: bool) {
+        if let Some(t) = &mut self.tape {
+            t.skip = on;
+            t.force_all = true;
+        }
+    }
+
+    /// Marks all compiled-engine bookkeeping stale after an out-of-band
+    /// architectural state change (reset, snapshot restore, rebinding).
+    fn invalidate_tape(&mut self) {
+        if let Some(t) = &mut self.tape {
+            t.force_all = true;
+        }
     }
 
     /// Binds a behavioral model to the extern instance at hierarchical
@@ -310,6 +420,7 @@ impl Interpreter {
                 message: format!("no extern instance at path `{path}`"),
             })?;
         ext.model = Some(model);
+        self.invalidate_tape();
         Ok(())
     }
 
@@ -347,6 +458,7 @@ impl Interpreter {
             }
         }
         self.cycle = 0;
+        self.invalidate_tape();
         self.publish_extern_sources();
     }
 
@@ -356,14 +468,28 @@ impl Interpreter {
     ///
     /// Panics if the port does not exist (programming error in the harness).
     pub fn poke(&mut self, name: &str, value: Bits) {
-        let slot = self
-            .top_inputs
+        let slot = self.input_slot(name);
+        self.slots[slot].assign_resized(&value);
+    }
+
+    /// Drives the top-level input port `name` from a `u64`, truncated to
+    /// the port width. Unlike [`Interpreter::poke`] this never allocates,
+    /// which keeps all-narrow harness loops allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist (programming error in the harness).
+    pub fn poke_u64(&mut self, name: &str, value: u64) {
+        let slot = self.input_slot(name);
+        self.slots[slot].set_from_u64(value);
+    }
+
+    fn input_slot(&self, name: &str) -> usize {
+        self.top_inputs
             .iter()
             .find(|(n, _)| n == name)
             .unwrap_or_else(|| panic!("no top input port `{name}`"))
-            .1;
-        let w = self.slots[slot].width();
-        self.slots[slot] = value.resize(w);
+            .1
     }
 
     /// Reads any signal by hierarchical path (top ports use their bare
@@ -395,126 +521,113 @@ impl Interpreter {
     /// Returns [`IrError::ExternWithoutBehavior`] if an extern instance has
     /// no bound model.
     pub fn eval(&mut self) -> Result<()> {
-        for di in self.schedule.clone() {
-            self.run_def(di)?;
+        match self.engine {
+            ExecEngine::Reference => {
+                for i in 0..self.schedule.len() {
+                    let di = self.schedule[i];
+                    self.run_def(di)?;
+                }
+                Ok(())
+            }
+            ExecEngine::Compiled => {
+                let mut tape = self.tape.take().expect("compiled tape present");
+                let r = tape.eval(self);
+                self.tape = Some(tape);
+                r
+            }
         }
-        Ok(())
     }
 
     fn run_def(&mut self, di: usize) -> Result<()> {
-        enum Action {
-            Assign(Vec<(usize, Bits)>),
-        }
-        let action = {
-            let def = &self.defs[di];
-            match &def.kind {
-                DefKind::Expr(e) => {
-                    let v = e.eval(&self.slots);
-                    Action::Assign(vec![(def.writes[0], v)])
-                }
-                DefKind::MemRead { mem, addr } => {
-                    let a = addr.eval(&self.slots).to_u64() as usize;
-                    let m = &self.mems[*mem];
-                    let v = m
-                        .data
-                        .get(a)
-                        .cloned()
-                        .unwrap_or_else(|| Bits::zero(m.width));
-                    Action::Assign(vec![(def.writes[0], v)])
-                }
-                DefKind::ExternComb { ext } => {
-                    let e = &self.externs[*ext];
-                    let mut inputs = BTreeMap::new();
-                    for (name, slot) in &e.input_slots {
-                        inputs.insert(name.clone(), self.slots[*slot].clone());
-                    }
-                    let sink_slots = e.sink_output_slots.clone();
-                    let path = e.path.clone();
-                    let key = e.behavior_key.clone();
-                    let model = self.externs[*ext].model.as_mut().ok_or(
-                        IrError::ExternWithoutBehavior {
-                            module: path,
-                            behavior: key,
-                        },
-                    )?;
-                    let outs = model.comb_outputs(&inputs);
-                    let mut assigns = Vec::new();
-                    for (name, slot) in &sink_slots {
-                        if let Some(v) = outs.get(name) {
-                            let w = self.slots[*slot].width();
-                            assigns.push((*slot, v.resize(w)));
-                        }
-                    }
-                    Action::Assign(assigns)
-                }
+        let Self {
+            defs,
+            slots,
+            mems,
+            externs,
+            ..
+        } = self;
+        let def = &defs[di];
+        match &def.kind {
+            DefKind::Expr(e) => {
+                slots[def.writes[0]] = e.eval(slots);
             }
-        };
-        let Action::Assign(assigns) = action;
-        for (slot, v) in assigns {
-            self.slots[slot] = v;
+            DefKind::MemRead { mem, addr } => {
+                let a = addr.eval(slots).to_u64() as usize;
+                let m = &mems[*mem];
+                slots[def.writes[0]] = m
+                    .data
+                    .get(a)
+                    .cloned()
+                    .unwrap_or_else(|| Bits::zero(m.width));
+            }
+            DefKind::ExternComb { ext } => {
+                run_extern_comb(slots, &mut externs[*ext], |_, _| {})?;
+            }
         }
         Ok(())
     }
 
     fn publish_extern_sources(&mut self) {
-        let mut assigns = Vec::new();
-        for e in &mut self.externs {
-            if let Some(model) = &mut e.model {
-                let outs = model.source_outputs();
-                for (name, slot) in &e.source_output_slots {
-                    if let Some(v) = outs.get(name) {
-                        assigns.push((*slot, v.clone()));
-                    }
-                }
-            }
-        }
-        for (slot, v) in assigns {
-            let w = self.slots[slot].width();
-            self.slots[slot] = v.resize(w);
-        }
+        publish_sources(&mut self.slots, &mut self.externs);
     }
 
     /// Latches registers, applies memory writes, ticks behaviors, and
     /// publishes the next cycle's extern source outputs. Must be preceded
     /// by [`Interpreter::eval`].
     pub fn tick(&mut self) {
+        match self.engine {
+            ExecEngine::Reference => self.tick_reference(),
+            ExecEngine::Compiled => {
+                let mut tape = self.tape.take().expect("compiled tape present");
+                tape.tick(self);
+                self.tape = Some(tape);
+            }
+        }
+    }
+
+    fn tick_reference(&mut self) {
+        let Self {
+            slots,
+            mems,
+            regs,
+            externs,
+            cycle,
+            ..
+        } = self;
         // Compute all register next-values before writing any of them.
         let mut next: Vec<(usize, Bits)> = Vec::new();
-        for r in &self.regs {
+        for r in regs.iter() {
             if let Some(e) = &r.next {
-                let w = self.slots[r.slot].width();
-                next.push((r.slot, e.eval(&self.slots).resize(w)));
+                let w = slots[r.slot].width();
+                next.push((r.slot, e.eval(slots).resize(w)));
             }
         }
         // Memory writes also read pre-edge values.
         let mut mem_writes: Vec<(usize, usize, Bits)> = Vec::new();
-        for (mi, m) in self.mems.iter().enumerate() {
+        for (mi, m) in mems.iter().enumerate() {
             for (addr, data, en) in &m.writes {
-                if !en.eval(&self.slots).is_zero() {
-                    let a = addr.eval(&self.slots).to_u64() as usize;
+                if !en.eval(slots).is_zero() {
+                    let a = addr.eval(slots).to_u64() as usize;
                     if a < m.data.len() {
-                        mem_writes.push((mi, a, data.eval(&self.slots).resize(m.width)));
+                        mem_writes.push((mi, a, data.eval(slots).resize(m.width)));
                     }
                 }
             }
         }
-        for e in &mut self.externs {
+        for e in externs.iter_mut() {
+            sync_extern_inputs(slots, e);
             if let Some(model) = &mut e.model {
-                let mut inputs = BTreeMap::new();
-                for (name, slot) in &e.input_slots {
-                    inputs.insert(name.clone(), self.slots[*slot].clone());
-                }
-                model.tick(&inputs);
+                model.tick(&e.inputs_buf);
             }
         }
         for (slot, v) in next {
-            self.slots[slot] = v;
+            slots[slot] = v;
         }
         for (mi, a, v) in mem_writes {
-            self.mems[mi].data[a] = v;
+            mems[mi].data[a] = v;
         }
-        self.publish_extern_sources();
-        self.cycle += 1;
+        publish_sources(slots, externs);
+        *cycle += 1;
     }
 
     /// One full target cycle: settle then latch.
@@ -575,6 +688,7 @@ impl Interpreter {
             m.data.clone_from(s);
         }
         self.cycle = snap.cycle;
+        self.invalidate_tape();
         for (e, s) in self.externs.iter_mut().zip(&snap.externs) {
             let restored = e.model.as_mut().is_some_and(|model| model.restore(s));
             if !restored {
@@ -582,6 +696,27 @@ impl Interpreter {
             }
         }
         true
+    }
+
+    /// Hierarchical paths of every elaborated signal, sorted. Stable for
+    /// a given circuit, so two interpreters over the same design can be
+    /// compared signal by signal (the differential engine tests do).
+    pub fn signal_paths(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.slot_names.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Hierarchical paths of every elaborated memory, sorted.
+    pub fn mem_paths(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.mem_names.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Depth (number of entries) of the memory at `path`, if any.
+    pub fn mem_depth(&self, path: &str) -> Option<usize> {
+        self.mem_names.get(path).map(|&mi| self.mems[mi].data.len())
     }
 
     /// Names and widths of the top-level input ports.
@@ -654,6 +789,7 @@ impl<'a> Builder<'a> {
                 source_output_slots: Vec::new(),
                 sink_output_slots: Vec::new(),
                 model: None,
+                inputs_buf: BTreeMap::new(),
             };
             let mut reads = Vec::new();
             let mut writes = Vec::new();
@@ -676,6 +812,14 @@ impl<'a> Builder<'a> {
                     }
                 }
             }
+            // Name-sort the inputs and seed the persistent input buffer so
+            // per-cycle refreshes are a straight zip with no lookups.
+            ext.input_slots.sort_by(|a, b| a.0.cmp(&b.0));
+            ext.inputs_buf = ext
+                .input_slots
+                .iter()
+                .map(|(n, s)| (n.clone(), Bits::zero(self.interp.slots[*s].width())))
+                .collect();
             let ext_id = self.interp.externs.len();
             self.interp.externs.push(ext);
             if !writes.is_empty() {

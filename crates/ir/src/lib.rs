@@ -47,6 +47,7 @@ pub mod bits;
 pub mod build;
 pub mod comb;
 pub mod error;
+pub mod exec;
 pub mod interp;
 pub mod parser;
 pub mod printer;
@@ -59,4 +60,5 @@ pub use ast::{
 pub use bits::{Bits, Width};
 pub use comb::{CombAnalysis, ModuleCombInfo};
 pub use error::{IrError, Result};
+pub use exec::ExecEngine;
 pub use interp::{BehaviorSnapshot, ExternBehavior, InterpSnapshot, Interpreter};

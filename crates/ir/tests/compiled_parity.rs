@@ -1,0 +1,459 @@
+//! Differential proptest: the compiled tape engine must be bit-identical
+//! to the tree-walking reference evaluator on randomized circuits.
+//!
+//! Each case generates a random netlist (mixed narrow/wide signals,
+//! registers, memories, optionally a stateful extern behavioral model),
+//! runs the same workload through both engines, and compares every
+//! elaborated signal after every settle, plus memory contents, port
+//! traces, snapshot/restore round-trips, mid-run engine switches, and
+//! dirty-skipping on/off.
+
+use fireaxe_ir::build::{ModuleBuilder, Sig};
+use fireaxe_ir::interp::BehaviorSnapshot;
+use fireaxe_ir::{
+    BinOp, Bits, Circuit, CombPath, ExecEngine, Expr, ExternBehavior, ExternInfo, Interpreter,
+    Module, Port, ResourceHints, UnOp,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// splitmix64: deterministic per-seed stream for circuit + workload
+/// generation, independent of the proptest shim's own PRNG details.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn coin(&mut self, one_in: u64) -> bool {
+        self.below(one_in) == 0
+    }
+}
+
+/// Stateful extern model: comb output mixes input with internal state
+/// (so it must never be dirty-skipped), source output publishes state.
+#[derive(Debug, Clone, Default)]
+struct XorAcc {
+    state: u64,
+}
+
+impl ExternBehavior for XorAcc {
+    fn reset(&mut self) {
+        self.state = 0;
+    }
+    fn source_outputs(&mut self) -> BTreeMap<String, Bits> {
+        let mut m = BTreeMap::new();
+        m.insert("s".into(), Bits::from_u64(self.state, 16));
+        m
+    }
+    fn comb_outputs(&mut self, inputs: &BTreeMap<String, Bits>) -> BTreeMap<String, Bits> {
+        let x = inputs["x"].to_u64();
+        let mut m = BTreeMap::new();
+        m.insert(
+            "y".into(),
+            Bits::from_u64(x.rotate_left(3) ^ self.state ^ 0x9E37, 16),
+        );
+        m
+    }
+    fn tick(&mut self, inputs: &BTreeMap<String, Bits>) {
+        self.state = self
+            .state
+            .wrapping_mul(3)
+            .wrapping_add(inputs["x"].to_u64());
+    }
+    fn snapshot(&self) -> Option<BehaviorSnapshot> {
+        Some(Box::new(self.clone()))
+    }
+    fn restore(&mut self, snap: &BehaviorSnapshot) -> bool {
+        match snap.downcast_ref::<Self>() {
+            Some(s) => {
+                *self = s.clone();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+fn xacc_module() -> Module {
+    let mut e = Module::new("XAcc");
+    e.ports.push(Port::input("x", 16));
+    e.ports.push(Port::output("y", 16));
+    e.ports.push(Port::output("s", 16));
+    e.extern_info = Some(ExternInfo {
+        behavior: "xacc".into(),
+        comb_paths: vec![CombPath {
+            input: "x".into(),
+            output: "y".into(),
+        }],
+        resources: ResourceHints::default(),
+    });
+    e
+}
+
+const WIDTHS: &[u32] = &[1, 2, 5, 8, 13, 16, 31, 32, 33, 63, 64, 65, 80, 100, 128];
+
+fn pick_width(rng: &mut Rng) -> u32 {
+    WIDTHS[rng.below(WIDTHS.len() as u64) as usize]
+}
+
+/// A mostly-interesting random value of the given width.
+fn rand_bits(rng: &mut Rng, w: u32) -> Bits {
+    match rng.below(5) {
+        0 => Bits::zero(w),
+        1 => Bits::ones(w),
+        2 => Bits::from_u64(rng.below(4), w),
+        _ => Bits::from_words(&[rng.next(), rng.next()], w),
+    }
+}
+
+struct GenCircuit {
+    circuit: Circuit,
+    input_widths: Vec<(String, u32)>,
+    has_extern: bool,
+}
+
+fn gen_circuit(rng: &mut Rng) -> GenCircuit {
+    let mut mb = ModuleBuilder::new("T");
+    // pool of (signal, static width)
+    let mut pool: Vec<(Sig, u32)> = Vec::new();
+
+    let n_inputs = 3 + rng.below(3);
+    let mut input_widths = Vec::new();
+    for k in 0..n_inputs {
+        let w = pick_width(rng);
+        let name = format!("i{k}");
+        pool.push((mb.input(&name, w), w));
+        input_widths.push((name, w));
+    }
+    for _ in 0..2 {
+        let w = pick_width(rng);
+        pool.push((Sig::lit(rng.next(), w), w));
+    }
+
+    let n_regs = 1 + rng.below(3);
+    let mut regs = Vec::new();
+    for k in 0..n_regs {
+        let w = pick_width(rng);
+        let r = mb.reg(format!("r{k}"), w, rng.below(16));
+        pool.push((r.clone(), w));
+        regs.push(r);
+    }
+
+    let has_extern = rng.coin(3);
+    // Signals up to this point (inputs, consts, regs) cannot depend on the
+    // extern's comb output, so wiring one to its input can't form a cycle.
+    let ext_safe_len = pool.len();
+    if has_extern {
+        mb.inst("xa", "XAcc");
+        let y = mb.inst_port("xa", "y");
+        let s = mb.inst_port("xa", "s");
+        pool.push((y, 16));
+        pool.push((s, 16));
+    }
+
+    let has_mem = rng.coin(2);
+    let mut mem_data_width = 0;
+    if has_mem {
+        mem_data_width = [8u32, 16, 33, 64, 80][rng.below(5) as usize];
+        let depth = 4 + rng.below(12) as u32;
+        let m = mb.mem("m0", mem_data_width, depth);
+        let pick = rng.below(pool.len() as u64) as usize;
+        // Resize the address so reads regularly land in range.
+        let raddr = pool[pick].0.resize(4);
+        let rd = mb.mem_read("mrd", &m, &raddr);
+        pool.push((rd, mem_data_width));
+        // Write-port wiring is finished after node generation below.
+    }
+
+    let n_nodes = 8 + rng.below(18);
+    for k in 0..n_nodes {
+        let (a, wa) = pool[rng.below(pool.len() as u64) as usize].clone();
+        let (b, wb) = pool[rng.below(pool.len() as u64) as usize].clone();
+        let (sig, w) = match rng.below(12) {
+            0 => match rng.below(6) {
+                0 => (a.add(&b), wa.max(wb)),
+                1 => (a.sub(&b), wa.max(wb)),
+                2 => (a.mul(&b), wa.max(wb)),
+                3 => (a.and(&b), wa.max(wb)),
+                4 => (a.or(&b), wa.max(wb)),
+                _ => (a.xor(&b), wa.max(wb)),
+            },
+            1 if wa <= 64 && wb <= 64 => {
+                let op = if rng.coin(2) { BinOp::Div } else { BinOp::Rem };
+                let e = Expr::Binary(op, Box::new(a.expr().clone()), Box::new(b.expr().clone()));
+                (Sig::from_expr(e), wa.max(wb))
+            }
+            2 => {
+                let op = [
+                    BinOp::Eq,
+                    BinOp::Neq,
+                    BinOp::Lt,
+                    BinOp::Leq,
+                    BinOp::Gt,
+                    BinOp::Geq,
+                ][rng.below(6) as usize];
+                let e = Expr::Binary(op, Box::new(a.expr().clone()), Box::new(b.expr().clone()));
+                (Sig::from_expr(e), 1)
+            }
+            3 => (a.not(), wa),
+            4 => {
+                let op = [UnOp::OrReduce, UnOp::AndReduce, UnOp::XorReduce][rng.below(3) as usize];
+                (
+                    Sig::from_expr(Expr::Unary(op, Box::new(a.expr().clone()))),
+                    1,
+                )
+            }
+            5 => {
+                // Equal-width mux; the mismatched-arm fallback has its own
+                // dedicated test below.
+                let c = pool[rng.below(pool.len() as u64) as usize].0.clone();
+                let f = if wa == wb { b.clone() } else { b.resize(wa) };
+                (c.mux(&a, &f), wa)
+            }
+            6 if wa + wb <= 200 => (a.cat(&b), wa + wb),
+            7 => {
+                let lo = rng.below(wa as u64) as u32;
+                let hi = lo + rng.below((wa - lo) as u64) as u32;
+                (a.bits(hi, lo), hi - lo + 1)
+            }
+            8 => {
+                let w = pick_width(rng);
+                (a.resize(w), w)
+            }
+            9 => {
+                let n = rng.below(wa as u64 + 2) as u32;
+                (a.shl(n), wa)
+            }
+            10 => {
+                let n = rng.below(wa as u64 + 2) as u32;
+                (a.shr(n), wa)
+            }
+            _ => (a.add(&b), wa.max(wb)),
+        };
+        let node = mb.node(format!("n{k}"), &sig);
+        pool.push((node, w));
+    }
+
+    if has_extern {
+        let (x, _) = pool[rng.below(ext_safe_len as u64) as usize].clone();
+        mb.connect_inst("xa", "x", &x);
+    }
+    if has_mem {
+        let waddr = pool[rng.below(pool.len() as u64) as usize].0.resize(4);
+        let (wdata, _) = pool[rng.below(pool.len() as u64) as usize].clone();
+        let wen = pool[rng.below(pool.len() as u64) as usize].0.resize(1);
+        mb.mem_write("m0", &waddr, &wdata, &wen);
+        let _ = mem_data_width;
+    }
+    for r in &regs {
+        let (nx, _) = pool[rng.below(pool.len() as u64) as usize].clone();
+        mb.connect_sig(r, &nx);
+    }
+    let n_outs = 2 + rng.below(3);
+    for k in 0..n_outs {
+        let w = pick_width(rng);
+        let o = mb.output(format!("o{k}"), w);
+        let (src, _) = pool[rng.below(pool.len() as u64) as usize].clone();
+        mb.connect_sig(&o, &src);
+    }
+
+    let mut modules = vec![mb.finish()];
+    if has_extern {
+        modules.push(xacc_module());
+    }
+    GenCircuit {
+        circuit: Circuit::from_modules("T", modules, "T"),
+        input_widths,
+        has_extern,
+    }
+}
+
+fn compare_all(seed: u64, at: &str, paths: &[String], gold: &Interpreter, fast: &Interpreter) {
+    assert_eq!(
+        gold.cycle(),
+        fast.cycle(),
+        "cycle counters diverged at {at} (seed {seed})"
+    );
+    for p in paths {
+        assert_eq!(
+            gold.peek(p),
+            fast.peek(p),
+            "signal `{p}` diverged at {at} (seed {seed})"
+        );
+    }
+}
+
+fn compare_mems(seed: u64, at: &str, gold: &Interpreter, fast: &Interpreter) {
+    for mp in gold.mem_paths() {
+        let depth = gold.mem_depth(&mp).unwrap();
+        for i in 0..depth {
+            assert_eq!(
+                gold.peek_mem(&mp, i),
+                fast.peek_mem(&mp, i),
+                "mem `{mp}`[{i}] diverged at {at} (seed {seed})"
+            );
+        }
+    }
+}
+
+fn run_case(seed: u64) {
+    let mut rng = Rng(seed);
+    let g = gen_circuit(&mut rng);
+    let mut gold = Interpreter::with_engine(&g.circuit, ExecEngine::Reference)
+        .unwrap_or_else(|e| panic!("reference elaboration failed (seed {seed}): {e}"));
+    let mut fast = Interpreter::with_engine(&g.circuit, ExecEngine::Compiled)
+        .unwrap_or_else(|e| panic!("compiled elaboration failed (seed {seed}): {e}"));
+    assert_eq!(gold.engine(), ExecEngine::Reference);
+    assert_eq!(fast.engine(), ExecEngine::Compiled);
+    if g.has_extern {
+        gold.bind_behavior("xa", Box::new(XorAcc::default()))
+            .unwrap();
+        fast.bind_behavior("xa", Box::new(XorAcc::default()))
+            .unwrap();
+        gold.reset();
+        fast.reset();
+    }
+    if rng.coin(4) {
+        fast.set_dirty_skipping(false);
+    }
+    let paths = gold.signal_paths();
+    assert_eq!(paths, fast.signal_paths(), "seed {seed}");
+
+    let cycles = 15 + rng.below(25) as usize;
+    let mid = cycles / 2;
+    let switch_engines = rng.coin(4);
+    // Pre-generate the workload so the post-restore replay is identical.
+    let mut pokes: Vec<Vec<(String, Bits)>> = Vec::new();
+    for _ in 0..cycles {
+        let mut v = Vec::new();
+        for (name, w) in &g.input_widths {
+            // Sometimes leave an input untouched to exercise skipping.
+            if !rng.coin(3) {
+                v.push((name.clone(), rand_bits(&mut rng, *w)));
+            }
+        }
+        pokes.push(v);
+    }
+
+    let mut snap_fast = None;
+    for (c, cycle_pokes) in pokes.iter().enumerate() {
+        for (n, v) in cycle_pokes {
+            gold.poke(n, v.clone());
+            fast.poke(n, v.clone());
+        }
+        gold.eval().unwrap();
+        fast.eval().unwrap();
+        if rng.coin(4) {
+            // Double settle: must be idempotent on both engines.
+            gold.eval().unwrap();
+            fast.eval().unwrap();
+        }
+        compare_all(seed, &format!("cycle {c}"), &paths, &gold, &fast);
+        if c == mid {
+            snap_fast = fast.snapshot();
+            assert_eq!(
+                snap_fast.is_some(),
+                gold.snapshot().is_some(),
+                "seed {seed}"
+            );
+        }
+        if switch_engines && c == mid + 1 {
+            fast.set_engine(ExecEngine::Reference);
+        }
+        if switch_engines && c == mid + 3 {
+            fast.set_engine(ExecEngine::Compiled);
+        }
+        gold.tick();
+        fast.tick();
+    }
+    gold.eval().unwrap();
+    fast.eval().unwrap();
+    compare_all(seed, "final", &paths, &gold, &fast);
+    compare_mems(seed, "final", &gold, &fast);
+
+    // Snapshot/restore round trip: replay the recorded tail on the
+    // compiled sim and it must land exactly on the reference's final state.
+    if let Some(snap) = snap_fast {
+        assert!(fast.restore_snapshot(&snap), "seed {seed}");
+        assert_eq!(fast.cycle(), mid as u64, "seed {seed}");
+        for cycle_pokes in &pokes[mid..] {
+            for (n, v) in cycle_pokes {
+                fast.poke(n, v.clone());
+            }
+            fast.eval().unwrap();
+            fast.tick();
+        }
+        fast.eval().unwrap();
+        compare_all(seed, "after restore+replay", &paths, &gold, &fast);
+        compare_mems(seed, "after restore+replay", &gold, &fast);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn compiled_engine_matches_reference(seed in any::<u64>()) {
+        run_case(seed);
+    }
+}
+
+/// A mux whose arms have different widths has a *dynamic* runtime width
+/// in the reference evaluator; the compiled engine must fall back to the
+/// tree walker for that definition and still match bit for bit.
+#[test]
+fn mismatched_mux_arms_match_reference() {
+    let mut mb = ModuleBuilder::new("M");
+    let c = mb.input("c", 1);
+    let a = mb.input("a", 8);
+    let b = mb.input("b", 16);
+    let o = mb.output("o", 16);
+    let m = Sig::from_expr(Expr::Mux(
+        Box::new(c.expr().clone()),
+        Box::new(a.expr().clone()),
+        Box::new(b.expr().clone()),
+    ));
+    let n = mb.node("m", &m);
+    mb.connect_sig(&o, &n);
+    let circuit = Circuit::from_modules("M", vec![mb.finish()], "M");
+    let mut gold = Interpreter::with_engine(&circuit, ExecEngine::Reference).unwrap();
+    let mut fast = Interpreter::with_engine(&circuit, ExecEngine::Compiled).unwrap();
+    for (cv, av, bv) in [(0u64, 0xABu64, 0xF00Du64), (1, 0xAB, 0xF00D), (1, 0, 1)] {
+        for sim in [&mut gold, &mut fast] {
+            sim.poke_u64("c", cv);
+            sim.poke_u64("a", av);
+            sim.poke_u64("b", bv);
+            sim.eval().unwrap();
+        }
+        assert_eq!(gold.peek("o"), fast.peek("o"), "c={cv} a={av} b={bv}");
+    }
+}
+
+/// `poke_u64` and `poke` must agree.
+#[test]
+fn poke_u64_matches_poke() {
+    let mut mb = ModuleBuilder::new("P");
+    let i = mb.input("i", 12);
+    let o = mb.output("o", 12);
+    mb.connect_sig(&o, &i);
+    let circuit = Circuit::from_modules("P", vec![mb.finish()], "P");
+    let mut s1 = Interpreter::new(&circuit).unwrap();
+    let mut s2 = Interpreter::new(&circuit).unwrap();
+    for v in [0u64, 1, 0xFFF, 0xFFFF, u64::MAX] {
+        s1.poke("i", Bits::from_u64(v, 12));
+        s2.poke_u64("i", v);
+        s1.eval().unwrap();
+        s2.eval().unwrap();
+        assert_eq!(s1.peek("o"), s2.peek("o"), "v={v:#x}");
+    }
+}

@@ -9,6 +9,7 @@
 //! cycles of FSM work. The event-driven engine is the ground truth; this
 //! estimator is the compiler-time preview.
 
+use crate::error::SimError;
 use fireaxe_ripper::{PartitionMode, PartitionedDesign};
 use fireaxe_transport::{mhz_to_period_ps, LinkModel};
 
@@ -19,10 +20,14 @@ pub const FSM_OVERHEAD_CYCLES: u64 = 2;
 /// Estimates the achievable target frequency in MHz.
 ///
 /// `host_mhz` is the bitstream frequency assumed for every partition.
-pub fn estimate_target_mhz(design: &PartitionedDesign, transport: LinkModel, host_mhz: f64) -> f64 {
-    let Ok(period_ps) = mhz_to_period_ps(host_mhz) else {
-        return 0.0;
-    };
+/// A non-positive or non-finite `host_mhz` is a configuration error and
+/// is reported as such instead of being folded into a `0.0` estimate.
+pub fn estimate_target_mhz(
+    design: &PartitionedDesign,
+    transport: LinkModel,
+    host_mhz: f64,
+) -> Result<f64, SimError> {
+    let period_ps = mhz_to_period_ps(host_mhz)?;
     // Per-cycle cost is set by the slowest node pair. Group links by
     // unordered node pair and charge `crossings` sequential transfers of
     // the average token in each direction.
@@ -38,9 +43,9 @@ pub fn estimate_target_mhz(design: &PartitionedDesign, transport: LinkModel, hos
     }
     if worst_ps == 0 {
         // Unpartitioned: bounded by the host clock alone.
-        return host_mhz;
+        return Ok(host_mhz);
     }
-    1e6 / worst_ps as f64
+    Ok(1e6 / worst_ps as f64)
 }
 
 #[cfg(test)]
@@ -84,16 +89,29 @@ mod tests {
             &design(PartitionMode::Exact),
             LinkModel::qsfp_aurora(),
             30.0,
-        );
-        let f = estimate_target_mhz(&design(PartitionMode::Fast), LinkModel::qsfp_aurora(), 30.0);
+        )
+        .unwrap();
+        let f = estimate_target_mhz(&design(PartitionMode::Fast), LinkModel::qsfp_aurora(), 30.0)
+            .unwrap();
         assert!(f > 1.5 * e, "fast {f} vs exact {e}");
     }
 
     #[test]
     fn estimates_land_in_paper_range() {
-        let f = estimate_target_mhz(&design(PartitionMode::Fast), LinkModel::qsfp_aurora(), 30.0);
+        let f = estimate_target_mhz(&design(PartitionMode::Fast), LinkModel::qsfp_aurora(), 30.0)
+            .unwrap();
         assert!((0.8..=2.5).contains(&f), "QSFP fast estimate {f} MHz");
-        let h = estimate_target_mhz(&design(PartitionMode::Fast), LinkModel::host_pcie(), 30.0);
+        let h = estimate_target_mhz(&design(PartitionMode::Fast), LinkModel::host_pcie(), 30.0)
+            .unwrap();
         assert!(h < 0.03, "host-PCIe estimate {h} MHz should be ~26 kHz");
+    }
+
+    #[test]
+    fn bad_host_clock_is_an_error_not_zero() {
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let r =
+                estimate_target_mhz(&design(PartitionMode::Exact), LinkModel::qsfp_aurora(), bad);
+            assert!(r.is_err(), "host_mhz={bad} should be rejected");
+        }
     }
 }

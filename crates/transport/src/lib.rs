@@ -204,9 +204,10 @@ impl LinkModel {
 /// # Errors
 ///
 /// Returns [`TransportError::NonPositiveFrequency`] for zero, negative,
-/// or NaN frequencies.
+/// NaN, or infinite frequencies (an infinite frequency would otherwise
+/// yield a nonsensical zero-picosecond period).
 pub fn mhz_to_period_ps(mhz: f64) -> Result<u64, TransportError> {
-    if mhz.is_nan() || mhz <= 0.0 {
+    if !mhz.is_finite() || mhz <= 0.0 {
         return Err(TransportError::NonPositiveFrequency { mhz });
     }
     Ok((1_000_000.0 / mhz).round() as u64)
@@ -283,7 +284,7 @@ mod tests {
 
     #[test]
     fn zero_frequency_rejected() {
-        for bad in [0.0, -3.5, f64::NAN] {
+        for bad in [0.0, -3.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
             assert!(matches!(
                 mhz_to_period_ps(bad),
                 Err(TransportError::NonPositiveFrequency { .. })

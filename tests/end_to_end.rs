@@ -214,7 +214,7 @@ fn compiler_feedback_estimate_tracks_measured_rate() {
     let circuit = fireaxe::ir::parser::parse_circuit(SOC_TEXT).unwrap();
     let spec = PartitionSpec::exact(vec![PartitionGroup::instances("t", vec!["t".into()])]);
     let design = compile(&circuit, &spec).unwrap();
-    let est = estimate_target_mhz(&design, LinkModel::qsfp_aurora(), 30.0);
+    let est = estimate_target_mhz(&design, LinkModel::qsfp_aurora(), 30.0).unwrap();
     let (_d, mut sim) = fireaxe::FireAxe::new(circuit, spec).build().unwrap();
     let measured = sim.run_target_cycles(400).unwrap().target_mhz();
     let ratio = est / measured;

@@ -148,9 +148,14 @@ fn random_soc(rules: &[RegRule], inits: &[u64]) -> Circuit {
     Circuit::from_modules("Soc", vec![top.finish(), tile], "Soc")
 }
 
-/// Monolithic golden trace of both outputs.
+/// Monolithic golden trace of both outputs (default engine).
 fn golden_trace(c: &Circuit, cycles: usize) -> Vec<(u64, u64)> {
-    let mut sim = Interpreter::new(c).unwrap();
+    golden_trace_on(c, cycles, fireaxe::ir::ExecEngine::default())
+}
+
+/// Monolithic trace on a specific execution engine.
+fn golden_trace_on(c: &Circuit, cycles: usize, engine: fireaxe::ir::ExecEngine) -> Vec<(u64, u64)> {
+    let mut sim = Interpreter::with_engine(c, engine).unwrap();
     let mut out = Vec::new();
     for cyc in 0..cycles {
         sim.poke("i", Bits::from_u64(stimulus(cyc as u64), 16));
@@ -283,7 +288,9 @@ proptest! {
     /// theorem: on random circuits, a `Backend::Threads` run is
     /// bit-identical to both the `Backend::Des` golden model *and* the
     /// monolithic interpreter (exact mode), despite OS scheduling being
-    /// free to deliver tokens in any host-side order.
+    /// free to deliver tokens in any host-side order. The monolithic
+    /// trace itself is produced by both execution engines (compiled tape
+    /// and tree-walking reference), which must agree bit for bit.
     #[test]
     fn threaded_backend_matches_des_and_monolithic(
         rules in proptest::collection::vec(
@@ -294,9 +301,11 @@ proptest! {
     ) {
         let c = random_soc(&rules, &inits);
         let cycles = 25;
-        let golden = golden_trace(&c, cycles);
+        let golden = golden_trace_on(&c, cycles, fireaxe::ir::ExecEngine::Reference);
+        let compiled = golden_trace_on(&c, cycles, fireaxe::ir::ExecEngine::Compiled);
         let des = partitioned_trace_on(&c, PartitionMode::Exact, cycles, Backend::Des);
         let threads = partitioned_trace_on(&c, PartitionMode::Exact, cycles, Backend::Threads(0));
+        prop_assert_eq!(&compiled[..], &golden[..]);
         prop_assert_eq!(&des[..], &golden[..]);
         prop_assert_eq!(&threads[..], &des[..]);
     }
