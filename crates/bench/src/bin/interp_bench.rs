@@ -12,13 +12,20 @@
 //!    poke/eval/tick loop must not allocate at all. A counting global
 //!    allocator measures the delta over a thousand cycles; any nonzero
 //!    count is a regression and fails the build. The binary is
-//!    single-threaded precisely so this counter is meaningful.
+//!    single-threaded precisely so this counter is meaningful. The
+//!    measured loop carries live `obs_span!`/`obs_counter!` tracing
+//!    macros, so this guard also proves the disabled tracer is
+//!    allocation-free on the hot path.
+//! 3. **Bounded observability overhead** — enabling the tracer (with the
+//!    default 100-cycle metric-sampling cadence) must keep settle-loop
+//!    throughput within 5% of the untraced run.
 //!
 //! Results land in `BENCH_interp.json` for the before/after table in
 //! EXPERIMENTS.md. Throughput numbers are machine-dependent; the two
 //! invariants are not.
 
 use fireaxe::ir::{Bits, ExecEngine, Interpreter};
+use fireaxe::obs::{obs_counter, obs_span, trace};
 use fireaxe::prelude::*;
 use fireaxe::soc::noc::{ring_noc_circuit, NocConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -84,7 +91,12 @@ impl NocDriver {
         let n = cfg.nodes;
         let layout = cfg.flit();
         let w = layout.width();
+        // The tracing macros stay in the measured loop: disabled they
+        // compile to one relaxed load (the alloc guard proves they never
+        // allocate), enabled they model a profiled simulation run at the
+        // default 100-cycle sampling cadence.
         for c in 0..cycles {
+            let _span = obs_span!("bench.cycle");
             for i in 0..n {
                 let dest = (i + 1 + (c as usize % (n - 1))) % n;
                 let flit = layout.pack(dest as u64, i as u64, 0, (c ^ i as u64) & 0xFFFF);
@@ -93,6 +105,9 @@ impl NocDriver {
             }
             sim.eval().unwrap();
             sim.tick();
+            if c % 100 == 0 {
+                obs_counter!("bench.cycles", 0, c as f64);
+            }
         }
         sim.eval().unwrap();
     }
@@ -168,6 +183,54 @@ fn alloc_guard() -> Result<(), String> {
         "alloc guard: 0 heap allocations over {guard_cycles} compiled-engine cycles (noc_ring_4)"
     );
     Ok(())
+}
+
+/// Settle-loop throughput of the compiled engine over the NoC ring,
+/// with whatever tracer state is currently in force.
+fn noc_throughput(cycles: u64) -> f64 {
+    let cfg = NocConfig {
+        nodes: 4,
+        payload_bits: 32,
+    };
+    let circuit = ring_noc_circuit(&cfg);
+    let driver = NocDriver::new(&cfg);
+    let mut sim = Interpreter::with_engine(&circuit, ExecEngine::Compiled).unwrap();
+    driver.run(&mut sim, &cfg, 64); // warmup
+    let t0 = Instant::now();
+    driver.run(&mut sim, &cfg, cycles);
+    cycles as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// The observability overhead gate: tracing enabled (per-cycle spans
+/// plus the default 100-cycle counter cadence) must stay within 5% of
+/// untraced settle-loop throughput. Timing is noisy on shared CI hosts,
+/// so the comparison retries a few times before failing.
+fn obs_overhead_gate() -> Result<(), String> {
+    const MAX_TRIES: u32 = 3;
+    const CYCLES: u64 = 10_000;
+    let mut worst = 0.0f64;
+    for attempt in 1..=MAX_TRIES {
+        let off = noc_throughput(CYCLES);
+        trace::set_enabled(true);
+        let on = noc_throughput(CYCLES);
+        trace::set_enabled(false);
+        let _ = trace::take_events(); // drain the rings between attempts
+        let ratio = on / off;
+        worst = worst.max(ratio);
+        if ratio >= 0.95 {
+            println!(
+                "obs overhead gate: traced run at {:.1}% of untraced throughput \
+                 (attempt {attempt})",
+                ratio * 100.0
+            );
+            return Ok(());
+        }
+    }
+    Err(format!(
+        "tracing overhead too high: best traced run reached only {:.1}% of untraced \
+         settle-loop throughput over {MAX_TRIES} attempts (need >= 95%)",
+        worst * 100.0
+    ))
 }
 
 fn bind_all(sim: &mut Interpreter) {
@@ -294,6 +357,10 @@ fn main() -> ExitCode {
     }
     println!();
     if let Err(e) = alloc_guard() {
+        eprintln!("FAIL: {e}");
+        ok = false;
+    }
+    if let Err(e) = obs_overhead_gate() {
         eprintln!("FAIL: {e}");
         ok = false;
     }

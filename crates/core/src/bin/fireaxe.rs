@@ -3,23 +3,49 @@
 //! invocations.
 //!
 //! ```text
-//! fireaxe --circuit design.fir --config run.json [--cycles N] [--estimate]
+//! fireaxe run <run.json> [--circuit design.fir] [--cycles N]
+//!             [--backend des|threads] [--trace out.trace.json]
+//!             [--vcd out.vcd] [--metrics out.json|out.csv]
+//!             [--signals a,b,..] [--sample-interval N] [--estimate]
 //! ```
 //!
-//! `design.fir` is the textual IR (see `fireaxe_ir::parser`); `run.json`
-//! is a [`fireaxe::RunConfig`]. Prints the partition report, the
-//! compiler's quick rate estimate, and — unless `--estimate` — the
-//! measured simulation rate.
+//! `run.json` is a [`fireaxe::RunConfig`]; its `"circuit"` field names
+//! the textual-IR design (resolved relative to the config file) unless
+//! `--circuit` overrides it. The legacy spelling
+//! `fireaxe --circuit design.fir --config run.json` still works.
+//!
+//! Prints the partition report, the compiler's quick rate estimate, the
+//! measured simulation rate, and the per-node/per-link metrics summary.
+//! The `--trace`/`--vcd`/`--metrics`/`--signals`/`--sample-interval`
+//! flags override the config's `"obs"` object.
 
 use fireaxe::prelude::*;
-use fireaxe::RunConfig;
+use fireaxe::{ObsConfig, RunConfig};
+use std::path::Path;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: fireaxe run <run.json> [--circuit <design.fir>] [--cycles N] \
+     [--backend des|threads] [--trace <out.json>] [--vcd <out.vcd>] \
+     [--metrics <out.json|out.csv>] [--signals <a,b,..>] [--sample-interval N] [--estimate]";
+
 struct Args {
-    circuit: String,
+    circuit: Option<String>,
     config: String,
     cycles: u64,
     estimate_only: bool,
+    backend: Option<String>,
+    trace: Option<String>,
+    vcd: Option<String>,
+    metrics: Option<String>,
+    signals: Option<Vec<String>>,
+    sample_interval: Option<u64>,
+}
+
+fn parse_u64(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    it.next()
+        .ok_or(format!("{flag} needs a number"))?
+        .parse()
+        .map_err(|e| format!("bad {flag} value: {e}"))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,45 +53,118 @@ fn parse_args() -> Result<Args, String> {
     let mut config = None;
     let mut cycles = 10_000u64;
     let mut estimate_only = false;
+    let mut backend = None;
+    let mut trace = None;
+    let mut vcd = None;
+    let mut metrics = None;
+    let mut signals = None;
+    let mut sample_interval = None;
+    let mut run_seen = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "run" if !run_seen && config.is_none() => run_seen = true,
             "--circuit" => circuit = Some(it.next().ok_or("--circuit needs a path")?),
             "--config" => config = Some(it.next().ok_or("--config needs a path")?),
-            "--cycles" => {
-                cycles = it
-                    .next()
-                    .ok_or("--cycles needs a number")?
-                    .parse()
-                    .map_err(|e| format!("bad --cycles value: {e}"))?
+            "--cycles" => cycles = parse_u64(&mut it, "--cycles")?,
+            "--backend" => backend = Some(it.next().ok_or("--backend needs des|threads")?),
+            "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?),
+            "--vcd" => vcd = Some(it.next().ok_or("--vcd needs a path")?),
+            "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?),
+            "--signals" => {
+                let list = it.next().ok_or("--signals needs a comma-separated list")?;
+                signals = Some(list.split(',').map(str::to_string).collect());
             }
+            "--sample-interval" => sample_interval = Some(parse_u64(&mut it, "--sample-interval")?),
             "--estimate" => estimate_only = true,
-            "--help" | "-h" => {
-                return Err("usage: fireaxe --circuit <design.fir> --config <run.json> \
-                     [--cycles N] [--estimate]"
-                    .into())
+            "--help" | "-h" => return Err(USAGE.into()),
+            other if run_seen && config.is_none() && !other.starts_with('-') => {
+                config = Some(other.to_string());
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
     Ok(Args {
-        circuit: circuit.ok_or("missing --circuit <path>")?,
-        config: config.ok_or("missing --config <path>")?,
+        circuit,
+        config: config.ok_or("missing config path (try --help)")?,
         cycles,
         estimate_only,
+        backend,
+        trace,
+        vcd,
+        metrics,
+        signals,
+        sample_interval,
     })
+}
+
+/// Folds the CLI observability flags over the config's `"obs"` object.
+fn apply_obs_flags(cfg: &mut RunConfig, args: &Args) {
+    let wants_obs = args.trace.is_some()
+        || args.vcd.is_some()
+        || args.metrics.is_some()
+        || args.signals.is_some()
+        || args.sample_interval.is_some();
+    if cfg.obs.is_none() && !wants_obs {
+        return;
+    }
+    let obs = cfg.obs.get_or_insert_with(ObsConfig::default);
+    if let Some(p) = &args.trace {
+        obs.trace_path = p.clone();
+    }
+    if let Some(p) = &args.vcd {
+        obs.vcd_path = p.clone();
+    }
+    if let Some(p) = &args.metrics {
+        obs.metrics_path = p.clone();
+    }
+    if let Some(s) = &args.signals {
+        obs.signals = s.clone();
+    }
+    if let Some(n) = args.sample_interval {
+        obs.sample_interval = n;
+    }
+    // Asking for a trace or metric file implies sampling; pick a default
+    // interval rather than silently producing an empty series.
+    if obs.sample_interval == 0 && (!obs.trace_path.is_empty() || !obs.metrics_path.is_empty()) {
+        obs.sample_interval = 100;
+    }
+}
+
+fn write_out(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("{path}: {e}"))
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let circuit_text =
-        std::fs::read_to_string(&args.circuit).map_err(|e| format!("{}: {e}", args.circuit))?;
     let config_text =
         std::fs::read_to_string(&args.config).map_err(|e| format!("{}: {e}", args.config))?;
+    let mut cfg = RunConfig::from_json(&config_text).map_err(|e| e.to_string())?;
+    if let Some(b) = &args.backend {
+        cfg.backend = b.clone();
+    }
+    apply_obs_flags(&mut cfg, &args);
 
+    // The circuit comes from --circuit, else the config's `circuit`
+    // field resolved relative to the config file.
+    let circuit_path = match &args.circuit {
+        Some(p) => p.clone(),
+        None if !cfg.circuit.is_empty() => Path::new(&args.config)
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .join(&cfg.circuit)
+            .to_string_lossy()
+            .into_owned(),
+        None => {
+            return Err("missing circuit: pass --circuit or set `circuit` in the config".into())
+        }
+    };
+    let circuit_text =
+        std::fs::read_to_string(&circuit_path).map_err(|e| format!("{circuit_path}: {e}"))?;
     let circuit = fireaxe::ir::parser::parse_circuit(&circuit_text).map_err(|e| e.to_string())?;
-    let cfg = RunConfig::from_json(&config_text).map_err(|e| e.to_string())?;
+
     let platform = cfg.platform().map_err(|e| e.to_string())?;
+    let obs = cfg.obs.clone().unwrap_or_default();
     let flow = cfg.to_flow(circuit).map_err(|e| e.to_string())?;
 
     let design = flow.compile().map_err(|e| e.to_string())?;
@@ -98,6 +197,12 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
+    // Arm the event tracer before the engine is built so build-time and
+    // run-time spans both land in the Chrome trace.
+    if !obs.trace_path.is_empty() {
+        fireaxe::obs::trace::set_enabled(true);
+    }
+
     let (_design, mut sim) = flow.build().map_err(|e| e.to_string())?;
     // `recovering` so configs with `checkpoint_interval` set survive
     // injected link outages by rolling back; without checkpoints it is
@@ -115,6 +220,38 @@ fn run() -> Result<(), String> {
         println!(
             "recovered from link faults via {} checkpoint rollback(s)",
             sim.rollbacks_taken()
+        );
+    }
+    print!("{metrics}");
+
+    let report = sim.obs_report();
+    if !obs.trace_path.is_empty() {
+        fireaxe::obs::trace::set_enabled(false);
+        let events = fireaxe::obs::trace::take_events();
+        write_out(&obs.trace_path, &fireaxe::obs::to_chrome_json(&events))?;
+        println!("wrote {} trace events to {}", events.len(), obs.trace_path);
+    }
+    if !obs.vcd_path.is_empty() {
+        let vcd = report.vcd.as_deref().unwrap_or_default();
+        write_out(&obs.vcd_path, vcd)?;
+        println!("wrote waveform to {}", obs.vcd_path);
+    }
+    if !obs.metrics_path.is_empty() {
+        let doc = if obs.metrics_path.ends_with(".csv") {
+            report.metrics.to_csv()
+        } else {
+            report.metrics.to_json()
+        };
+        write_out(&obs.metrics_path, &doc)?;
+        println!(
+            "wrote metric series ({} node samples) to {}",
+            report
+                .metrics
+                .nodes
+                .iter()
+                .map(|n| n.samples.len())
+                .sum::<usize>(),
+            obs.metrics_path
         );
     }
     Ok(())

@@ -13,7 +13,7 @@ use crate::flow::{FireAxe, Platform};
 use crate::json::{self, Value};
 use fireaxe_ir::Circuit;
 use fireaxe_ripper::{ChannelPolicy, PartitionGroup, PartitionMode, PartitionSpec, Selection};
-use fireaxe_sim::Backend;
+use fireaxe_sim::{Backend, ObsSpec};
 use fireaxe_transport::fault::FaultSpec;
 use fireaxe_transport::reliable::RetryPolicy;
 use std::collections::BTreeMap;
@@ -58,6 +58,29 @@ pub struct FaultConfig {
     pub down_link: Option<usize>,
 }
 
+/// Observability knobs (the `"obs"` object): event tracing, metric
+/// sampling, and waveform capture for a run.
+///
+/// Output paths are written by the `fireaxe` binary relative to the
+/// working directory; the library surface only converts these knobs into
+/// a [`fireaxe_sim::ObsSpec`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Chrome `trace_event` JSON output path (empty = no trace capture).
+    pub trace_path: String,
+    /// VCD waveform output path (empty = no waveform capture).
+    pub vcd_path: String,
+    /// Metric time-series output path; a `.csv` suffix selects CSV,
+    /// anything else JSON (empty = series not written to a file).
+    pub metrics_path: String,
+    /// Signals to watch for the VCD: `"node:path"` pins a signal to one
+    /// node, a bare path watches every node exposing it (empty = every
+    /// node's output ports).
+    pub signals: Vec<String>,
+    /// Target cycles between metric samples (0 disables sampling).
+    pub sample_interval: u64,
+}
+
 /// Link reliability protocol knobs (the `"reliability"` object).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReliabilityConfig {
@@ -71,6 +94,10 @@ pub struct ReliabilityConfig {
 /// A complete run configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
+    /// Path to the textual-IR circuit, resolved relative to the config
+    /// file's directory by the `fireaxe` binary (empty = caller supplies
+    /// the circuit some other way, e.g. `--circuit`).
+    pub circuit: String,
     /// `"exact"` or `"fast"`.
     pub mode: String,
     /// `"onprem-qsfp"`, `"cloud-f1"`, or `"host-managed"`.
@@ -101,6 +128,8 @@ pub struct RunConfig {
     pub checkpoint_interval: u64,
     /// Rollback budget for recoverable `LinkDown` escalations.
     pub max_rollbacks: u32,
+    /// Observability knobs (None = nothing observed).
+    pub obs: Option<ObsConfig>,
 }
 
 fn default_clock() -> f64 {
@@ -314,6 +343,66 @@ impl ReliabilityConfig {
     }
 }
 
+impl ObsConfig {
+    fn from_value(v: &Value) -> Result<Self, ConfigError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| schema_err("obs", "expected an object"))?;
+        let mut signals = Vec::new();
+        if let Some(arr) = obj.get("signals") {
+            for item in arr
+                .as_array()
+                .ok_or_else(|| schema_err("signals", "expected an array of strings"))?
+            {
+                signals.push(
+                    item.as_str()
+                        .ok_or_else(|| schema_err("signals", "expected an array of strings"))?
+                        .to_string(),
+                );
+            }
+        }
+        Ok(ObsConfig {
+            trace_path: get_str(obj, "trace_path")?.unwrap_or_default(),
+            vcd_path: get_str(obj, "vcd_path")?.unwrap_or_default(),
+            metrics_path: get_str(obj, "metrics_path")?.unwrap_or_default(),
+            signals,
+            sample_interval: get_u64(obj, "sample_interval")?.unwrap_or(0),
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        let paths = [
+            ("trace_path", &self.trace_path),
+            ("vcd_path", &self.vcd_path),
+            ("metrics_path", &self.metrics_path),
+        ];
+        for (k, v) in paths {
+            if !v.is_empty() {
+                m.insert(k.to_string(), Value::String(v.clone()));
+            }
+        }
+        if !self.signals.is_empty() {
+            m.insert(
+                "signals".to_string(),
+                Value::Array(
+                    self.signals
+                        .iter()
+                        .map(|s| Value::String(s.clone()))
+                        .collect(),
+                ),
+            );
+        }
+        if self.sample_interval != 0 {
+            m.insert(
+                "sample_interval".to_string(),
+                Value::Number(self.sample_interval as f64),
+            );
+        }
+        Value::Object(m)
+    }
+}
+
 impl GroupConfig {
     fn from_value(v: &Value) -> Result<Self, ConfigError> {
         let obj = v
@@ -439,6 +528,7 @@ impl RunConfig {
             .collect::<Result<Vec<_>, _>>()?;
 
         Ok(RunConfig {
+            circuit: get_str(obj, "circuit")?.unwrap_or_default(),
             mode: require_str(obj, "mode")?,
             platform: require_str(obj, "platform")?,
             backend: get_str(obj, "backend")?.unwrap_or_else(|| "des".to_string()),
@@ -461,12 +551,16 @@ impl RunConfig {
                 .transpose()?,
             checkpoint_interval: get_u64(obj, "checkpoint_interval")?.unwrap_or(0),
             max_rollbacks: get_u64(obj, "max_rollbacks")?.unwrap_or(8) as u32,
+            obs: obj.get("obs").map(ObsConfig::from_value).transpose()?,
         })
     }
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
         let mut m = BTreeMap::new();
+        if !self.circuit.is_empty() {
+            m.insert("circuit".to_string(), Value::String(self.circuit.clone()));
+        }
         m.insert("mode".to_string(), Value::String(self.mode.clone()));
         m.insert("platform".to_string(), Value::String(self.platform.clone()));
         if self.backend != "des" {
@@ -522,6 +616,9 @@ impl RunConfig {
                 "max_rollbacks".to_string(),
                 Value::Number(f64::from(self.max_rollbacks)),
             );
+        }
+        if let Some(obs) = &self.obs {
+            m.insert("obs".to_string(), obs.to_value());
         }
         Value::Object(m).to_pretty()
     }
@@ -621,6 +718,33 @@ impl RunConfig {
         Ok(Some(policy))
     }
 
+    /// Resolves and validates the observability knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] when a metric output is requested
+    /// without a sampling interval.
+    pub fn obs_spec(&self) -> Result<Option<ObsSpec>, ConfigError> {
+        let Some(o) = &self.obs else {
+            return Ok(None);
+        };
+        if !o.metrics_path.is_empty() && o.sample_interval == 0 {
+            return Err(schema_err(
+                "obs",
+                "metrics_path requires sample_interval > 0",
+            ));
+        }
+        if !o.signals.is_empty() && o.vcd_path.is_empty() {
+            return Err(schema_err("obs", "signals requires vcd_path"));
+        }
+        let spec = ObsSpec {
+            sample_interval: o.sample_interval,
+            vcd: !o.vcd_path.is_empty(),
+            signals: o.signals.clone(),
+        };
+        Ok(spec.is_active().then_some(spec))
+    }
+
     /// Builds the [`PartitionSpec`] this config describes.
     ///
     /// # Errors
@@ -686,6 +810,9 @@ impl RunConfig {
         }
         if let Some(policy) = self.retry_policy()? {
             fa = fa.retry_policy(policy);
+        }
+        if let Some(spec) = self.obs_spec()? {
+            fa = fa.observe(spec);
         }
         for (p, mhz) in &self.partition_clocks {
             fa = fa.partition_clock_mhz(*p, *mhz);
@@ -865,6 +992,52 @@ mod tests {
             cfg.fault_spec(),
             Err(ConfigError::Invalid { field: "fault", .. })
         ));
+    }
+
+    #[test]
+    fn obs_knobs_parse_validate_and_roundtrip() {
+        let text = r#"{
+            "circuit": "soc.fir",
+            "mode": "exact", "platform": "onprem-qsfp",
+            "obs": {
+                "trace_path": "out.trace.json",
+                "vcd_path": "out.vcd",
+                "metrics_path": "out.csv",
+                "signals": ["rest:o", "t_rsp"],
+                "sample_interval": 25
+            },
+            "groups": [{ "name": "t", "instances": ["tile0"] }]
+        }"#;
+        let cfg = RunConfig::from_json(text).unwrap();
+        assert_eq!(cfg.circuit, "soc.fir");
+        let spec = cfg.obs_spec().unwrap().unwrap();
+        assert_eq!(spec.sample_interval, 25);
+        assert!(spec.vcd);
+        assert_eq!(
+            spec.signals,
+            vec!["rest:o".to_string(), "t_rsp".to_string()]
+        );
+        let back = RunConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back, cfg);
+
+        // Metric output without a cadence is a field-named error.
+        let mut bad = cfg.clone();
+        bad.obs.as_mut().unwrap().sample_interval = 0;
+        assert!(matches!(
+            bad.obs_spec(),
+            Err(ConfigError::Invalid { field: "obs", .. })
+        ));
+        // A watch list without a waveform destination is meaningless.
+        let mut bad = cfg.clone();
+        bad.obs.as_mut().unwrap().vcd_path.clear();
+        assert!(matches!(
+            bad.obs_spec(),
+            Err(ConfigError::Invalid { field: "obs", .. })
+        ));
+        // An inactive spec resolves to None.
+        let mut quiet = cfg;
+        quiet.obs = Some(ObsConfig::default());
+        assert!(quiet.obs_spec().unwrap().is_none());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use fireaxe_fpga::{fit, FitReport, FpgaSpec};
 use fireaxe_ir::Circuit;
 use fireaxe_ripper::{compile, PartitionSpec, PartitionedDesign};
-use fireaxe_sim::{Backend, BehaviorRegistry, Bridge, DistributedSim, SimBuilder};
+use fireaxe_sim::{Backend, BehaviorRegistry, Bridge, DistributedSim, ObsSpec, SimBuilder};
 use fireaxe_transport::fault::FaultSpec;
 use fireaxe_transport::reliable::RetryPolicy;
 use fireaxe_transport::LinkModel;
@@ -116,6 +116,7 @@ pub struct FireAxe {
     retry_policy: Option<RetryPolicy>,
     checkpoint_interval: u64,
     max_rollbacks: u32,
+    obs: ObsSpec,
 }
 
 impl std::fmt::Debug for FireAxe {
@@ -144,7 +145,16 @@ impl FireAxe {
             retry_policy: None,
             checkpoint_interval: 0,
             max_rollbacks: 8,
+            obs: ObsSpec::default(),
         }
+    }
+
+    /// Turns on run observation: metric sampling every
+    /// `spec.sample_interval` target cycles and/or VCD signal capture
+    /// (see [`fireaxe_sim::ObsSpec`] and `DistributedSim::obs_report`).
+    pub fn observe(mut self, spec: ObsSpec) -> Self {
+        self.obs = spec;
+        self
     }
 
     /// Arms deterministic fault injection on every inter-partition link
@@ -267,7 +277,8 @@ impl FireAxe {
             .backend(self.backend)
             .behaviors(registry)
             .checkpoint_interval(self.checkpoint_interval)
-            .max_rollbacks(self.max_rollbacks);
+            .max_rollbacks(self.max_rollbacks)
+            .observe(self.obs.clone());
         if let Some(spec) = self.fault_spec.take() {
             builder = builder.fault_spec(spec);
         }

@@ -54,6 +54,7 @@
 //! | `fireaxe-fpga` | §V-B, §VIII | FPGA capacity/congestion models |
 //! | `fireaxe-transport` | §IV | QSFP / p2p PCIe / host PCIe timing |
 //! | `fireaxe-sim` | §IV, §VI | the multi-partition engine |
+//! | `fireaxe-obs` | §VI (methodology) | tracing, metric series, Chrome-trace/VCD export |
 //! | `fireaxe-soc` | §V | BOOM, NoC, tiles, accelerators, RocketLite |
 //! | `fireaxe-workloads` | §V-C/D, §VI | Embench, Go GC, leaky-DMA models |
 
@@ -66,7 +67,7 @@ pub mod json;
 pub mod topology;
 pub mod validation;
 
-pub use config::{ConfigError, GroupConfig, RunConfig};
+pub use config::{ConfigError, GroupConfig, ObsConfig, RunConfig};
 pub use cost::CostModel;
 pub use flow::{register_soc_behaviors, FireAxe, FlowError, Platform};
 pub use topology::{check_qsfp_topology, partition_degrees, TopologyViolation};
@@ -81,8 +82,9 @@ pub mod prelude {
         compile, ChannelPolicy, PartitionGroup, PartitionMode, PartitionSpec, Selection,
     };
     pub use fireaxe_sim::{
-        estimate_target_mhz, Backend, BehaviorRegistry, ConstBridge, DistributedSim, NodeCounters,
-        ScriptBridge, SimBuilder, SimCheckpoint, SimError, SimMetrics, StallReport,
+        estimate_target_mhz, Backend, BehaviorRegistry, ConstBridge, DistributedSim, LinkCounters,
+        NodeCounters, ObsReport, ObsSpec, ScriptBridge, SimBuilder, SimCheckpoint, SimError,
+        SimMetrics, StallReport,
     };
     pub use fireaxe_soc::{
         ring_soc, xbar_soc, BoomConfig, RingSoc, RingSocConfig, TileKind, XbarSocConfig,
@@ -96,6 +98,7 @@ pub mod prelude {
 pub use fireaxe_fpga as fpga;
 pub use fireaxe_ir as ir;
 pub use fireaxe_libdn as libdn;
+pub use fireaxe_obs as obs;
 pub use fireaxe_ripper as ripper;
 pub use fireaxe_sim as sim;
 pub use fireaxe_soc as soc;

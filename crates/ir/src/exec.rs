@@ -65,6 +65,33 @@ impl ExecEngine {
     }
 }
 
+/// Cumulative settle-loop statistics, kept by both engines and read via
+/// `Interpreter::exec_stats`. All counters are since elaboration (they
+/// survive `reset`), so consumers sample them over time and difference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Combinational settle passes (`eval` calls).
+    pub settle_passes: u64,
+    /// Definitions executed across all settle passes.
+    pub defs_run: u64,
+    /// Definitions the dirty-set scheduler skipped (compiled engine
+    /// only; always 0 on the reference engine, which sweeps the full
+    /// schedule).
+    pub defs_skipped: u64,
+}
+
+impl ExecStats {
+    /// Fraction of definitions skipped by dirty-set scheduling, in
+    /// `[0, 1]` (0 before anything ran).
+    pub fn dirty_skip_rate(&self) -> f64 {
+        let total = self.defs_run + self.defs_skipped;
+        if total == 0 {
+            return 0.0;
+        }
+        self.defs_skipped as f64 / total as f64
+    }
+}
+
 /// Operand of a narrow (word-packed) instruction.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum NSrc {
@@ -755,10 +782,14 @@ impl Tape {
             }
         }
 
+        let mut defs_run: u64 = 0;
+        let mut defs_skipped: u64 = 0;
         for pos in 0..programs.len() {
             if !dirty[pos] {
+                defs_skipped += 1;
                 continue;
             }
+            defs_run += 1;
             dirty[pos] = always_dirty[pos];
             match &programs[pos] {
                 Program::Narrow { ops, out, slot } => {
@@ -842,6 +873,9 @@ impl Tape {
                 }
             }
         }
+        interp.stats.settle_passes += 1;
+        interp.stats.defs_run += defs_run;
+        interp.stats.defs_skipped += defs_skipped;
         Ok(())
     }
 

@@ -315,6 +315,7 @@ pub struct Interpreter {
     pub(crate) cycle: u64,
     engine: ExecEngine,
     tape: Option<crate::exec::Tape>,
+    pub(crate) stats: crate::exec::ExecStats,
 }
 
 impl Interpreter {
@@ -356,6 +357,7 @@ impl Interpreter {
                 cycle: 0,
                 engine,
                 tape: None,
+                stats: crate::exec::ExecStats::default(),
             },
         };
         b.elaborate("", &circuit.top)?;
@@ -506,6 +508,21 @@ impl Interpreter {
         &self.slots[slot]
     }
 
+    /// Reads any signal by hierarchical path, or `None` when the path
+    /// does not name a signal (the non-panicking [`Interpreter::peek`],
+    /// for harnesses resolving user-supplied watch lists).
+    pub fn peek_opt(&self, path: &str) -> Option<&Bits> {
+        self.slot_names.get(path).map(|&slot| &self.slots[slot])
+    }
+
+    /// Cumulative settle-loop statistics since elaboration (settle
+    /// passes, definitions run, definitions skipped by dirty-set
+    /// scheduling) — the raw material for the observability layer's
+    /// settle-iteration and dirty-skip-rate time series.
+    pub fn exec_stats(&self) -> crate::exec::ExecStats {
+        self.stats
+    }
+
     /// Reads one entry of a memory by hierarchical path (e.g.
     /// `"mem.store"`) and index. Returns `None` if no such memory or the
     /// index is out of range.
@@ -527,6 +544,8 @@ impl Interpreter {
                     let di = self.schedule[i];
                     self.run_def(di)?;
                 }
+                self.stats.settle_passes += 1;
+                self.stats.defs_run += self.schedule.len() as u64;
                 Ok(())
             }
             ExecEngine::Compiled => {

@@ -60,5 +60,5 @@ pub use ast::{
 pub use bits::{Bits, Width};
 pub use comb::{CombAnalysis, ModuleCombInfo};
 pub use error::{IrError, Result};
-pub use exec::ExecEngine;
+pub use exec::{ExecEngine, ExecStats};
 pub use interp::{BehaviorSnapshot, ExternBehavior, InterpSnapshot, Interpreter};

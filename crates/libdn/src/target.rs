@@ -70,6 +70,31 @@ pub trait TargetModel: std::fmt::Debug + Send {
     fn restore(&mut self, _snap: &TargetSnapshot) -> bool {
         false
     }
+
+    /// Hierarchical paths of every signal the model can expose for
+    /// waveform watching, sorted. RTL-interpreted targets expose every
+    /// elaborated signal; the default exposes the output ports.
+    fn signal_paths(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.output_ports().into_iter().map(|(n, _)| n).collect();
+        v.sort();
+        v
+    }
+
+    /// Reads any watchable signal by hierarchical path, or `None` when
+    /// the path names no signal. The default resolves output ports only.
+    fn peek_path(&self, path: &str) -> Option<Bits> {
+        self.output_ports()
+            .iter()
+            .any(|(n, _)| n == path)
+            .then(|| self.peek(path))
+    }
+
+    /// Cumulative settle-loop statistics (settle passes, definitions
+    /// run/skipped), when the model is interpreter-backed; `None` for
+    /// behavioral models.
+    fn exec_stats(&self) -> Option<fireaxe_ir::ExecStats> {
+        None
+    }
 }
 
 /// [`TargetModel`] backed by the RTL interpreter.
@@ -151,6 +176,18 @@ impl TargetModel for InterpreterTarget {
             Some(s) => self.interp.restore_snapshot(s),
             None => false,
         }
+    }
+
+    fn signal_paths(&self) -> Vec<String> {
+        self.interp.signal_paths()
+    }
+
+    fn peek_path(&self, path: &str) -> Option<Bits> {
+        self.interp.peek_opt(path).cloned()
+    }
+
+    fn exec_stats(&self) -> Option<fireaxe_ir::ExecStats> {
+        Some(self.interp.exec_stats())
     }
 }
 

@@ -1,0 +1,113 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Produces the JSON-object flavor of the [trace event format] that
+//! Perfetto and `chrome://tracing` load directly: spans become `B`/`E`
+//! duration events, instants become `i`, counters become `C` with their
+//! value in `args`. Every event carries its virtual-time stamp in
+//! `args.virt_ps`, so the DES backend's virtual clock survives into the
+//! viewer even though the track timeline runs on host time.
+//!
+//! [trace event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::trace::{EventKind, TraceEvent};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders `events` (host-time ordered; see
+/// [`crate::trace::take_events`]) as a Chrome trace JSON document.
+///
+/// Timestamps are microseconds (`ts`) with nanosecond precision kept in
+/// the fraction. All events share `pid` 1; `tid` is the recording
+/// thread's dense tracer id.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut s = String::with_capacity(64 + events.len() * 96);
+    s.push_str("{\"traceEvents\":[");
+    s.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"fireaxe\"}}",
+    );
+    for e in events {
+        let ph = match e.kind {
+            EventKind::SpanBegin => "B",
+            EventKind::SpanEnd => "E",
+            EventKind::Instant => "i",
+            EventKind::Counter => "C",
+        };
+        s.push(',');
+        s.push_str("{\"name\":\"");
+        escape(e.name, &mut s);
+        s.push_str("\",\"ph\":\"");
+        s.push_str(ph);
+        s.push_str("\",\"ts\":");
+        // Microseconds with the nanosecond fraction preserved.
+        s.push_str(&format!("{}.{:03}", e.host_ns / 1_000, e.host_ns % 1_000));
+        s.push_str(",\"pid\":1,\"tid\":");
+        s.push_str(&e.tid.to_string());
+        if e.kind == EventKind::Instant {
+            s.push_str(",\"s\":\"t\"");
+        }
+        s.push_str(",\"args\":{\"virt_ps\":");
+        s.push_str(&e.virt_ps.to_string());
+        if e.kind == EventKind::Counter {
+            s.push_str(",\"value\":");
+            let v = if e.value.is_finite() { e.value } else { 0.0 };
+            s.push_str(&format!("{v}"));
+        }
+        s.push_str("}}");
+    }
+    s.push_str("]}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, kind: EventKind, host_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            kind,
+            host_ns,
+            virt_ps: 5,
+            value: 2.5,
+            tid: 3,
+        }
+    }
+
+    #[test]
+    fn renders_all_phases() {
+        let events = [
+            ev("s", EventKind::SpanBegin, 1000),
+            ev("i", EventKind::Instant, 1500),
+            ev("c", EventKind::Counter, 2000),
+            ev("s", EventKind::SpanEnd, 3210),
+        ];
+        let json = to_chrome_json(&events);
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ts\":3.210"));
+        assert!(json.contains("\"value\":2.5"));
+        assert!(json.contains("\"virt_ps\":5"));
+    }
+
+    #[test]
+    fn escapes_names() {
+        let events = [ev("a\"b\\c", EventKind::Instant, 0)];
+        let json = to_chrome_json(&events);
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+}

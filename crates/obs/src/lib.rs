@@ -1,0 +1,35 @@
+//! # fireaxe-obs — observability for FireAxe-rs
+//!
+//! The measurement layer the rest of the stack is profiled with:
+//!
+//! * [`trace`] — a lock-free per-thread ring-buffer event tracer with
+//!   zero-cost-when-disabled [`obs_span!`]/[`obs_counter!`]/
+//!   [`obs_instant!`] macros. When tracing is off the macros compile to
+//!   a single relaxed atomic load; when on, events land in a
+//!   pre-allocated thread-local ring without locks or heap allocation
+//!   on the hot path.
+//! * [`metrics`] — time-resolved metric series: per-node FMR, token
+//!   traffic, stall attribution, settle-loop statistics and per-link
+//!   reliability activity, sampled every N target cycles, exportable as
+//!   JSON or CSV.
+//! * [`chrome`] — Chrome `trace_event` JSON export of recorded trace
+//!   events, loadable in Perfetto / `chrome://tracing`.
+//! * [`vcd`] — a VCD waveform dumper over model time, fed from
+//!   `Interpreter::signal_paths`/`peek` via the simulation engine.
+//!
+//! Events carry both a host-time stamp (nanoseconds since the tracer
+//! epoch) and a virtual-time stamp (picoseconds, 0 when the recording
+//! backend has no virtual clock), so traces from the DES and threaded
+//! backends are directly comparable.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod trace;
+pub mod vcd;
+
+pub use chrome::to_chrome_json;
+pub use metrics::{Fnv1a, LinkSample, LinkSeries, MetricsSeries, NodeSample, NodeSeries};
+pub use trace::{EventKind, SpanGuard, TraceEvent};
+pub use vcd::{VcdSignal, VcdWriter};

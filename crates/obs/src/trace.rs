@@ -1,0 +1,406 @@
+//! Lock-free per-thread ring-buffer event tracer.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** Every recording macro checks one
+//!    relaxed atomic load before evaluating any argument; the disabled
+//!    path performs no allocation, takes no lock, and touches no
+//!    thread-local. The `interp_bench` counting-allocator gate enforces
+//!    this.
+//! 2. **No heap allocation on the hot path when enabled.** Each thread
+//!    owns a fixed-capacity ring of plain-old-data events (names are
+//!    `&'static str`), allocated once on first use. When the ring is
+//!    full the oldest event is overwritten and a drop counter bumps.
+//! 3. **No locks on the hot path.** The only synchronization is the
+//!    enable flag and the epoch; the global sink mutex is taken only at
+//!    flush time (explicit [`flush_thread`], thread exit, or
+//!    [`take_events`]).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events each thread-local ring can hold before overwriting the oldest.
+pub const RING_CAPACITY: usize = 1 << 14;
+
+/// What a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Start of a named span (Chrome `ph:B`).
+    SpanBegin,
+    /// End of the innermost span with the same name (Chrome `ph:E`).
+    SpanEnd,
+    /// A point event (Chrome `ph:i`).
+    Instant,
+    /// A named counter sample carrying a value (Chrome `ph:C`).
+    Counter,
+}
+
+/// One recorded event. Plain old data: recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Static event name.
+    pub name: &'static str,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Host time, nanoseconds since the tracer epoch (first enable).
+    pub host_ns: u64,
+    /// Virtual time, picoseconds (0 when the recorder has no virtual
+    /// clock, e.g. the threaded backend).
+    pub virt_ps: u64,
+    /// Counter value ([`EventKind::Counter`] only; 0 otherwise).
+    pub value: f64,
+    /// Small dense id of the recording thread.
+    pub tid: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn sink() -> &'static Mutex<Vec<TraceEvent>> {
+    static SINK: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Globally enables or disables tracing. The epoch is pinned at the
+/// first enable so `host_ns` stamps are comparable across threads.
+pub fn set_enabled(on: bool) {
+    if on {
+        let _ = EPOCH.get_or_init(Instant::now);
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently enabled. The macros check this before
+/// evaluating any argument; it compiles to one relaxed load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Events overwritten because a thread ring was full.
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn now_ns() -> u64 {
+    match EPOCH.get() {
+        Some(e) => e.elapsed().as_nanos() as u64,
+        None => 0,
+    }
+}
+
+/// Host time in nanoseconds since the tracer epoch — `0` until tracing
+/// is first enabled. Used to stamp metric samples with the same clock
+/// the trace events carry.
+pub fn host_ns() -> u64 {
+    now_ns()
+}
+
+/// Fixed-capacity overwrite-oldest ring of events.
+struct Ring {
+    buf: Vec<TraceEvent>,
+    start: usize,
+    len: usize,
+    tid: u64,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            buf: Vec::with_capacity(RING_CAPACITY),
+            start: 0,
+            len: 0,
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, mut ev: TraceEvent) {
+        ev.tid = self.tid;
+        if self.len < RING_CAPACITY {
+            let pos = (self.start + self.len) % RING_CAPACITY;
+            if pos == self.buf.len() {
+                self.buf.push(ev); // within pre-reserved capacity
+            } else {
+                self.buf[pos] = ev;
+            }
+            self.len += 1;
+        } else {
+            self.buf[self.start] = ev;
+            self.start = (self.start + 1) % RING_CAPACITY;
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<TraceEvent>) {
+        for i in 0..self.len {
+            out.push(self.buf[(self.start + i) % RING_CAPACITY]);
+        }
+        self.start = 0;
+        self.len = 0;
+    }
+}
+
+/// Wrapper whose `Drop` flushes the ring into the global sink, so
+/// worker threads that exit (e.g. scoped backend threads) never lose
+/// their tail of events.
+struct RingCell(RefCell<Ring>);
+
+impl Drop for RingCell {
+    fn drop(&mut self) {
+        let mut ring = self.0.borrow_mut();
+        if ring.len > 0 {
+            let mut out = sink()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            ring.drain_into(&mut out);
+        }
+    }
+}
+
+thread_local! {
+    static RING: RingCell = RingCell(RefCell::new(Ring::new()));
+}
+
+#[inline]
+fn record(ev: TraceEvent) {
+    // Reentrancy-safe: try_with fails only during thread teardown.
+    let _ = RING.try_with(|cell| {
+        if let Ok(mut ring) = cell.0.try_borrow_mut() {
+            ring.push(ev);
+        }
+    });
+}
+
+/// Records an instant event. Prefer the [`obs_instant!`] macro, which
+/// short-circuits when tracing is disabled.
+pub fn instant(name: &'static str, virt_ps: u64) {
+    record(TraceEvent {
+        name,
+        kind: EventKind::Instant,
+        host_ns: now_ns(),
+        virt_ps,
+        value: 0.0,
+        tid: 0,
+    });
+}
+
+/// Records a counter sample. Prefer the [`obs_counter!`] macro.
+pub fn counter(name: &'static str, virt_ps: u64, value: f64) {
+    record(TraceEvent {
+        name,
+        kind: EventKind::Counter,
+        host_ns: now_ns(),
+        virt_ps,
+        value,
+        tid: 0,
+    });
+}
+
+/// Opens a span; the returned guard records the end on drop. Prefer the
+/// [`obs_span!`] macro.
+pub fn span(name: &'static str, virt_ps: u64) -> SpanGuard {
+    record(TraceEvent {
+        name,
+        kind: EventKind::SpanBegin,
+        host_ns: now_ns(),
+        virt_ps,
+        value: 0.0,
+        tid: 0,
+    });
+    SpanGuard { name }
+}
+
+/// RAII guard recording a [`EventKind::SpanEnd`] when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        record(TraceEvent {
+            name: self.name,
+            kind: EventKind::SpanEnd,
+            host_ns: now_ns(),
+            virt_ps: 0,
+            value: 0.0,
+            tid: 0,
+        });
+    }
+}
+
+/// Flushes the calling thread's ring into the global sink.
+pub fn flush_thread() {
+    let _ = RING.try_with(|cell| {
+        let mut ring = cell.0.borrow_mut();
+        if ring.len > 0 {
+            let mut out = sink()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            ring.drain_into(&mut out);
+        }
+    });
+}
+
+/// Flushes the calling thread and drains every event collected so far,
+/// sorted by host timestamp (ties keep arrival order). Threads that
+/// already exited flushed on teardown; live threads other than the
+/// caller must call [`flush_thread`] themselves before this.
+pub fn take_events() -> Vec<TraceEvent> {
+    flush_thread();
+    let mut out: Vec<TraceEvent> = {
+        let mut sink = sink()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::take(&mut *sink)
+    };
+    out.sort_by_key(|e| e.host_ns);
+    out
+}
+
+/// Opens a span when tracing is enabled; evaluates to an
+/// `Option<SpanGuard>` to bind (`let _g = obs_span!("name");`). An
+/// optional second argument stamps the begin event with virtual time.
+#[macro_export]
+macro_rules! obs_span {
+    ($name:expr) => {
+        if $crate::trace::enabled() {
+            Some($crate::trace::span($name, 0))
+        } else {
+            None
+        }
+    };
+    ($name:expr, $virt:expr) => {
+        if $crate::trace::enabled() {
+            Some($crate::trace::span($name, $virt))
+        } else {
+            None
+        }
+    };
+}
+
+/// Records an instant event when tracing is enabled; arguments are not
+/// evaluated otherwise.
+#[macro_export]
+macro_rules! obs_instant {
+    ($name:expr) => {
+        if $crate::trace::enabled() {
+            $crate::trace::instant($name, 0);
+        }
+    };
+    ($name:expr, $virt:expr) => {
+        if $crate::trace::enabled() {
+            $crate::trace::instant($name, $virt);
+        }
+    };
+}
+
+/// Records a counter sample when tracing is enabled; arguments are not
+/// evaluated otherwise.
+#[macro_export]
+macro_rules! obs_counter {
+    ($name:expr, $virt:expr, $value:expr) => {
+        if $crate::trace::enabled() {
+            $crate::trace::counter($name, $virt, $value as f64);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tracer is global; tests that toggle it serialize on this.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_macros_do_not_evaluate_args() {
+        let _l = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(false);
+        let mut evaluated = false;
+        obs_counter!("x", 0, {
+            evaluated = true;
+            1.0
+        });
+        assert!(!evaluated, "disabled macro must not evaluate its value");
+    }
+
+    #[test]
+    fn events_round_trip_through_ring_and_sink() {
+        let _l = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(true);
+        let _ = take_events(); // clear prior state
+        {
+            let _g = obs_span!("outer", 42);
+            obs_instant!("tick", 7);
+            obs_counter!("fmr", 7, 1.5);
+        }
+        set_enabled(false);
+        let events = take_events();
+        let names: Vec<(&str, EventKind)> = events.iter().map(|e| (e.name, e.kind)).collect();
+        assert!(names.contains(&("outer", EventKind::SpanBegin)));
+        assert!(names.contains(&("outer", EventKind::SpanEnd)));
+        assert!(names.contains(&("tick", EventKind::Instant)));
+        let c = events
+            .iter()
+            .find(|e| e.kind == EventKind::Counter)
+            .expect("counter recorded");
+        assert_eq!(c.value, 1.5);
+        assert_eq!(c.virt_ps, 7);
+        // Begin precedes end in host time order.
+        let b = names
+            .iter()
+            .position(|&(n, k)| n == "outer" && k == EventKind::SpanBegin);
+        let e = names
+            .iter()
+            .position(|&(n, k)| n == "outer" && k == EventKind::SpanEnd);
+        assert!(b < e);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let mut ring = Ring::new();
+        for i in 0..(RING_CAPACITY + 10) {
+            ring.push(TraceEvent {
+                name: "e",
+                kind: EventKind::Instant,
+                host_ns: i as u64,
+                virt_ps: 0,
+                value: 0.0,
+                tid: 0,
+            });
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), RING_CAPACITY);
+        assert_eq!(out.first().unwrap().host_ns, 10);
+        assert_eq!(out.last().unwrap().host_ns, (RING_CAPACITY + 10 - 1) as u64);
+    }
+
+    #[test]
+    fn cross_thread_events_are_collected_on_thread_exit() {
+        let _l = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(true);
+        let _ = take_events();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                obs_instant!("worker-event");
+            });
+        });
+        set_enabled(false);
+        let events = take_events();
+        assert!(events.iter().any(|e| e.name == "worker-event"));
+    }
+}

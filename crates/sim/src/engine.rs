@@ -25,10 +25,14 @@
 
 use crate::bridge::{Bridge, ConstBridge};
 use crate::error::{NodeStall, Result, SimError, StallReport};
+use crate::obs::{state_digest, NodeObs, ObsReport, ObsSpec};
 use fireaxe_ir::{Bits, Interpreter};
 use fireaxe_libdn::{InterpreterTarget, LiBdn, LiBdnSnapshot, TargetModel};
+use fireaxe_obs::vcd::{VcdSignal, VcdWriter};
+use fireaxe_obs::{obs_counter, obs_instant, obs_span};
+use fireaxe_obs::{LinkSample, LinkSeries, MetricsSeries, NodeSample, NodeSeries};
 use fireaxe_ripper::{LinkSpec, PartitionedDesign};
-use fireaxe_transport::fault::{FaultEvent, FaultPlan, FaultSpec};
+use fireaxe_transport::fault::{Fault, FaultEvent, FaultPlan, FaultSpec};
 use fireaxe_transport::reliable::{des_delivery, RetryPolicy, FRAME_HEADER_BITS};
 use fireaxe_transport::{mhz_to_period_ps, LinkModel};
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -169,6 +173,12 @@ pub(crate) struct NodeRt {
     pub(crate) env_consumed: Vec<u64>,
     last_advance_ps: u64,
     pub(crate) counters: NodeCounters,
+    /// Per-input-channel tokens accepted into the LI-BDN queues —
+    /// the consumption side of the token-conservation invariant (see
+    /// [`DistributedSim::verify_token_conservation`]).
+    pub(crate) chan_enqueued: Vec<u64>,
+    /// Observation state (metric sampling + VCD capture).
+    pub(crate) obs: NodeObs,
 }
 
 impl NodeRt {
@@ -191,6 +201,7 @@ impl NodeRt {
                 let tok = self.staged[chan].pop_front().expect("nonempty");
                 self.libdn.push_input(chan, tok)?;
                 self.counters.tokens_enqueued += 1;
+                self.chan_enqueued[chan] += 1;
                 progressed = true;
             }
         }
@@ -205,6 +216,7 @@ impl NodeRt {
                 let token = self.libdn.spec().inputs[chan].pack(&values);
                 self.libdn.push_input(chan, token)?;
                 self.counters.tokens_enqueued += 1;
+                self.chan_enqueued[chan] += 1;
                 self.env_produced += 1;
             }
         }
@@ -218,10 +230,68 @@ impl NodeRt {
             let stepped = self.libdn.host_step()?;
             if self.libdn.target_cycle() == before && starved {
                 self.counters.input_stall_host_cycles += 1;
+            } else if self.libdn.target_cycle() == before && stepped {
+                // A host cycle was consumed with inputs available but no
+                // target progress: output backpressure / fireFSM wait.
+                self.counters.output_stall_host_cycles += 1;
             }
             progressed |= stepped;
         }
+        if self.obs.active {
+            self.observe();
+        }
         Ok(progressed)
+    }
+
+    /// Shared observation point: called after every host step on both
+    /// backends, captures watched VCD signals once per completed target
+    /// cycle and a metric sample every `sample_interval` cycles. The
+    /// target advances at most one cycle per host step, so every cycle
+    /// is seen exactly once and interval crossings land exactly.
+    fn observe(&mut self) {
+        let tc = self.libdn.target_cycle();
+        if tc <= self.obs.last_seen_cycle {
+            return;
+        }
+        self.obs.last_seen_cycle = tc;
+        if !self.obs.watched.is_empty() {
+            let model = self.libdn.model();
+            for (sig, path) in &self.obs.watched {
+                if let Some(v) = model.peek_path(path) {
+                    self.obs.changes.push((tc, *sig, v));
+                }
+            }
+        }
+        if self.obs.sample_interval > 0 && tc >= self.obs.next_sample {
+            let model = self.libdn.model();
+            let stats = model.exec_stats().unwrap_or_default();
+            let queued: u64 = self
+                .libdn
+                .input_levels()
+                .iter()
+                .map(|(_, q)| *q as u64)
+                .sum::<u64>()
+                + self.staged.iter().map(|q| q.len() as u64).sum::<u64>();
+            let sample = NodeSample {
+                cycle: tc,
+                host_ns: fireaxe_obs::trace::host_ns(),
+                time_ps: self.obs.now_ps,
+                host_cycles: self.libdn.host_cycles(),
+                tokens_enqueued: self.counters.tokens_enqueued,
+                tokens_dequeued: self.counters.tokens_dequeued,
+                input_stall_host_cycles: self.counters.input_stall_host_cycles,
+                output_stall_host_cycles: self.counters.output_stall_host_cycles,
+                queue_occupancy: queued,
+                settle_passes: stats.settle_passes,
+                defs_run: stats.defs_run,
+                defs_skipped: stats.defs_skipped,
+                state_digest: state_digest(model),
+            };
+            obs_counter!("node.fmr", self.obs.now_ps, sample.fmr());
+            obs_counter!("node.queue_occupancy", self.obs.now_ps, queued);
+            self.obs.samples.push(sample);
+            self.obs.next_sample = tc + self.obs.sample_interval;
+        }
     }
 
     /// Drains environment output channels into the bridge
@@ -282,6 +352,9 @@ pub(crate) struct LinkRt {
     /// reorder buffer), so a retransmit-delayed frame also delays its
     /// successors.
     last_arrival_ps: u64,
+    /// Traffic/reliability counters (see [`LinkCounters`]); the `link`
+    /// index is filled in when snapshotting metrics.
+    pub(crate) counters: LinkCounters,
 }
 
 struct PartitionRt {
@@ -329,6 +402,9 @@ pub struct NodeCounters {
     /// Host cycles spent starved — stepped without target progress while
     /// at least one input channel held no token.
     pub input_stall_host_cycles: u64,
+    /// Host cycles consumed with inputs available but no target progress
+    /// (output backpressure or fireFSM wait).
+    pub output_stall_host_cycles: u64,
     /// Total host cycles consumed.
     pub host_cycles: u64,
     /// Completed target cycles.
@@ -343,6 +419,90 @@ impl NodeCounters {
             return f64::INFINITY;
         }
         self.host_cycles as f64 / self.target_cycles as f64
+    }
+
+    /// Column header aligned with this type's [`std::fmt::Display`] row.
+    pub fn table_header() -> String {
+        format!(
+            "{:<16} {:>4} {:>10} {:>10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "node", "part", "target", "host", "fmr", "enq", "deq", "in-stall", "out-stall"
+        )
+    }
+}
+
+impl std::fmt::Display for NodeCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fmr = if self.target_cycles == 0 {
+            "inf".to_string()
+        } else {
+            format!("{:.2}", self.fmr())
+        };
+        write!(
+            f,
+            "{:<16} {:>4} {:>10} {:>10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            self.node,
+            self.partition,
+            self.target_cycles,
+            self.host_cycles,
+            fmr,
+            self.tokens_enqueued,
+            self.tokens_dequeued,
+            self.input_stall_host_cycles,
+            self.output_stall_host_cycles
+        )
+    }
+}
+
+/// Per-link traffic and reliability counters for a completed run.
+///
+/// Without the reliability layer only `tokens`, `sent_frames` and
+/// `delivery_delay_ps` move. With it, the DES backend accumulates these
+/// from the analytic fault-plan walk and the threaded backend from the
+/// live protocol state — the counters describe the same activity but
+/// are host-path-dependent and may differ in detail across backends.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkCounters {
+    /// Link index (see `PartitionedDesign::links`).
+    pub link: usize,
+    /// Fresh tokens committed to the wire.
+    pub tokens: u64,
+    /// Physical frame transmissions, including retransmissions.
+    pub sent_frames: u64,
+    /// Frames retransmitted after the original was lost or rejected.
+    pub retransmits: u64,
+    /// Retry timeouts that escalated into a retransmission round.
+    pub timeout_escalations: u64,
+    /// Frames the receiver rejected for CRC mismatch.
+    pub crc_failures: u64,
+    /// Duplicate frames the receiver dropped.
+    pub duplicates_dropped: u64,
+    /// Cumulative send-to-delivery latency, picoseconds (DES only).
+    pub delivery_delay_ps: u64,
+}
+
+impl LinkCounters {
+    /// Column header aligned with this type's [`std::fmt::Display`] row.
+    pub fn table_header() -> String {
+        format!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "link", "tokens", "frames", "retx", "timeouts", "crc-fail", "dup-drop"
+        )
+    }
+}
+
+impl std::fmt::Display for LinkCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            self.link,
+            self.tokens,
+            self.sent_frames,
+            self.retransmits,
+            self.timeout_escalations,
+            self.crc_failures,
+            self.duplicates_dropped
+        )
     }
 }
 
@@ -360,6 +520,8 @@ pub struct SimMetrics {
     pub host_cycles: Vec<u64>,
     /// Per-node execution counters (token traffic, stalls, FMR).
     pub counters: Vec<NodeCounters>,
+    /// Per-link traffic and reliability counters.
+    pub links: Vec<LinkCounters>,
 }
 
 impl SimMetrics {
@@ -374,6 +536,37 @@ impl SimMetrics {
     /// Achieved target frequency in MHz.
     pub fn target_mhz(&self) -> f64 {
         self.target_hz() / 1e6
+    }
+}
+
+impl std::fmt::Display for SimMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.time_ps > 0 {
+            writeln!(
+                f,
+                "{} target cycles in {:.3} us virtual time ({:.3} MHz)",
+                self.target_cycles,
+                self.time_ps as f64 * 1e-6,
+                self.target_mhz()
+            )?;
+        } else {
+            writeln!(
+                f,
+                "{} target cycles (threaded backend: no virtual clock)",
+                self.target_cycles
+            )?;
+        }
+        writeln!(f, "{}", NodeCounters::table_header())?;
+        for c in &self.counters {
+            writeln!(f, "{c}")?;
+        }
+        if !self.links.is_empty() {
+            writeln!(f, "{}", LinkCounters::table_header())?;
+            for l in &self.links {
+                writeln!(f, "{l}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -393,6 +586,7 @@ pub struct SimBuilder<'a> {
     retry_policy: Option<RetryPolicy>,
     checkpoint_interval: u64,
     max_rollbacks: u32,
+    obs: ObsSpec,
 }
 
 impl<'a> std::fmt::Debug for SimBuilder<'a> {
@@ -421,7 +615,18 @@ impl<'a> SimBuilder<'a> {
             retry_policy: None,
             checkpoint_interval: 0,
             max_rollbacks: 8,
+            obs: ObsSpec::default(),
         }
+    }
+
+    /// Enables observation: metric sampling every
+    /// `ObsSpec::sample_interval` target cycles and/or VCD capture of
+    /// the watched signals. Signal names are validated at
+    /// [`SimBuilder::build`]; collect results with
+    /// [`DistributedSim::obs_report`] after a run.
+    pub fn observe(mut self, spec: ObsSpec) -> Self {
+        self.obs = spec;
+        self
     }
 
     /// Selects the execution backend for cycle-budgeted runs (see
@@ -570,6 +775,8 @@ impl<'a> SimBuilder<'a> {
                     env_consumed: vec![0; n_out_env],
                     last_advance_ps: 0,
                     counters: NodeCounters::default(),
+                    chan_enqueued: vec![0; n_in],
+                    obs: NodeObs::default(),
                 });
                 members.push(flat);
             }
@@ -631,6 +838,7 @@ impl<'a> SimBuilder<'a> {
                 fault_attempts: 0,
                 next_seq: 0,
                 last_arrival_ps: 0,
+                counters: LinkCounters::default(),
             });
         }
 
@@ -647,6 +855,89 @@ impl<'a> SimBuilder<'a> {
             }
         }
 
+        // Resolve the observation spec: assign global VCD signal indices
+        // and per-node watch lists, validating every requested signal.
+        let mut vcd_signals: Vec<VcdSignal> = Vec::new();
+        let mut watched: Vec<Vec<(u32, String)>> = vec![Vec::new(); nodes.len()];
+        if self.obs.vcd {
+            let watch = |ni: usize,
+                         node: &NodeRt,
+                         path: &str,
+                         sigs: &mut Vec<VcdSignal>,
+                         watched: &mut Vec<Vec<(u32, String)>>|
+             -> Result<()> {
+                let value = node
+                    .libdn
+                    .model()
+                    .peek_path(path)
+                    .ok_or_else(|| SimError::Config {
+                        message: format!(
+                            "obs.signals: node `{}` has no signal `{path}`",
+                            node.name
+                        ),
+                    })?;
+                let idx = sigs.len() as u32;
+                sigs.push(VcdSignal {
+                    scope: node.name.clone(),
+                    name: path.to_string(),
+                    width: value.width().get(),
+                });
+                watched[ni].push((idx, path.to_string()));
+                Ok(())
+            };
+            if self.obs.signals.is_empty() {
+                // Default watch set: every node's output ports.
+                for (ni, node) in nodes.iter().enumerate() {
+                    for (port, _) in node.libdn.model().output_ports() {
+                        watch(ni, node, &port, &mut vcd_signals, &mut watched)?;
+                    }
+                }
+            } else {
+                for entry in &self.obs.signals {
+                    match entry.split_once(':') {
+                        Some((node_name, path)) => {
+                            let ni = nodes.iter().position(|n| n.name == node_name).ok_or_else(
+                                || SimError::Config {
+                                    message: format!(
+                                        "obs.signals: no node named `{node_name}` \
+                                         (in `{entry}`)"
+                                    ),
+                                },
+                            )?;
+                            watch(ni, &nodes[ni], path, &mut vcd_signals, &mut watched)?;
+                        }
+                        None => {
+                            let mut found = false;
+                            for (ni, node) in nodes.iter().enumerate() {
+                                if node.libdn.model().peek_path(entry).is_some() {
+                                    watch(ni, node, entry, &mut vcd_signals, &mut watched)?;
+                                    found = true;
+                                }
+                            }
+                            if !found {
+                                return Err(SimError::Config {
+                                    message: format!(
+                                        "obs.signals: no node exposes a signal `{entry}`"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (node, watched) in nodes.iter_mut().zip(watched) {
+            node.obs = NodeObs::new(self.obs.sample_interval, watched);
+            // Initial (post-reset) values at model time 0.
+            for wi in 0..node.obs.watched.len() {
+                let (sig, ref path) = node.obs.watched[wi];
+                if let Some(v) = node.libdn.model().peek_path(path) {
+                    node.obs.changes.push((0, sig, v));
+                }
+            }
+        }
+
+        let n_links = links.len();
         let mut sim = DistributedSim {
             nodes,
             links,
@@ -663,6 +954,10 @@ impl<'a> SimBuilder<'a> {
             max_rollbacks: self.max_rollbacks,
             rollbacks_taken: 0,
             fault_log: VecDeque::new(),
+            obs_interval: self.obs.sample_interval,
+            vcd_signals,
+            link_samples: vec![Vec::new(); n_links],
+            link_next_sample: self.obs.sample_interval,
         };
         sim.seed_fast_mode_links()?;
         Ok(sim)
@@ -676,6 +971,7 @@ struct NodeCheckpoint {
     env_produced: u64,
     env_consumed: Vec<u64>,
     counters: NodeCounters,
+    chan_enqueued: Vec<u64>,
     tx_busy_until_ps: u64,
     last_advance_ps: u64,
 }
@@ -687,6 +983,7 @@ struct LinkCheckpoint {
     payload: VecDeque<(u64, Bits)>,
     next_seq: u64,
     last_arrival_ps: u64,
+    counters: LinkCounters,
 }
 
 #[derive(Debug)]
@@ -742,6 +1039,15 @@ pub struct DistributedSim {
     rollbacks_taken: u64,
     /// Bounded window of recent injected faults, for stall forensics.
     pub(crate) fault_log: VecDeque<FaultEvent>,
+    /// Metric sampling cadence in target cycles (0 = off).
+    pub(crate) obs_interval: u64,
+    /// Global VCD signal declarations, in identifier order.
+    vcd_signals: Vec<VcdSignal>,
+    /// Per-link metric samples (DES samples at the global cadence; the
+    /// threaded backend appends end-of-run totals).
+    pub(crate) link_samples: Vec<Vec<LinkSample>>,
+    /// Next global target cycle to sample links at.
+    link_next_sample: u64,
 }
 
 impl std::fmt::Debug for DistributedSim {
@@ -802,7 +1108,83 @@ impl DistributedSim {
             link_tokens: self.links.iter().map(|l| l.tokens).collect(),
             host_cycles: self.nodes.iter().map(|n| n.libdn.host_cycles()).collect(),
             counters: self.nodes.iter().map(NodeRt::counters_snapshot).collect(),
+            links: self
+                .links
+                .iter()
+                .enumerate()
+                .map(|(li, l)| LinkCounters {
+                    link: li,
+                    tokens: l.tokens,
+                    ..l.counters.clone()
+                })
+                .collect(),
         }
+    }
+
+    /// Everything the run observed so far: the sampled metric series
+    /// and, when VCD capture was requested (see [`SimBuilder::observe`]),
+    /// the rendered waveform. Callable after any run; accumulates across
+    /// consecutive runs on the same simulation.
+    pub fn obs_report(&self) -> ObsReport {
+        let metrics = MetricsSeries {
+            sample_interval: self.obs_interval,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| NodeSeries {
+                    node: n.name.clone(),
+                    samples: n.obs.samples.clone(),
+                })
+                .collect(),
+            links: self
+                .link_samples
+                .iter()
+                .enumerate()
+                .map(|(li, samples)| LinkSeries {
+                    link: li,
+                    samples: samples.clone(),
+                })
+                .collect(),
+        };
+        let vcd = (!self.vcd_signals.is_empty()).then(|| {
+            let mut w = VcdWriter::new(self.vcd_signals.clone());
+            for n in &self.nodes {
+                for (t, s, v) in &n.obs.changes {
+                    w.change(*t, *s, v.clone());
+                }
+            }
+            w.render()
+        });
+        ObsReport { metrics, vcd }
+    }
+
+    /// Checks token conservation on every link: each token the sender
+    /// committed to the wire (plus the fast-mode seed) must be exactly
+    /// accounted for as ingested by the receiver (`chan_enqueued`),
+    /// staged awaiting queue space, or still in transport flight.
+    /// Both backends maintain this after any successful run; it is
+    /// debug-asserted there and property-tested.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first imbalanced link.
+    pub fn verify_token_conservation(&self) -> std::result::Result<(), String> {
+        for (li, l) in self.links.iter().enumerate() {
+            let n = &self.nodes[l.spec.to_node];
+            let chan = l.spec.to_chan;
+            let sent = l.tokens + u64::from(l.spec.seeded);
+            let ingested = n.chan_enqueued[chan];
+            let staged = n.staged[chan].len() as u64;
+            let in_flight = l.payload.len() as u64;
+            if ingested + staged + in_flight != sent {
+                return Err(format!(
+                    "link {li} ({} -> {}): {sent} token(s) sent (incl. seed) but \
+                     {ingested} ingested + {staged} staged + {in_flight} in flight",
+                    l.spec.from_node, l.spec.to_node
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Access a node's bridge (e.g. to read a recorded trace).
@@ -842,15 +1224,27 @@ impl DistributedSim {
     ///
     /// [`SimError::Deadlock`] when no progress is possible.
     pub fn run_target_cycles(&mut self, cycles: u64) -> Result<SimMetrics> {
-        match self.backend {
+        let out = match self.backend {
             Backend::Des => {
+                let _span = obs_span!("des.run", self.time_ps);
                 self.cycle_budget = Some(cycles);
                 let out = self.run_while(|sim| sim.target_cycles() < cycles);
                 self.cycle_budget = None;
                 out
             }
-            Backend::Threads(workers) => crate::threaded::run(self, cycles, workers),
+            Backend::Threads(workers) => {
+                let _span = obs_span!("threads.run");
+                crate::threaded::run(self, cycles, workers)
+            }
+        };
+        if out.is_ok() {
+            debug_assert!(
+                self.verify_token_conservation().is_ok(),
+                "token conservation violated: {}",
+                self.verify_token_conservation().unwrap_err()
+            );
         }
+        out
     }
 
     /// The backend this simulation executes budgeted runs on.
@@ -928,6 +1322,7 @@ impl DistributedSim {
                 env_produced: n.env_produced,
                 env_consumed: n.env_consumed.clone(),
                 counters: n.counters.clone(),
+                chan_enqueued: n.chan_enqueued.clone(),
                 tx_busy_until_ps: n.tx_busy_until_ps,
                 last_advance_ps: n.last_advance_ps,
             });
@@ -943,6 +1338,7 @@ impl DistributedSim {
                     payload: l.payload.clone(),
                     next_seq: l.next_seq,
                     last_arrival_ps: l.last_arrival_ps,
+                    counters: l.counters.clone(),
                 })
                 .collect(),
             partitions: self
@@ -987,6 +1383,7 @@ impl DistributedSim {
             n.env_produced = c.env_produced;
             n.env_consumed.clone_from(&c.env_consumed);
             n.counters = c.counters.clone();
+            n.chan_enqueued.clone_from(&c.chan_enqueued);
             n.tx_busy_until_ps = c.tx_busy_until_ps;
             n.last_advance_ps = c.last_advance_ps;
             let rollback_cycle = c.env_consumed.iter().copied().min().unwrap_or(0);
@@ -998,6 +1395,7 @@ impl DistributedSim {
             l.payload.clone_from(&c.payload);
             l.next_seq = c.next_seq;
             l.last_arrival_ps = c.last_arrival_ps;
+            l.counters = c.counters.clone();
             // l.fault_attempts intentionally left running.
         }
         for (p, c) in self.partitions.iter_mut().zip(&ckpt.partitions) {
@@ -1040,7 +1438,10 @@ impl DistributedSim {
                 .saturating_add(self.checkpoint_interval)
                 .min(cycles);
             match self.run_target_cycles(stop) {
-                Ok(_) => ckpt = self.checkpoint()?,
+                Ok(_) => {
+                    ckpt = self.checkpoint()?;
+                    obs_instant!("checkpoint", self.time_ps);
+                }
                 Err(e @ SimError::LinkDown { .. }) => {
                     if rollbacks_left == 0 {
                         return Err(e);
@@ -1048,6 +1449,7 @@ impl DistributedSim {
                     rollbacks_left -= 1;
                     self.rollbacks_taken += 1;
                     self.restore(&ckpt)?;
+                    obs_instant!("rollback", self.time_ps);
                 }
                 Err(e) => return Err(e),
             }
@@ -1126,7 +1528,30 @@ impl DistributedSim {
             p.next_edge_ps += p.period_ps;
             idx
         };
+        self.nodes[node_idx].obs.now_ps = self.time_ps;
         let progressed = self.service_node(node_idx)?;
+
+        // Sample every link whenever the global target cycle crosses the
+        // observation cadence (DES only; it owns the virtual clock).
+        if self.obs_interval > 0 && progressed {
+            let tc = self.target_cycles();
+            if tc >= self.link_next_sample {
+                for (li, l) in self.links.iter().enumerate() {
+                    self.link_samples[li].push(LinkSample {
+                        cycle: tc,
+                        time_ps: self.time_ps,
+                        tokens: l.tokens,
+                        sent_frames: l.counters.sent_frames,
+                        retransmits: l.counters.retransmits,
+                        crc_failures: l.counters.crc_failures,
+                        duplicates_dropped: l.counters.duplicates_dropped,
+                        delivery_delay_ps: l.counters.delivery_delay_ps,
+                        in_flight: l.payload.len() as u64,
+                    });
+                }
+                self.link_next_sample = tc + self.obs_interval;
+            }
+        }
 
         if progressed {
             self.edges_since_progress = 0;
@@ -1179,7 +1604,10 @@ impl DistributedSim {
                 let transfer = model.transfer_ps(wire_width, tx_period, rx_period);
                 let ser_tx = model.serialization_cycles(wire_width) * tx_period;
                 let delay = match rel_policy {
-                    None => transfer,
+                    None => {
+                        self.links[li].counters.sent_frames += 1;
+                        transfer
+                    }
                     Some(policy) => {
                         let link = &mut self.links[li];
                         let plan = link.plan.clone().expect("plan exists when reliability on");
@@ -1192,6 +1620,19 @@ impl DistributedSim {
                         link.fault_attempts = ctr;
                         match outcome {
                             Ok(d) => {
+                                let c = &mut self.links[li].counters;
+                                c.sent_frames += u64::from(d.attempts);
+                                // Each failed attempt expired a timeout and
+                                // triggered one retransmission.
+                                c.retransmits += u64::from(d.attempts - 1);
+                                c.timeout_escalations += u64::from(d.attempts - 1);
+                                for e in &d.events {
+                                    match e.fault {
+                                        Fault::Corrupt { .. } => c.crc_failures += 1,
+                                        Fault::Duplicate => c.duplicates_dropped += 1,
+                                        _ => {}
+                                    }
+                                }
                                 self.log_faults(d.events);
                                 d.delay_ps
                             }
@@ -1218,6 +1659,7 @@ impl DistributedSim {
                         }
                     }
                 };
+                self.links[li].counters.delivery_delay_ps += delay;
                 self.links[li].busy_until_ps = now + ser_tx.max(1);
                 self.nodes[ni].tx_busy_until_ps = now + ser_tx.max(tx_period);
                 self.seq += 1;

@@ -19,6 +19,16 @@ pub struct NodeStall {
     pub fired_outputs: Vec<(String, bool)>,
 }
 
+impl NodeStall {
+    /// Column header matching the [`Display`](fmt::Display) row layout.
+    pub fn table_header() -> String {
+        format!(
+            "{:<16} {:>10}  {:<28} {}",
+            "node", "cycle", "inputs (queued)", "outputs (* = fired)"
+        )
+    }
+}
+
 impl fmt::Display for NodeStall {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ins: Vec<String> = self
@@ -33,7 +43,7 @@ impl fmt::Display for NodeStall {
             .collect();
         write!(
             f,
-            "{} @cycle {}: in[{}] out[{}]",
+            "{:<16} {:>10}  {:<28} {}",
             self.node,
             self.target_cycle,
             ins.join(", "),
@@ -68,6 +78,9 @@ impl fmt::Display for StallReport {
             self.time_ps / 1000,
             self.tokens_in_flight
         )?;
+        if !self.nodes.is_empty() {
+            writeln!(f, "  {}", NodeStall::table_header())?;
+        }
         for n in &self.nodes {
             writeln!(f, "  {n}")?;
         }

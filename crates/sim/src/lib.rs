@@ -19,12 +19,15 @@
 pub mod bridge;
 pub mod engine;
 pub mod error;
+pub mod obs;
 pub mod perf;
 pub mod threaded;
 
 pub use bridge::{Bridge, ConstBridge, RecordedToken, ScriptBridge};
 pub use engine::{
-    Backend, BehaviorRegistry, DistributedSim, NodeCounters, SimBuilder, SimCheckpoint, SimMetrics,
+    Backend, BehaviorRegistry, DistributedSim, LinkCounters, NodeCounters, SimBuilder,
+    SimCheckpoint, SimMetrics,
 };
 pub use error::{NodeStall, Result, SimError, StallReport};
+pub use obs::{ObsReport, ObsSpec};
 pub use perf::estimate_target_mhz;

@@ -1,0 +1,190 @@
+//! Observability acceptance tests: golden VCD output, Chrome-trace
+//! round-tripping, DES-vs-threads metric parity, and token-balance
+//! invariants (ISSUE: fireaxe-obs).
+//!
+//! The demo SoC (`demo/soc.fir`) is the fixture: tiny, deterministic,
+//! and cut into two partitions along the `t` tile boundary.
+
+use fireaxe::obs::{to_chrome_json, EventKind, TraceEvent};
+use fireaxe::prelude::*;
+use proptest::prelude::*;
+
+const SOC_FIR: &str = include_str!("../demo/soc.fir");
+
+fn demo_flow(backend: Backend, sample_interval: u64, vcd: bool) -> FireAxe {
+    let circuit = fireaxe::ir::parser::parse_circuit(SOC_FIR).expect("demo soc parses");
+    let spec = PartitionSpec::exact(vec![PartitionGroup::instances("tile", vec!["t".into()])]);
+    FireAxe::new(circuit, spec)
+        .backend(backend)
+        .observe(ObsSpec {
+            sample_interval,
+            vcd,
+            signals: Vec::new(),
+        })
+}
+
+fn observed_run(backend: Backend, cycles: u64) -> (SimMetrics, ObsReport) {
+    let (_, mut sim) = demo_flow(backend, 5, true).build().expect("flow builds");
+    let metrics = sim.run_target_cycles(cycles).expect("run completes");
+    (metrics, sim.obs_report())
+}
+
+/// The rendered VCD for a fixed run is byte-stable: any drift in the
+/// waveform pipeline (signal ordering, id assignment, change elision,
+/// header layout) shows up as a diff against the committed golden file.
+/// Regenerate deliberately with `REGEN_GOLDEN=1 cargo test`.
+#[test]
+fn vcd_matches_golden_file() {
+    let (_, report) = observed_run(Backend::Des, 20);
+    let vcd = report.vcd.expect("vcd requested");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/obs_soc.vcd"
+    );
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(path, &vcd).expect("write golden");
+    }
+    let golden =
+        std::fs::read_to_string(path).expect("golden file missing — run once with REGEN_GOLDEN=1");
+    assert_eq!(
+        vcd, golden,
+        "VCD output drifted from tests/golden/obs_soc.vcd"
+    );
+}
+
+/// LI-BDN makes per-target-cycle state independent of host scheduling,
+/// so the waveform must come out byte-identical on both backends.
+#[test]
+fn vcd_identical_across_backends() {
+    let (_, des) = observed_run(Backend::Des, 40);
+    let (_, thr) = observed_run(Backend::Threads(2), 40);
+    assert_eq!(des.vcd, thr.vcd);
+}
+
+/// Deterministic metric columns — sample cycle and target-state digest —
+/// agree between the DES golden model and the threaded backend; host
+/// columns (host cycles, stalls, host time) are allowed to differ.
+#[test]
+fn metric_series_parity_des_vs_threads() {
+    let (_, des) = observed_run(Backend::Des, 60);
+    let (_, thr) = observed_run(Backend::Threads(2), 60);
+    assert_eq!(des.metrics.nodes.len(), thr.metrics.nodes.len());
+    for (a, b) in des.metrics.nodes.iter().zip(&thr.metrics.nodes) {
+        assert_eq!(a.node, b.node);
+        assert!(!a.samples.is_empty(), "sampling produced no rows");
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (sa, sb) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(
+                (sa.cycle, sa.state_digest),
+                (sb.cycle, sb.state_digest),
+                "virtual-time metric series diverged at node {}",
+                a.node
+            );
+        }
+    }
+}
+
+/// Fault-free runs deliver every committed token exactly once, so each
+/// link's physical frame count equals its token count on both backends.
+#[test]
+fn fault_free_links_send_each_token_once() {
+    for backend in [Backend::Des, Backend::Threads(2)] {
+        let (metrics, _) = observed_run(backend, 50);
+        assert!(!metrics.links.is_empty());
+        for l in &metrics.links {
+            assert_eq!(l.sent_frames, l.tokens, "link {} on {backend:?}", l.link);
+            assert_eq!(l.retransmits, 0);
+            assert_eq!(l.crc_failures, 0);
+            assert_eq!(l.duplicates_dropped, 0);
+        }
+    }
+}
+
+/// Emit a hand-built event stream, parse the Chrome JSON back with the
+/// bundled parser, and check counts, phase mapping, ordering, and the
+/// counter payload survive the round trip.
+#[test]
+fn chrome_trace_round_trips() {
+    let events = vec![
+        TraceEvent {
+            name: "des.run",
+            kind: EventKind::SpanBegin,
+            host_ns: 1_500,
+            virt_ps: 0,
+            value: 0.0,
+            tid: 0,
+        },
+        TraceEvent {
+            name: "node.fmr",
+            kind: EventKind::Counter,
+            host_ns: 2_000,
+            virt_ps: 4_000,
+            value: 2.5,
+            tid: 0,
+        },
+        TraceEvent {
+            name: "checkpoint",
+            kind: EventKind::Instant,
+            host_ns: 2_500,
+            virt_ps: 8_000,
+            value: 0.0,
+            tid: 1,
+        },
+        TraceEvent {
+            name: "des.run",
+            kind: EventKind::SpanEnd,
+            host_ns: 3_000,
+            virt_ps: 0,
+            value: 0.0,
+            tid: 0,
+        },
+    ];
+    let json = to_chrome_json(&events);
+    let doc = fireaxe::json::parse(&json).expect("exporter emits valid JSON");
+    let arr = doc.as_object().expect("object root")["traceEvents"]
+        .as_array()
+        .expect("traceEvents array");
+    // One metadata record plus every recorded event, in order.
+    assert_eq!(arr.len(), events.len() + 1);
+    let obj = |i: usize| arr[i].as_object().unwrap();
+    assert_eq!(obj(0)["ph"].as_str(), Some("M"));
+    let phases: Vec<&str> = (1..arr.len())
+        .map(|i| obj(i)["ph"].as_str().unwrap())
+        .collect();
+    assert_eq!(phases, ["B", "C", "i", "E"]);
+    let ts: Vec<f64> = (1..arr.len())
+        .map(|i| obj(i)["ts"].as_f64().unwrap())
+        .collect();
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]), "ts not sorted: {ts:?}");
+    assert_eq!(ts[0], 1.5); // 1500 ns = 1.5 µs
+    let counter = obj(2)["args"].as_object().unwrap();
+    assert_eq!(counter["value"].as_f64(), Some(2.5));
+    assert_eq!(counter["virt_ps"].as_f64(), Some(4_000.0));
+    assert_eq!(
+        obj(3)["args"].as_object().unwrap()["virt_ps"].as_f64(),
+        Some(8_000.0)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On fault-free schedules every token enqueued at a link's sender
+    /// is accounted for at the receiver (delivered, staged, or still in
+    /// flight) at the end of the run — on both backends, for any budget.
+    #[test]
+    fn tokens_balance_across_link_endpoints(cycles in 1u64..80, threaded in any::<bool>()) {
+        let backend = if threaded { Backend::Threads(2) } else { Backend::Des };
+        let (_, mut sim) = demo_flow(backend, 0, false).build().expect("flow builds");
+        sim.run_target_cycles(cycles).expect("run completes");
+        prop_assert!(
+            sim.verify_token_conservation().is_ok(),
+            "{}",
+            sim.verify_token_conservation().unwrap_err()
+        );
+        let metrics = sim.metrics();
+        for l in &metrics.links {
+            prop_assert_eq!(l.sent_frames, l.tokens);
+        }
+    }
+}
