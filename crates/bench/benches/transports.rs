@@ -1,0 +1,174 @@
+//! Socket transports vs in-process threads on the NoC-partitioned ring
+//! SoC.
+//!
+//! The distributed backend pays for real I/O: every cross-partition
+//! token is framed, CRC'd, credit-gated, and relayed through the
+//! coordinator over an actual socket. This bench prices that against
+//! the `Threads` backend's lock-free in-process channels on the same
+//! 4-partition cut, for both net transports (localhost TCP and
+//! Unix-domain sockets). All variants are gated on identical per-link
+//! token totals first — timing a wrong answer is meaningless.
+//!
+//! Besides the criterion timings, a machine-readable summary with the
+//! headline numbers (target-cycles/s, ns per target cycle, and
+//! cross-partition tokens/s, best of five) is written to
+//! `BENCH_net.json`; EXPERIMENTS.md quotes it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fireaxe::prelude::*;
+use fireaxe_net::{run_cluster, serve, NetListener, WireSettings};
+use std::time::Instant;
+
+const CYCLES: u64 = 1_500;
+const BEST_OF: usize = 5;
+
+fn noc_4partition_design() -> (Circuit, PartitionSpec) {
+    let soc = ring_soc(&RingSocConfig {
+        tiles: 6,
+        tile_period: 4,
+        ..Default::default()
+    });
+    let groups: Vec<PartitionGroup> = (0..3)
+        .map(|g| PartitionGroup {
+            name: format!("fpga{g}"),
+            selection: Selection::NocRouters {
+                routers: soc.router_paths.clone(),
+                indices: vec![2 * g, 2 * g + 1],
+            },
+            fame5: false,
+        })
+        .collect();
+    (soc.circuit, PartitionSpec::exact(groups))
+}
+
+fn setup(b: SimBuilder<'_>) -> SimBuilder<'_> {
+    let mut registry = BehaviorRegistry::new();
+    fireaxe::register_soc_behaviors(&mut registry);
+    b.behaviors(registry)
+}
+
+fn run_threads(circuit: &Circuit, spec: &PartitionSpec) -> SimMetrics {
+    let (_, mut sim) = FireAxe::new(circuit.clone(), spec.clone())
+        .backend(Backend::Threads(0))
+        .build()
+        .unwrap();
+    sim.run_target_cycles(CYCLES).unwrap()
+}
+
+/// One full cluster run over in-process worker threads (loopback
+/// sockets carry every cross-partition token; the workers being
+/// threads rather than subprocesses keeps the bench hermetic and
+/// excludes process spawn cost, which is bring-up, not transport).
+fn run_net(circuit: &Circuit, spec: &PartitionSpec, unix: bool, tag: usize) -> SimMetrics {
+    let mut bound = Vec::new();
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        let addr = if unix {
+            format!(
+                "unix:{}/fxbench-{}-{tag}-{i}.sock",
+                std::env::temp_dir().display(),
+                std::process::id()
+            )
+        } else {
+            "127.0.0.1:0".to_string()
+        };
+        let listener = NetListener::bind(&addr).expect("worker bind");
+        bound.push(listener.local_addr_string());
+        handles.push(std::thread::spawn(move || serve(&listener, &setup)));
+    }
+    let report = run_cluster(
+        circuit,
+        spec,
+        CYCLES,
+        &bound,
+        &WireSettings::default(),
+        10_000,
+        &setup,
+    )
+    .expect("cluster run");
+    for h in handles {
+        h.join().expect("worker thread").expect("worker exit");
+    }
+    report.metrics
+}
+
+/// Best-of-N timing of one variant: (cycles/s, ns/cycle, tokens/s).
+fn measure(mut run: impl FnMut() -> SimMetrics) -> (f64, f64, f64) {
+    let mut best_secs = f64::INFINITY;
+    let mut tokens = 0u64;
+    for _ in 0..BEST_OF {
+        let t = Instant::now();
+        let m = run();
+        best_secs = best_secs.min(t.elapsed().as_secs_f64());
+        tokens = m.link_tokens.iter().sum();
+    }
+    (
+        CYCLES as f64 / best_secs,
+        best_secs * 1e9 / CYCLES as f64,
+        tokens as f64 / best_secs,
+    )
+}
+
+fn transport_throughput(c: &mut Criterion) {
+    let (circuit, spec) = noc_4partition_design();
+
+    // Parity gate: all three paths must move the exact same per-link
+    // token totals before any of them is timed.
+    let threads_tokens = run_threads(&circuit, &spec).link_tokens;
+    assert_eq!(
+        threads_tokens,
+        run_net(&circuit, &spec, false, 0).link_tokens,
+        "TCP cluster disagrees with Threads on link tokens"
+    );
+    assert_eq!(
+        threads_tokens,
+        run_net(&circuit, &spec, true, 1).link_tokens,
+        "Unix cluster disagrees with Threads on link tokens"
+    );
+
+    let mut g = c.benchmark_group("transport");
+    g.sample_size(10);
+    g.bench_function("threads_noc4", |bench| {
+        bench.iter(|| black_box(run_threads(&circuit, &spec)))
+    });
+    g.bench_function("net_tcp_noc4", |bench| {
+        bench.iter(|| black_box(run_net(&circuit, &spec, false, 2)))
+    });
+    g.bench_function("net_unix_noc4", |bench| {
+        bench.iter(|| black_box(run_net(&circuit, &spec, true, 3)))
+    });
+    g.finish();
+
+    // Headline numbers, best of five, and the machine-readable summary.
+    let mut doc = String::from("{\n");
+    doc.push_str(&format!(
+        "  \"bench\": \"transports\",\n  \"cycles\": {CYCLES},\n"
+    ));
+    type Variant<'a> = (&'a str, Box<dyn FnMut() -> SimMetrics + 'a>);
+    let variants: [Variant<'_>; 3] = [
+        ("threads", Box::new(|| run_threads(&circuit, &spec))),
+        ("net_tcp", Box::new(|| run_net(&circuit, &spec, false, 4))),
+        ("net_unix", Box::new(|| run_net(&circuit, &spec, true, 5))),
+    ];
+    for (i, (name, run)) in variants.into_iter().enumerate() {
+        let (rate, ns_per_cycle, tokens_per_sec) = measure(run);
+        println!(
+            "transport/{name:<10} {rate:>12.0} target-cycles/s  \
+             {ns_per_cycle:>10.0} ns/cycle  {tokens_per_sec:>12.0} tokens/s  (best of {BEST_OF})"
+        );
+        doc.push_str(&format!(
+            "  \"{name}\": {{ \"cycles_per_sec\": {rate:.0}, \"ns_per_cycle\": {ns_per_cycle:.0}, \
+             \"tokens_per_sec\": {tokens_per_sec:.0} }}{}\n",
+            if i < 2 { "," } else { "" }
+        ));
+    }
+    doc.push_str("}\n");
+    // cargo runs benches with the package dir as cwd; anchor the output
+    // at the workspace root next to the other BENCH_*.json files.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+    std::fs::write(out, &doc).expect("write BENCH_net.json");
+    println!("wrote BENCH_net.json");
+}
+
+criterion_group!(benches, transport_throughput);
+criterion_main!(benches);

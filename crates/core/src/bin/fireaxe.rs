@@ -4,15 +4,25 @@
 //!
 //! ```text
 //! fireaxe run <run.json> [--circuit design.fir] [--cycles N]
-//!             [--backend des|threads] [--trace out.trace.json]
+//!             [--backend des|threads[:n]|net] [--trace out.trace.json]
 //!             [--vcd out.vcd] [--metrics out.json|out.csv]
 //!             [--signals a,b,..] [--sample-interval N] [--estimate]
+//! fireaxe coordinator <run.json> [--workers addr,addr,..] [run flags]
+//! fireaxe worker [--listen <host:port|unix:/path>]
 //! ```
 //!
 //! `run.json` is a [`fireaxe::RunConfig`]; its `"circuit"` field names
 //! the textual-IR design (resolved relative to the config file) unless
 //! `--circuit` overrides it. The legacy spelling
 //! `fireaxe --circuit design.fir --config run.json` still works.
+//!
+//! The `--backend` flag and the config's `"backend"` field share one
+//! parser (`Backend::from_str`), so `des`, `threads`, `threads:<n>`,
+//! and `net` mean the same thing everywhere. With `net`, each partition
+//! runs in its own OS process: the addresses come from the config's
+//! `"net"` object (or `--workers`), and when none are given the binary
+//! self-spawns `fireaxe worker` subprocesses on localhost.
+//! `fireaxe coordinator` is `run` with the backend pinned to `net`.
 //!
 //! Prints the partition report, the compiler's quick rate estimate, the
 //! measured simulation rate, and the per-node/per-link metrics summary.
@@ -25,8 +35,14 @@ use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: fireaxe run <run.json> [--circuit <design.fir>] [--cycles N] \
-     [--backend des|threads] [--trace <out.json>] [--vcd <out.vcd>] \
-     [--metrics <out.json|out.csv>] [--signals <a,b,..>] [--sample-interval N] [--estimate]";
+     [--backend des|threads[:n]|net] [--trace <out.json>] [--vcd <out.vcd>] \
+     [--metrics <out.json|out.csv>] [--signals <a,b,..>] [--sample-interval N] [--estimate]\n\
+       fireaxe coordinator <run.json> [--workers <addr,addr,..>] [run flags]\n\
+       fireaxe worker [--listen <host:port|unix:/path>]";
+
+const WORKER_USAGE: &str = "usage: fireaxe worker [--listen <host:port|unix:/path>]\n\
+binds the listener (default 127.0.0.1:0), prints `listening on <addr>`, \
+then serves exactly one coordinator session";
 
 struct Args {
     circuit: Option<String>,
@@ -34,11 +50,20 @@ struct Args {
     cycles: u64,
     estimate_only: bool,
     backend: Option<String>,
+    /// `coordinator` subcommand: pin the backend to `net`.
+    force_net: bool,
+    /// `--workers` override for the config's `net.workers` list.
+    workers: Option<Vec<String>>,
     trace: Option<String>,
     vcd: Option<String>,
     metrics: Option<String>,
     signals: Option<Vec<String>>,
     sample_interval: Option<u64>,
+}
+
+enum Cmd {
+    Run(Args),
+    Worker { listen: String },
 }
 
 fn parse_u64(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
@@ -48,26 +73,49 @@ fn parse_u64(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, S
         .map_err(|e| format!("bad {flag} value: {e}"))
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Cmd, String> {
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("worker") {
+        it.next();
+        let mut listen = "127.0.0.1:0".to_string();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--listen" => listen = it.next().ok_or("--listen needs an address")?,
+                "--help" | "-h" => return Err(WORKER_USAGE.into()),
+                other => return Err(format!("unknown worker argument `{other}` (try --help)")),
+            }
+        }
+        return Ok(Cmd::Worker { listen });
+    }
+
     let mut circuit = None;
     let mut config = None;
     let mut cycles = 10_000u64;
     let mut estimate_only = false;
     let mut backend = None;
+    let mut force_net = false;
+    let mut workers = None;
     let mut trace = None;
     let mut vcd = None;
     let mut metrics = None;
     let mut signals = None;
     let mut sample_interval = None;
     let mut run_seen = false;
-    let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "run" if !run_seen && config.is_none() => run_seen = true,
+            "coordinator" if !run_seen && config.is_none() => {
+                run_seen = true;
+                force_net = true;
+            }
             "--circuit" => circuit = Some(it.next().ok_or("--circuit needs a path")?),
             "--config" => config = Some(it.next().ok_or("--config needs a path")?),
             "--cycles" => cycles = parse_u64(&mut it, "--cycles")?,
-            "--backend" => backend = Some(it.next().ok_or("--backend needs des|threads")?),
+            "--backend" => backend = Some(it.next().ok_or("--backend needs des|threads[:n]|net")?),
+            "--workers" => {
+                let list = it.next().ok_or("--workers needs a comma-separated list")?;
+                workers = Some(list.split(',').map(str::to_string).collect());
+            }
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?),
             "--vcd" => vcd = Some(it.next().ok_or("--vcd needs a path")?),
             "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?),
@@ -84,18 +132,20 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
-    Ok(Args {
+    Ok(Cmd::Run(Args {
         circuit,
         config: config.ok_or("missing config path (try --help)")?,
         cycles,
         estimate_only,
         backend,
+        force_net,
+        workers,
         trace,
         vcd,
         metrics,
         signals,
         sample_interval,
-    })
+    }))
 }
 
 /// Folds the CLI observability flags over the config's `"obs"` object.
@@ -135,39 +185,40 @@ fn write_out(path: &str, contents: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("{path}: {e}"))
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
-    let config_text =
-        std::fs::read_to_string(&args.config).map_err(|e| format!("{}: {e}", args.config))?;
-    let mut cfg = RunConfig::from_json(&config_text).map_err(|e| e.to_string())?;
-    if let Some(b) = &args.backend {
-        cfg.backend = b.clone();
-    }
-    apply_obs_flags(&mut cfg, &args);
+/// The behavior bindings every process in a cluster applies
+/// identically: the built-in SoC models as a fallback factory. Workers,
+/// the coordinator's passive build, and the single-process backends all
+/// resolve extern behaviors through this same hook, which is what makes
+/// the cross-process digests comparable in the first place.
+fn net_setup(b: SimBuilder<'_>) -> SimBuilder<'_> {
+    let mut registry = BehaviorRegistry::new();
+    fireaxe::register_soc_behaviors(&mut registry);
+    b.behaviors(registry)
+}
 
-    // The circuit comes from --circuit, else the config's `circuit`
-    // field resolved relative to the config file.
-    let circuit_path = match &args.circuit {
-        Some(p) => p.clone(),
-        None if !cfg.circuit.is_empty() => Path::new(&args.config)
-            .parent()
-            .unwrap_or_else(|| Path::new("."))
-            .join(&cfg.circuit)
-            .to_string_lossy()
-            .into_owned(),
-        None => {
-            return Err("missing circuit: pass --circuit or set `circuit` in the config".into())
-        }
-    };
-    let circuit_text =
-        std::fs::read_to_string(&circuit_path).map_err(|e| format!("{circuit_path}: {e}"))?;
-    let circuit = fireaxe::ir::parser::parse_circuit(&circuit_text).map_err(|e| e.to_string())?;
+/// `fireaxe worker`: bind, advertise the resolved address on stdout,
+/// serve one coordinator session, exit.
+fn run_worker(listen: &str) -> Result<(), String> {
+    let listener =
+        fireaxe_net::NetListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    // The advertise line is machine-read by `SpawnedWorker::launch`;
+    // stdout is a pipe there, so flush explicitly.
+    println!(
+        "{}{}",
+        fireaxe_net::spawn::LISTENING_PREFIX,
+        listener.local_addr_string()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    fireaxe_net::serve(&listener, &net_setup).map_err(|e| e.to_string())
+}
 
-    let platform = cfg.platform().map_err(|e| e.to_string())?;
-    let obs = cfg.obs.clone().unwrap_or_default();
-    let flow = cfg.to_flow(circuit).map_err(|e| e.to_string())?;
-
-    let design = flow.compile().map_err(|e| e.to_string())?;
+/// Prints the partition report and the compiler's quick rate estimate.
+fn print_design_report(
+    design: &fireaxe::ripper::PartitionedDesign,
+    platform: Platform,
+    clock_mhz: f64,
+) -> Result<(), String> {
     println!("partitions: {}", design.partitions.len());
     for p in &design.partitions {
         for t in &p.threads {
@@ -190,9 +241,202 @@ fn run() -> Result<(), String> {
     for note in &design.report.notes {
         println!("  note: {note}");
     }
-    let est = estimate_target_mhz(&design, platform.transport(), cfg.clock_mhz)
-        .map_err(|e| e.to_string())?;
+    let est =
+        estimate_target_mhz(design, platform.transport(), clock_mhz).map_err(|e| e.to_string())?;
     println!("estimated rate: {est:.3} MHz");
+    Ok(())
+}
+
+/// The cluster-wide engine settings the coordinator ships to every
+/// worker, derived from the same config fields the in-process backends
+/// read.
+fn wire_settings(
+    cfg: &RunConfig,
+    platform: Platform,
+    obs: &ObsConfig,
+) -> Result<fireaxe_net::WireSettings, String> {
+    let mut settings = fireaxe_net::WireSettings {
+        default_transport: platform.transport(),
+        clock_mhz: cfg.clock_mhz,
+        partition_clocks: cfg
+            .partition_clocks
+            .iter()
+            .map(|&(p, mhz)| (p as u32, mhz))
+            .collect(),
+        sample_interval: obs.sample_interval,
+        vcd: !obs.vcd_path.is_empty(),
+        signals: obs.signals.clone(),
+        ..Default::default()
+    };
+    if let Some(policy) = cfg.retry_policy().map_err(|e| e.to_string())? {
+        settings.retry = policy;
+    }
+    if let Some(net) = &cfg.net {
+        settings.io_timeout_ms = net.io_timeout_ms;
+    }
+    Ok(settings)
+}
+
+/// `--backend net`: run the design as one worker process per partition,
+/// self-spawning `fireaxe worker` subprocesses when the config names no
+/// addresses.
+fn run_net(cfg: &RunConfig, circuit: Circuit, args: &Args) -> Result<(), String> {
+    if cfg.fault.is_some() {
+        return Err(
+            "the net backend does not schedule modeled link faults; drop the \
+             `fault` object (real-socket loss is exercised by the fault proxy in \
+             the fireaxe-net tests) or pick --backend des|threads"
+                .into(),
+        );
+    }
+    let platform = cfg.platform().map_err(|e| e.to_string())?;
+    let obs = cfg.obs.clone().unwrap_or_default();
+    let spec = cfg.partition_spec().map_err(|e| e.to_string())?;
+    let design = compile(&circuit, &spec).map_err(|e| e.to_string())?;
+    print_design_report(&design, platform, cfg.clock_mhz)?;
+    if args.estimate_only {
+        return Ok(());
+    }
+
+    let mut net = cfg.net.clone().unwrap_or_default();
+    if let Some(w) = &args.workers {
+        net.workers = w.clone();
+    }
+    let settings = wire_settings(cfg, platform, &obs)?;
+
+    // Named addresses mean externally launched `fireaxe worker`
+    // processes; an empty list self-hosts the cluster on localhost.
+    let n = design.partitions.len();
+    let (addrs, spawned) = if net.workers.is_empty() {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let mut spawned = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("worker").arg("--listen").arg("127.0.0.1:0");
+            spawned.push(
+                fireaxe_net::SpawnedWorker::launch(cmd)
+                    .map_err(|e| format!("spawning worker: {e}"))?,
+            );
+        }
+        let addrs: Vec<String> = spawned.iter().map(|w| w.addr.clone()).collect();
+        println!(
+            "spawned {n} local worker process(es) on {}",
+            addrs.join(", ")
+        );
+        (addrs, spawned)
+    } else {
+        (net.workers.clone(), Vec::new())
+    };
+
+    let started = std::time::Instant::now();
+    let report = fireaxe_net::run_cluster(
+        &circuit,
+        &spec,
+        args.cycles,
+        &addrs,
+        &settings,
+        net.connect_timeout_ms,
+        &net_setup,
+    )
+    .map_err(|e| e.to_string())?;
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "simulated {} target cycles across {} worker process(es) in {:.3} s: {:.0} cycles/s",
+        report.metrics.target_cycles,
+        addrs.len(),
+        secs,
+        report.metrics.target_cycles as f64 / secs.max(f64::EPSILON),
+    );
+    print!("{}", report.metrics);
+    for w in spawned {
+        if !w.wait().map_err(|e| format!("reaping worker: {e}"))? {
+            return Err("a worker process exited with failure after the run".into());
+        }
+    }
+
+    if !obs.trace_path.is_empty() {
+        write_out(&obs.trace_path, &report.chrome_trace)?;
+        println!(
+            "wrote merged Chrome trace (coordinator + {} worker tracks) to {}",
+            addrs.len(),
+            obs.trace_path
+        );
+    }
+    if !obs.vcd_path.is_empty() {
+        let vcd = report.vcd.as_deref().unwrap_or_default();
+        write_out(&obs.vcd_path, vcd)?;
+        println!("wrote waveform to {}", obs.vcd_path);
+    }
+    if !obs.metrics_path.is_empty() {
+        let doc = if obs.metrics_path.ends_with(".csv") {
+            report.series.to_csv()
+        } else {
+            report.series.to_json()
+        };
+        write_out(&obs.metrics_path, &doc)?;
+        println!(
+            "wrote merged metric series ({} node samples) to {}",
+            report
+                .series
+                .nodes
+                .iter()
+                .map(|n| n.samples.len())
+                .sum::<usize>(),
+            obs.metrics_path
+        );
+    }
+    Ok(())
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let config_text =
+        std::fs::read_to_string(&args.config).map_err(|e| format!("{}: {e}", args.config))?;
+    let mut cfg = RunConfig::from_json(&config_text).map_err(|e| e.to_string())?;
+    if let Some(b) = &args.backend {
+        cfg.backend = b.clone();
+    }
+    if args.force_net {
+        if args.backend.as_deref().is_some_and(|b| b != "net") {
+            return Err("`fireaxe coordinator` implies --backend net".into());
+        }
+        cfg.backend = "net".into();
+    }
+    apply_obs_flags(&mut cfg, &args);
+
+    // The circuit comes from --circuit, else the config's `circuit`
+    // field resolved relative to the config file.
+    let circuit_path = match &args.circuit {
+        Some(p) => p.clone(),
+        None if !cfg.circuit.is_empty() => Path::new(&args.config)
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .join(&cfg.circuit)
+            .to_string_lossy()
+            .into_owned(),
+        None => {
+            return Err("missing circuit: pass --circuit or set `circuit` in the config".into())
+        }
+    };
+    let circuit_text =
+        std::fs::read_to_string(&circuit_path).map_err(|e| format!("{circuit_path}: {e}"))?;
+    let circuit = fireaxe::ir::parser::parse_circuit(&circuit_text).map_err(|e| e.to_string())?;
+
+    // One parser decides the backend for the flag and the config field
+    // alike; the multi-process path forks off before the in-process
+    // flow is built.
+    if matches!(
+        cfg.execution_backend().map_err(|e| e.to_string())?,
+        Backend::Net
+    ) {
+        return run_net(&cfg, circuit, &args);
+    }
+
+    let platform = cfg.platform().map_err(|e| e.to_string())?;
+    let obs = cfg.obs.clone().unwrap_or_default();
+    let flow = cfg.to_flow(circuit).map_err(|e| e.to_string())?;
+
+    let design = flow.compile().map_err(|e| e.to_string())?;
+    print_design_report(&design, platform, cfg.clock_mhz)?;
     if args.estimate_only {
         return Ok(());
     }
@@ -258,7 +502,12 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let outcome = match parse_args() {
+        Ok(Cmd::Worker { listen }) => run_worker(&listen),
+        Ok(Cmd::Run(args)) => run(args),
+        Err(e) => Err(e),
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("fireaxe: {e}");

@@ -81,6 +81,30 @@ pub struct ObsConfig {
     pub sample_interval: u64,
 }
 
+/// Distributed backend knobs (the `"net"` object): where the worker
+/// processes listen and how patient the coordinator is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Worker addresses, one per partition, index-aligned: `host:port`
+    /// for TCP or `unix:/path` for Unix-domain sockets. Empty means the
+    /// `fireaxe` binary self-spawns workers on localhost.
+    pub workers: Vec<String>,
+    /// Bring-up patience per worker (connect + handshake), milliseconds.
+    pub connect_timeout_ms: u64,
+    /// Run-phase silence tolerated before `NetTimeout`, milliseconds.
+    pub io_timeout_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: Vec::new(),
+            connect_timeout_ms: 10_000,
+            io_timeout_ms: 10_000,
+        }
+    }
+}
+
 /// Link reliability protocol knobs (the `"reliability"` object).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReliabilityConfig {
@@ -103,7 +127,11 @@ pub struct RunConfig {
     /// `"onprem-qsfp"`, `"cloud-f1"`, or `"host-managed"`.
     pub platform: String,
     /// Execution backend: `"des"` (deterministic discrete-event golden
-    /// model, the default) or `"threads"` (one OS thread per partition).
+    /// model, the default), `"threads"` / `"threads:<n>"` (one OS
+    /// thread per partition, optionally capped), or `"net"` (one OS
+    /// process per partition over sockets). Parsed by
+    /// [`Backend::from_str`][std::str::FromStr] — the same spelling the
+    /// `--backend` CLI flag accepts.
     pub backend: String,
     /// Worker thread cap for the `"threads"` backend; `0` means one
     /// thread per partition.
@@ -130,6 +158,9 @@ pub struct RunConfig {
     pub max_rollbacks: u32,
     /// Observability knobs (None = nothing observed).
     pub obs: Option<ObsConfig>,
+    /// Distributed backend knobs (None = defaults when `backend` is
+    /// `"net"`, ignored otherwise).
+    pub net: Option<NetConfig>,
 }
 
 fn default_clock() -> f64 {
@@ -311,6 +342,63 @@ impl FaultConfig {
         }
         if let Some(link) = self.down_link {
             m.insert("down_link".to_string(), Value::Number(link as f64));
+        }
+        Value::Object(m)
+    }
+}
+
+impl NetConfig {
+    fn from_value(v: &Value) -> Result<Self, ConfigError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| schema_err("net", "expected an object"))?;
+        let mut workers = Vec::new();
+        if let Some(arr) = obj.get("workers") {
+            for item in arr
+                .as_array()
+                .ok_or_else(|| schema_err("workers", "expected an array of addresses"))?
+            {
+                workers.push(
+                    item.as_str()
+                        .ok_or_else(|| schema_err("workers", "expected an array of addresses"))?
+                        .to_string(),
+                );
+            }
+        }
+        let defaults = NetConfig::default();
+        Ok(NetConfig {
+            workers,
+            connect_timeout_ms: get_u64(obj, "connect_timeout_ms")?
+                .unwrap_or(defaults.connect_timeout_ms),
+            io_timeout_ms: get_u64(obj, "io_timeout_ms")?.unwrap_or(defaults.io_timeout_ms),
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let defaults = NetConfig::default();
+        let mut m = BTreeMap::new();
+        if !self.workers.is_empty() {
+            m.insert(
+                "workers".to_string(),
+                Value::Array(
+                    self.workers
+                        .iter()
+                        .map(|s| Value::String(s.clone()))
+                        .collect(),
+                ),
+            );
+        }
+        if self.connect_timeout_ms != defaults.connect_timeout_ms {
+            m.insert(
+                "connect_timeout_ms".to_string(),
+                Value::Number(self.connect_timeout_ms as f64),
+            );
+        }
+        if self.io_timeout_ms != defaults.io_timeout_ms {
+            m.insert(
+                "io_timeout_ms".to_string(),
+                Value::Number(self.io_timeout_ms as f64),
+            );
         }
         Value::Object(m)
     }
@@ -552,6 +640,7 @@ impl RunConfig {
             checkpoint_interval: get_u64(obj, "checkpoint_interval")?.unwrap_or(0),
             max_rollbacks: get_u64(obj, "max_rollbacks")?.unwrap_or(8) as u32,
             obs: obj.get("obs").map(ObsConfig::from_value).transpose()?,
+            net: obj.get("net").map(NetConfig::from_value).transpose()?,
         })
     }
 
@@ -620,6 +709,9 @@ impl RunConfig {
         if let Some(obs) = &self.obs {
             m.insert("obs".to_string(), obs.to_value());
         }
+        if let Some(net) = &self.net {
+            m.insert("net".to_string(), net.to_value());
+        }
         Value::Object(m).to_pretty()
     }
 
@@ -658,20 +750,23 @@ impl RunConfig {
         }
     }
 
-    /// Resolves the execution backend.
+    /// Resolves the execution backend through [`Backend::from_str`]
+    /// (the single parser the CLI flag also uses). The legacy separate
+    /// `"threads"` count field still applies when the backend string
+    /// itself doesn't carry one.
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError::Invalid`] for unknown backend strings.
     pub fn execution_backend(&self) -> Result<Backend, ConfigError> {
-        match self.backend.as_str() {
-            "des" => Ok(Backend::Des),
-            "threads" => Ok(Backend::Threads(self.threads)),
-            other => Err(ConfigError::Invalid {
-                field: "backend",
-                message: format!("`{other}` (expected `des` or `threads`)"),
-            }),
-        }
+        let backend: Backend = self
+            .backend
+            .parse()
+            .map_err(|e: String| schema_err("backend", e))?;
+        Ok(match backend {
+            Backend::Threads(0) if self.threads != 0 => Backend::Threads(self.threads),
+            other => other,
+        })
     }
 
     /// Resolves and validates the fault-injection campaign.
@@ -872,6 +967,68 @@ mod tests {
         assert_eq!(cfg.execution_backend().unwrap(), Backend::Threads(4));
         let back = RunConfig::from_json(&cfg.to_json()).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn backend_field_shares_the_cli_parser() {
+        // Every spelling `--backend` accepts works in the JSON field,
+        // because both go through the one `Backend::from_str`.
+        let mut cfg = RunConfig::from_json(EXAMPLE).unwrap();
+        for (spelling, expect) in [
+            ("des", Backend::Des),
+            ("threads", Backend::Threads(0)),
+            ("threads:3", Backend::Threads(3)),
+            ("net", Backend::Net),
+        ] {
+            cfg.backend = spelling.to_string();
+            cfg.threads = 0;
+            assert_eq!(cfg.execution_backend().unwrap(), expect, "{spelling}");
+        }
+        // An inline count wins over the legacy separate field.
+        cfg.backend = "threads:2".into();
+        cfg.threads = 7;
+        assert_eq!(cfg.execution_backend().unwrap(), Backend::Threads(2));
+        // Parse errors name the field, like every other config error.
+        cfg.backend = "threads:lots".into();
+        assert!(matches!(
+            cfg.execution_backend(),
+            Err(ConfigError::Invalid {
+                field: "backend",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn net_knobs_parse_and_roundtrip() {
+        let text = r#"{
+            "mode": "exact", "platform": "host-managed",
+            "backend": "net",
+            "net": {
+                "workers": ["127.0.0.1:7001", "unix:/tmp/w1.sock"],
+                "connect_timeout_ms": 2500
+            },
+            "groups": [{ "name": "g", "instances": ["a"] }]
+        }"#;
+        let cfg = RunConfig::from_json(text).unwrap();
+        assert_eq!(cfg.execution_backend().unwrap(), Backend::Net);
+        let net = cfg.net.as_ref().unwrap();
+        assert_eq!(net.workers.len(), 2);
+        assert_eq!(net.connect_timeout_ms, 2500);
+        assert_eq!(net.io_timeout_ms, NetConfig::default().io_timeout_ms);
+        let back = RunConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back, cfg);
+
+        // Self-spawn shorthand: `"net"` backend with no addresses.
+        let cfg = RunConfig::from_json(
+            r#"{
+                "mode": "exact", "platform": "host-managed", "backend": "net",
+                "groups": [{ "name": "g", "instances": ["a"] }]
+            }"#,
+        )
+        .unwrap();
+        assert!(cfg.net.is_none());
+        assert_eq!(cfg.execution_backend().unwrap(), Backend::Net);
     }
 
     #[test]

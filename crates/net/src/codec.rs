@@ -1,0 +1,1189 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message on a coordinator↔worker connection is `u32` big-endian
+//! payload length followed by the payload; the payload's first byte is
+//! the message tag. Integers are big-endian; token payload words ride
+//! in the [`Frame`] byte encoding (little-endian words, matching the
+//! in-memory layout the reliability layer CRCs). The protocol is
+//! versioned by [`PROTOCOL_VERSION`], checked during the
+//! [`Msg::Hello`]/[`Msg::HelloAck`] handshake before anything
+//! version-dependent is parsed.
+//!
+//! Decoding is defensive: lengths are bounded by [`MAX_MSG_LEN`],
+//! collection counts are validated against the bytes actually present,
+//! and a [`Msg::Token`] whose frame bytes no longer parse (a fault
+//! proxy or a real flaky wire can damage them) degrades to
+//! [`Msg::CorruptToken`] so the receiver counts a CRC casualty and
+//! waits for the retransmission instead of tearing the session down.
+
+use fireaxe_ir::Bits;
+use fireaxe_obs::{EventKind, Fnv1a, NodeSample, OwnedTraceEvent};
+use fireaxe_ripper::{
+    ChannelPolicy, LinkSpec, PartitionGroup, PartitionMode, PartitionSpec, Selection,
+};
+use fireaxe_sim::{LinkCounters, NodeCounters};
+use fireaxe_transport::reliable::{Frame, RetryPolicy};
+use fireaxe_transport::{LinkModel, TransportKind};
+use std::io::{self, Read, Write};
+
+/// Protocol magic: `FAXN` as a big-endian word.
+pub const PROTOCOL_MAGIC: u32 = 0x4641_584e;
+
+/// Wire protocol version; bumped on any incompatible change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a single message payload (the topology message
+/// carries a whole printed circuit; token messages are tiny).
+pub const MAX_MSG_LEN: u32 = 64 << 20;
+
+// ---------------------------------------------------------------------
+// Primitive encoders/decoders.
+// ---------------------------------------------------------------------
+
+fn put_u8(b: &mut Vec<u8>, v: u8) {
+    b.push(v);
+}
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(b: &mut Vec<u8>, v: f64) {
+    put_u64(b, v.to_bits());
+}
+
+fn put_bool(b: &mut Vec<u8>, v: bool) {
+    put_u8(b, u8::from(v));
+}
+
+fn put_str(b: &mut Vec<u8>, s: &str) {
+    put_u32(b, s.len() as u32);
+    b.extend_from_slice(s.as_bytes());
+}
+
+fn put_bits(b: &mut Vec<u8>, v: &Bits) {
+    put_u32(b, v.width().get());
+    for w in v.as_words() {
+        b.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// Cursor over a received payload.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type DecResult<T> = std::result::Result<T, String>;
+
+impl<'a> Dec<'a> {
+    /// Starts decoding `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> DecResult<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "message truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn u8(&mut self) -> DecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> DecResult<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> DecResult<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> DecResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> DecResult<bool> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn str(&mut self) -> DecResult<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "string is not UTF-8".to_string())
+    }
+
+    /// Validates a collection count against the bytes left, where each
+    /// element needs at least `min_elem_bytes` bytes.
+    fn count(&mut self, min_elem_bytes: usize) -> DecResult<usize> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(format!("collection count {n} exceeds message size"));
+        }
+        Ok(n)
+    }
+
+    fn bits(&mut self) -> DecResult<Bits> {
+        let width = self.u32()?;
+        if width == 0 || width > (1 << 20) {
+            return Err(format!("bad payload width {width}"));
+        }
+        let words = (width as usize).div_ceil(64);
+        let mut ws = Vec::with_capacity(words);
+        for _ in 0..words {
+            ws.push(u64::from_le_bytes(self.take(8)?.try_into().unwrap()));
+        }
+        let v = Bits::from_words(&ws, width);
+        if v.as_words() != ws.as_slice() {
+            return Err("payload sets bits above its declared width".to_string());
+        }
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol structures.
+// ---------------------------------------------------------------------
+
+/// Everything a worker needs to deterministically rebuild its share of
+/// the simulation, shipped in [`Msg::Topology`].
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// The receiving worker's index == the partition it owns.
+    pub worker: u32,
+    /// Total workers in the cluster (== partition count).
+    pub n_workers: u32,
+    /// The monolithic circuit, printed as textual IR.
+    pub circuit: String,
+    /// The partition spec; the worker reruns FireRipper locally, which
+    /// is deterministic, so all processes agree on node/link indices.
+    pub spec: PartitionSpec,
+    /// Engine settings the whole cluster must agree on.
+    pub settings: WireSettings,
+}
+
+/// Cluster-wide engine settings (the subset of `SimBuilder` knobs that
+/// must match across processes for bit-exact parity), plus the net
+/// backend's own pacing knobs.
+#[derive(Debug, Clone)]
+pub struct WireSettings {
+    /// Transport model for links without an override.
+    pub default_transport: LinkModel,
+    /// Per-link transport overrides.
+    pub link_transports: Vec<(u32, LinkModel)>,
+    /// Default bitstream clock, MHz.
+    pub clock_mhz: f64,
+    /// Per-partition clock overrides, MHz.
+    pub partition_clocks: Vec<(u32, f64)>,
+    /// LI-BDN channel capacity.
+    pub channel_capacity: u64,
+    /// Deadlock horizon in host edges.
+    pub deadlock_horizon: u64,
+    /// Retry/backoff knobs for the socket go-back-N protocol (the
+    /// protocol itself is always on for net links).
+    pub retry: RetryPolicy,
+    /// Metric sampling cadence in target cycles (0 = off).
+    pub sample_interval: u64,
+    /// Capture VCD changes.
+    pub vcd: bool,
+    /// VCD watch list (empty = every node's output ports).
+    pub signals: Vec<String>,
+    /// Target cycles between worker [`Msg::Progress`] reports.
+    pub progress_interval: u64,
+    /// Silence budget: a peer that sends nothing for this long while
+    /// the run is incomplete trips `SimError::NetTimeout`.
+    pub io_timeout_ms: u64,
+}
+
+impl Default for WireSettings {
+    fn default() -> Self {
+        WireSettings {
+            default_transport: LinkModel::qsfp_aurora(),
+            link_transports: Vec::new(),
+            clock_mhz: 30.0,
+            partition_clocks: Vec::new(),
+            channel_capacity: fireaxe_libdn::DEFAULT_CHANNEL_CAPACITY as u64,
+            deadlock_horizon: 100_000,
+            retry: RetryPolicy::default(),
+            sample_interval: 0,
+            vcd: false,
+            signals: Vec::new(),
+            progress_interval: 256,
+            io_timeout_ms: 10_000,
+        }
+    }
+}
+
+/// One worker's end-of-run report: everything the coordinator folds
+/// into the merged `SimMetrics`, metric series, VCD and Chrome trace.
+#[derive(Debug, Clone, Default)]
+pub struct WireReport {
+    /// Reporting worker.
+    pub worker: u32,
+    /// Per owned node: counters, metric samples, VCD changes.
+    pub nodes: Vec<NodeReport>,
+    /// Per touched link: this side's counter contributions.
+    pub links: Vec<LinkReport>,
+    /// This process's trace events.
+    pub traces: Vec<OwnedTraceEvent>,
+}
+
+/// One owned node's report.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Flat node index.
+    pub node: u32,
+    /// Execution counters.
+    pub counters: NodeCounters,
+    /// Metric samples in cycle order.
+    pub samples: Vec<NodeSample>,
+    /// VCD changes `(cycle, signal, value)`.
+    pub vcd: Vec<(u64, u32, Bits)>,
+}
+
+/// One link's counter contributions from one side. Sender-owned fields
+/// (tokens, sent/retransmitted frames, timeouts) and receiver-owned
+/// fields (CRC failures, duplicates) are disjoint, so the coordinator
+/// folds reports by summing fieldwise.
+#[derive(Debug, Clone)]
+pub struct LinkReport {
+    /// Link index.
+    pub link: u32,
+    /// Fresh tokens committed (sender side).
+    pub tokens: u64,
+    /// Reliability counters.
+    pub counters: LinkCounters,
+}
+
+/// [`Msg::Fatal`] code: generic simulation failure (message carries the
+/// rendered error).
+pub const FATAL_SIM: u8 = 0;
+/// [`Msg::Fatal`] code: a link's retry budget ran dry (`link` and
+/// `attempts` are meaningful).
+pub const FATAL_LINK_DOWN: u8 = 1;
+
+/// A wire protocol message.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Coordinator → worker: protocol identification.
+    Hello {
+        /// [`PROTOCOL_MAGIC`].
+        magic: u32,
+        /// Sender's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// The worker index this connection is for.
+        worker: u32,
+    },
+    /// Worker → coordinator: handshake response.
+    HelloAck {
+        /// [`PROTOCOL_MAGIC`].
+        magic: u32,
+        /// Responder's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Coordinator → worker: build your share of the simulation.
+    Topology(Box<Topology>),
+    /// Worker → coordinator: built; `design_digest` must match the
+    /// coordinator's own (see [`design_digest`]).
+    Ready {
+        /// Digest over node names/partitions and the link table.
+        design_digest: u64,
+    },
+    /// Coordinator → worker: run to exactly `budget` target cycles.
+    Run {
+        /// Target-cycle budget.
+        budget: u64,
+    },
+    /// A sealed token frame on a cross-worker link (sender → coordinator
+    /// → receiving worker).
+    Token {
+        /// Link index.
+        link: u32,
+        /// The sealed go-back-N frame.
+        frame: Frame,
+    },
+    /// Decode-side stand-in for a [`Msg::Token`] whose frame bytes were
+    /// damaged in flight: the link index survived but the frame did not.
+    /// Counted as a CRC casualty; the sender's timeout recovers.
+    CorruptToken {
+        /// Link index.
+        link: u32,
+    },
+    /// Cumulative acknowledgment for a link (receiver → sender).
+    Ack {
+        /// Link index.
+        link: u32,
+        /// Next expected sequence number.
+        ack: u64,
+    },
+    /// Flow-control credits returned as the receiver's LI-BDN queue
+    /// consumes staged tokens (receiver → sender).
+    Credit {
+        /// Link index.
+        link: u32,
+        /// Tokens consumed since the last credit message.
+        amount: u32,
+    },
+    /// Worker → coordinator: lowest owned-node target cycle, sent every
+    /// `progress_interval` cycles (feeds stall forensics).
+    Progress {
+        /// Minimum completed target cycle across owned nodes.
+        cycle: u64,
+    },
+    /// Worker → coordinator: every owned node reached the budget and
+    /// every outbound frame is acknowledged.
+    Done {
+        /// The completed budget.
+        cycle: u64,
+    },
+    /// Coordinator → worker: the whole cluster is done; send your
+    /// report.
+    Finish,
+    /// Worker → coordinator: end-of-run report.
+    Report(Box<WireReport>),
+    /// Coordinator → worker: tear down and exit cleanly.
+    Shutdown,
+    /// Worker → coordinator: unrecoverable failure ([`FATAL_SIM`],
+    /// [`FATAL_LINK_DOWN`]).
+    Fatal {
+        /// Failure class.
+        code: u8,
+        /// Failing link ([`FATAL_LINK_DOWN`] only).
+        link: u32,
+        /// Delivery attempts spent ([`FATAL_LINK_DOWN`] only).
+        attempts: u32,
+        /// Rendered error.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Structure encoders/decoders.
+// ---------------------------------------------------------------------
+
+fn put_link_model(b: &mut Vec<u8>, m: &LinkModel) {
+    let kind = match m.kind {
+        TransportKind::HostPcie => 0u8,
+        TransportKind::PeerPcie => 1,
+        TransportKind::QsfpAurora => 2,
+        TransportKind::Loopback => 3,
+    };
+    put_u8(b, kind);
+    put_u64(b, m.latency_ns);
+    put_u64(b, m.beat_bits);
+}
+
+fn dec_link_model(d: &mut Dec) -> DecResult<LinkModel> {
+    let kind = match d.u8()? {
+        0 => TransportKind::HostPcie,
+        1 => TransportKind::PeerPcie,
+        2 => TransportKind::QsfpAurora,
+        3 => TransportKind::Loopback,
+        k => return Err(format!("unknown transport kind {k}")),
+    };
+    Ok(LinkModel {
+        kind,
+        latency_ns: d.u64()?,
+        beat_bits: d.u64()?,
+    })
+}
+
+fn put_spec(b: &mut Vec<u8>, spec: &PartitionSpec) {
+    put_u8(b, matches!(spec.mode, PartitionMode::Fast) as u8);
+    put_u8(
+        b,
+        matches!(spec.channel_policy, ChannelPolicy::Monolithic) as u8,
+    );
+    put_u32(b, spec.groups.len() as u32);
+    for g in &spec.groups {
+        put_str(b, &g.name);
+        put_bool(b, g.fame5);
+        match &g.selection {
+            Selection::Instances(paths) => {
+                put_u8(b, 0);
+                put_u32(b, paths.len() as u32);
+                for p in paths {
+                    put_str(b, p);
+                }
+            }
+            Selection::NocRouters { routers, indices } => {
+                put_u8(b, 1);
+                put_u32(b, routers.len() as u32);
+                for r in routers {
+                    put_str(b, r);
+                }
+                put_u32(b, indices.len() as u32);
+                for i in indices {
+                    put_u64(b, *i as u64);
+                }
+            }
+        }
+    }
+}
+
+fn dec_spec(d: &mut Dec) -> DecResult<PartitionSpec> {
+    let mode = if d.u8()? == 0 {
+        PartitionMode::Exact
+    } else {
+        PartitionMode::Fast
+    };
+    let channel_policy = if d.u8()? == 0 {
+        ChannelPolicy::Separated
+    } else {
+        ChannelPolicy::Monolithic
+    };
+    let n = d.count(3)?;
+    let mut groups = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = d.str()?;
+        let fame5 = d.bool()?;
+        let selection = match d.u8()? {
+            0 => {
+                let k = d.count(4)?;
+                let mut paths = Vec::with_capacity(k);
+                for _ in 0..k {
+                    paths.push(d.str()?);
+                }
+                Selection::Instances(paths)
+            }
+            1 => {
+                let k = d.count(4)?;
+                let mut routers = Vec::with_capacity(k);
+                for _ in 0..k {
+                    routers.push(d.str()?);
+                }
+                let k = d.count(8)?;
+                let mut indices = Vec::with_capacity(k);
+                for _ in 0..k {
+                    indices.push(d.u64()? as usize);
+                }
+                Selection::NocRouters { routers, indices }
+            }
+            t => return Err(format!("unknown selection tag {t}")),
+        };
+        groups.push(PartitionGroup {
+            name,
+            selection,
+            fame5,
+        });
+    }
+    Ok(PartitionSpec {
+        mode,
+        channel_policy,
+        groups,
+    })
+}
+
+fn put_settings(b: &mut Vec<u8>, s: &WireSettings) {
+    put_link_model(b, &s.default_transport);
+    put_u32(b, s.link_transports.len() as u32);
+    for (l, m) in &s.link_transports {
+        put_u32(b, *l);
+        put_link_model(b, m);
+    }
+    put_f64(b, s.clock_mhz);
+    put_u32(b, s.partition_clocks.len() as u32);
+    for (p, mhz) in &s.partition_clocks {
+        put_u32(b, *p);
+        put_f64(b, *mhz);
+    }
+    put_u64(b, s.channel_capacity);
+    put_u64(b, s.deadlock_horizon);
+    put_u32(b, s.retry.max_retries);
+    put_u64(b, s.retry.timeout_cycles);
+    put_u64(b, s.sample_interval);
+    put_bool(b, s.vcd);
+    put_u32(b, s.signals.len() as u32);
+    for sig in &s.signals {
+        put_str(b, sig);
+    }
+    put_u64(b, s.progress_interval);
+    put_u64(b, s.io_timeout_ms);
+}
+
+fn dec_settings(d: &mut Dec) -> DecResult<WireSettings> {
+    let default_transport = dec_link_model(d)?;
+    let n = d.count(21)?;
+    let mut link_transports = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = d.u32()?;
+        link_transports.push((l, dec_link_model(d)?));
+    }
+    let clock_mhz = d.f64()?;
+    let n = d.count(12)?;
+    let mut partition_clocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = d.u32()?;
+        partition_clocks.push((p, d.f64()?));
+    }
+    let channel_capacity = d.u64()?;
+    let deadlock_horizon = d.u64()?;
+    let retry = RetryPolicy {
+        max_retries: d.u32()?,
+        timeout_cycles: d.u64()?,
+    };
+    let sample_interval = d.u64()?;
+    let vcd = d.bool()?;
+    let n = d.count(4)?;
+    let mut signals = Vec::with_capacity(n);
+    for _ in 0..n {
+        signals.push(d.str()?);
+    }
+    Ok(WireSettings {
+        default_transport,
+        link_transports,
+        clock_mhz,
+        partition_clocks,
+        channel_capacity,
+        deadlock_horizon,
+        retry,
+        sample_interval,
+        vcd,
+        signals,
+        progress_interval: d.u64()?,
+        io_timeout_ms: d.u64()?,
+    })
+}
+
+fn put_node_counters(b: &mut Vec<u8>, c: &NodeCounters) {
+    put_str(b, &c.node);
+    put_u64(b, c.partition as u64);
+    put_u64(b, c.tokens_enqueued);
+    put_u64(b, c.tokens_dequeued);
+    put_u64(b, c.input_stall_host_cycles);
+    put_u64(b, c.output_stall_host_cycles);
+    put_u64(b, c.host_cycles);
+    put_u64(b, c.target_cycles);
+}
+
+fn dec_node_counters(d: &mut Dec) -> DecResult<NodeCounters> {
+    Ok(NodeCounters {
+        node: d.str()?,
+        partition: d.u64()? as usize,
+        tokens_enqueued: d.u64()?,
+        tokens_dequeued: d.u64()?,
+        input_stall_host_cycles: d.u64()?,
+        output_stall_host_cycles: d.u64()?,
+        host_cycles: d.u64()?,
+        target_cycles: d.u64()?,
+    })
+}
+
+fn put_link_counters(b: &mut Vec<u8>, c: &LinkCounters) {
+    put_u64(b, c.link as u64);
+    put_u64(b, c.tokens);
+    put_u64(b, c.sent_frames);
+    put_u64(b, c.retransmits);
+    put_u64(b, c.timeout_escalations);
+    put_u64(b, c.crc_failures);
+    put_u64(b, c.duplicates_dropped);
+    put_u64(b, c.delivery_delay_ps);
+}
+
+fn dec_link_counters(d: &mut Dec) -> DecResult<LinkCounters> {
+    Ok(LinkCounters {
+        link: d.u64()? as usize,
+        tokens: d.u64()?,
+        sent_frames: d.u64()?,
+        retransmits: d.u64()?,
+        timeout_escalations: d.u64()?,
+        crc_failures: d.u64()?,
+        duplicates_dropped: d.u64()?,
+        delivery_delay_ps: d.u64()?,
+    })
+}
+
+fn put_node_sample(b: &mut Vec<u8>, s: &NodeSample) {
+    for v in [
+        s.cycle,
+        s.host_ns,
+        s.time_ps,
+        s.host_cycles,
+        s.tokens_enqueued,
+        s.tokens_dequeued,
+        s.input_stall_host_cycles,
+        s.output_stall_host_cycles,
+        s.queue_occupancy,
+        s.settle_passes,
+        s.defs_run,
+        s.defs_skipped,
+        s.state_digest,
+    ] {
+        put_u64(b, v);
+    }
+}
+
+fn dec_node_sample(d: &mut Dec) -> DecResult<NodeSample> {
+    Ok(NodeSample {
+        cycle: d.u64()?,
+        host_ns: d.u64()?,
+        time_ps: d.u64()?,
+        host_cycles: d.u64()?,
+        tokens_enqueued: d.u64()?,
+        tokens_dequeued: d.u64()?,
+        input_stall_host_cycles: d.u64()?,
+        output_stall_host_cycles: d.u64()?,
+        queue_occupancy: d.u64()?,
+        settle_passes: d.u64()?,
+        defs_run: d.u64()?,
+        defs_skipped: d.u64()?,
+        state_digest: d.u64()?,
+    })
+}
+
+fn put_trace_event(b: &mut Vec<u8>, e: &OwnedTraceEvent) {
+    put_str(b, &e.name);
+    let kind = match e.kind {
+        EventKind::SpanBegin => 0u8,
+        EventKind::SpanEnd => 1,
+        EventKind::Instant => 2,
+        EventKind::Counter => 3,
+    };
+    put_u8(b, kind);
+    put_u64(b, e.host_ns);
+    put_u64(b, e.virt_ps);
+    put_f64(b, e.value);
+    put_u64(b, e.tid);
+}
+
+fn dec_trace_event(d: &mut Dec) -> DecResult<OwnedTraceEvent> {
+    let name = d.str()?;
+    let kind = match d.u8()? {
+        0 => EventKind::SpanBegin,
+        1 => EventKind::SpanEnd,
+        2 => EventKind::Instant,
+        3 => EventKind::Counter,
+        k => return Err(format!("unknown event kind {k}")),
+    };
+    Ok(OwnedTraceEvent {
+        name,
+        kind,
+        host_ns: d.u64()?,
+        virt_ps: d.u64()?,
+        value: d.f64()?,
+        tid: d.u64()?,
+    })
+}
+
+fn put_report(b: &mut Vec<u8>, r: &WireReport) {
+    put_u32(b, r.worker);
+    put_u32(b, r.nodes.len() as u32);
+    for n in &r.nodes {
+        put_u32(b, n.node);
+        put_node_counters(b, &n.counters);
+        put_u32(b, n.samples.len() as u32);
+        for s in &n.samples {
+            put_node_sample(b, s);
+        }
+        put_u32(b, n.vcd.len() as u32);
+        for (cycle, sig, value) in &n.vcd {
+            put_u64(b, *cycle);
+            put_u32(b, *sig);
+            put_bits(b, value);
+        }
+    }
+    put_u32(b, r.links.len() as u32);
+    for l in &r.links {
+        put_u32(b, l.link);
+        put_u64(b, l.tokens);
+        put_link_counters(b, &l.counters);
+    }
+    put_u32(b, r.traces.len() as u32);
+    for e in &r.traces {
+        put_trace_event(b, e);
+    }
+}
+
+fn dec_report(d: &mut Dec) -> DecResult<WireReport> {
+    let worker = d.u32()?;
+    let n = d.count(8)?;
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let node = d.u32()?;
+        let counters = dec_node_counters(d)?;
+        let k = d.count(13 * 8)?;
+        let mut samples = Vec::with_capacity(k);
+        for _ in 0..k {
+            samples.push(dec_node_sample(d)?);
+        }
+        let k = d.count(8 + 4 + 4)?;
+        let mut vcd = Vec::with_capacity(k);
+        for _ in 0..k {
+            let cycle = d.u64()?;
+            let sig = d.u32()?;
+            vcd.push((cycle, sig, d.bits()?));
+        }
+        nodes.push(NodeReport {
+            node,
+            counters,
+            samples,
+            vcd,
+        });
+    }
+    let n = d.count(12)?;
+    let mut links = Vec::with_capacity(n);
+    for _ in 0..n {
+        let link = d.u32()?;
+        let tokens = d.u64()?;
+        links.push(LinkReport {
+            link,
+            tokens,
+            counters: dec_link_counters(d)?,
+        });
+    }
+    let n = d.count(4)?;
+    let mut traces = Vec::with_capacity(n);
+    for _ in 0..n {
+        traces.push(dec_trace_event(d)?);
+    }
+    Ok(WireReport {
+        worker,
+        nodes,
+        links,
+        traces,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Message encode/decode + framed I/O.
+// ---------------------------------------------------------------------
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_TOPOLOGY: u8 = 3;
+const TAG_READY: u8 = 4;
+const TAG_RUN: u8 = 5;
+const TAG_TOKEN: u8 = 6;
+const TAG_ACK: u8 = 7;
+const TAG_CREDIT: u8 = 8;
+const TAG_PROGRESS: u8 = 9;
+const TAG_DONE: u8 = 10;
+const TAG_FINISH: u8 = 11;
+const TAG_REPORT: u8 = 12;
+const TAG_SHUTDOWN: u8 = 13;
+const TAG_FATAL: u8 = 14;
+const TAG_CORRUPT_TOKEN: u8 = 15;
+
+/// Serializes one message (without the length prefix).
+pub fn encode_msg(msg: &Msg) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    match msg {
+        Msg::Hello {
+            magic,
+            version,
+            worker,
+        } => {
+            put_u8(&mut b, TAG_HELLO);
+            put_u32(&mut b, *magic);
+            put_u32(&mut b, *version);
+            put_u32(&mut b, *worker);
+        }
+        Msg::HelloAck { magic, version } => {
+            put_u8(&mut b, TAG_HELLO_ACK);
+            put_u32(&mut b, *magic);
+            put_u32(&mut b, *version);
+        }
+        Msg::Topology(t) => {
+            put_u8(&mut b, TAG_TOPOLOGY);
+            put_u32(&mut b, t.worker);
+            put_u32(&mut b, t.n_workers);
+            put_str(&mut b, &t.circuit);
+            put_spec(&mut b, &t.spec);
+            put_settings(&mut b, &t.settings);
+        }
+        Msg::Ready { design_digest } => {
+            put_u8(&mut b, TAG_READY);
+            put_u64(&mut b, *design_digest);
+        }
+        Msg::Run { budget } => {
+            put_u8(&mut b, TAG_RUN);
+            put_u64(&mut b, *budget);
+        }
+        Msg::Token { link, frame } => {
+            put_u8(&mut b, TAG_TOKEN);
+            put_u32(&mut b, *link);
+            frame.encode_bytes(&mut b);
+        }
+        Msg::CorruptToken { link } => {
+            put_u8(&mut b, TAG_CORRUPT_TOKEN);
+            put_u32(&mut b, *link);
+        }
+        Msg::Ack { link, ack } => {
+            put_u8(&mut b, TAG_ACK);
+            put_u32(&mut b, *link);
+            put_u64(&mut b, *ack);
+        }
+        Msg::Credit { link, amount } => {
+            put_u8(&mut b, TAG_CREDIT);
+            put_u32(&mut b, *link);
+            put_u32(&mut b, *amount);
+        }
+        Msg::Progress { cycle } => {
+            put_u8(&mut b, TAG_PROGRESS);
+            put_u64(&mut b, *cycle);
+        }
+        Msg::Done { cycle } => {
+            put_u8(&mut b, TAG_DONE);
+            put_u64(&mut b, *cycle);
+        }
+        Msg::Finish => put_u8(&mut b, TAG_FINISH),
+        Msg::Report(r) => {
+            put_u8(&mut b, TAG_REPORT);
+            put_report(&mut b, r);
+        }
+        Msg::Shutdown => put_u8(&mut b, TAG_SHUTDOWN),
+        Msg::Fatal {
+            code,
+            link,
+            attempts,
+            message,
+        } => {
+            put_u8(&mut b, TAG_FATAL);
+            put_u8(&mut b, *code);
+            put_u32(&mut b, *link);
+            put_u32(&mut b, *attempts);
+            put_str(&mut b, message);
+        }
+    }
+    b
+}
+
+/// Deserializes one message payload.
+///
+/// # Errors
+///
+/// Describes the first malformed field. A token whose frame bytes are
+/// damaged but whose link index is readable decodes as
+/// [`Msg::CorruptToken`] instead of failing.
+pub fn decode_msg(buf: &[u8]) -> DecResult<Msg> {
+    let mut d = Dec::new(buf);
+    let tag = d.u8()?;
+    match tag {
+        TAG_HELLO => Ok(Msg::Hello {
+            magic: d.u32()?,
+            version: d.u32()?,
+            worker: d.u32()?,
+        }),
+        TAG_HELLO_ACK => Ok(Msg::HelloAck {
+            magic: d.u32()?,
+            version: d.u32()?,
+        }),
+        TAG_TOPOLOGY => {
+            let worker = d.u32()?;
+            let n_workers = d.u32()?;
+            let circuit = d.str()?;
+            let spec = dec_spec(&mut d)?;
+            let settings = dec_settings(&mut d)?;
+            Ok(Msg::Topology(Box::new(Topology {
+                worker,
+                n_workers,
+                circuit,
+                spec,
+                settings,
+            })))
+        }
+        TAG_READY => Ok(Msg::Ready {
+            design_digest: d.u64()?,
+        }),
+        TAG_RUN => Ok(Msg::Run { budget: d.u64()? }),
+        TAG_TOKEN => {
+            let link = d.u32()?;
+            let mut pos = 0usize;
+            match Frame::decode_bytes(&buf[d.pos..], &mut pos) {
+                Ok(frame) => Ok(Msg::Token { link, frame }),
+                Err(_) => Ok(Msg::CorruptToken { link }),
+            }
+        }
+        TAG_CORRUPT_TOKEN => Ok(Msg::CorruptToken { link: d.u32()? }),
+        TAG_ACK => Ok(Msg::Ack {
+            link: d.u32()?,
+            ack: d.u64()?,
+        }),
+        TAG_CREDIT => Ok(Msg::Credit {
+            link: d.u32()?,
+            amount: d.u32()?,
+        }),
+        TAG_PROGRESS => Ok(Msg::Progress { cycle: d.u64()? }),
+        TAG_DONE => Ok(Msg::Done { cycle: d.u64()? }),
+        TAG_FINISH => Ok(Msg::Finish),
+        TAG_REPORT => Ok(Msg::Report(Box::new(dec_report(&mut d)?))),
+        TAG_SHUTDOWN => Ok(Msg::Shutdown),
+        TAG_FATAL => Ok(Msg::Fatal {
+            code: d.u8()?,
+            link: d.u32()?,
+            attempts: d.u32()?,
+            message: d.str()?,
+        }),
+        t => Err(format!("unknown message tag {t}")),
+    }
+}
+
+/// Writes one length-prefixed message.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_msg(w: &mut impl Write, msg: &Msg) -> io::Result<()> {
+    let payload = encode_msg(msg);
+    debug_assert!(payload.len() <= MAX_MSG_LEN as usize);
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    framed.extend_from_slice(&payload);
+    w.write_all(&framed)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed message. Returns `Ok(None)` on a clean EOF
+/// at a message boundary.
+///
+/// # Errors
+///
+/// I/O failures, EOF inside a message, oversized or malformed payloads.
+pub fn read_msg(r: &mut impl Read) -> io::Result<Option<Msg>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a message length prefix",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_MSG_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("message length {len} exceeds {MAX_MSG_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode_msg(&payload).map(Some).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("malformed message: {e}"),
+        )
+    })
+}
+
+/// FNV-1a digest over the compiled design's node names, partition
+/// assignments and link table: cheap agreement check that every process
+/// elaborated the same design before tokens start flowing.
+pub fn design_digest(nodes: &[(String, usize)], links: &[LinkSpec]) -> u64 {
+    let mut h = Fnv1a::default();
+    h.write_u64(nodes.len() as u64);
+    for (name, partition) in nodes {
+        for b in name.as_bytes() {
+            h.write_u64(u64::from(*b));
+        }
+        h.write_u64(u64::MAX); // name terminator
+        h.write_u64(*partition as u64);
+    }
+    h.write_u64(links.len() as u64);
+    for l in links {
+        h.write_u64(l.from_node as u64);
+        h.write_u64(l.from_chan as u64);
+        h.write_u64(l.to_node as u64);
+        h.write_u64(l.to_chan as u64);
+        h.write_u64(l.width);
+        h.write_u64(u64::from(l.seeded));
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: &Msg) {
+        let bytes = encode_msg(msg);
+        let back = decode_msg(&bytes).expect("decode");
+        assert_eq!(bytes, encode_msg(&back), "re-encode mismatch for {msg:?}");
+        // And through the framed reader/writer.
+        let mut wire = Vec::new();
+        write_msg(&mut wire, msg).unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        let framed = read_msg(&mut cursor).unwrap().expect("one message");
+        assert_eq!(bytes, encode_msg(&framed));
+        assert!(read_msg(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        roundtrip(&Msg::Hello {
+            magic: PROTOCOL_MAGIC,
+            version: PROTOCOL_VERSION,
+            worker: 3,
+        });
+        roundtrip(&Msg::HelloAck {
+            magic: PROTOCOL_MAGIC,
+            version: PROTOCOL_VERSION,
+        });
+        roundtrip(&Msg::Ready {
+            design_digest: 0xdead_beef,
+        });
+        roundtrip(&Msg::Run { budget: 1_500 });
+        roundtrip(&Msg::Ack { link: 7, ack: 42 });
+        roundtrip(&Msg::Credit { link: 7, amount: 3 });
+        roundtrip(&Msg::Progress { cycle: 512 });
+        roundtrip(&Msg::Done { cycle: 1_500 });
+        roundtrip(&Msg::Finish);
+        roundtrip(&Msg::Shutdown);
+        roundtrip(&Msg::CorruptToken { link: 9 });
+        roundtrip(&Msg::Fatal {
+            code: FATAL_LINK_DOWN,
+            link: 2,
+            attempts: 9,
+            message: "link 2 retry budget exhausted".into(),
+        });
+    }
+
+    #[test]
+    fn token_roundtrips_and_degrades_when_damaged() {
+        let frame = Frame::seal(11, Bits::from_u64(0xabcd, 73));
+        let msg = Msg::Token { link: 4, frame };
+        roundtrip(&msg);
+
+        // Damage the frame's width field: the link survives, the frame
+        // does not, and the decoder degrades to CorruptToken.
+        let mut bytes = encode_msg(&msg);
+        let width_off = 1 + 4 + 8 + 4 + 4; // tag, link, seq, crc, delay
+        bytes[width_off] ^= 0xff;
+        match decode_msg(&bytes).unwrap() {
+            Msg::CorruptToken { link } => assert_eq!(link, 4),
+            other => panic!("expected CorruptToken, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topology_roundtrips() {
+        let spec = PartitionSpec::fast(vec![
+            PartitionGroup::instances("fpga0", vec!["top.a".into(), "top.b".into()]),
+            PartitionGroup {
+                name: "fpga1".into(),
+                selection: Selection::NocRouters {
+                    routers: vec!["r0".into(), "r1".into()],
+                    indices: vec![0, 1],
+                },
+                fame5: true,
+            },
+        ]);
+        let mut settings = WireSettings::default();
+        settings.link_transports.push((2, LinkModel::host_pcie()));
+        settings.partition_clocks.push((1, 90.0));
+        settings.vcd = true;
+        settings.signals.push("tile0:counter".into());
+        roundtrip(&Msg::Topology(Box::new(Topology {
+            worker: 1,
+            n_workers: 4,
+            circuit: "circuit ring {}".into(),
+            spec,
+            settings,
+        })));
+    }
+
+    #[test]
+    fn report_roundtrips() {
+        let report = WireReport {
+            worker: 2,
+            nodes: vec![NodeReport {
+                node: 5,
+                counters: NodeCounters {
+                    node: "tile5".into(),
+                    partition: 2,
+                    tokens_enqueued: 100,
+                    tokens_dequeued: 99,
+                    input_stall_host_cycles: 3,
+                    output_stall_host_cycles: 1,
+                    host_cycles: 400,
+                    target_cycles: 200,
+                },
+                samples: vec![NodeSample {
+                    cycle: 50,
+                    state_digest: 0x1234,
+                    ..Default::default()
+                }],
+                vcd: vec![(49, 7, Bits::from_u64(5, 8))],
+            }],
+            links: vec![LinkReport {
+                link: 3,
+                tokens: 88,
+                counters: LinkCounters {
+                    link: 3,
+                    tokens: 88,
+                    sent_frames: 90,
+                    retransmits: 2,
+                    timeout_escalations: 1,
+                    crc_failures: 0,
+                    duplicates_dropped: 0,
+                    delivery_delay_ps: 0,
+                },
+            }],
+            traces: vec![OwnedTraceEvent {
+                name: "net.service".into(),
+                kind: EventKind::Counter,
+                host_ns: 10,
+                virt_ps: 0,
+                value: 1.5,
+                tid: 0,
+            }],
+        };
+        roundtrip(&Msg::Report(Box::new(report)));
+    }
+
+    #[test]
+    fn decoder_rejects_garbage() {
+        assert!(decode_msg(&[]).is_err());
+        assert!(decode_msg(&[200]).is_err());
+        // Truncated Hello.
+        assert!(decode_msg(&[TAG_HELLO, 0, 0]).is_err());
+        // Oversized collection count in a report.
+        let mut b = vec![TAG_REPORT];
+        put_u32(&mut b, 0);
+        put_u32(&mut b, u32::MAX);
+        assert!(decode_msg(&b).is_err());
+    }
+
+    #[test]
+    fn design_digest_is_sensitive() {
+        let nodes = vec![("tile0".to_string(), 0), ("tile1".to_string(), 1)];
+        let links = vec![LinkSpec {
+            from_node: 0,
+            from_chan: 0,
+            to_node: 1,
+            to_chan: 0,
+            width: 16,
+            seeded: false,
+        }];
+        let base = design_digest(&nodes, &links);
+        let mut other_nodes = nodes.clone();
+        other_nodes[1].1 = 0;
+        assert_ne!(base, design_digest(&other_nodes, &links));
+        let mut other_links = links.clone();
+        other_links[0].width = 17;
+        assert_ne!(base, design_digest(&nodes, &other_links));
+    }
+}

@@ -1,0 +1,574 @@
+//! The coordinator process: cluster bring-up, token relay, teardown.
+//!
+//! Topology is a star: every worker holds one connection to the
+//! coordinator, and all cross-worker link traffic is relayed through it
+//! tagged with the link index. That costs one extra hop versus a full
+//! mesh but keeps bring-up O(workers), gives a single place to observe
+//! progress and detect failure, and matches the paper's host-managed
+//! switchboard arrangement.
+//!
+//! Lifecycle: connect → `Hello`/`HelloAck` version check → `Topology`
+//! (circuit IR + spec + settings) → `Ready` design-digest agreement →
+//! `Run` → relay `Token`/`Ack`/`Credit` while tracking `Progress` →
+//! all `Done` → `Finish` → collect `Report`s → `Shutdown`. Any fatal
+//! error (peer loss, protocol mismatch, silence past the configured
+//! timeout, a worker-reported failure) tears the remaining cluster down
+//! immediately — sockets are shut down so no process outlives the run —
+//! and surfaces as the matching typed [`SimError`].
+
+use crate::codec::{
+    design_digest, read_msg, write_msg, Msg, Topology, WireReport, WireSettings, FATAL_LINK_DOWN,
+    PROTOCOL_MAGIC, PROTOCOL_VERSION,
+};
+use crate::stream::NetStream;
+use crate::worker::SimSetup;
+use fireaxe_ir::Circuit;
+use fireaxe_obs::{
+    to_chrome_json_merged, trace, LinkSample, LinkSeries, MetricsSeries, NodeSeries,
+    OwnedTraceEvent, VcdWriter,
+};
+use fireaxe_ripper::{compile, LinkSpec, PartitionSpec};
+use fireaxe_sim::{LinkCounters, NodeStall, Result, SimError, SimMetrics, StallReport};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Everything a distributed run hands back: the cluster-folded
+/// counters, the merged metric series, and the merged observability
+/// documents.
+#[derive(Debug)]
+pub struct NetRunReport {
+    /// Fold of every worker's counters (same shape as an in-process
+    /// run's `SimMetrics`; `time_ps` is 0 — no global virtual clock).
+    pub metrics: SimMetrics,
+    /// Merged per-node/per-link metric series across all processes.
+    pub series: MetricsSeries,
+    /// Rendered VCD document (when the settings asked for VCD).
+    pub vcd: Option<String>,
+    /// Merged Chrome trace: the coordinator and each worker as separate
+    /// process tracks.
+    pub chrome_trace: String,
+}
+
+enum Event {
+    Msg(Msg),
+    Closed,
+}
+
+fn cfg_err(message: String) -> SimError {
+    SimError::Config { message }
+}
+
+struct Cluster {
+    streams: Vec<NetStream>,
+    addrs: Vec<String>,
+    /// Last cycle each worker reported (via `Progress` or `Done`).
+    progress: Vec<u64>,
+    /// Highest sequence relayed per link, if any.
+    max_seq: Vec<Option<u64>>,
+    /// Highest cumulative ACK relayed per link.
+    acked: Vec<u64>,
+}
+
+impl Cluster {
+    fn shutdown_sockets(&self) {
+        for s in &self.streams {
+            s.shutdown();
+        }
+    }
+
+    /// Synthesized stall forensics from the coordinator's relay-level
+    /// view: one row per worker with its last reported cycle, and the
+    /// relay's estimate of tokens still unacknowledged on the wire.
+    fn stall_report(&self) -> StallReport {
+        let tokens_in_flight: u64 = self
+            .max_seq
+            .iter()
+            .zip(&self.acked)
+            .map(|(m, a)| m.map_or(0, |m| (m + 1).saturating_sub(*a)))
+            .sum();
+        StallReport {
+            time_ps: 0,
+            nodes: self
+                .addrs
+                .iter()
+                .zip(&self.progress)
+                .enumerate()
+                .map(|(i, (addr, &cycle))| NodeStall {
+                    node: format!("worker{i}@{addr}"),
+                    target_cycle: cycle,
+                    waiting_inputs: Vec::new(),
+                    fired_outputs: Vec::new(),
+                })
+                .collect(),
+            tokens_in_flight,
+            recent_faults: Vec::new(),
+        }
+    }
+
+    fn disconnect_error(&self, worker: usize) -> SimError {
+        SimError::PeerDisconnected {
+            peer: self.addrs[worker].clone(),
+            last_acked_cycle: self.progress[worker],
+            report: self.stall_report(),
+        }
+    }
+
+    fn send(&mut self, worker: usize, msg: &Msg) -> Result<()> {
+        if write_msg(&mut self.streams[worker], msg).is_err() {
+            let e = self.disconnect_error(worker);
+            self.shutdown_sockets();
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown_sockets();
+    }
+}
+
+/// Runs `circuit` partitioned per `spec` for exactly `budget` target
+/// cycles across the worker processes listening at `workers\[i\]` (one
+/// address per partition, index-aligned). `setup` must bind the same
+/// behaviors/bridges every worker's setup binds.
+///
+/// # Errors
+///
+/// [`SimError::Config`] for shape errors (worker count ≠ partition
+/// count, digest disagreement), [`SimError::ProtocolMismatch`] /
+/// [`SimError::PeerDisconnected`] / [`SimError::NetTimeout`] for wire
+/// failures, and whatever a worker reports fatally (e.g.
+/// [`SimError::LinkDown`]).
+pub fn run_cluster(
+    circuit: &Circuit,
+    spec: &PartitionSpec,
+    budget: u64,
+    workers: &[String],
+    settings: &WireSettings,
+    connect_timeout_ms: u64,
+    setup: &SimSetup,
+) -> Result<NetRunReport> {
+    trace::set_enabled(true);
+    let design = compile(circuit, spec)
+        .map_err(|e| cfg_err(format!("coordinator partition compile failed: {e}")))?;
+    let n_workers = design.partitions.len();
+    if workers.len() != n_workers {
+        return Err(cfg_err(format!(
+            "net.workers: got {} worker address(es) for a {}-partition design \
+             (one worker per partition, index-aligned)",
+            workers.len(),
+            n_workers
+        )));
+    }
+
+    // A passive local build of the same sim: the source of node/link
+    // metadata, the VCD signal table, and the digest every worker's
+    // build must match. It never runs a cycle.
+    let mut local = crate::worker::build_sim(&design, settings, setup)?;
+    let access = local.net_access();
+    let nodes_meta: Vec<(String, usize)> = (0..access.node_count())
+        .map(|n| (access.node_name(n).to_string(), access.node_partition(n)))
+        .collect();
+    let specs: Vec<LinkSpec> = access.link_specs();
+    let vcd_signals = access.vcd_signals();
+    let expected_digest = design_digest(&nodes_meta, &specs);
+    let owner_of_link_sink: Vec<usize> = specs.iter().map(|s| nodes_meta[s.to_node].1).collect();
+    let owner_of_link_source: Vec<usize> =
+        specs.iter().map(|s| nodes_meta[s.from_node].1).collect();
+    drop(local);
+
+    // --- Bring-up -------------------------------------------------------
+    let connect_timeout = Duration::from_millis(connect_timeout_ms.max(1));
+    let circuit_text = fireaxe_ir::printer::print_circuit(circuit);
+    let mut cluster = Cluster {
+        streams: Vec::with_capacity(n_workers),
+        addrs: workers.to_vec(),
+        progress: vec![0; n_workers],
+        max_seq: vec![None; specs.len()],
+        acked: vec![0; specs.len()],
+    };
+    for (i, addr) in workers.iter().enumerate() {
+        let stream = NetStream::connect(addr, connect_timeout).map_err(|e| {
+            cfg_err(format!(
+                "coordinator cannot reach worker {i} at `{addr}`: {e}"
+            ))
+        })?;
+        stream
+            .set_read_timeout(Some(connect_timeout))
+            .map_err(|e| cfg_err(format!("coordinator socket setup failed: {e}")))?;
+        cluster.streams.push(stream);
+    }
+    for i in 0..n_workers {
+        cluster.send(
+            i,
+            &Msg::Hello {
+                magic: PROTOCOL_MAGIC,
+                version: PROTOCOL_VERSION,
+                worker: i as u32,
+            },
+        )?;
+        match expect_msg(&mut cluster, i, connect_timeout_ms)? {
+            Msg::HelloAck { magic, version } => {
+                if magic != PROTOCOL_MAGIC || version != PROTOCOL_VERSION {
+                    cluster.shutdown_sockets();
+                    return Err(SimError::ProtocolMismatch {
+                        peer: cluster.addrs[i].clone(),
+                        ours: PROTOCOL_VERSION,
+                        theirs: version,
+                    });
+                }
+            }
+            other => {
+                cluster.shutdown_sockets();
+                return Err(cfg_err(format!(
+                    "worker {i} answered the handshake with {other:?}"
+                )));
+            }
+        }
+        cluster.send(
+            i,
+            &Msg::Topology(Box::new(Topology {
+                worker: i as u32,
+                n_workers: n_workers as u32,
+                circuit: circuit_text.clone(),
+                spec: spec.clone(),
+                settings: settings.clone(),
+            })),
+        )?;
+        match expect_msg(&mut cluster, i, connect_timeout_ms)? {
+            Msg::Ready { design_digest } => {
+                if design_digest != expected_digest {
+                    cluster.shutdown_sockets();
+                    return Err(cfg_err(format!(
+                        "worker {i} built a different design \
+                         (digest {design_digest:#x} != {expected_digest:#x}); \
+                         are all processes running the same build?"
+                    )));
+                }
+            }
+            Msg::Fatal { message, .. } => {
+                cluster.shutdown_sockets();
+                return Err(cfg_err(message));
+            }
+            other => {
+                cluster.shutdown_sockets();
+                return Err(cfg_err(format!(
+                    "worker {i} sent {other:?} instead of Ready"
+                )));
+            }
+        }
+    }
+
+    // --- Run + relay ----------------------------------------------------
+    let (tx_ev, rx_ev) = mpsc::channel::<(usize, Event)>();
+    for (i, s) in cluster.streams.iter().enumerate() {
+        s.set_read_timeout(None)
+            .map_err(|e| cfg_err(format!("coordinator socket setup failed: {e}")))?;
+        let mut reader = s
+            .try_clone()
+            .map_err(|e| cfg_err(format!("coordinator socket clone failed: {e}")))?;
+        let tx = tx_ev.clone();
+        std::thread::spawn(move || loop {
+            match read_msg(&mut reader) {
+                Ok(Some(msg)) => {
+                    if tx.send((i, Event::Msg(msg))).is_err() {
+                        break;
+                    }
+                }
+                Ok(None) => {
+                    let _ = tx.send((i, Event::Closed));
+                    break;
+                }
+                Err(_) => {
+                    let _ = tx.send((i, Event::Closed));
+                    break;
+                }
+            }
+        });
+    }
+    drop(tx_ev);
+    for i in 0..n_workers {
+        cluster.send(i, &Msg::Run { budget })?;
+    }
+
+    let io_timeout = Duration::from_millis(settings.io_timeout_ms.max(1));
+    let mut done = vec![false; n_workers];
+    let mut finish_sent = false;
+    let mut reports: Vec<Option<WireReport>> = (0..n_workers).map(|_| None).collect();
+    loop {
+        let (w, ev) = match rx_ev.recv_timeout(io_timeout) {
+            Ok(x) => x,
+            Err(_) => {
+                // Silence across the whole cluster: blame the slowest
+                // incomplete worker.
+                let slowest = (0..n_workers)
+                    .filter(|&i| reports[i].is_none())
+                    .min_by_key(|&i| cluster.progress[i])
+                    .unwrap_or(0);
+                let e = SimError::NetTimeout {
+                    peer: cluster.addrs[slowest].clone(),
+                    timeout_ms: settings.io_timeout_ms,
+                    last_acked_cycle: cluster.progress[slowest],
+                };
+                cluster.shutdown_sockets();
+                return Err(e);
+            }
+        };
+        let msg = match ev {
+            Event::Msg(m) => m,
+            Event::Closed => {
+                if reports.iter().all(Option::is_some) {
+                    continue; // already complete; late EOFs are fine
+                }
+                let e = cluster.disconnect_error(w);
+                cluster.shutdown_sockets();
+                return Err(e);
+            }
+        };
+        match msg {
+            Msg::Token { link, ref frame } => {
+                let l = link as usize;
+                if l >= specs.len() {
+                    cluster.shutdown_sockets();
+                    return Err(cfg_err(format!(
+                        "worker {w} sent token for unknown link {l}"
+                    )));
+                }
+                let seq = frame.seq;
+                cluster.max_seq[l] = Some(cluster.max_seq[l].map_or(seq, |m| m.max(seq)));
+                cluster.send(owner_of_link_sink[l], &msg)?;
+            }
+            Msg::CorruptToken { link } => {
+                let l = link as usize;
+                if l < specs.len() {
+                    cluster.send(owner_of_link_sink[l], &msg)?;
+                }
+            }
+            Msg::Ack { link, ack } => {
+                let l = link as usize;
+                if l >= specs.len() {
+                    cluster.shutdown_sockets();
+                    return Err(cfg_err(format!("worker {w} sent ack for unknown link {l}")));
+                }
+                cluster.acked[l] = cluster.acked[l].max(ack);
+                cluster.send(owner_of_link_source[l], &msg)?;
+            }
+            Msg::Credit { link, .. } => {
+                let l = link as usize;
+                if l < specs.len() {
+                    cluster.send(owner_of_link_source[l], &msg)?;
+                }
+            }
+            Msg::Progress { cycle } => {
+                cluster.progress[w] = cluster.progress[w].max(cycle);
+            }
+            Msg::Done { cycle } => {
+                cluster.progress[w] = cluster.progress[w].max(cycle);
+                done[w] = true;
+                if !finish_sent && done.iter().all(|&d| d) {
+                    finish_sent = true;
+                    for i in 0..n_workers {
+                        cluster.send(i, &Msg::Finish)?;
+                    }
+                }
+            }
+            Msg::Report(r) => {
+                reports[w] = Some(*r);
+                if reports.iter().all(Option::is_some) {
+                    for i in 0..n_workers {
+                        let _ = write_msg(&mut cluster.streams[i], &Msg::Shutdown);
+                    }
+                    break;
+                }
+            }
+            Msg::Fatal {
+                code,
+                link,
+                attempts,
+                message,
+            } => {
+                let report = cluster.stall_report();
+                cluster.shutdown_sockets();
+                return Err(if code == FATAL_LINK_DOWN {
+                    SimError::LinkDown {
+                        link: link as usize,
+                        attempts,
+                        report,
+                    }
+                } else {
+                    cfg_err(message)
+                });
+            }
+            other => {
+                cluster.shutdown_sockets();
+                return Err(cfg_err(format!(
+                    "worker {w} sent unexpected {other:?} during the run"
+                )));
+            }
+        }
+    }
+    cluster.shutdown_sockets();
+
+    // --- Fold -----------------------------------------------------------
+    let reports: Vec<WireReport> = reports.into_iter().map(Option::unwrap).collect();
+    Ok(fold_reports(
+        budget,
+        &nodes_meta,
+        &specs,
+        settings,
+        vcd_signals,
+        reports,
+    ))
+}
+
+fn expect_msg(cluster: &mut Cluster, worker: usize, timeout_ms: u64) -> Result<Msg> {
+    match read_msg(&mut cluster.streams[worker]) {
+        Ok(Some(msg)) => Ok(msg),
+        Ok(None) => {
+            let e = cluster.disconnect_error(worker);
+            cluster.shutdown_sockets();
+            Err(e)
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            let e = SimError::NetTimeout {
+                peer: cluster.addrs[worker].clone(),
+                timeout_ms,
+                last_acked_cycle: cluster.progress[worker],
+            };
+            cluster.shutdown_sockets();
+            Err(e)
+        }
+        Err(e) => {
+            cluster.shutdown_sockets();
+            Err(cfg_err(format!(
+                "coordinator read from worker {worker} failed: {e}"
+            )))
+        }
+    }
+}
+
+/// Folds per-worker reports into cluster-level metrics, series, VCD and
+/// Chrome trace. Sender- and receiver-side link counter contributions
+/// are disjoint fields, so links fold by fieldwise summation.
+fn fold_reports(
+    budget: u64,
+    nodes_meta: &[(String, usize)],
+    specs: &[LinkSpec],
+    settings: &WireSettings,
+    vcd_signals: Vec<fireaxe_obs::VcdSignal>,
+    reports: Vec<WireReport>,
+) -> NetRunReport {
+    let n_nodes = nodes_meta.len();
+    let mut counters: Vec<fireaxe_sim::NodeCounters> = nodes_meta
+        .iter()
+        .map(|(name, partition)| fireaxe_sim::NodeCounters {
+            node: name.clone(),
+            partition: *partition,
+            ..Default::default()
+        })
+        .collect();
+    let mut link_counters: Vec<LinkCounters> = (0..specs.len())
+        .map(|l| LinkCounters {
+            link: l,
+            ..Default::default()
+        })
+        .collect();
+    let mut link_tokens = vec![0u64; specs.len()];
+    let mut node_samples: Vec<Vec<fireaxe_obs::NodeSample>> = vec![Vec::new(); n_nodes];
+    let mut vcd_writer = settings.vcd.then(|| VcdWriter::new(vcd_signals));
+    let mut trace_parts: Vec<(String, Vec<OwnedTraceEvent>)> = Vec::new();
+
+    trace::flush_thread();
+    trace_parts.push((
+        "coordinator".to_string(),
+        trace::take_events()
+            .iter()
+            .map(OwnedTraceEvent::from)
+            .collect(),
+    ));
+    for r in reports {
+        for n in r.nodes {
+            let idx = n.node as usize;
+            if idx >= n_nodes {
+                continue;
+            }
+            counters[idx] = n.counters;
+            node_samples[idx] = n.samples;
+            if let Some(w) = vcd_writer.as_mut() {
+                for (t, sig, value) in n.vcd {
+                    w.change(t, sig, value);
+                }
+            }
+        }
+        for l in r.links {
+            let idx = l.link as usize;
+            if idx >= specs.len() {
+                continue;
+            }
+            link_tokens[idx] += l.tokens;
+            let c = &mut link_counters[idx];
+            c.sent_frames += l.counters.sent_frames;
+            c.retransmits += l.counters.retransmits;
+            c.timeout_escalations += l.counters.timeout_escalations;
+            c.crc_failures += l.counters.crc_failures;
+            c.duplicates_dropped += l.counters.duplicates_dropped;
+            c.delivery_delay_ps += l.counters.delivery_delay_ps;
+        }
+        trace_parts.push((format!("worker{}", r.worker), r.traces));
+    }
+    for (c, tokens) in link_counters.iter_mut().zip(&link_tokens) {
+        c.tokens = *tokens;
+    }
+
+    let series = MetricsSeries {
+        sample_interval: settings.sample_interval,
+        nodes: nodes_meta
+            .iter()
+            .zip(node_samples)
+            .map(|((name, _), samples)| NodeSeries {
+                node: name.clone(),
+                samples,
+            })
+            .collect(),
+        links: if settings.sample_interval > 0 {
+            link_counters
+                .iter()
+                .map(|c| LinkSeries {
+                    link: c.link,
+                    samples: vec![LinkSample {
+                        cycle: budget,
+                        time_ps: 0,
+                        tokens: c.tokens,
+                        sent_frames: c.sent_frames,
+                        retransmits: c.retransmits,
+                        crc_failures: c.crc_failures,
+                        duplicates_dropped: c.duplicates_dropped,
+                        delivery_delay_ps: c.delivery_delay_ps,
+                        in_flight: 0,
+                    }],
+                })
+                .collect()
+        } else {
+            Vec::new()
+        },
+    };
+    let host_cycles = counters.iter().map(|c| c.host_cycles).collect();
+    NetRunReport {
+        metrics: SimMetrics {
+            target_cycles: budget,
+            time_ps: 0,
+            link_tokens,
+            host_cycles,
+            counters,
+            links: link_counters,
+        },
+        series,
+        vcd: vcd_writer.map(|w| w.render()),
+        chrome_trace: to_chrome_json_merged(&trace_parts),
+    }
+}

@@ -1,0 +1,145 @@
+//! Credit-based token flow control for cross-worker links.
+//!
+//! The in-process backends bound runahead with finite LI-BDN queue
+//! capacities; a socket has no such intrinsic bound, so the net backend
+//! mirrors the same channel FSM with explicit credits. A sender starts
+//! with [`INITIAL_CREDITS`] per outbound link and spends one credit per
+//! *fresh* token put on the wire (retransmissions of an already-charged
+//! token are free — go-back-N may resend a frame many times, but it
+//! still occupies exactly one receiver slot). The receiver returns
+//! credits as its LI-BDN queue actually consumes staged tokens, which
+//! is the same consumption point the in-process FSMs gate on.
+//!
+//! Invariants:
+//!
+//! * fresh tokens in flight per link ≤ [`INITIAL_CREDITS`] (plus any
+//!   fast-mode seed slop the receiver consumes from its own staging);
+//! * credits never exceed [`INITIAL_CREDITS`], so a misbehaving peer
+//!   cannot inflate the window;
+//! * retransmissions never block on credit, so recovery from loss can
+//!   always make progress.
+
+use fireaxe_transport::reliable::{Frame, RetryPolicy, RxState, TxState};
+
+/// Fresh-token window per cross-worker link; matches the runahead queue
+/// depth the threaded backend uses.
+pub const INITIAL_CREDITS: u32 = 64;
+
+/// Sender-side state for one outbound cross-worker link.
+#[derive(Debug)]
+pub struct TxLink {
+    /// Go-back-N sender: sequencing, CRC sealing, retransmit buffer.
+    pub tx: TxState,
+    /// Fresh-token credits remaining.
+    credits: u32,
+}
+
+impl TxLink {
+    /// A fresh sender with a full credit window.
+    pub fn new(policy: RetryPolicy) -> Self {
+        TxLink {
+            tx: TxState::new(policy),
+            credits: INITIAL_CREDITS,
+        }
+    }
+
+    /// Whether a fresh token may be transmitted right now.
+    pub fn can_send(&self) -> bool {
+        self.credits > 0
+    }
+
+    /// Remaining fresh-token credits.
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// Charges one credit and seals a fresh token into a frame.
+    ///
+    /// # Panics
+    ///
+    /// If called without credit; gate on [`TxLink::can_send`].
+    pub fn send(&mut self, payload: fireaxe_ir::Bits) -> Frame {
+        assert!(self.credits > 0, "fresh send without credit");
+        self.credits -= 1;
+        self.tx.send(payload)
+    }
+
+    /// Banks returned credits, clamped to the initial window.
+    pub fn on_credit(&mut self, amount: u32) {
+        self.credits = self.credits.saturating_add(amount).min(INITIAL_CREDITS);
+    }
+}
+
+/// Receiver-side state for one inbound cross-worker link.
+#[derive(Debug)]
+pub struct RxLink {
+    /// Go-back-N receiver: CRC check, duplicate/gap classification.
+    pub rx: RxState,
+    /// Tokens the consuming LI-BDN queue had accepted on this channel
+    /// when credits were last returned.
+    credited_enqueued: u64,
+}
+
+impl RxLink {
+    /// A fresh receiver.
+    pub fn new() -> Self {
+        RxLink {
+            rx: RxState::new(),
+            credited_enqueued: 0,
+        }
+    }
+
+    /// Computes the credit delta to return given the consuming
+    /// channel's cumulative enqueue count, and marks it returned.
+    /// Returns 0 when nothing new was consumed.
+    pub fn credit_due(&mut self, chan_enqueued: u64) -> u32 {
+        let due = chan_enqueued.saturating_sub(self.credited_enqueued);
+        self.credited_enqueued = chan_enqueued;
+        u32::try_from(due).unwrap_or(u32::MAX)
+    }
+}
+
+impl Default for RxLink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireaxe_ir::Bits;
+
+    #[test]
+    fn fresh_sends_spend_credits_and_stall_at_zero() {
+        let mut tx = TxLink::new(RetryPolicy::default());
+        for i in 0..INITIAL_CREDITS {
+            assert!(tx.can_send());
+            let f = tx.send(Bits::from_u64(u64::from(i), 16));
+            assert_eq!(f.seq, u64::from(i));
+        }
+        assert!(!tx.can_send());
+        assert_eq!(tx.credits(), 0);
+        assert_eq!(tx.tx.in_flight(), INITIAL_CREDITS as usize);
+    }
+
+    #[test]
+    fn credits_return_and_clamp() {
+        let mut tx = TxLink::new(RetryPolicy::default());
+        let _ = tx.send(Bits::from_u64(1, 8));
+        tx.on_credit(1);
+        assert_eq!(tx.credits(), INITIAL_CREDITS);
+        // A confused peer cannot inflate the window.
+        tx.on_credit(1_000_000);
+        assert_eq!(tx.credits(), INITIAL_CREDITS);
+    }
+
+    #[test]
+    fn receiver_returns_consumption_deltas_once() {
+        let mut rx = RxLink::new();
+        assert_eq!(rx.credit_due(0), 0);
+        assert_eq!(rx.credit_due(5), 5);
+        assert_eq!(rx.credit_due(5), 0);
+        assert_eq!(rx.credit_due(8), 3);
+    }
+}

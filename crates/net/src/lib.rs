@@ -1,0 +1,39 @@
+//! # fireaxe-net — the distributed multi-process backend
+//!
+//! Runs a partitioned simulation as real OS processes connected over
+//! real sockets (`Backend::Net`): one worker process per partition plus
+//! a coordinator that relays cross-partition token traffic. By the
+//! LI-BDN argument the in-process backends rely on, target-visible
+//! state depends only on token values in per-channel order — so a
+//! cluster of processes exchanging go-back-N framed tokens over TCP or
+//! Unix-domain sockets produces bit-identical `(cycle, state_digest)`
+//! sequences and VCD waveforms to the single-process DES golden model.
+//!
+//! * [`codec`] — the versioned, length-prefixed binary wire protocol;
+//! * [`stream`] — TCP / Unix-domain byte streams behind one type;
+//! * [`flow`] — credit-based token flow control mirroring the LI-BDN
+//!   channel FSMs;
+//! * [`worker`] — the per-partition service loop ([`worker::serve`]);
+//! * [`coordinator`] — bring-up, relay, teardown, and report folding
+//!   ([`coordinator::run_cluster`]);
+//! * [`spawn`] — subprocess worker management for self-hosted clusters;
+//! * [`proxy`] — a fault-injecting relay for exercising the reliability
+//!   protocol over real sockets in tests.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod coordinator;
+pub mod flow;
+pub mod proxy;
+pub mod spawn;
+pub mod stream;
+pub mod worker;
+
+pub use codec::{design_digest, Msg, Topology, WireReport, WireSettings, PROTOCOL_VERSION};
+pub use coordinator::{run_cluster, NetRunReport};
+pub use flow::{RxLink, TxLink, INITIAL_CREDITS};
+pub use proxy::{FaultProxy, ProxyPlan};
+pub use spawn::SpawnedWorker;
+pub use stream::{NetListener, NetStream};
+pub use worker::{serve, SimSetup};

@@ -1,0 +1,183 @@
+//! A fault-injecting socket relay for tests.
+//!
+//! The in-process backends inject faults inside the transport model;
+//! on real sockets that would miss the half of the stack being tested
+//! (framing, the reader threads, retransmission pacing). [`FaultProxy`]
+//! instead sits between the coordinator and one worker and damages the
+//! actual byte stream — but only *data* messages (`Token`/`Ack`), so
+//! control flow (handshake, topology, run/finish/report) always
+//! survives and every injected fault is one the go-back-N protocol is
+//! designed to absorb: drops, duplicates, payload corruption. A plan
+//! can also sever the connection outright to simulate a killed peer.
+//!
+//! Plans are deterministic: drop/corrupt/duplicate actions key off the
+//! per-direction `Token`-message index — never the raw data index. The
+//! Token/Ack interleaving in a stream is timing-dependent, and a fault
+//! landing on an Ack can be absorbed invisibly (cumulative acks cover
+//! a dropped ack; a duplicated ack is idempotent), which would make the
+//! recovery-counter assertions in the tests flaky. Keyed to tokens,
+//! every planned fault is one the protocol must visibly recover from.
+
+use crate::stream::{NetListener, NetStream};
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+const TAG_TOKEN: u8 = 6;
+const TAG_ACK: u8 = 7;
+/// Byte offset of the first token payload word inside a `Token`
+/// message: tag(1) + link(4) + seq(8) + crc(4) + delay(4) + width(4).
+const TOKEN_PAYLOAD_OFFSET: usize = 25;
+
+/// Deterministic fault schedule for one relay direction, keyed by the
+/// 1-based index of `Token` messages in that direction (except
+/// `cut_after`, which counts all data messages).
+#[derive(Debug, Clone, Default)]
+pub struct ProxyPlan {
+    /// Token messages to swallow entirely (forces a retransmit).
+    pub drop: Vec<u64>,
+    /// Token messages to deliver twice (forces a duplicate drop).
+    pub duplicate: Vec<u64>,
+    /// Token messages whose first payload byte gets flipped (the CRC
+    /// catches it at the receiver and forces a retransmit).
+    pub corrupt: Vec<u64>,
+    /// Sever both directions after this many data messages
+    /// (`Token`/`Ack`) forwarded.
+    pub cut_after: Option<u64>,
+}
+
+impl ProxyPlan {
+    /// A transparent relay.
+    pub fn clean() -> Self {
+        ProxyPlan::default()
+    }
+}
+
+/// A running one-connection fault proxy.
+#[derive(Debug)]
+pub struct FaultProxy {
+    /// Address to hand the coordinator in place of the worker's.
+    pub addr: String,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Starts a proxy listening on `listen_addr` (e.g. `127.0.0.1:0`
+    /// or `unix:/tmp/p.sock`) that relays one connection to `target`.
+    /// `to_target` governs bytes flowing toward `target` (coordinator →
+    /// worker when the coordinator dials the proxy); `to_client` the
+    /// reverse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(
+        listen_addr: &str,
+        target: &str,
+        to_target: ProxyPlan,
+        to_client: ProxyPlan,
+    ) -> io::Result<Self> {
+        let listener = NetListener::bind(listen_addr)?;
+        let addr = listener.local_addr_string();
+        let target = target.to_string();
+        let accept_thread = std::thread::spawn(move || {
+            let Ok(client) = listener.accept() else {
+                return;
+            };
+            let Ok(upstream) = NetStream::connect(&target, Duration::from_secs(10)) else {
+                client.shutdown();
+                return;
+            };
+            let (Ok(c2), Ok(u2)) = (client.try_clone(), upstream.try_clone()) else {
+                client.shutdown();
+                upstream.shutdown();
+                return;
+            };
+            let t1 = std::thread::spawn(move || pump(client, upstream, to_target));
+            let t2 = std::thread::spawn(move || pump(u2, c2, to_client));
+            let _ = t1.join();
+            let _ = t2.join();
+        });
+        Ok(FaultProxy {
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        // Pumps exit when either endpoint closes; the accept thread is
+        // detached if still waiting (its listener dies with it only on
+        // process exit, which is fine for tests).
+        if let Some(t) = self.accept_thread.take() {
+            if t.is_finished() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+/// Relays framed messages `from` → `to`, applying `plan` to data
+/// messages, until EOF, error, or the plan's cut point.
+fn pump(mut from: NetStream, mut to: NetStream, plan: ProxyPlan) {
+    let mut data_idx = 0u64;
+    let mut token_idx = 0u64;
+    loop {
+        let mut len_buf = [0u8; 4];
+        if read_exact_or_eof(&mut from, &mut len_buf).is_err() {
+            break;
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > crate::codec::MAX_MSG_LEN as usize {
+            break;
+        }
+        let mut payload = vec![0u8; len];
+        if from.read_exact(&mut payload).is_err() {
+            break;
+        }
+        let is_data = payload
+            .first()
+            .is_some_and(|&t| t == TAG_TOKEN || t == TAG_ACK);
+        let mut copies = 1u32;
+        if is_data {
+            data_idx += 1;
+            let is_token = payload[0] == TAG_TOKEN;
+            if is_token {
+                token_idx += 1;
+            }
+            if let Some(cut) = plan.cut_after {
+                if data_idx > cut {
+                    from.shutdown();
+                    to.shutdown();
+                    break;
+                }
+            }
+            if is_token {
+                if plan.drop.contains(&token_idx) {
+                    continue;
+                }
+                if plan.corrupt.contains(&token_idx) && payload.len() > TOKEN_PAYLOAD_OFFSET {
+                    payload[TOKEN_PAYLOAD_OFFSET] ^= 0x01;
+                }
+                if plan.duplicate.contains(&token_idx) {
+                    copies = 2;
+                }
+            }
+        }
+        for _ in 0..copies {
+            if to.write_all(&len_buf).is_err() || to.write_all(&payload).is_err() {
+                return;
+            }
+        }
+        if to.flush().is_err() {
+            return;
+        }
+    }
+    // Propagate the EOF so both sides observe the closure.
+    from.shutdown();
+    to.shutdown();
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<()> {
+    r.read_exact(buf)
+}

@@ -1,0 +1,72 @@
+//! Worker subprocess management for self-hosted clusters.
+//!
+//! A spawned worker binds its listener (typically on an ephemeral
+//! port), prints exactly one line `listening on <addr>` to stdout, and
+//! then serves. [`SpawnedWorker::launch`] reads that line to discover
+//! the address, so callers never race the bind or guess ports. Workers
+//! are killed on drop: a failed coordinator run cannot leak processes.
+
+use std::io::{self, BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+/// The stdout line prefix a worker process must print once listening.
+pub const LISTENING_PREFIX: &str = "listening on ";
+
+/// A worker subprocess, killed (and reaped) on drop.
+#[derive(Debug)]
+pub struct SpawnedWorker {
+    /// The address the worker is listening on, as printed by the child.
+    pub addr: String,
+    child: Child,
+}
+
+impl SpawnedWorker {
+    /// Spawns `cmd` (stdout piped) and waits for its
+    /// [`LISTENING_PREFIX`] line.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures, or the child exiting / closing stdout before
+    /// advertising an address.
+    pub fn launch(mut cmd: Command) -> io::Result<Self> {
+        cmd.stdout(Stdio::piped());
+        let mut child = cmd.spawn()?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut lines = BufReader::new(stdout).lines();
+        for line in &mut lines {
+            let line = line?;
+            if let Some(addr) = line.strip_prefix(LISTENING_PREFIX) {
+                let addr = addr.trim().to_string();
+                // Keep draining the pipe so the child never blocks on a
+                // full stdout buffer.
+                std::thread::spawn(move || for _ in lines {});
+                return Ok(SpawnedWorker { addr, child });
+            }
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+        Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "worker exited before printing its listen address",
+        ))
+    }
+
+    /// Waits for the worker to exit cleanly (after a coordinator
+    /// shutdown), returning whether it exited with success.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wait failures.
+    pub fn wait(mut self) -> io::Result<bool> {
+        let status = self.child.wait()?;
+        // Disarm the drop-side kill: the child is already reaped.
+        Ok(status.success())
+    }
+}
+
+impl Drop for SpawnedWorker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}

@@ -1,0 +1,243 @@
+//! Byte-stream transport: TCP and Unix-domain sockets behind one type.
+//!
+//! Addresses are strings: `host:port` binds/connects TCP on localhost
+//! or beyond; `unix:/path/to.sock` uses a Unix-domain socket. A bound
+//! TCP listener on port 0 reports its kernel-assigned port through
+//! [`NetListener::local_addr_string`], which is how spawned workers
+//! advertise themselves (they print `listening on <addr>`).
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Prefix selecting a Unix-domain socket address.
+pub const UNIX_PREFIX: &str = "unix:";
+
+/// A listening socket on either transport.
+#[derive(Debug)]
+pub enum NetListener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener; the path is unlinked on drop.
+    Unix(UnixListener, PathBuf),
+}
+
+impl NetListener {
+    /// Binds `addr` (`host:port` or `unix:/path`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        match addr.strip_prefix(UNIX_PREFIX) {
+            Some(path) => {
+                let path = PathBuf::from(path);
+                // A previous run's stale socket file would fail the bind.
+                let _ = std::fs::remove_file(&path);
+                Ok(NetListener::Unix(UnixListener::bind(&path)?, path))
+            }
+            None => Ok(NetListener::Tcp(TcpListener::bind(addr)?)),
+        }
+    }
+
+    /// The bound address in the same string syntax [`bind`](Self::bind)
+    /// accepts (TCP port 0 resolves to the assigned port).
+    pub fn local_addr_string(&self) -> String {
+        match self {
+            NetListener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?:?".into()),
+            NetListener::Unix(_, path) => format!("{UNIX_PREFIX}{}", path.display()),
+        }
+    }
+
+    /// Accepts one connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures.
+    pub fn accept(&self) -> io::Result<NetStream> {
+        match self {
+            NetListener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(NetStream::Tcp(s))
+            }
+            NetListener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(NetStream::Unix(s))
+            }
+        }
+    }
+}
+
+impl Drop for NetListener {
+    fn drop(&mut self) {
+        if let NetListener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A connected byte stream on either transport.
+#[derive(Debug)]
+pub enum NetStream {
+    /// TCP connection (Nagle disabled: token messages are small and
+    /// latency-critical).
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    Unix(UnixStream),
+}
+
+impl NetStream {
+    /// Connects to `addr`, retrying until `timeout` elapses (workers
+    /// race the coordinator to the socket during cluster bring-up).
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once the deadline passes.
+    pub fn connect(addr: &str, timeout: Duration) -> io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let attempt = match addr.strip_prefix(UNIX_PREFIX) {
+                Some(path) => UnixStream::connect(path).map(NetStream::Unix),
+                None => TcpStream::connect(addr).map(|s| {
+                    let _ = s.set_nodelay(true);
+                    NetStream::Tcp(s)
+                }),
+            };
+            match attempt {
+                Ok(s) => return Ok(s),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// An independently readable/writable handle to the same socket
+    /// (one side reads on a dedicated thread, the other writes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor duplication failures.
+    pub fn try_clone(&self) -> io::Result<Self> {
+        match self {
+            NetStream::Tcp(s) => Ok(NetStream::Tcp(s.try_clone()?)),
+            NetStream::Unix(s) => Ok(NetStream::Unix(s.try_clone()?)),
+        }
+    }
+
+    /// Shuts down both directions, unblocking any reader thread.
+    pub fn shutdown(&self) {
+        match self {
+            NetStream::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            NetStream::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Bounds blocking reads; `None` blocks forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setsockopt failures.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.set_read_timeout(t),
+            NetStream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// The peer's address, for error messages.
+    pub fn peer_string(&self) -> String {
+        match self {
+            NetStream::Tcp(s) => s
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "tcp:?".into()),
+            NetStream::Unix(s) => match s.peer_addr().ok().and_then(|a| {
+                a.as_pathname()
+                    .map(|p| format!("{UNIX_PREFIX}{}", p.display()))
+            }) {
+                Some(p) => p,
+                None => "unix:?".into(),
+            },
+        }
+    }
+}
+
+impl Read for NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.read(buf),
+            NetStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for NetStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.write(buf),
+            NetStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.flush(),
+            NetStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{read_msg, write_msg, Msg};
+
+    #[test]
+    fn tcp_listener_reports_assigned_port_and_carries_messages() {
+        let listener = NetListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr_string();
+        assert!(!addr.ends_with(":0"), "port resolved: {addr}");
+        let t = std::thread::spawn(move || {
+            let mut s = listener.accept().unwrap();
+            let msg = read_msg(&mut s).unwrap().unwrap();
+            write_msg(&mut s, &msg).unwrap();
+        });
+        let mut c = NetStream::connect(&addr, Duration::from_secs(5)).unwrap();
+        write_msg(&mut c, &Msg::Run { budget: 77 }).unwrap();
+        match read_msg(&mut c).unwrap().unwrap() {
+            Msg::Run { budget } => assert_eq!(budget, 77),
+            other => panic!("unexpected echo {other:?}"),
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn unix_listener_round_trips_and_unlinks_on_drop() {
+        let path =
+            std::env::temp_dir().join(format!("fireaxe-net-test-{}.sock", std::process::id()));
+        let addr = format!("{UNIX_PREFIX}{}", path.display());
+        let listener = NetListener::bind(&addr).unwrap();
+        assert_eq!(listener.local_addr_string(), addr);
+        let t = std::thread::spawn(move || {
+            let mut s = listener.accept().unwrap();
+            assert!(matches!(read_msg(&mut s).unwrap().unwrap(), Msg::Finish));
+            drop(s);
+            drop(listener);
+        });
+        let mut c = NetStream::connect(&addr, Duration::from_secs(5)).unwrap();
+        write_msg(&mut c, &Msg::Finish).unwrap();
+        assert!(read_msg(&mut c).unwrap().is_none(), "peer closed cleanly");
+        t.join().unwrap();
+        assert!(!path.exists(), "socket file unlinked");
+    }
+}

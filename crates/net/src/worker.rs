@@ -1,0 +1,652 @@
+//! The worker process: owns one partition, speaks the wire protocol.
+//!
+//! A worker accepts exactly one coordinator connection, handshakes,
+//! receives the topology (circuit IR + partition spec + settings),
+//! deterministically reruns FireRipper and `SimBuilder` locally — so
+//! every process agrees on node/link indices and fast-mode seed
+//! staging without shipping elaborated state — then services only the
+//! nodes of its own partition. Cross-worker link endpoints become
+//! socket traffic: outputs are sealed into go-back-N frames and sent as
+//! [`Msg::Token`]s (gated by credits), inbound frames are classified by
+//! the reliability receiver and staged into the consuming node's LI-BDN
+//! queue, exactly where the in-process backends deliver.
+//!
+//! The service loop mirrors the threaded backend's: drain the socket,
+//! step owned nodes to quiescence, move link outputs, drain environment
+//! bridges, return flow-control credits, and only when nothing moved,
+//! tick retransmission timers and block briefly on the socket. Nodes
+//! stop at exactly the budget, so the shared observation point in
+//! `ingest_and_step` samples identical `(cycle, state_digest)` rows and
+//! VCD changes as the DES golden model.
+
+use crate::codec::{
+    design_digest, read_msg, write_msg, LinkReport, Msg, NodeReport, WireReport, WireSettings,
+    FATAL_LINK_DOWN, FATAL_SIM, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+};
+use crate::flow::{RxLink, TxLink, INITIAL_CREDITS};
+use crate::stream::{NetListener, NetStream};
+use fireaxe_obs::{trace, OwnedTraceEvent};
+use fireaxe_ripper::{LinkSpec, PartitionedDesign};
+use fireaxe_sim::{Backend, DistributedSim, NetAccess, Result, SimBuilder, SimError};
+use fireaxe_transport::reliable::RxVerdict;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Hook for binding process-local, non-serializable simulation inputs
+/// (behavior registries, bridges) onto the builder. Every process of a
+/// cluster — and any DES reference run being compared against — must
+/// apply the same setup for bit-exact parity.
+pub type SimSetup = dyn for<'a> Fn(SimBuilder<'a>) -> SimBuilder<'a> + Sync;
+
+/// Idle poll granularity: how long a quiescent worker blocks on the
+/// socket before ticking retransmission timers again.
+const IDLE_POLL: Duration = Duration::from_micros(200);
+
+enum Event {
+    Msg(Msg),
+    Closed,
+}
+
+fn cfg_err(message: String) -> SimError {
+    SimError::Config { message }
+}
+
+/// Builds the deterministic local simulation every process of a cluster
+/// constructs from the shipped topology: same builder-call order, same
+/// settings, same setup hook — so node/link indices, channel staging,
+/// and the design digest agree across the coordinator and all workers.
+pub(crate) fn build_sim(
+    design: &PartitionedDesign,
+    settings: &WireSettings,
+    setup: &SimSetup,
+) -> Result<DistributedSim> {
+    let mut builder = SimBuilder::new(design)
+        .backend(Backend::Net)
+        .transport(settings.default_transport)
+        .clock_mhz(settings.clock_mhz)
+        .channel_capacity(settings.channel_capacity as usize)
+        .deadlock_horizon(settings.deadlock_horizon)
+        .observe(fireaxe_sim::ObsSpec {
+            sample_interval: settings.sample_interval,
+            vcd: settings.vcd,
+            signals: settings.signals.clone(),
+        });
+    for (l, m) in &settings.link_transports {
+        builder = builder.link_transport(*l as usize, *m);
+    }
+    for (p, mhz) in &settings.partition_clocks {
+        builder = builder.partition_clock_mhz(*p as usize, *mhz);
+    }
+    setup(builder).build()
+}
+
+/// Serves one coordinator session on `listener`: handshake, build,
+/// run, report, shutdown.
+///
+/// # Errors
+///
+/// Handshake violations ([`SimError::ProtocolMismatch`]), peer loss
+/// ([`SimError::PeerDisconnected`]), silence ([`SimError::NetTimeout`]),
+/// and any simulation failure, which is also reported to the
+/// coordinator as a [`Msg::Fatal`] before returning.
+pub fn serve(listener: &NetListener, setup: &SimSetup) -> Result<()> {
+    let mut stream = listener
+        .accept()
+        .map_err(|e| cfg_err(format!("worker accept failed: {e}")))?;
+    let peer = stream.peer_string();
+
+    // --- Handshake -----------------------------------------------------
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| cfg_err(format!("worker socket setup failed: {e}")))?;
+    let hello = read_msg(&mut stream)
+        .map_err(|e| cfg_err(format!("worker handshake read failed: {e}")))?
+        .ok_or_else(|| SimError::PeerDisconnected {
+            peer: peer.clone(),
+            last_acked_cycle: 0,
+            report: Default::default(),
+        })?;
+    let (magic, version, me) = match hello {
+        Msg::Hello {
+            magic,
+            version,
+            worker,
+        } => (magic, version, worker as usize),
+        other => return Err(cfg_err(format!("worker expected Hello, got {other:?}"))),
+    };
+    write_msg(
+        &mut stream,
+        &Msg::HelloAck {
+            magic: PROTOCOL_MAGIC,
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .map_err(|e| cfg_err(format!("worker handshake write failed: {e}")))?;
+    if magic != PROTOCOL_MAGIC || version != PROTOCOL_VERSION {
+        return Err(SimError::ProtocolMismatch {
+            peer,
+            ours: PROTOCOL_VERSION,
+            theirs: version,
+        });
+    }
+
+    // --- Topology → deterministic local build --------------------------
+    let topology = match read_msg(&mut stream)
+        .map_err(|e| cfg_err(format!("worker topology read failed: {e}")))?
+    {
+        Some(Msg::Topology(t)) => *t,
+        Some(other) => return Err(cfg_err(format!("worker expected Topology, got {other:?}"))),
+        None => {
+            return Err(SimError::PeerDisconnected {
+                peer,
+                last_acked_cycle: 0,
+                report: Default::default(),
+            })
+        }
+    };
+    let circuit = fireaxe_ir::parser::parse_circuit(&topology.circuit)
+        .map_err(|e| cfg_err(format!("worker received unparseable circuit IR: {e}")))?;
+    let design = fireaxe_ripper::compile(&circuit, &topology.spec)
+        .map_err(|e| cfg_err(format!("worker partition compile failed: {e}")))?;
+    let settings = topology.settings.clone();
+    let mut sim = build_sim(&design, &settings, setup)?;
+    trace::set_enabled(true);
+
+    let mut access = sim.net_access();
+    let nodes_meta: Vec<(String, usize)> = (0..access.node_count())
+        .map(|n| (access.node_name(n).to_string(), access.node_partition(n)))
+        .collect();
+    let specs = access.link_specs();
+    write_msg(
+        &mut stream,
+        &Msg::Ready {
+            design_digest: design_digest(&nodes_meta, &specs),
+        },
+    )
+    .map_err(|e| cfg_err(format!("worker ready write failed: {e}")))?;
+
+    // --- Run ------------------------------------------------------------
+    let budget =
+        match read_msg(&mut stream).map_err(|e| cfg_err(format!("worker run read failed: {e}")))? {
+            Some(Msg::Run { budget }) => budget,
+            Some(Msg::Shutdown) | None => return Ok(()),
+            Some(other) => return Err(cfg_err(format!("worker expected Run, got {other:?}"))),
+        };
+    stream
+        .set_read_timeout(None)
+        .map_err(|e| cfg_err(format!("worker socket setup failed: {e}")))?;
+
+    let result = run_session(
+        &mut stream,
+        &peer,
+        me,
+        &mut access,
+        &specs,
+        &settings,
+        budget,
+    );
+    if let Err(e) = &result {
+        let (code, link, attempts) = match e {
+            SimError::LinkDown { link, attempts, .. } => (FATAL_LINK_DOWN, *link as u32, *attempts),
+            _ => (FATAL_SIM, 0, 0),
+        };
+        let _ = write_msg(
+            &mut stream,
+            &Msg::Fatal {
+                code,
+                link,
+                attempts,
+                message: format!("worker {me}: {e}"),
+            },
+        );
+        stream.shutdown();
+    }
+    result
+}
+
+/// The post-handshake service loop plus report/shutdown epilogue.
+#[allow(clippy::too_many_lines)]
+fn run_session(
+    stream: &mut NetStream,
+    peer: &str,
+    me: usize,
+    access: &mut NetAccess<'_>,
+    specs: &[LinkSpec],
+    settings: &WireSettings,
+    budget: u64,
+) -> Result<()> {
+    let owner = |node: usize, access: &NetAccess| access.node_partition(node);
+    let owned: Vec<usize> = (0..access.node_count())
+        .filter(|&n| owner(n, access) == me)
+        .collect();
+    if owned.is_empty() {
+        return Err(cfg_err(format!(
+            "worker {me} owns no nodes in this partitioning"
+        )));
+    }
+    let mut out_links: Vec<(usize, TxLink)> = Vec::new();
+    let mut in_links: Vec<(usize, RxLink)> = Vec::new();
+    let mut local_links: Vec<usize> = Vec::new();
+    for (l, s) in specs.iter().enumerate() {
+        let from_mine = access.node_partition(s.from_node) == me;
+        let to_mine = access.node_partition(s.to_node) == me;
+        match (from_mine, to_mine) {
+            (true, true) => local_links.push(l),
+            (true, false) => out_links.push((l, TxLink::new(settings.retry))),
+            (false, true) => in_links.push((l, RxLink::new())),
+            (false, false) => {}
+        }
+    }
+    let mut timeout_escalations = vec![0u64; specs.len()];
+    let saved = access.deepen_capacities(INITIAL_CREDITS as usize);
+
+    // Reader thread: decode inbound messages into a channel so the
+    // service loop can poll without blocking.
+    let (tx_ev, rx_ev) = mpsc::channel::<Event>();
+    let reader = stream
+        .try_clone()
+        .map_err(|e| cfg_err(format!("worker socket clone failed: {e}")))?;
+    let reader_handle = std::thread::spawn(move || {
+        let mut reader = reader;
+        loop {
+            match read_msg(&mut reader) {
+                Ok(Some(msg)) => {
+                    if tx_ev.send(Event::Msg(msg)).is_err() {
+                        break;
+                    }
+                }
+                Ok(None) => {
+                    let _ = tx_ev.send(Event::Closed);
+                    break;
+                }
+                Err(_) => {
+                    let _ = tx_ev.send(Event::Closed);
+                    break;
+                }
+            }
+        }
+    });
+
+    let io_timeout = Duration::from_millis(settings.io_timeout_ms.max(1));
+    let mut last_activity = Instant::now();
+    let mut last_progress_sent = 0u64;
+    let mut done_sent = false;
+    let mut finishing = false;
+    let mut shutdown = false;
+
+    let min_cycle = |access: &NetAccess, owned: &[usize]| {
+        owned
+            .iter()
+            .map(|&n| access.node_target_cycle(n))
+            .min()
+            .unwrap_or(0)
+    };
+
+    let outcome: Result<()> = 'outer: loop {
+        let mut progress = false;
+
+        // 1. Drain inbound messages.
+        loop {
+            match rx_ev.try_recv() {
+                Ok(ev) => match handle_event(
+                    ev,
+                    peer,
+                    access,
+                    &mut out_links,
+                    &mut in_links,
+                    stream,
+                    &owned,
+                )? {
+                    Control::Progress => progress = true,
+                    Control::Finish => finishing = true,
+                    Control::Shutdown => {
+                        shutdown = true;
+                        break 'outer Ok(());
+                    }
+                    Control::None => {}
+                },
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    break 'outer Err(SimError::PeerDisconnected {
+                        peer: peer.to_string(),
+                        last_acked_cycle: min_cycle(access, &owned),
+                        report: access.stall_report(),
+                    });
+                }
+            }
+        }
+
+        // 2. Step owned nodes and move link outputs to quiescence.
+        loop {
+            let mut pass = false;
+            for &n in &owned {
+                if let Err(e) = (|| -> Result<()> {
+                    while access.ingest_and_step(n, budget)? {
+                        pass = true;
+                    }
+                    Ok(())
+                })() {
+                    break 'outer Err(e);
+                }
+            }
+            for &l in &local_links {
+                while let Some(payload) = access.pop_link_output(l) {
+                    access.stage_link_token(l, payload);
+                    pass = true;
+                }
+            }
+            for (l, txl) in &mut out_links {
+                while txl.can_send() {
+                    match access.pop_link_output(*l) {
+                        Some(payload) => {
+                            let frame = txl.send(payload);
+                            if let Err(e) = write_msg(
+                                stream,
+                                &Msg::Token {
+                                    link: *l as u32,
+                                    frame,
+                                },
+                            ) {
+                                break 'outer Err(cfg_err(format!(
+                                    "worker {me} send to coordinator failed: {e}"
+                                )));
+                            }
+                            pass = true;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            if !pass {
+                break;
+            }
+            progress = true;
+        }
+
+        // 3. Environment bridges.
+        for &n in &owned {
+            if access.drain_env_outputs(n) {
+                progress = true;
+            }
+        }
+
+        // 4. Return flow-control credits at the LI-BDN consumption point.
+        for (l, rxl) in &mut in_links {
+            let s = &specs[*l];
+            let due = rxl.credit_due(access.chan_enqueued(s.to_node, s.to_chan));
+            if due > 0 {
+                if let Err(e) = write_msg(
+                    stream,
+                    &Msg::Credit {
+                        link: *l as u32,
+                        amount: due,
+                    },
+                ) {
+                    break 'outer Err(cfg_err(format!(
+                        "worker {me} send to coordinator failed: {e}"
+                    )));
+                }
+            }
+        }
+
+        // 5. Progress heartbeat for coordinator-side stall forensics.
+        let cycle = min_cycle(access, &owned);
+        if cycle >= last_progress_sent + settings.progress_interval.max(1) {
+            last_progress_sent = cycle;
+            if write_msg(stream, &Msg::Progress { cycle }).is_err() {
+                break 'outer Err(cfg_err(format!(
+                    "worker {me} send to coordinator failed: connection lost"
+                )));
+            }
+        }
+
+        // 6. Done: budget reached everywhere, nothing awaiting ACK.
+        if !done_sent
+            && owned.iter().all(|&n| access.node_target_cycle(n) >= budget)
+            && out_links.iter().all(|(_, t)| t.tx.in_flight() == 0)
+        {
+            done_sent = true;
+            if write_msg(stream, &Msg::Done { cycle: budget }).is_err() {
+                break 'outer Err(cfg_err(format!(
+                    "worker {me} send to coordinator failed: connection lost"
+                )));
+            }
+        }
+        if finishing {
+            break 'outer Ok(());
+        }
+
+        if progress {
+            last_activity = Instant::now();
+            continue;
+        }
+
+        // 7. Quiescent: tick retransmission timers, then block briefly.
+        for (l, txl) in &mut out_links {
+            match txl.tx.on_tick() {
+                Ok(frames) => {
+                    if !frames.is_empty() {
+                        timeout_escalations[*l] += 1;
+                        for frame in frames {
+                            if write_msg(
+                                stream,
+                                &Msg::Token {
+                                    link: *l as u32,
+                                    frame,
+                                },
+                            )
+                            .is_err()
+                            {
+                                break 'outer Err(cfg_err(format!(
+                                    "worker {me} send to coordinator failed: connection lost"
+                                )));
+                            }
+                        }
+                    }
+                }
+                Err(attempts) => {
+                    break 'outer Err(SimError::LinkDown {
+                        link: *l,
+                        attempts,
+                        report: access.stall_report(),
+                    });
+                }
+            }
+        }
+        match rx_ev.recv_timeout(IDLE_POLL) {
+            Ok(ev) => {
+                last_activity = Instant::now();
+                match handle_event(
+                    ev,
+                    peer,
+                    access,
+                    &mut out_links,
+                    &mut in_links,
+                    stream,
+                    &owned,
+                )? {
+                    Control::Finish => finishing = true,
+                    Control::Shutdown => {
+                        shutdown = true;
+                        break 'outer Ok(());
+                    }
+                    Control::Progress | Control::None => {}
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if last_activity.elapsed() >= io_timeout {
+                    break 'outer Err(SimError::NetTimeout {
+                        peer: peer.to_string(),
+                        timeout_ms: settings.io_timeout_ms,
+                        last_acked_cycle: min_cycle(access, &owned),
+                    });
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break 'outer Err(SimError::PeerDisconnected {
+                    peer: peer.to_string(),
+                    last_acked_cycle: min_cycle(access, &owned),
+                    report: access.stall_report(),
+                });
+            }
+        }
+    };
+
+    access.restore_capacities(saved);
+    if let Err(e) = outcome {
+        drop(reader_handle);
+        return Err(e);
+    }
+
+    // --- Report ---------------------------------------------------------
+    // Fold protocol totals into the engine's link counters first, so the
+    // report and any local inspection agree.
+    for (l, txl) in &out_links {
+        let c = access.link_counters_mut(*l);
+        c.sent_frames += txl.tx.sent_frames;
+        c.retransmits += txl.tx.retransmits;
+        c.timeout_escalations += timeout_escalations[*l];
+    }
+    for (l, rxl) in &in_links {
+        let c = access.link_counters_mut(*l);
+        c.crc_failures += rxl.rx.corrupt_frames;
+        c.duplicates_dropped += rxl.rx.duplicate_frames;
+    }
+    let mut report = WireReport {
+        worker: me as u32,
+        ..Default::default()
+    };
+    for &n in &owned {
+        report.nodes.push(NodeReport {
+            node: n as u32,
+            counters: access.node_counters(n),
+            samples: access.take_node_samples(n),
+            vcd: access.take_node_vcd_changes(n),
+        });
+    }
+    for (l, _) in &out_links {
+        report.links.push(LinkReport {
+            link: *l as u32,
+            tokens: access.link_tokens(*l),
+            counters: access.link_counters_mut(*l).clone(),
+        });
+    }
+    for (l, _) in &in_links {
+        report.links.push(LinkReport {
+            link: *l as u32,
+            tokens: 0,
+            counters: access.link_counters_mut(*l).clone(),
+        });
+    }
+    for &l in &local_links {
+        report.links.push(LinkReport {
+            link: l as u32,
+            tokens: access.link_tokens(l),
+            counters: access.link_counters_mut(l).clone(),
+        });
+    }
+    trace::flush_thread();
+    report.traces = trace::take_events()
+        .iter()
+        .map(OwnedTraceEvent::from)
+        .collect();
+    write_msg(stream, &Msg::Report(Box::new(report)))
+        .map_err(|e| cfg_err(format!("worker {me} report write failed: {e}")))?;
+
+    // Wait for the shutdown (or the coordinator simply closing).
+    if !shutdown {
+        loop {
+            match rx_ev.recv_timeout(io_timeout) {
+                Ok(Event::Msg(Msg::Shutdown)) | Ok(Event::Closed) => break,
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+    }
+    stream.shutdown();
+    let _ = reader_handle.join();
+    Ok(())
+}
+
+enum Control {
+    None,
+    Progress,
+    Finish,
+    Shutdown,
+}
+
+fn handle_event(
+    ev: Event,
+    peer: &str,
+    access: &mut NetAccess<'_>,
+    out_links: &mut [(usize, TxLink)],
+    in_links: &mut [(usize, RxLink)],
+    stream: &mut NetStream,
+    owned: &[usize],
+) -> Result<Control> {
+    let msg = match ev {
+        Event::Msg(m) => m,
+        Event::Closed => {
+            return Err(SimError::PeerDisconnected {
+                peer: peer.to_string(),
+                last_acked_cycle: owned
+                    .iter()
+                    .map(|&n| access.node_target_cycle(n))
+                    .min()
+                    .unwrap_or(0),
+                report: access.stall_report(),
+            })
+        }
+    };
+    match msg {
+        Msg::Token { link, frame } => {
+            let l = link as usize;
+            access.check_link(l)?;
+            let Some((_, rxl)) = in_links.iter_mut().find(|(i, _)| *i == l) else {
+                // A misrouted token is a protocol bug, not a fault.
+                return Err(cfg_err(format!(
+                    "token for link {l} arrived at a worker that does not own its sink"
+                )));
+            };
+            match rxl.rx.on_frame(&frame) {
+                RxVerdict::Deliver { payload, ack } => {
+                    access.stage_link_token(l, payload);
+                    write_msg(stream, &Msg::Ack { link, ack })
+                        .map_err(|e| cfg_err(format!("ack write failed: {e}")))?;
+                    Ok(Control::Progress)
+                }
+                RxVerdict::DuplicateAck { ack } | RxVerdict::Gap { ack } => {
+                    write_msg(stream, &Msg::Ack { link, ack })
+                        .map_err(|e| cfg_err(format!("ack write failed: {e}")))?;
+                    Ok(Control::None)
+                }
+                RxVerdict::Corrupt => Ok(Control::None),
+            }
+        }
+        Msg::CorruptToken { link } => {
+            let l = link as usize;
+            if let Some((_, rxl)) = in_links.iter_mut().find(|(i, _)| *i == l) {
+                rxl.rx.corrupt_frames += 1;
+            }
+            Ok(Control::None)
+        }
+        Msg::Ack { link, ack } => {
+            let l = link as usize;
+            if let Some((_, txl)) = out_links.iter_mut().find(|(i, _)| *i == l) {
+                txl.tx.on_ack(ack);
+            }
+            Ok(Control::Progress)
+        }
+        Msg::Credit { link, amount } => {
+            let l = link as usize;
+            if let Some((_, txl)) = out_links.iter_mut().find(|(i, _)| *i == l) {
+                txl.on_credit(amount);
+            }
+            Ok(Control::Progress)
+        }
+        Msg::Finish => Ok(Control::Finish),
+        Msg::Shutdown => Ok(Control::Shutdown),
+        // Late control messages (e.g. a duplicate Run) are ignored.
+        _ => Ok(Control::None),
+    }
+}

@@ -71,6 +71,95 @@ pub fn to_chrome_json(events: &[TraceEvent]) -> String {
     s
 }
 
+/// A trace event with an owned name: what cross-process trace merging
+/// ships over the wire (a [`TraceEvent`]'s `&'static str` name only
+/// exists in the recording process).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedTraceEvent {
+    /// Event name.
+    pub name: String,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Host-time stamp, nanoseconds since the recording tracer's epoch.
+    pub host_ns: u64,
+    /// Virtual-time stamp, picoseconds (0 without a virtual clock).
+    pub virt_ps: u64,
+    /// Counter value (counters only).
+    pub value: f64,
+    /// Recording thread's dense tracer id within its process.
+    pub tid: u64,
+}
+
+impl From<&TraceEvent> for OwnedTraceEvent {
+    fn from(e: &TraceEvent) -> Self {
+        OwnedTraceEvent {
+            name: e.name.to_string(),
+            kind: e.kind,
+            host_ns: e.host_ns,
+            virt_ps: e.virt_ps,
+            value: e.value,
+            tid: e.tid,
+        }
+    }
+}
+
+/// Renders per-process event sets as one merged Chrome trace document.
+///
+/// Each `(process label, events)` part becomes its own `pid` (1-based,
+/// in part order) with a `process_name` metadata record, so a
+/// distributed run's coordinator and workers land as separate process
+/// tracks in Perfetto while sharing one timeline. Host clocks are
+/// per-process epochs; tracks are individually self-consistent.
+pub fn to_chrome_json_merged(parts: &[(String, Vec<OwnedTraceEvent>)]) -> String {
+    let total: usize = parts.iter().map(|(_, evs)| evs.len()).sum();
+    let mut s = String::with_capacity(128 + total * 96);
+    s.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (pid0, (label, events)) in parts.iter().enumerate() {
+        let pid = pid0 + 1;
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":\""
+        ));
+        escape(label, &mut s);
+        s.push_str("\"}}");
+        for e in events {
+            let ph = match e.kind {
+                EventKind::SpanBegin => "B",
+                EventKind::SpanEnd => "E",
+                EventKind::Instant => "i",
+                EventKind::Counter => "C",
+            };
+            s.push(',');
+            s.push_str("{\"name\":\"");
+            escape(&e.name, &mut s);
+            s.push_str("\",\"ph\":\"");
+            s.push_str(ph);
+            s.push_str(&format!(
+                "\",\"ts\":{}.{:03},\"pid\":{pid},\"tid\":{}",
+                e.host_ns / 1_000,
+                e.host_ns % 1_000,
+                e.tid
+            ));
+            if e.kind == EventKind::Instant {
+                s.push_str(",\"s\":\"t\"");
+            }
+            s.push_str(",\"args\":{\"virt_ps\":");
+            s.push_str(&e.virt_ps.to_string());
+            if e.kind == EventKind::Counter {
+                let v = if e.value.is_finite() { e.value } else { 0.0 };
+                s.push_str(&format!(",\"value\":{v}"));
+            }
+            s.push_str("}}");
+        }
+    }
+    s.push_str("]}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +198,33 @@ mod tests {
         let events = [ev("a\"b\\c", EventKind::Instant, 0)];
         let json = to_chrome_json(&events);
         assert!(json.contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn merged_export_separates_processes() {
+        let parts = vec![
+            (
+                "coordinator".to_string(),
+                vec![OwnedTraceEvent::from(&ev("relay", EventKind::Instant, 10))],
+            ),
+            (
+                "worker0".to_string(),
+                vec![OwnedTraceEvent::from(&ev(
+                    "service",
+                    EventKind::Counter,
+                    20,
+                ))],
+            ),
+        ];
+        let json = to_chrome_json_merged(&parts);
+        assert!(json.contains("\"name\":\"coordinator\""));
+        assert!(json.contains("\"name\":\"worker0\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"pid\":2"));
+        assert!(json.contains("\"name\":\"relay\""));
+        assert!(json.contains("\"name\":\"service\""));
+        // Parses with the bundled JSON parser downstream; here a basic
+        // structural check is enough.
+        assert!(json.ends_with("]}\n"));
     }
 }

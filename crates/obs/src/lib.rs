@@ -29,7 +29,7 @@ pub mod metrics;
 pub mod trace;
 pub mod vcd;
 
-pub use chrome::to_chrome_json;
+pub use chrome::{to_chrome_json, to_chrome_json_merged, OwnedTraceEvent};
 pub use metrics::{Fnv1a, LinkSample, LinkSeries, MetricsSeries, NodeSample, NodeSeries};
 pub use trace::{EventKind, SpanGuard, TraceEvent};
 pub use vcd::{VcdSignal, VcdWriter};

@@ -217,6 +217,40 @@ impl MetricsSeries {
         s
     }
 
+    /// Folds another process's series into this one.
+    ///
+    /// Node series are matched by node name (a distributed run's workers
+    /// each sample only the nodes they own, so names are disjoint in
+    /// practice; on a match the sample rows concatenate), link series by
+    /// link index. Samples are re-sorted by cycle so merged series stay
+    /// in ascending cycle order regardless of arrival order. The sample
+    /// interval is taken from whichever side first has one set.
+    pub fn merge(&mut self, other: MetricsSeries) {
+        if self.sample_interval == 0 {
+            self.sample_interval = other.sample_interval;
+        }
+        for n in other.nodes {
+            match self.nodes.iter_mut().find(|m| m.node == n.node) {
+                Some(mine) => mine.samples.extend(n.samples),
+                None => self.nodes.push(n),
+            }
+        }
+        for l in other.links {
+            match self.links.iter_mut().find(|m| m.link == l.link) {
+                Some(mine) => mine.samples.extend(l.samples),
+                None => self.links.push(l),
+            }
+        }
+        for n in &mut self.nodes {
+            n.samples.sort_by_key(|p| p.cycle);
+        }
+        self.nodes.sort_by(|a, b| a.node.cmp(&b.node));
+        for l in &mut self.links {
+            l.samples.sort_by_key(|p| p.cycle);
+        }
+        self.links.sort_by_key(|l| l.link);
+    }
+
     /// Renders the series as CSV: one table with a `kind` column
     /// (`node`/`link`), suitable for spreadsheet import.
     pub fn to_csv(&self) -> String {
@@ -349,6 +383,42 @@ mod tests {
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.lines().nth(1).unwrap().starts_with("node,tile,10"));
         assert!(csv.lines().nth(2).unwrap().starts_with("link,link0,10"));
+    }
+
+    #[test]
+    fn merge_aligns_by_name_and_sorts_by_cycle() {
+        let mut a = series();
+        let mut other = series();
+        other.nodes[0].samples[0].cycle = 5;
+        other.links[0].samples[0].cycle = 5;
+        other.nodes.push(NodeSeries {
+            node: "router".into(),
+            samples: vec![NodeSample {
+                cycle: 10,
+                ..Default::default()
+            }],
+        });
+        other.links.push(LinkSeries {
+            link: 3,
+            samples: vec![],
+        });
+        a.merge(other);
+        assert_eq!(a.sample_interval, 10);
+        assert_eq!(a.nodes.len(), 2);
+        assert_eq!(a.nodes[0].node, "router");
+        let tile = &a.nodes[1];
+        assert_eq!(tile.node, "tile");
+        assert_eq!(
+            tile.samples.iter().map(|p| p.cycle).collect::<Vec<_>>(),
+            vec![5, 10]
+        );
+        assert_eq!(a.links.len(), 2);
+        assert_eq!(a.links[0].samples[0].cycle, 5);
+        assert_eq!(a.links[1].link, 3);
+
+        let mut empty = MetricsSeries::default();
+        empty.merge(series());
+        assert_eq!(empty.sample_interval, 10);
     }
 
     #[test]

@@ -316,7 +316,7 @@ impl NodeRt {
 
     /// Snapshot of this node's counters with the live LI-BDN totals
     /// folded in.
-    fn counters_snapshot(&self) -> NodeCounters {
+    pub(crate) fn counters_snapshot(&self) -> NodeCounters {
         NodeCounters {
             node: self.name.clone(),
             partition: self.partition,
@@ -386,6 +386,51 @@ pub enum Backend {
     /// One OS thread per partition thread, capped at the given worker
     /// count; `Threads(0)` means one worker per node.
     Threads(usize),
+    /// One OS *process* per partition, joined over real sockets. The
+    /// engine lives in `fireaxe-net`; calling
+    /// [`DistributedSim::run_target_cycles`] directly with this backend
+    /// is a configuration error — a net run is orchestrated by a
+    /// coordinator across worker processes (`fireaxe coordinator` /
+    /// `fireaxe worker`), each of which services its own partition's
+    /// nodes through [`crate::netapi::NetAccess`].
+    Net,
+}
+
+/// The one place backend names are parsed: both the `--backend` CLI
+/// flag and the JSON config's `"backend"` field go through this impl.
+///
+/// Accepted spellings: `des`, `threads` (one worker per node),
+/// `threads:<n>` (capped worker pool), `net`.
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "des" => Ok(Backend::Des),
+            "threads" => Ok(Backend::Threads(0)),
+            "net" => Ok(Backend::Net),
+            other => match other.strip_prefix("threads:") {
+                Some(n) => n.parse::<usize>().map(Backend::Threads).map_err(|_| {
+                    format!("`{other}` (worker count after `threads:` must be an integer)")
+                }),
+                None => Err(format!(
+                    "`{other}` (expected `des`, `threads`, `threads:<n>`, or `net`)"
+                )),
+            },
+        }
+    }
+}
+
+/// Renders the spelling [`Backend::from_str`] accepts (round-trips).
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Des => write!(f, "des"),
+            Backend::Threads(0) => write!(f, "threads"),
+            Backend::Threads(n) => write!(f, "threads:{n}"),
+            Backend::Net => write!(f, "net"),
+        }
+    }
 }
 
 /// Per-node (i.e. per partition thread) execution counters.
@@ -1042,7 +1087,7 @@ pub struct DistributedSim {
     /// Metric sampling cadence in target cycles (0 = off).
     pub(crate) obs_interval: u64,
     /// Global VCD signal declarations, in identifier order.
-    vcd_signals: Vec<VcdSignal>,
+    pub(crate) vcd_signals: Vec<VcdSignal>,
     /// Per-link metric samples (DES samples at the global cadence; the
     /// threaded backend appends end-of-run totals).
     pub(crate) link_samples: Vec<Vec<LinkSample>>,
@@ -1236,6 +1281,12 @@ impl DistributedSim {
                 let _span = obs_span!("threads.run");
                 crate::threaded::run(self, cycles, workers)
             }
+            Backend::Net => Err(SimError::Config {
+                message: "Backend::Net spans OS processes: drive this simulation \
+                          through a fireaxe-net coordinator (`fireaxe coordinator` / \
+                          `fireaxe run --backend net`), not run_target_cycles"
+                    .into(),
+            }),
         };
         if out.is_ok() {
             debug_assert!(

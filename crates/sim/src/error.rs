@@ -137,6 +137,38 @@ pub enum SimError {
         /// The unregistered key.
         key: String,
     },
+    /// A distributed-backend peer process died or closed its socket
+    /// mid-run (see `fireaxe-net`). Carries the peer's address and the
+    /// last target cycle it had acknowledged, plus the coordinator's
+    /// view of every worker's progress at the moment of loss.
+    PeerDisconnected {
+        /// Peer address (`host:port` or `unix:/path`).
+        peer: String,
+        /// Last target cycle the peer reported/acknowledged.
+        last_acked_cycle: u64,
+        /// Cluster-wide stall forensics.
+        report: StallReport,
+    },
+    /// A distributed-backend peer speaks an incompatible wire protocol
+    /// (version or magic mismatch during the handshake).
+    ProtocolMismatch {
+        /// Peer address.
+        peer: String,
+        /// Our protocol version.
+        ours: u32,
+        /// The peer's protocol version.
+        theirs: u32,
+    },
+    /// A distributed-backend socket operation timed out (connect, or no
+    /// progress message within the configured I/O window).
+    NetTimeout {
+        /// Peer address (or a cluster-wide description).
+        peer: String,
+        /// The timeout that expired, milliseconds.
+        timeout_ms: u64,
+        /// Last target cycle acknowledged before the silence.
+        last_acked_cycle: u64,
+    },
     /// Bad configuration (unknown partition/node/link index, invalid
     /// fault spec or retry policy, etc.).
     Config {
@@ -173,6 +205,28 @@ impl fmt::Display for SimError {
             SimError::MissingBehavior { node, path, key } => write!(
                 f,
                 "node `{node}` needs behavior `{key}` at `{path}` but none is registered"
+            ),
+            SimError::PeerDisconnected {
+                peer,
+                last_acked_cycle,
+                report,
+            } => write!(
+                f,
+                "peer `{peer}` disconnected (last acknowledged target cycle \
+                 {last_acked_cycle}), at {report}"
+            ),
+            SimError::ProtocolMismatch { peer, ours, theirs } => write!(
+                f,
+                "peer `{peer}` speaks wire protocol v{theirs}, we speak v{ours}"
+            ),
+            SimError::NetTimeout {
+                peer,
+                timeout_ms,
+                last_acked_cycle,
+            } => write!(
+                f,
+                "no message from `{peer}` within {timeout_ms} ms (last acknowledged \
+                 target cycle {last_acked_cycle})"
             ),
             SimError::Config { message } => write!(f, "bad simulation config: {message}"),
             SimError::Libdn(e) => write!(f, "LI-BDN error: {e}"),

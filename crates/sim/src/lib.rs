@@ -19,6 +19,7 @@
 pub mod bridge;
 pub mod engine;
 pub mod error;
+pub mod netapi;
 pub mod obs;
 pub mod perf;
 pub mod threaded;
@@ -29,5 +30,6 @@ pub use engine::{
     SimCheckpoint, SimMetrics,
 };
 pub use error::{NodeStall, Result, SimError, StallReport};
+pub use netapi::NetAccess;
 pub use obs::{ObsReport, ObsSpec};
 pub use perf::estimate_target_mhz;

@@ -1,0 +1,206 @@
+//! Low-level engine access for out-of-process backends.
+//!
+//! The distributed backend (`fireaxe-net`, [`crate::engine::Backend::Net`])
+//! runs each partition's nodes in a separate OS process. Its worker loop
+//! is the same per-node service loop the in-process backends use — stage
+//! link tokens, [`NodeRt::ingest_and_step`](crate::engine), drain
+//! environment outputs — but link endpoints live on sockets instead of
+//! in-memory channels, so the engine needs structured access to node
+//! runtimes rather than owning the whole scheduling loop.
+//!
+//! [`NetAccess`] is that surface: a deliberately narrow view over a
+//! [`DistributedSim`] exposing exactly what an external engine needs —
+//! per-node servicing (which keeps the shared observation point, so
+//! metric samples and VCD changes land at identical target-cycle
+//! boundaries as DES/Threads), per-link token staging/popping, counters,
+//! observability extraction, and stall forensics. Everything else stays
+//! crate-private.
+
+use crate::engine::{DistributedSim, LinkCounters, NodeCounters};
+use crate::error::{Result, SimError, StallReport};
+use fireaxe_ir::Bits;
+use fireaxe_obs::{LinkSample, NodeSample, VcdSignal};
+use fireaxe_ripper::LinkSpec;
+use fireaxe_transport::reliable::RetryPolicy;
+
+/// One node's recorded VCD change: `(target cycle, signal index, value)`.
+/// Signal indices refer to [`NetAccess::vcd_signals`], which is identical
+/// across processes built from the same design and observation spec.
+pub type VcdChange = (u64, u32, Bits);
+
+/// Narrow mutable view over a [`DistributedSim`] for external engines.
+pub struct NetAccess<'a> {
+    sim: &'a mut DistributedSim,
+}
+
+impl DistributedSim {
+    /// Opens the external-engine access surface (see [`NetAccess`]).
+    pub fn net_access(&mut self) -> NetAccess<'_> {
+        NetAccess { sim: self }
+    }
+}
+
+impl NetAccess<'_> {
+    /// Number of nodes (partition threads) in flat order.
+    pub fn node_count(&self) -> usize {
+        self.sim.nodes.len()
+    }
+
+    /// A node's name.
+    pub fn node_name(&self, node: usize) -> &str {
+        &self.sim.nodes[node].name
+    }
+
+    /// The partition a node belongs to (one worker process per
+    /// partition; FAME-5 partitions contribute several nodes).
+    pub fn node_partition(&self, node: usize) -> usize {
+        self.sim.nodes[node].partition
+    }
+
+    /// A node's completed target cycles.
+    pub fn node_target_cycle(&self, node: usize) -> u64 {
+        self.sim.nodes[node].libdn.target_cycle()
+    }
+
+    /// The inter-partition link table, in link-index order.
+    pub fn link_specs(&self) -> Vec<LinkSpec> {
+        self.sim.links.iter().map(|l| l.spec.clone()).collect()
+    }
+
+    /// The armed retransmission policy, if the reliability layer is on.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.sim.reliability.as_ref().map(|r| r.policy)
+    }
+
+    /// Deepens every node's LI-BDN queues to at least `capacity` host
+    /// slots (runahead, exactly like the threaded backend) and returns
+    /// the previous capacities for [`NetAccess::restore_capacities`].
+    pub fn deepen_capacities(&mut self, capacity: usize) -> Vec<usize> {
+        self.sim
+            .nodes
+            .iter_mut()
+            .map(|n| {
+                let cap = n.libdn.capacity();
+                n.libdn.set_capacity(cap.max(capacity));
+                cap
+            })
+            .collect()
+    }
+
+    /// Restores queue capacities saved by [`NetAccess::deepen_capacities`].
+    pub fn restore_capacities(&mut self, saved: Vec<usize>) {
+        for (node, cap) in self.sim.nodes.iter_mut().zip(saved) {
+            node.libdn.set_capacity(cap);
+        }
+    }
+
+    /// Stages a delivered link token at the consuming node (it enters
+    /// the LI-BDN input queue on the node's next service pass).
+    pub fn stage_link_token(&mut self, link: usize, payload: Bits) {
+        let to = self.sim.links[link].spec.to_node;
+        let chan = self.sim.links[link].spec.to_chan;
+        self.sim.nodes[to].staged[chan].push_back(payload);
+    }
+
+    /// Backend-independent service half for one node: stage → env top-up
+    /// → one host step, with the shared observation point at the tail
+    /// (see `NodeRt::ingest_and_step`). Returns `true` on any progress.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LI-BDN failures.
+    pub fn ingest_and_step(&mut self, node: usize, budget: u64) -> Result<bool> {
+        self.sim.nodes[node].ingest_and_step(Some(budget))
+    }
+
+    /// Drains a node's environment output channels into its bridge.
+    pub fn drain_env_outputs(&mut self, node: usize) -> bool {
+        self.sim.nodes[node].drain_env_outputs()
+    }
+
+    /// Pops the next fresh token the producing node has fired on `link`,
+    /// counting it as dequeued/committed exactly like the in-process
+    /// backends do.
+    pub fn pop_link_output(&mut self, link: usize) -> Option<Bits> {
+        let from = self.sim.links[link].spec.from_node;
+        let chan = self.sim.links[link].spec.from_chan;
+        let token = self.sim.nodes[from].libdn.pop_output(chan)?;
+        self.sim.nodes[from].counters.tokens_dequeued += 1;
+        self.sim.links[link].tokens += 1;
+        Some(token)
+    }
+
+    /// Tokens a node has accepted into one input channel's LI-BDN queue
+    /// so far — the consumption point credit-based flow control returns
+    /// credits at.
+    pub fn chan_enqueued(&self, node: usize, chan: usize) -> u64 {
+        self.sim.nodes[node].chan_enqueued[chan]
+    }
+
+    /// Snapshot of one node's execution counters.
+    pub fn node_counters(&self, node: usize) -> NodeCounters {
+        self.sim.nodes[node].counters_snapshot()
+    }
+
+    /// Mutable reliability/traffic counters of one link (the external
+    /// engine folds its live protocol totals in here, mirroring the
+    /// threaded backend's reconciliation).
+    pub fn link_counters_mut(&mut self, link: usize) -> &mut LinkCounters {
+        &mut self.sim.links[link].counters
+    }
+
+    /// Fresh tokens committed to one link so far.
+    pub fn link_tokens(&self, link: usize) -> u64 {
+        self.sim.links[link].tokens
+    }
+
+    /// Structured stall forensics over this process's local view.
+    pub fn stall_report(&self) -> StallReport {
+        self.sim.stall_report()
+    }
+
+    /// Metric sampling cadence in target cycles (0 = off).
+    pub fn obs_interval(&self) -> u64 {
+        self.sim.obs_interval
+    }
+
+    /// Global VCD signal declarations, in identifier order. Identical
+    /// across processes that built the same design with the same
+    /// observation spec, so shipped change sets merge by index.
+    pub fn vcd_signals(&self) -> Vec<VcdSignal> {
+        self.sim.vcd_signals.clone()
+    }
+
+    /// Takes (drains) one node's collected metric samples.
+    pub fn take_node_samples(&mut self, node: usize) -> Vec<NodeSample> {
+        std::mem::take(&mut self.sim.nodes[node].obs.samples)
+    }
+
+    /// Takes (drains) one node's collected VCD changes.
+    pub fn take_node_vcd_changes(&mut self, node: usize) -> Vec<VcdChange> {
+        std::mem::take(&mut self.sim.nodes[node].obs.changes)
+    }
+
+    /// Appends a per-link metric sample (the coordinator records merged
+    /// end-of-run totals here, like the threaded backend does).
+    pub fn push_link_sample(&mut self, link: usize, sample: LinkSample) {
+        self.sim.link_samples[link].push(sample);
+    }
+
+    /// Validates a link index against the design, as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] naming the offending index.
+    pub fn check_link(&self, link: usize) -> Result<()> {
+        if link >= self.sim.links.len() {
+            return Err(SimError::Config {
+                message: format!(
+                    "link index {link} out of range ({} links)",
+                    self.sim.links.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+}

@@ -139,6 +139,71 @@ impl Frame {
     pub fn intact(&self) -> bool {
         crc32(&self.payload) == self.crc
     }
+
+    /// Appends this frame's byte-stream encoding to `out`.
+    ///
+    /// This is the framing the distributed backend (`fireaxe-net`) puts
+    /// on real sockets: header fields big-endian (`seq`, `crc`,
+    /// `delay_quanta`), then the payload as an explicit bit width
+    /// followed by its little-endian 64-bit words. The encoding is
+    /// self-delimiting, so frames can be embedded mid-message.
+    pub fn encode_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.crc.to_be_bytes());
+        out.extend_from_slice(&self.delay_quanta.to_be_bytes());
+        out.extend_from_slice(&self.payload.width().get().to_be_bytes());
+        for w in self.payload.as_words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Decodes one frame from `buf` starting at `*pos`, advancing `*pos`
+    /// past it — the inverse of [`Frame::encode_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed region when the buffer is
+    /// truncated or the payload width is implausible (> 2^20 bits, a
+    /// corrupted-stream guard far above any boundary channel).
+    pub fn decode_bytes(buf: &[u8], pos: &mut usize) -> Result<Frame, String> {
+        fn take<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N], String> {
+            let end = pos
+                .checked_add(N)
+                .filter(|&e| e <= buf.len())
+                .ok_or_else(|| format!("frame truncated at byte {pos}"))?;
+            let mut a = [0u8; N];
+            a.copy_from_slice(&buf[*pos..end]);
+            *pos = end;
+            Ok(a)
+        }
+        let seq = u64::from_be_bytes(take::<8>(buf, pos)?);
+        let crc = u32::from_be_bytes(take::<4>(buf, pos)?);
+        let delay_quanta = u32::from_be_bytes(take::<4>(buf, pos)?);
+        let width = u32::from_be_bytes(take::<4>(buf, pos)?);
+        if width > (1 << 20) {
+            return Err(format!("implausible payload width {width} bits"));
+        }
+        let n_words = usize::try_from(width.div_ceil(64)).expect("bounded");
+        let mut words = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            words.push(u64::from_le_bytes(take::<8>(buf, pos)?));
+        }
+        // Reject stray bits above the declared width: a well-formed
+        // encoder masks them, so set bits there mean stream corruption.
+        if width % 64 != 0 {
+            if let Some(top) = words.last() {
+                if *top >> (width % 64) != 0 {
+                    return Err(format!("padding bits set above width {width}"));
+                }
+            }
+        }
+        Ok(Frame {
+            seq,
+            crc,
+            delay_quanta,
+            payload: Bits::from_words(&words, width),
+        })
+    }
 }
 
 /// Sender half of the protocol: sequence assignment, retransmit buffer,
@@ -581,5 +646,39 @@ mod tests {
             bad.validate(),
             Err(TransportError::BadRetryPolicy { .. })
         ));
+    }
+
+    #[test]
+    fn frame_byte_framing_roundtrips() {
+        for width in [1u32, 8, 63, 64, 65, 128, 200] {
+            let payload = Bits::ones(width);
+            let frame = Frame::seal(0xDEAD_BEEF_1234, payload);
+            let mut buf = vec![0xAA]; // leading garbage the codec must skip
+            let mut pos = 1usize;
+            frame.encode_bytes(&mut buf);
+            let back = Frame::decode_bytes(&buf, &mut pos).unwrap();
+            assert_eq!(back, frame);
+            assert_eq!(pos, buf.len(), "decode consumes exactly the encoding");
+            assert!(back.intact());
+        }
+    }
+
+    #[test]
+    fn frame_decode_rejects_truncation_and_padding() {
+        let frame = Frame::seal(7, Bits::from_u64(0x5A, 12));
+        let mut buf = Vec::new();
+        frame.encode_bytes(&mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(
+                Frame::decode_bytes(&buf[..cut], &mut pos).is_err(),
+                "truncation at {cut} must be detected"
+            );
+        }
+        // Stray bits above the declared width are stream corruption.
+        let last = buf.len() - 8;
+        buf[last + 7] = 0xFF;
+        let mut pos = 0;
+        assert!(Frame::decode_bytes(&buf, &mut pos).is_err());
     }
 }
