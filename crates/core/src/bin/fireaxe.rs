@@ -37,7 +37,7 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: fireaxe run <run.json> [--circuit <design.fir>] [--cycles N] \
      [--backend des|threads[:n]|net] [--trace <out.json>] [--vcd <out.vcd>] \
      [--metrics <out.json|out.csv>] [--signals <a,b,..>] [--sample-interval N] [--estimate]\n\
-       fireaxe coordinator <run.json> [--workers <addr,addr,..>] [run flags]\n\
+       fireaxe coordinator <run.json> [--workers <addr,addr,..>] [--batch-cycles N] [run flags]\n\
        fireaxe worker [--listen <host:port|unix:/path>]";
 
 const WORKER_USAGE: &str = "usage: fireaxe worker [--listen <host:port|unix:/path>]\n\
@@ -54,6 +54,8 @@ struct Args {
     force_net: bool,
     /// `--workers` override for the config's `net.workers` list.
     workers: Option<Vec<String>>,
+    /// `--batch-cycles` override for the config's `net.batch_cycles`.
+    batch_cycles: Option<u64>,
     trace: Option<String>,
     vcd: Option<String>,
     metrics: Option<String>,
@@ -62,7 +64,9 @@ struct Args {
 }
 
 enum Cmd {
-    Run(Args),
+    // Boxed: `Args` dwarfs the other variant and `Cmd` is passed around
+    // by value out of the parser.
+    Run(Box<Args>),
     Worker { listen: String },
 }
 
@@ -95,6 +99,7 @@ fn parse_args() -> Result<Cmd, String> {
     let mut backend = None;
     let mut force_net = false;
     let mut workers = None;
+    let mut batch_cycles = None;
     let mut trace = None;
     let mut vcd = None;
     let mut metrics = None;
@@ -116,6 +121,7 @@ fn parse_args() -> Result<Cmd, String> {
                 let list = it.next().ok_or("--workers needs a comma-separated list")?;
                 workers = Some(list.split(',').map(str::to_string).collect());
             }
+            "--batch-cycles" => batch_cycles = Some(parse_u64(&mut it, "--batch-cycles")?),
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?),
             "--vcd" => vcd = Some(it.next().ok_or("--vcd needs a path")?),
             "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?),
@@ -132,7 +138,7 @@ fn parse_args() -> Result<Cmd, String> {
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
-    Ok(Cmd::Run(Args {
+    Ok(Cmd::Run(Box::new(Args {
         circuit,
         config: config.ok_or("missing config path (try --help)")?,
         cycles,
@@ -140,12 +146,13 @@ fn parse_args() -> Result<Cmd, String> {
         backend,
         force_net,
         workers,
+        batch_cycles,
         trace,
         vcd,
         metrics,
         signals,
         sample_interval,
-    }))
+    })))
 }
 
 /// Folds the CLI observability flags over the config's `"obs"` object.
@@ -273,6 +280,7 @@ fn wire_settings(
     }
     if let Some(net) = &cfg.net {
         settings.io_timeout_ms = net.io_timeout_ms;
+        settings.batch_cycles = net.batch_cycles;
     }
     Ok(settings)
 }
@@ -302,7 +310,10 @@ fn run_net(cfg: &RunConfig, circuit: Circuit, args: &Args) -> Result<(), String>
     if let Some(w) = &args.workers {
         net.workers = w.clone();
     }
-    let settings = wire_settings(cfg, platform, &obs)?;
+    let mut settings = wire_settings(cfg, platform, &obs)?;
+    if let Some(b) = args.batch_cycles {
+        settings.batch_cycles = b;
+    }
 
     // Named addresses mean externally launched `fireaxe worker`
     // processes; an empty list self-hosts the cluster on localhost.
@@ -504,7 +515,7 @@ fn run(args: Args) -> Result<(), String> {
 fn main() -> ExitCode {
     let outcome = match parse_args() {
         Ok(Cmd::Worker { listen }) => run_worker(&listen),
-        Ok(Cmd::Run(args)) => run(args),
+        Ok(Cmd::Run(args)) => run(*args),
         Err(e) => Err(e),
     };
     match outcome {

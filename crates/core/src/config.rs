@@ -93,6 +93,10 @@ pub struct NetConfig {
     pub connect_timeout_ms: u64,
     /// Run-phase silence tolerated before `NetTimeout`, milliseconds.
     pub io_timeout_ms: u64,
+    /// Target cycles of tokens packed per link into one wire message
+    /// before flushing (latency hiding; clamped to the credit window by
+    /// the backend). 1 sends every token in its own message.
+    pub batch_cycles: u64,
 }
 
 impl Default for NetConfig {
@@ -101,6 +105,7 @@ impl Default for NetConfig {
             workers: Vec::new(),
             connect_timeout_ms: 10_000,
             io_timeout_ms: 10_000,
+            batch_cycles: 8,
         }
     }
 }
@@ -371,6 +376,7 @@ impl NetConfig {
             connect_timeout_ms: get_u64(obj, "connect_timeout_ms")?
                 .unwrap_or(defaults.connect_timeout_ms),
             io_timeout_ms: get_u64(obj, "io_timeout_ms")?.unwrap_or(defaults.io_timeout_ms),
+            batch_cycles: get_u64(obj, "batch_cycles")?.unwrap_or(defaults.batch_cycles),
         })
     }
 
@@ -398,6 +404,12 @@ impl NetConfig {
             m.insert(
                 "io_timeout_ms".to_string(),
                 Value::Number(self.io_timeout_ms as f64),
+            );
+        }
+        if self.batch_cycles != defaults.batch_cycles {
+            m.insert(
+                "batch_cycles".to_string(),
+                Value::Number(self.batch_cycles as f64),
             );
         }
         Value::Object(m)
@@ -1006,7 +1018,8 @@ mod tests {
             "backend": "net",
             "net": {
                 "workers": ["127.0.0.1:7001", "unix:/tmp/w1.sock"],
-                "connect_timeout_ms": 2500
+                "connect_timeout_ms": 2500,
+                "batch_cycles": 64
             },
             "groups": [{ "name": "g", "instances": ["a"] }]
         }"#;
@@ -1016,6 +1029,7 @@ mod tests {
         assert_eq!(net.workers.len(), 2);
         assert_eq!(net.connect_timeout_ms, 2500);
         assert_eq!(net.io_timeout_ms, NetConfig::default().io_timeout_ms);
+        assert_eq!(net.batch_cycles, 64);
         let back = RunConfig::from_json(&cfg.to_json()).unwrap();
         assert_eq!(back, cfg);
 

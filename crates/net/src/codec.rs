@@ -30,7 +30,9 @@ use std::io::{self, Read, Write};
 pub const PROTOCOL_MAGIC: u32 = 0x4641_584e;
 
 /// Wire protocol version; bumped on any incompatible change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2: [`Msg::TokenBatch`] and the `batch_cycles`/`slack_cycles`
+/// pacing knobs in [`WireSettings`].
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a single message payload (the topology message
 /// carries a whole printed circuit; token messages are tiny).
@@ -209,6 +211,17 @@ pub struct WireSettings {
     /// Silence budget: a peer that sends nothing for this long while
     /// the run is incomplete trips `SimError::NetTimeout`.
     pub io_timeout_ms: u64,
+    /// Target cycles of tokens packed per link into one
+    /// [`Msg::TokenBatch`] before it is flushed to the wire (quiescence
+    /// always flushes early, so small runs never stall). Clamped to
+    /// `1..=INITIAL_CREDITS`.
+    pub batch_cycles: u64,
+    /// Lookahead window: how many target cycles a partition may run
+    /// ahead of its slowest inbound link (the paper's fast-mode
+    /// analogue). Bounds LI-BDN queue deepening; clamped to
+    /// `batch_cycles..=INITIAL_CREDITS` so the credit window still caps
+    /// runahead.
+    pub slack_cycles: u64,
 }
 
 impl Default for WireSettings {
@@ -226,7 +239,26 @@ impl Default for WireSettings {
             signals: Vec::new(),
             progress_interval: 256,
             io_timeout_ms: 10_000,
+            batch_cycles: 8,
+            slack_cycles: crate::flow::INITIAL_CREDITS as u64,
         }
+    }
+}
+
+impl WireSettings {
+    /// `batch_cycles` clamped to the credit window (at least 1).
+    pub fn effective_batch(&self) -> usize {
+        self.batch_cycles
+            .clamp(1, crate::flow::INITIAL_CREDITS as u64) as usize
+    }
+
+    /// `slack_cycles` clamped between the batch size and the credit
+    /// window: a partition must be able to buffer at least one full
+    /// batch, and may never outrun flow control.
+    pub fn effective_slack(&self) -> usize {
+        (self.slack_cycles as usize)
+            .max(self.effective_batch())
+            .min(crate::flow::INITIAL_CREDITS as usize)
     }
 }
 
@@ -317,6 +349,19 @@ pub enum Msg {
         link: u32,
         /// The sealed go-back-N frame.
         frame: Frame,
+    },
+    /// Several consecutive target cycles' worth of sealed token frames
+    /// for one link, packed into a single wire message (sender →
+    /// coordinator → receiving worker). Frames ride back-to-back in
+    /// sequence order; the receiver acknowledges once, cumulatively,
+    /// after staging the whole batch. Semantically identical to the
+    /// same frames sent as individual [`Msg::Token`]s — batching only
+    /// amortizes round trips and syscalls.
+    TokenBatch {
+        /// Link index.
+        link: u32,
+        /// The sealed frames, in ascending sequence order.
+        frames: Vec<Frame>,
     },
     /// Decode-side stand-in for a [`Msg::Token`] whose frame bytes were
     /// damaged in flight: the link index survived but the frame did not.
@@ -515,6 +560,8 @@ fn put_settings(b: &mut Vec<u8>, s: &WireSettings) {
     }
     put_u64(b, s.progress_interval);
     put_u64(b, s.io_timeout_ms);
+    put_u64(b, s.batch_cycles);
+    put_u64(b, s.slack_cycles);
 }
 
 fn dec_settings(d: &mut Dec) -> DecResult<WireSettings> {
@@ -558,6 +605,8 @@ fn dec_settings(d: &mut Dec) -> DecResult<WireSettings> {
         signals,
         progress_interval: d.u64()?,
         io_timeout_ms: d.u64()?,
+        batch_cycles: d.u64()?,
+        slack_cycles: d.u64()?,
     })
 }
 
@@ -769,16 +818,17 @@ const TAG_HELLO_ACK: u8 = 2;
 const TAG_TOPOLOGY: u8 = 3;
 const TAG_READY: u8 = 4;
 const TAG_RUN: u8 = 5;
-const TAG_TOKEN: u8 = 6;
-const TAG_ACK: u8 = 7;
-const TAG_CREDIT: u8 = 8;
+pub(crate) const TAG_TOKEN: u8 = 6;
+pub(crate) const TAG_ACK: u8 = 7;
+pub(crate) const TAG_CREDIT: u8 = 8;
 const TAG_PROGRESS: u8 = 9;
 const TAG_DONE: u8 = 10;
 const TAG_FINISH: u8 = 11;
 const TAG_REPORT: u8 = 12;
 const TAG_SHUTDOWN: u8 = 13;
 const TAG_FATAL: u8 = 14;
-const TAG_CORRUPT_TOKEN: u8 = 15;
+pub(crate) const TAG_CORRUPT_TOKEN: u8 = 15;
+pub(crate) const TAG_TOKEN_BATCH: u8 = 16;
 
 /// Serializes one message (without the length prefix).
 pub fn encode_msg(msg: &Msg) -> Vec<u8> {
@@ -819,6 +869,14 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             put_u8(&mut b, TAG_TOKEN);
             put_u32(&mut b, *link);
             frame.encode_bytes(&mut b);
+        }
+        Msg::TokenBatch { link, frames } => {
+            put_u8(&mut b, TAG_TOKEN_BATCH);
+            put_u32(&mut b, *link);
+            put_u32(&mut b, frames.len() as u32);
+            for frame in frames {
+                frame.encode_bytes(&mut b);
+            }
         }
         Msg::CorruptToken { link } => {
             put_u8(&mut b, TAG_CORRUPT_TOKEN);
@@ -910,6 +968,26 @@ pub fn decode_msg(buf: &[u8]) -> DecResult<Msg> {
                 Err(_) => Ok(Msg::CorruptToken { link }),
             }
         }
+        TAG_TOKEN_BATCH => {
+            let link = d.u32()?;
+            let n = d.count(20)?; // minimum sealed-frame footprint
+            let mut frames = Vec::with_capacity(n);
+            let mut pos = d.pos;
+            for _ in 0..n {
+                let mut advanced = 0usize;
+                match Frame::decode_bytes(&buf[pos..], &mut advanced) {
+                    Ok(frame) => {
+                        pos += advanced;
+                        frames.push(frame);
+                    }
+                    // Any damaged frame degrades the whole batch: the
+                    // go-back-N window retransmits everything unacked,
+                    // so dropping the readable tail loses nothing.
+                    Err(_) => return Ok(Msg::CorruptToken { link }),
+                }
+            }
+            Ok(Msg::TokenBatch { link, frames })
+        }
         TAG_CORRUPT_TOKEN => Ok(Msg::CorruptToken { link: d.u32()? }),
         TAG_ACK => Ok(Msg::Ack {
             link: d.u32()?,
@@ -989,6 +1067,47 @@ pub fn read_msg(r: &mut impl Read) -> io::Result<Option<Msg>> {
     })
 }
 
+/// Reads one length-prefixed message into `buf` as the raw framed
+/// bytes (4-byte length prefix included), without decoding. The
+/// coordinator's relay hot path forwards these bytes verbatim —
+/// re-encoding a message that is about to leave unchanged would pay
+/// a full decode/alloc/encode per relayed token. Returns `Ok(false)`
+/// on a clean EOF at a message boundary.
+///
+/// # Errors
+///
+/// I/O failures, EOF inside a message, oversized payloads.
+pub fn read_raw_msg(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
+    buf.clear();
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a message length prefix",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_MSG_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("message length {len} exceeds {MAX_MSG_LEN}"),
+        ));
+    }
+    buf.extend_from_slice(&len_buf);
+    buf.resize(4 + len as usize, 0);
+    r.read_exact(&mut buf[4..])?;
+    Ok(true)
+}
+
 /// FNV-1a digest over the compiled design's node names, partition
 /// assignments and link table: cheap agreement check that every process
 /// elaborated the same design before tokens start flowing.
@@ -1029,6 +1148,34 @@ mod tests {
         let framed = read_msg(&mut cursor).unwrap().expect("one message");
         assert_eq!(bytes, encode_msg(&framed));
         assert!(read_msg(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn raw_reads_preserve_framed_bytes_verbatim() {
+        let msgs = [
+            Msg::Token {
+                link: 3,
+                frame: fireaxe_transport::reliable::Frame {
+                    seq: 9,
+                    crc: 0xDEAD_BEEF,
+                    delay_quanta: 1,
+                    payload: fireaxe_ir::Bits::from_u64(0xAB, 8),
+                },
+            },
+            Msg::Ack { link: 3, ack: 10 },
+            Msg::Progress { cycle: 42 },
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_msg(&mut wire, m).unwrap();
+        }
+        let mut cursor = io::Cursor::new(wire.clone());
+        let mut relayed = Vec::new();
+        let mut buf = Vec::new();
+        while read_raw_msg(&mut cursor, &mut buf).unwrap() {
+            relayed.extend_from_slice(&buf);
+        }
+        assert_eq!(relayed, wire, "raw relay must forward bytes verbatim");
     }
 
     #[test]
@@ -1076,6 +1223,69 @@ mod tests {
             Msg::CorruptToken { link } => assert_eq!(link, 4),
             other => panic!("expected CorruptToken, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn token_batch_roundtrips_and_degrades_when_damaged() {
+        let frames: Vec<Frame> = (0..5)
+            .map(|i| Frame::seal(i, Bits::from_u64(0x1000 + i, 33)))
+            .collect();
+        let msg = Msg::TokenBatch {
+            link: 6,
+            frames: frames.clone(),
+        };
+        roundtrip(&msg);
+        roundtrip(&Msg::TokenBatch {
+            link: 0,
+            frames: Vec::new(),
+        });
+
+        // Damage the width field of the *third* frame: the whole batch
+        // degrades to CorruptToken so go-back-N retransmits it intact.
+        let mut bytes = encode_msg(&msg);
+        let frame_len = {
+            let mut one = Vec::new();
+            frames[0].encode_bytes(&mut one);
+            one.len()
+        };
+        let width_off = 1 + 4 + 4 + 2 * frame_len + 8 + 4 + 4;
+        bytes[width_off] ^= 0xff;
+        match decode_msg(&bytes).unwrap() {
+            Msg::CorruptToken { link } => assert_eq!(link, 6),
+            other => panic!("expected CorruptToken, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn settings_pacing_knobs_roundtrip_and_clamp() {
+        let mut settings = WireSettings {
+            batch_cycles: 64,
+            slack_cycles: 17,
+            ..Default::default()
+        };
+        roundtrip(&Msg::Topology(Box::new(Topology {
+            worker: 0,
+            n_workers: 2,
+            circuit: "circuit c {}".into(),
+            spec: PartitionSpec::fast(vec![]),
+            settings: settings.clone(),
+        })));
+        assert_eq!(settings.effective_batch(), 64);
+        // Slack may not drop below the batch size…
+        assert_eq!(settings.effective_slack(), 64);
+        // …and neither knob escapes the credit window.
+        settings.batch_cycles = 10_000;
+        settings.slack_cycles = 10_000;
+        assert_eq!(
+            settings.effective_batch(),
+            crate::flow::INITIAL_CREDITS as usize
+        );
+        assert_eq!(
+            settings.effective_slack(),
+            crate::flow::INITIAL_CREDITS as usize
+        );
+        settings.batch_cycles = 0;
+        assert_eq!(settings.effective_batch(), 1);
     }
 
     #[test]

@@ -7,6 +7,20 @@
 //! progress and detect failure, and matches the paper's host-managed
 //! switchboard arrangement.
 //!
+//! The relay is the latency-critical path of every cross-partition
+//! token, so data-plane traffic never touches the control loop: each
+//! worker connection gets a relay thread that reads raw framed bytes,
+//! peeks the tag and link index, and forwards the bytes verbatim to
+//! the destination worker's (mutex-serialized) write half — no decode,
+//! no re-encode, no extra thread hand-off. A burst of messages that
+//! arrives in one read is routed in full before anything is written,
+//! accumulated per destination, so the burst costs each destination
+//! worker one socket write — and therefore one wakeup — rather than
+//! one per message; on core-starved hosts scheduler wakeups, not
+//! bytes, are what bound per-cycle wire latency. Only control messages
+//! (`Progress`, `Done`, `Report`, `Fatal`) are decoded and handed to
+//! the control loop, which tracks liveness and teardown.
+//!
 //! Lifecycle: connect → `Hello`/`HelloAck` version check → `Topology`
 //! (circuit IR + spec + settings) → `Ready` design-digest agreement →
 //! `Run` → relay `Token`/`Ack`/`Credit` while tracking `Progress` →
@@ -17,8 +31,9 @@
 //! and surfaces as the matching typed [`SimError`].
 
 use crate::codec::{
-    design_digest, read_msg, write_msg, Msg, Topology, WireReport, WireSettings, FATAL_LINK_DOWN,
-    PROTOCOL_MAGIC, PROTOCOL_VERSION,
+    decode_msg, design_digest, read_msg, read_raw_msg, write_msg, Msg, Topology, WireReport,
+    WireSettings, FATAL_LINK_DOWN, PROTOCOL_MAGIC, PROTOCOL_VERSION, TAG_ACK, TAG_CORRUPT_TOKEN,
+    TAG_CREDIT, TAG_TOKEN, TAG_TOKEN_BATCH,
 };
 use crate::stream::NetStream;
 use crate::worker::SimSetup;
@@ -29,8 +44,9 @@ use fireaxe_obs::{
 };
 use fireaxe_ripper::{compile, LinkSpec, PartitionSpec};
 use fireaxe_sim::{LinkCounters, NodeStall, Result, SimError, SimMetrics, StallReport};
-use std::sync::mpsc;
-use std::time::Duration;
+use std::io::Write;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Everything a distributed run hands back: the cluster-folded
 /// counters, the merged metric series, and the merged observability
@@ -52,26 +68,42 @@ pub struct NetRunReport {
 enum Event {
     Msg(Msg),
     Closed,
+    /// A relay thread caught a protocol violation (unknown link,
+    /// malformed message); the run fails with this description.
+    Bad(String),
 }
 
 fn cfg_err(message: String) -> SimError {
     SimError::Config { message }
 }
 
-struct Cluster {
-    streams: Vec<NetStream>,
-    addrs: Vec<String>,
-    /// Last cycle each worker reported (via `Progress` or `Done`).
-    progress: Vec<u64>,
+/// Relay-level sequence bookkeeping, shared between the relay threads
+/// (which update it on the hot path) and the control loop (which reads
+/// it for stall forensics).
+#[derive(Default)]
+struct RelayBook {
     /// Highest sequence relayed per link, if any.
     max_seq: Vec<Option<u64>>,
     /// Highest cumulative ACK relayed per link.
     acked: Vec<u64>,
 }
 
+struct Cluster {
+    /// Serialized write halves: the relay threads and the control loop
+    /// both send through these.
+    writers: Vec<Arc<Mutex<NetStream>>>,
+    /// Unserialized clones used only for `shutdown`, which must never
+    /// wait on a writer lock held by a relay blocked mid-write.
+    shutdowns: Vec<NetStream>,
+    addrs: Vec<String>,
+    /// Last cycle each worker reported (via `Progress` or `Done`).
+    progress: Vec<u64>,
+    book: Arc<Mutex<RelayBook>>,
+}
+
 impl Cluster {
     fn shutdown_sockets(&self) {
-        for s in &self.streams {
+        for s in &self.shutdowns {
             s.shutdown();
         }
     }
@@ -80,10 +112,11 @@ impl Cluster {
     /// view: one row per worker with its last reported cycle, and the
     /// relay's estimate of tokens still unacknowledged on the wire.
     fn stall_report(&self) -> StallReport {
-        let tokens_in_flight: u64 = self
+        let book = self.book.lock().unwrap();
+        let tokens_in_flight: u64 = book
             .max_seq
             .iter()
-            .zip(&self.acked)
+            .zip(&book.acked)
             .map(|(m, a)| m.map_or(0, |m| (m + 1).saturating_sub(*a)))
             .sum();
         StallReport {
@@ -114,7 +147,8 @@ impl Cluster {
     }
 
     fn send(&mut self, worker: usize, msg: &Msg) -> Result<()> {
-        if write_msg(&mut self.streams[worker], msg).is_err() {
+        let failed = write_msg(&mut *self.writers[worker].lock().unwrap(), msg).is_err();
+        if failed {
             let e = self.disconnect_error(worker);
             self.shutdown_sockets();
             return Err(e);
@@ -183,12 +217,18 @@ pub fn run_cluster(
     let connect_timeout = Duration::from_millis(connect_timeout_ms.max(1));
     let circuit_text = fireaxe_ir::printer::print_circuit(circuit);
     let mut cluster = Cluster {
-        streams: Vec::with_capacity(n_workers),
+        writers: Vec::with_capacity(n_workers),
+        shutdowns: Vec::with_capacity(n_workers),
         addrs: workers.to_vec(),
         progress: vec![0; n_workers],
-        max_seq: vec![None; specs.len()],
-        acked: vec![0; specs.len()],
+        book: Arc::new(Mutex::new(RelayBook {
+            max_seq: vec![None; specs.len()],
+            acked: vec![0; specs.len()],
+        })),
     };
+    // Bring-up reads go through `read_halves`; at run time each one
+    // moves into that worker's relay thread.
+    let mut read_halves = Vec::with_capacity(n_workers);
     for (i, addr) in workers.iter().enumerate() {
         let stream = NetStream::connect(addr, connect_timeout).map_err(|e| {
             cfg_err(format!(
@@ -198,9 +238,14 @@ pub fn run_cluster(
         stream
             .set_read_timeout(Some(connect_timeout))
             .map_err(|e| cfg_err(format!("coordinator socket setup failed: {e}")))?;
-        cluster.streams.push(stream);
+        let setup_err = |e| cfg_err(format!("coordinator socket setup failed: {e}"));
+        read_halves.push(stream.try_clone().map_err(setup_err)?);
+        cluster
+            .shutdowns
+            .push(stream.try_clone().map_err(setup_err)?);
+        cluster.writers.push(Arc::new(Mutex::new(stream)));
     }
-    for i in 0..n_workers {
+    for (i, read_half) in read_halves.iter_mut().enumerate() {
         cluster.send(
             i,
             &Msg::Hello {
@@ -209,7 +254,7 @@ pub fn run_cluster(
                 worker: i as u32,
             },
         )?;
-        match expect_msg(&mut cluster, i, connect_timeout_ms)? {
+        match expect_msg(&mut cluster, read_half, i, connect_timeout_ms)? {
             Msg::HelloAck { magic, version } => {
                 if magic != PROTOCOL_MAGIC || version != PROTOCOL_VERSION {
                     cluster.shutdown_sockets();
@@ -237,7 +282,7 @@ pub fn run_cluster(
                 settings: settings.clone(),
             })),
         )?;
-        match expect_msg(&mut cluster, i, connect_timeout_ms)? {
+        match expect_msg(&mut cluster, read_half, i, connect_timeout_ms)? {
             Msg::Ready { design_digest } => {
                 if design_digest != expected_digest {
                     cluster.shutdown_sockets();
@@ -262,47 +307,62 @@ pub fn run_cluster(
     }
 
     // --- Run + relay ----------------------------------------------------
-    let (tx_ev, rx_ev) = mpsc::channel::<(usize, Event)>();
-    for (i, s) in cluster.streams.iter().enumerate() {
-        s.set_read_timeout(None)
-            .map_err(|e| cfg_err(format!("coordinator socket setup failed: {e}")))?;
-        let mut reader = s
-            .try_clone()
-            .map_err(|e| cfg_err(format!("coordinator socket clone failed: {e}")))?;
-        let tx = tx_ev.clone();
-        std::thread::spawn(move || loop {
-            match read_msg(&mut reader) {
-                Ok(Some(msg)) => {
-                    if tx.send((i, Event::Msg(msg))).is_err() {
-                        break;
-                    }
-                }
-                Ok(None) => {
-                    let _ = tx.send((i, Event::Closed));
-                    break;
-                }
-                Err(_) => {
-                    let _ = tx.send((i, Event::Closed));
-                    break;
-                }
-            }
-        });
-    }
-    drop(tx_ev);
+    // Every worker must hold its `Run` before the first relay thread
+    // starts: a worker that got `Run` early emits tokens immediately,
+    // and a relayed token racing ahead of a later worker's `Run` write
+    // would hit that worker's "expected Run" bring-up read. Per-socket
+    // FIFO makes this ordering sufficient; tokens arriving before the
+    // relays spawn just wait in the kernel buffers.
     for i in 0..n_workers {
         cluster.send(i, &Msg::Run { budget })?;
     }
+    let (tx_ev, rx_ev) = mpsc::channel::<(usize, Event)>();
+    for (i, reader) in read_halves.into_iter().enumerate() {
+        reader
+            .set_read_timeout(None)
+            .map_err(|e| cfg_err(format!("coordinator socket setup failed: {e}")))?;
+        let tx = tx_ev.clone();
+        let writers = cluster.writers.clone();
+        let book = Arc::clone(&cluster.book);
+        let sink_owner = owner_of_link_sink.clone();
+        let source_owner = owner_of_link_source.clone();
+        std::thread::spawn(move || {
+            relay_worker(i, reader, &writers, &book, &sink_owner, &source_owner, &tx);
+        });
+    }
+    drop(tx_ev);
 
     let io_timeout = Duration::from_millis(settings.io_timeout_ms.max(1));
+    let hb_interval = crate::worker::heartbeat_interval(io_timeout);
+    let mut last_rx = Instant::now();
+    let mut last_hb = Instant::now();
     let mut done = vec![false; n_workers];
     let mut finish_sent = false;
     let mut reports: Vec<Option<WireReport>> = (0..n_workers).map(|_| None).collect();
     loop {
-        let (w, ev) = match rx_ev.recv_timeout(io_timeout) {
-            Ok(x) => x,
+        // Keepalive broadcast: workers enforce their own io_timeout on
+        // coordinator silence, so a worker idling behind a slow peer
+        // (no tokens flowing its way) must still hear from us. The
+        // floor cycle doubles as cluster-progress gossip.
+        if last_hb.elapsed() >= hb_interval {
+            last_hb = Instant::now();
+            let floor = cluster.progress.iter().copied().min().unwrap_or(0);
+            for i in (0..n_workers).filter(|&i| reports[i].is_none()) {
+                cluster.send(i, &Msg::Progress { cycle: floor })?;
+            }
+        }
+        let (w, ev) = match rx_ev.recv_timeout(hb_interval.min(io_timeout)) {
+            Ok(x) => {
+                last_rx = Instant::now();
+                x
+            }
             Err(_) => {
-                // Silence across the whole cluster: blame the slowest
-                // incomplete worker.
+                if last_rx.elapsed() < io_timeout {
+                    continue; // quiet, but within the deadline
+                }
+                // Silence across the whole cluster for a full
+                // io_timeout — no token traffic, no worker heartbeats:
+                // blame the slowest incomplete worker.
                 let slowest = (0..n_workers)
                     .filter(|&i| reports[i].is_none())
                     .min_by_key(|&i| cluster.progress[i])
@@ -326,41 +386,12 @@ pub fn run_cluster(
                 cluster.shutdown_sockets();
                 return Err(e);
             }
+            Event::Bad(message) => {
+                cluster.shutdown_sockets();
+                return Err(cfg_err(message));
+            }
         };
         match msg {
-            Msg::Token { link, ref frame } => {
-                let l = link as usize;
-                if l >= specs.len() {
-                    cluster.shutdown_sockets();
-                    return Err(cfg_err(format!(
-                        "worker {w} sent token for unknown link {l}"
-                    )));
-                }
-                let seq = frame.seq;
-                cluster.max_seq[l] = Some(cluster.max_seq[l].map_or(seq, |m| m.max(seq)));
-                cluster.send(owner_of_link_sink[l], &msg)?;
-            }
-            Msg::CorruptToken { link } => {
-                let l = link as usize;
-                if l < specs.len() {
-                    cluster.send(owner_of_link_sink[l], &msg)?;
-                }
-            }
-            Msg::Ack { link, ack } => {
-                let l = link as usize;
-                if l >= specs.len() {
-                    cluster.shutdown_sockets();
-                    return Err(cfg_err(format!("worker {w} sent ack for unknown link {l}")));
-                }
-                cluster.acked[l] = cluster.acked[l].max(ack);
-                cluster.send(owner_of_link_source[l], &msg)?;
-            }
-            Msg::Credit { link, .. } => {
-                let l = link as usize;
-                if l < specs.len() {
-                    cluster.send(owner_of_link_source[l], &msg)?;
-                }
-            }
             Msg::Progress { cycle } => {
                 cluster.progress[w] = cluster.progress[w].max(cycle);
             }
@@ -378,7 +409,7 @@ pub fn run_cluster(
                 reports[w] = Some(*r);
                 if reports.iter().all(Option::is_some) {
                     for i in 0..n_workers {
-                        let _ = write_msg(&mut cluster.streams[i], &Msg::Shutdown);
+                        let _ = write_msg(&mut *cluster.writers[i].lock().unwrap(), &Msg::Shutdown);
                     }
                     break;
                 }
@@ -423,31 +454,194 @@ pub fn run_cluster(
     ))
 }
 
-fn expect_msg(cluster: &mut Cluster, worker: usize, timeout_ms: u64) -> Result<Msg> {
-    match read_msg(&mut cluster.streams[worker]) {
-        Ok(Some(msg)) => Ok(msg),
-        Ok(None) => {
-            let e = cluster.disconnect_error(worker);
-            cluster.shutdown_sockets();
-            Err(e)
+/// Max go-back-N sequence carried by a raw token message. Frames in a
+/// batch carry consecutive sequences, so the last is first + count − 1.
+fn raw_max_seq(tag: u8, payload: &[u8]) -> Option<u64> {
+    let seq_at = |off: usize| -> Option<u64> {
+        payload
+            .get(off..off + 8)
+            .and_then(|s| s.try_into().ok())
+            .map(u64::from_be_bytes)
+    };
+    match tag {
+        TAG_TOKEN => seq_at(5),
+        TAG_TOKEN_BATCH => {
+            let count = u64::from(u32::from_be_bytes(payload.get(5..9)?.try_into().ok()?));
+            Some(seq_at(9)? + count.saturating_sub(1))
         }
-        Err(e)
-            if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut =>
-        {
-            let e = SimError::NetTimeout {
-                peer: cluster.addrs[worker].clone(),
-                timeout_ms,
-                last_acked_cycle: cluster.progress[worker],
+        _ => None,
+    }
+}
+
+/// True when `buf` starts with one complete `[len][payload]` frame —
+/// i.e. another [`read_raw_msg`] call will succeed without touching
+/// the socket.
+fn buffered_complete_frame(buf: &[u8]) -> bool {
+    buf.get(..4)
+        .and_then(|s| s.try_into().ok())
+        .map(|s: [u8; 4]| u32::from_be_bytes(s) as usize)
+        .is_some_and(|len| buf.len() >= 4 + len)
+}
+
+/// One worker's relay thread: reads raw framed messages off that
+/// worker's socket and forwards data-plane traffic (tokens, acks,
+/// credits) verbatim to the destination worker's write half — no
+/// decode, no re-encode, no hand-off through the control loop. Control
+/// messages are decoded and sent to the control loop's event channel.
+///
+/// Messages are not written one at a time: everything already buffered
+/// from one read burst is routed first, accumulated per destination,
+/// then shipped with one write per destination. A worker flushes its
+/// whole service-loop pass in one socket write, so the common arrival
+/// pattern is several messages at once — and forwarding them as one
+/// write means one scheduler wakeup at the destination, not one per
+/// message.
+///
+/// Exits on EOF, on any socket error (reported as `Event::Closed` for
+/// the peer that failed), or on a protocol violation (`Event::Bad`).
+fn relay_worker(
+    me: usize,
+    reader: NetStream,
+    writers: &[Arc<Mutex<NetStream>>],
+    book: &Mutex<RelayBook>,
+    sink_owner: &[usize],
+    source_owner: &[usize],
+    tx: &mpsc::Sender<(usize, Event)>,
+) {
+    let n_links = sink_owner.len();
+    let mut reader = std::io::BufReader::with_capacity(128 << 10, reader);
+    let mut buf: Vec<u8> = Vec::with_capacity(4 << 10);
+    let mut outbound: Vec<Vec<u8>> = writers.iter().map(|_| Vec::new()).collect();
+    loop {
+        match read_raw_msg(&mut reader, &mut buf) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => {
+                let _ = tx.send((me, Event::Closed));
+                return;
+            }
+        }
+        let payload = &buf[4..];
+        let tag = payload.first().copied().unwrap_or(0);
+        let link = payload
+            .get(1..5)
+            .and_then(|s| s.try_into().ok())
+            .map(|s: [u8; 4]| u32::from_be_bytes(s) as usize);
+        let dest = match tag {
+            TAG_TOKEN | TAG_TOKEN_BATCH => {
+                let Some(l) = link.filter(|&l| l < n_links) else {
+                    let m = format!("worker {me} sent token for unknown link {link:?}");
+                    let _ = tx.send((me, Event::Bad(m)));
+                    return;
+                };
+                if let Some(seq) = raw_max_seq(tag, payload) {
+                    let mut b = book.lock().unwrap();
+                    b.max_seq[l] = Some(b.max_seq[l].map_or(seq, |m| m.max(seq)));
+                }
+                Some(sink_owner[l])
+            }
+            TAG_CORRUPT_TOKEN => link.filter(|&l| l < n_links).map(|l| sink_owner[l]),
+            TAG_ACK => {
+                let Some(l) = link.filter(|&l| l < n_links) else {
+                    let m = format!("worker {me} sent ack for unknown link {link:?}");
+                    let _ = tx.send((me, Event::Bad(m)));
+                    return;
+                };
+                if let Some(ack) = payload
+                    .get(5..13)
+                    .and_then(|s| s.try_into().ok())
+                    .map(u64::from_be_bytes)
+                {
+                    let mut b = book.lock().unwrap();
+                    b.acked[l] = b.acked[l].max(ack);
+                }
+                Some(source_owner[l])
+            }
+            TAG_CREDIT => link.filter(|&l| l < n_links).map(|l| source_owner[l]),
+            _ => {
+                match decode_msg(payload) {
+                    Ok(m) => {
+                        if tx.send((me, Event::Msg(m))).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let m = format!("worker {me} sent a malformed message: {e}");
+                        let _ = tx.send((me, Event::Bad(m)));
+                        return;
+                    }
+                }
+                None
+            }
+        };
+        if let Some(dest) = dest {
+            outbound[dest].extend_from_slice(&buf);
+        }
+        // Keep consuming while the next message is already buffered in
+        // full — the rest of this burst routes without a socket write.
+        if buffered_complete_frame(reader.buffer()) {
+            continue;
+        }
+        for (dest, out) in outbound.iter_mut().enumerate() {
+            if out.is_empty() {
+                continue;
+            }
+            let delivered = {
+                let mut w = writers[dest].lock().unwrap();
+                w.write_all(out).and_then(|()| w.flush()).is_ok()
             };
-            cluster.shutdown_sockets();
-            Err(e)
+            out.clear();
+            if !delivered {
+                // The destination is gone; the control loop decides
+                // what that means for the run.
+                let _ = tx.send((dest, Event::Closed));
+                return;
+            }
         }
-        Err(e) => {
-            cluster.shutdown_sockets();
-            Err(cfg_err(format!(
-                "coordinator read from worker {worker} failed: {e}"
-            )))
+    }
+}
+
+/// One blocking bring-up read with the socket read timeout armed.
+///
+/// `Progress` heartbeats are absorbed (a slow-but-alive worker — e.g.
+/// one building a large design, or one behind a stalled-but-intact
+/// wire — is *not* dead), and each absorbed heartbeat restarts the
+/// socket read timeout, so the `NetTimeout` deadline measures silence,
+/// not total elapsed time.
+fn expect_msg(
+    cluster: &mut Cluster,
+    reader: &mut NetStream,
+    worker: usize,
+    timeout_ms: u64,
+) -> Result<Msg> {
+    loop {
+        match read_msg(reader) {
+            Ok(Some(Msg::Progress { cycle })) => {
+                cluster.progress[worker] = cluster.progress[worker].max(cycle);
+            }
+            Ok(Some(msg)) => return Ok(msg),
+            Ok(None) => {
+                let e = cluster.disconnect_error(worker);
+                cluster.shutdown_sockets();
+                return Err(e);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let e = SimError::NetTimeout {
+                    peer: cluster.addrs[worker].clone(),
+                    timeout_ms,
+                    last_acked_cycle: cluster.progress[worker],
+                };
+                cluster.shutdown_sockets();
+                return Err(e);
+            }
+            Err(e) => {
+                cluster.shutdown_sockets();
+                return Err(cfg_err(format!(
+                    "coordinator read from worker {worker} failed: {e}"
+                )));
+            }
         }
     }
 }

@@ -12,8 +12,10 @@
 //!
 //! Invariants:
 //!
-//! * fresh tokens in flight per link ≤ [`INITIAL_CREDITS`] (plus any
-//!   fast-mode seed slop the receiver consumes from its own staging);
+//! * fresh tokens in flight per link ≤ [`INITIAL_CREDITS`] +
+//!   [`ACK_DELAY_MAX`] (delayed acks let a consumed-and-credited frame
+//!   linger briefly in the retransmit window), plus any fast-mode seed
+//!   slop the receiver consumes from its own staging;
 //! * credits never exceed [`INITIAL_CREDITS`], so a misbehaving peer
 //!   cannot inflate the window;
 //! * retransmissions never block on credit, so recovery from loss can
@@ -24,6 +26,28 @@ use fireaxe_transport::reliable::{Frame, RetryPolicy, RxState, TxState};
 /// Fresh-token window per cross-worker link; matches the runahead queue
 /// depth the threaded backend uses.
 pub const INITIAL_CREDITS: u32 = 64;
+
+/// Flow/protocol state of one sender endpoint, captured at a quiescent
+/// point (nothing in flight) alongside an engine checkpoint, and
+/// restored by [`TxLink::resync`] on rollback.
+#[derive(Debug, Clone, Copy)]
+pub struct TxLinkMark {
+    credits: u32,
+    next_seq: u64,
+}
+
+/// Flow/protocol state of one receiver endpoint, captured alongside an
+/// engine checkpoint and restored by [`RxLink::resync`] on rollback.
+/// Without the `credited_enqueued` half, a rollback rewinds the
+/// channel's cumulative enqueue count *under* the credit bookkeeping:
+/// every token re-consumed during replay then returns zero credits
+/// (`credit_due` saturates), stranding window slots until the sender
+/// wedges at `can_send() == false`.
+#[derive(Debug, Clone, Copy)]
+pub struct RxLinkMark {
+    expected: u64,
+    credited_enqueued: u64,
+}
 
 /// Sender-side state for one outbound cross-worker link.
 #[derive(Debug)]
@@ -61,14 +85,55 @@ impl TxLink {
     pub fn send(&mut self, payload: fireaxe_ir::Bits) -> Frame {
         assert!(self.credits > 0, "fresh send without credit");
         self.credits -= 1;
-        self.tx.send(payload)
+        let frame = self.tx.send(payload);
+        debug_assert!(self.window_intact(), "credit window over-committed");
+        frame
     }
 
     /// Banks returned credits, clamped to the initial window.
     pub fn on_credit(&mut self, amount: u32) {
         self.credits = self.credits.saturating_add(amount).min(INITIAL_CREDITS);
     }
+
+    /// The credit-window invariant: every unacknowledged fresh frame
+    /// holds a spent credit, so `in_flight + credits` cannot exceed
+    /// `INITIAL_CREDITS` — except that the receiver's delayed-ack
+    /// policy lets a frame be consumed (credit returned) up to
+    /// [`ACK_DELAY_MAX`] deliveries before its cumulative ack ships,
+    /// so mid-streak the sum may run that much over. At link
+    /// quiescence every owed ack has shipped and equality
+    /// `in_flight + credits == INITIAL_CREDITS` holds exactly. Debug
+    /// builds assert this after every send and credit application in
+    /// the worker loop.
+    pub fn window_intact(&self) -> bool {
+        self.tx.in_flight() as u32 + self.credits <= INITIAL_CREDITS + ACK_DELAY_MAX
+    }
+
+    /// Captures this endpoint's flow/protocol state next to an engine
+    /// checkpoint. Requires link quiescence (nothing in flight).
+    pub fn mark(&self) -> TxLinkMark {
+        debug_assert_eq!(self.tx.in_flight(), 0, "mark from a non-quiescent sender");
+        TxLinkMark {
+            credits: self.credits,
+            next_seq: self.tx.next_seq(),
+        }
+    }
+
+    /// Rewinds to a [`TxLink::mark`] as part of a coordinated rollback
+    /// (the peer's [`RxLink::resync`] and the engine's channel-state
+    /// restore must happen together).
+    pub fn resync(&mut self, mark: TxLinkMark) {
+        self.credits = mark.credits;
+        self.tx.rewind_to(mark.next_seq);
+        debug_assert!(self.window_intact());
+    }
 }
+
+/// Clean in-sequence deliveries one deferred cumulative ack may cover
+/// before it must ship (see [`RxLink::ack_policy`]). Well under
+/// [`INITIAL_CREDITS`], so delayed acks never hold a meaningful slice
+/// of the sender's retransmit window.
+pub const ACK_DELAY_MAX: u32 = 8;
 
 /// Receiver-side state for one inbound cross-worker link.
 #[derive(Debug)]
@@ -78,6 +143,11 @@ pub struct RxLink {
     /// Tokens the consuming LI-BDN queue had accepted on this channel
     /// when credits were last returned.
     credited_enqueued: u64,
+    /// Cumulative ack owed to the sender but not yet on the wire
+    /// (delayed-ack batching; see [`RxLink::ack_policy`]).
+    deferred_ack: Option<u64>,
+    /// Clean deliveries folded into `deferred_ack` so far.
+    deferred_deliveries: u32,
 }
 
 impl RxLink {
@@ -86,16 +156,78 @@ impl RxLink {
         RxLink {
             rx: RxState::new(),
             credited_enqueued: 0,
+            deferred_ack: None,
+            deferred_deliveries: 0,
         }
+    }
+
+    /// Delayed-ack policy: folds `deliveries` clean deliveries into a
+    /// deferred cumulative ack and decides whether it ships now.
+    /// Acks exist only to prune the sender's retransmit buffer —
+    /// credits, not acks, are the flow control — so a clean streak
+    /// acknowledges once per [`ACK_DELAY_MAX`] deliveries instead of
+    /// once per message. `urgent` (a duplicate or gap verdict: the
+    /// sender is confused or recovering) always ships immediately, as
+    /// does quiescence via [`RxLink::take_deferred_ack`].
+    pub fn ack_policy(&mut self, ack: u64, deliveries: u32, urgent: bool) -> Option<u64> {
+        self.deferred_deliveries += deliveries;
+        if urgent || self.deferred_deliveries >= ACK_DELAY_MAX {
+            self.deferred_deliveries = 0;
+            self.deferred_ack = None;
+            Some(ack)
+        } else {
+            self.deferred_ack = Some(ack);
+            None
+        }
+    }
+
+    /// Takes whatever cumulative ack is still owed, if any. Called at
+    /// loop quiescence: the sender gates `Done` on an empty retransmit
+    /// window, so a deferred ack must never outlive the traffic lull
+    /// that follows the frames it covers.
+    pub fn take_deferred_ack(&mut self) -> Option<u64> {
+        self.deferred_deliveries = 0;
+        self.deferred_ack.take()
     }
 
     /// Computes the credit delta to return given the consuming
     /// channel's cumulative enqueue count, and marks it returned.
     /// Returns 0 when nothing new was consumed.
     pub fn credit_due(&mut self, chan_enqueued: u64) -> u32 {
+        debug_assert!(
+            chan_enqueued >= self.credited_enqueued,
+            "channel enqueue count moved backwards ({} < {}): a rollback \
+             restored channel state without RxLink::resync, which strands \
+             fresh-token credits",
+            chan_enqueued,
+            self.credited_enqueued
+        );
         let due = chan_enqueued.saturating_sub(self.credited_enqueued);
         self.credited_enqueued = chan_enqueued;
         u32::try_from(due).unwrap_or(u32::MAX)
+    }
+
+    /// Captures this endpoint's flow/protocol state next to an engine
+    /// checkpoint (see [`RxLinkMark`]).
+    pub fn mark(&self) -> RxLinkMark {
+        RxLinkMark {
+            expected: self.rx.expected(),
+            credited_enqueued: self.credited_enqueued,
+        }
+    }
+
+    /// Rewinds to an [`RxLink::mark`] as part of a coordinated rollback:
+    /// resets `credited_enqueued` with the restored channel state so
+    /// replayed consumption returns credits again instead of being
+    /// swallowed by the saturating delta. Any deferred ack is dropped —
+    /// it is cumulative over pre-rollback deliveries, and shipping it
+    /// after the rewind would let the sender retire frames this
+    /// receiver now needs retransmitted.
+    pub fn resync(&mut self, mark: RxLinkMark) {
+        self.rx.rewind_to(mark.expected);
+        self.credited_enqueued = mark.credited_enqueued;
+        self.deferred_ack = None;
+        self.deferred_deliveries = 0;
     }
 }
 
@@ -141,5 +273,56 @@ mod tests {
         assert_eq!(rx.credit_due(5), 5);
         assert_eq!(rx.credit_due(5), 0);
         assert_eq!(rx.credit_due(8), 3);
+    }
+
+    /// One emulated link epoch: `n` fresh tokens sent, delivered, acked,
+    /// consumed (advancing the channel's cumulative enqueue count), and
+    /// credited back.
+    fn run_epoch(tx: &mut TxLink, rx: &mut RxLink, enqueued: &mut u64, n: u64) {
+        for v in 0..n {
+            assert!(tx.can_send(), "sender wedged at can_send() == false");
+            let frame = tx.send(Bits::from_u64(v, 16));
+            match rx.rx.on_frame(&frame) {
+                fireaxe_transport::reliable::RxVerdict::Deliver { ack, .. } => tx.tx.on_ack(ack),
+                other => panic!("clean wire must deliver, got {other:?}"),
+            }
+            *enqueued += 1;
+        }
+        tx.on_credit(rx.credit_due(*enqueued));
+        assert!(tx.window_intact());
+    }
+
+    /// Regression: a checkpoint rollback rewinds the channel's enqueue
+    /// count under the credit bookkeeping. Without `resync` at the
+    /// restore point every replayed consumption returns zero credits,
+    /// stranding window slots each rollback until the sender wedges;
+    /// with it the window invariant `in_flight + credits ==
+    /// INITIAL_CREDITS` holds at quiescence forever.
+    #[test]
+    fn rollback_resync_keeps_the_credit_window_intact() {
+        let mut tx = TxLink::new(RetryPolicy::default());
+        let mut rx = RxLink::new();
+        let mut enqueued = 0u64;
+        run_epoch(&mut tx, &mut rx, &mut enqueued, 3);
+
+        // Checkpoint at link quiescence, then enough rollback/replay
+        // epochs that pre-fix stranding (5 credits per epoch) would
+        // exhaust the 64-credit window and wedge the sender.
+        let (tx_mark, rx_mark, chan_mark) = (tx.mark(), rx.mark(), enqueued);
+        for _ in 0..2 * (INITIAL_CREDITS as u64) / 5 {
+            run_epoch(&mut tx, &mut rx, &mut enqueued, 5);
+            // Coordinated rollback: channel state and both endpoints.
+            enqueued = chan_mark;
+            tx.resync(tx_mark);
+            rx.resync(rx_mark);
+        }
+        run_epoch(&mut tx, &mut rx, &mut enqueued, 5);
+
+        assert_eq!(tx.tx.in_flight(), 0);
+        assert_eq!(
+            tx.tx.in_flight() as u32 + tx.credits(),
+            INITIAL_CREDITS,
+            "rollbacks stranded fresh-token credits"
+        );
     }
 }

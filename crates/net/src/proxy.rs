@@ -24,13 +24,18 @@ use std::time::Duration;
 
 const TAG_TOKEN: u8 = 6;
 const TAG_ACK: u8 = 7;
+const TAG_TOKEN_BATCH: u8 = 16;
 /// Byte offset of the first token payload word inside a `Token`
 /// message: tag(1) + link(4) + seq(8) + crc(4) + delay(4) + width(4).
 const TOKEN_PAYLOAD_OFFSET: usize = 25;
+/// Same offset inside a `TokenBatch`'s first frame: tag(1) + link(4) +
+/// count(4) + seq(8) + crc(4) + delay(4) + width(4).
+const BATCH_PAYLOAD_OFFSET: usize = 29;
 
 /// Deterministic fault schedule for one relay direction, keyed by the
-/// 1-based index of `Token` messages in that direction (except
-/// `cut_after`, which counts all data messages).
+/// 1-based index of token-carrying messages (`Token` or `TokenBatch`)
+/// in that direction (except `cut_after`, which counts all data
+/// messages).
 #[derive(Debug, Clone, Default)]
 pub struct ProxyPlan {
     /// Token messages to swallow entirely (forces a retransmit).
@@ -43,6 +48,12 @@ pub struct ProxyPlan {
     /// Sever both directions after this many data messages
     /// (`Token`/`Ack`) forwarded.
     pub cut_after: Option<u64>,
+    /// `(token index, milliseconds)`: hold the stream for that long
+    /// *before* forwarding the indexed token message. The wire stays
+    /// intact — everything behind the token (including heartbeats) is
+    /// simply late, which is exactly the slow-but-alive shape the
+    /// liveness machinery must not misread as a dead peer.
+    pub stall: Vec<(u64, u64)>,
 }
 
 impl ProxyPlan {
@@ -137,11 +148,11 @@ fn pump(mut from: NetStream, mut to: NetStream, plan: ProxyPlan) {
         }
         let is_data = payload
             .first()
-            .is_some_and(|&t| t == TAG_TOKEN || t == TAG_ACK);
+            .is_some_and(|&t| t == TAG_TOKEN || t == TAG_ACK || t == TAG_TOKEN_BATCH);
         let mut copies = 1u32;
         if is_data {
             data_idx += 1;
-            let is_token = payload[0] == TAG_TOKEN;
+            let is_token = payload[0] == TAG_TOKEN || payload[0] == TAG_TOKEN_BATCH;
             if is_token {
                 token_idx += 1;
             }
@@ -153,11 +164,21 @@ fn pump(mut from: NetStream, mut to: NetStream, plan: ProxyPlan) {
                 }
             }
             if is_token {
+                if let Some(&(_, ms)) = plan.stall.iter().find(|(i, _)| *i == token_idx) {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
                 if plan.drop.contains(&token_idx) {
                     continue;
                 }
-                if plan.corrupt.contains(&token_idx) && payload.len() > TOKEN_PAYLOAD_OFFSET {
-                    payload[TOKEN_PAYLOAD_OFFSET] ^= 0x01;
+                if plan.corrupt.contains(&token_idx) {
+                    let off = if payload[0] == TAG_TOKEN {
+                        TOKEN_PAYLOAD_OFFSET
+                    } else {
+                        BATCH_PAYLOAD_OFFSET
+                    };
+                    if payload.len() > off {
+                        payload[off] ^= 0x01;
+                    }
                 }
                 if plan.duplicate.contains(&token_idx) {
                     copies = 2;

@@ -1,15 +1,19 @@
 //! Worker subprocess management for self-hosted clusters.
 //!
 //! A spawned worker binds its listener (typically on an ephemeral
-//! port), prints exactly one line `listening on <addr>` to stdout, and
-//! then serves. [`SpawnedWorker::launch`] reads that line to discover
-//! the address, so callers never race the bind or guess ports. Workers
-//! are killed on drop: a failed coordinator run cannot leak processes.
+//! port), prints a line containing `listening on <addr>` to stdout, and
+//! then serves. [`SpawnedWorker::launch`] reads stdout to discover the
+//! address, so callers never race the bind or guess ports. The
+//! advertisement is matched anywhere in a line (logging frameworks
+//! prefix timestamps, and unrelated log lines may interleave), and
+//! stdout noise need not be UTF-8. Workers are killed *and reaped* on
+//! drop and on every launch failure path: a failed coordinator run can
+//! neither leak processes nor accumulate zombies.
 
 use std::io::{self, BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
 
-/// The stdout line prefix a worker process must print once listening.
+/// The stdout marker a worker process must print once listening.
 pub const LISTENING_PREFIX: &str = "listening on ";
 
 /// A worker subprocess, killed (and reaped) on drop.
@@ -17,56 +21,161 @@ pub const LISTENING_PREFIX: &str = "listening on ";
 pub struct SpawnedWorker {
     /// The address the worker is listening on, as printed by the child.
     pub addr: String,
-    child: Child,
+    /// `None` once [`SpawnedWorker::wait`] has reaped the child, which
+    /// disarms the drop-side kill — signalling an already-reaped pid
+    /// would race pid reuse.
+    child: Option<Child>,
+}
+
+/// Kills and reaps `child`, then returns `err` — every early exit from
+/// [`SpawnedWorker::launch`] must go through here or the child leaks.
+fn abandon(mut child: Child, err: io::Error) -> io::Error {
+    let _ = child.kill();
+    let _ = child.wait();
+    err
 }
 
 impl SpawnedWorker {
-    /// Spawns `cmd` (stdout piped) and waits for its
-    /// [`LISTENING_PREFIX`] line.
+    /// Spawns `cmd` (stdout piped) and scans its stdout for the first
+    /// line carrying the [`LISTENING_PREFIX`] advertisement; the
+    /// address is the first whitespace-delimited token after the
+    /// marker, so trailing log decoration is tolerated.
     ///
     /// # Errors
     ///
-    /// Spawn failures, or the child exiting / closing stdout before
-    /// advertising an address.
+    /// Spawn failures, stdout read failures, or the child exiting /
+    /// closing stdout before advertising an address. On every error the
+    /// child has already been killed and reaped.
     pub fn launch(mut cmd: Command) -> io::Result<Self> {
         cmd.stdout(Stdio::piped());
         let mut child = cmd.spawn()?;
         let stdout = child.stdout.take().expect("stdout was piped");
-        let mut lines = BufReader::new(stdout).lines();
-        for line in &mut lines {
-            let line = line?;
-            if let Some(addr) = line.strip_prefix(LISTENING_PREFIX) {
-                let addr = addr.trim().to_string();
-                // Keep draining the pipe so the child never blocks on a
-                // full stdout buffer.
-                std::thread::spawn(move || for _ in lines {});
-                return Ok(SpawnedWorker { addr, child });
+        let mut reader = BufReader::new(stdout);
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            match reader.read_until(b'\n', &mut buf) {
+                Ok(0) => {
+                    return Err(abandon(
+                        child,
+                        io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "worker exited before printing its listen address",
+                        ),
+                    ));
+                }
+                Ok(_) => {}
+                Err(e) => return Err(abandon(child, e)),
             }
+            let line = String::from_utf8_lossy(&buf);
+            let Some(rest) = line.split(LISTENING_PREFIX).nth(1) else {
+                continue;
+            };
+            let Some(addr) = rest.split_whitespace().next() else {
+                continue; // marker with no address: keep scanning
+            };
+            let addr = addr.to_string();
+            // Keep draining the pipe so the child never blocks on a
+            // full stdout buffer.
+            std::thread::spawn(move || {
+                let mut sink = Vec::new();
+                while matches!(reader.read_until(b'\n', &mut sink), Ok(n) if n > 0) {
+                    sink.clear();
+                }
+            });
+            return Ok(SpawnedWorker {
+                addr,
+                child: Some(child),
+            });
         }
-        let _ = child.kill();
-        let _ = child.wait();
-        Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "worker exited before printing its listen address",
-        ))
     }
 
     /// Waits for the worker to exit cleanly (after a coordinator
-    /// shutdown), returning whether it exited with success.
+    /// shutdown), returning whether it exited with success. Reaps the
+    /// child and disarms the drop-side kill.
     ///
     /// # Errors
     ///
-    /// Propagates wait failures.
+    /// Propagates wait failures (the child is killed and reaped
+    /// best-effort first).
     pub fn wait(mut self) -> io::Result<bool> {
-        let status = self.child.wait()?;
-        // Disarm the drop-side kill: the child is already reaped.
-        Ok(status.success())
+        let mut child = self.child.take().expect("child present until wait or drop");
+        match child.wait() {
+            Ok(status) => Ok(status.success()),
+            Err(e) => Err(abandon(child, e)),
+        }
     }
 }
 
 impl Drop for SpawnedWorker {
     fn drop(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
+        if let Some(child) = self.child.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    fn sh(script: &str) -> Command {
+        let mut cmd = Command::new("sh");
+        cmd.arg("-c").arg(script);
+        cmd
+    }
+
+    #[test]
+    fn launch_finds_the_advertisement_inside_an_interleaved_log_line() {
+        let w = SpawnedWorker::launch(sh("echo '[boot] loading design'; \
+             echo 'ts=42 listening on 127.0.0.1:5555 (tcp, worker 1)'; \
+             sleep 30"))
+        .expect("launch");
+        assert_eq!(w.addr, "127.0.0.1:5555");
+        // Drop kills and reaps the sleeping child.
+    }
+
+    #[test]
+    fn launch_survives_non_utf8_noise_on_stdout() {
+        let w = SpawnedWorker::launch(sh("printf '\\377\\376 binary junk\\n'; \
+             echo 'listening on unix:/tmp/fx.sock'; \
+             sleep 30"))
+        .expect("launch must skip undecodable lines, not fail on them");
+        assert_eq!(w.addr, "unix:/tmp/fx.sock");
+    }
+
+    #[test]
+    fn wait_reaps_a_clean_exit_and_reports_status() {
+        let w = SpawnedWorker::launch(sh("echo 'listening on 127.0.0.1:1'; exit 0")).expect("ok");
+        assert!(w.wait().expect("wait"), "clean exit reported as failure");
+        let w = SpawnedWorker::launch(sh("echo 'listening on 127.0.0.1:1'; exit 3")).expect("ok");
+        assert!(!w.wait().expect("wait"), "failure exit reported as success");
+    }
+
+    /// Regression: a child that emits undecodable noise and closes
+    /// stdout without ever advertising must be killed *and reaped* by
+    /// the failing launch — the old line iterator surfaced the UTF-8
+    /// decode error straight through `?` with the child still running,
+    /// leaking it.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn failed_launch_kills_and_reaps_the_child() {
+        let marker = format!("fxspawn_leak_probe_{}", std::process::id());
+        let err = SpawnedWorker::launch(sh(&format!(
+            "printf '\\377\\376 junk\\n'; exec >&-; sleep 30; : {marker}"
+        )))
+        .expect_err("no advertisement must fail the launch");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // The shell (whose argv carries the marker) must be gone: not
+        // running, and not a zombie either (reaped processes have no
+        // /proc entry at all).
+        let leaked = std::fs::read_dir("/proc").expect("/proc").any(|e| {
+            let Ok(e) = e else { return false };
+            let mut p = e.path();
+            p.push("cmdline");
+            std::fs::read(&p).is_ok_and(|c| String::from_utf8_lossy(&c).contains(&marker))
+        });
+        assert!(!leaked, "failed launch leaked the worker child process");
     }
 }

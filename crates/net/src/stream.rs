@@ -154,6 +154,21 @@ impl NetStream {
         }
     }
 
+    /// Toggles `O_NONBLOCK`. Note this is a property of the underlying
+    /// socket, shared with every [`try_clone`](Self::try_clone) of it —
+    /// while nonblocking, *writes* on any clone can also return
+    /// [`io::ErrorKind::WouldBlock`] and callers must retry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fcntl failures.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.set_nonblocking(nb),
+            NetStream::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+
     /// The peer's address, for error messages.
     pub fn peer_string(&self) -> String {
         match self {

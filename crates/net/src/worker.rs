@@ -18,18 +18,57 @@
 //! stop at exactly the budget, so the shared observation point in
 //! `ingest_and_step` samples identical `(cycle, state_digest)` rows and
 //! VCD changes as the DES golden model.
+//!
+//! # Latency hiding
+//!
+//! Two mechanisms keep the wire off the critical path (the paper's
+//! inter-FPGA latency amortization, §V):
+//!
+//! * **Cycle batching** — outbound fresh tokens accumulate per link and
+//!   ship as one [`Msg::TokenBatch`] per `batch_cycles` target cycles
+//!   (quiescence always flushes a partial batch, so liveness never
+//!   depends on filling one). The receiver stages the whole batch and
+//!   acknowledges once, cumulatively.
+//! * **Write coalescing** — outbound messages queue into one local
+//!   buffer and ship with a single `write`+`flush` per service-loop
+//!   pass (a completed token batch still flushes immediately). The
+//!   kernel socket buffer provides the compute/communication overlap:
+//!   a write returns as soon as the bytes are queued, and the worker
+//!   keeps stepping while the coordinator relays them (double
+//!   buffering: a link's next batch fills while the previous one is
+//!   still in flight unacknowledged). A dedicated writer thread was
+//!   measured slower here — on a loaded host every thread hand-off on
+//!   the token path is a context switch, and the per-cycle critical
+//!   path of a tightly-coupled partitioning is exactly that path.
+//! * **Inline socket reads** — the same argument on the inbound side:
+//!   the service loop drains the socket itself ([`RxWire`]; nonblocking
+//!   while active, one short blocking poll when quiescent) instead of
+//!   delegating to a reader thread. A relayed token then wakes the
+//!   worker's service loop directly, cutting one context switch from
+//!   every hop of the cut's token ring. Deadlock freedom previously
+//!   rested on the always-draining reader thread; it now rests on
+//!   [`WireBuf::flush`] draining inbound whenever the send buffer is
+//!   full, so no two peers can sit blocked writing to each other.
+//!
+//! Runahead is bounded twice: LI-BDN queues are deepened to the
+//! `slack_cycles` lookahead window, and every fresh frame still spends
+//! a flow-control credit — a partition can never run more than
+//! [`crate::flow::INITIAL_CREDITS`] cycles ahead of its slowest
+//! inbound link.
 
 use crate::codec::{
-    design_digest, read_msg, write_msg, LinkReport, Msg, NodeReport, WireReport, WireSettings,
-    FATAL_LINK_DOWN, FATAL_SIM, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+    decode_msg, design_digest, encode_msg, read_msg, write_msg, LinkReport, Msg, NodeReport,
+    WireReport, WireSettings, FATAL_LINK_DOWN, FATAL_SIM, MAX_MSG_LEN, PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
 };
-use crate::flow::{RxLink, TxLink, INITIAL_CREDITS};
+use crate::flow::{RxLink, TxLink};
 use crate::stream::{NetListener, NetStream};
 use fireaxe_obs::{trace, OwnedTraceEvent};
 use fireaxe_ripper::{LinkSpec, PartitionedDesign};
 use fireaxe_sim::{Backend, DistributedSim, NetAccess, Result, SimBuilder, SimError};
-use fireaxe_transport::reliable::RxVerdict;
-use std::sync::mpsc;
+use fireaxe_transport::reliable::{Frame, RxVerdict};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::time::{Duration, Instant};
 
 /// Hook for binding process-local, non-serializable simulation inputs
@@ -49,6 +88,242 @@ enum Event {
 
 fn cfg_err(message: String) -> SimError {
     SimError::Config { message }
+}
+
+/// One outbound cross-worker link: protocol/flow state plus the batch
+/// currently being filled (its predecessor may still be on the wire —
+/// that is the double buffer).
+struct OutLink {
+    link: usize,
+    txl: TxLink,
+    pending: Vec<Frame>,
+}
+
+/// Appends one length-prefixed message to `buf`.
+fn frame_into(buf: &mut Vec<u8>, msg: &Msg) {
+    let payload = encode_msg(msg);
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&payload);
+}
+
+/// The service loop's outbound wire buffer: messages queue locally
+/// (infallibly) and ship in one `write`+`flush` wherever the loop
+/// chooses to flush, so a pass that produces a burst of acks, credits
+/// and tokens costs one syscall instead of one per message.
+struct WireBuf {
+    buf: Vec<u8>,
+}
+
+impl WireBuf {
+    fn new() -> Self {
+        WireBuf {
+            buf: Vec::with_capacity(16 << 10),
+        }
+    }
+
+    fn queue(&mut self, msg: &Msg) {
+        frame_into(&mut self.buf, msg);
+    }
+
+    /// Ships the queued bytes. While the socket's send buffer is full
+    /// (nonblocking mode only), keeps draining the inbound side: the
+    /// peer that must consume our bytes may itself be blocked writing
+    /// to us, and draining breaks that cycle — the deadlock-freedom
+    /// guarantee the dedicated reader thread used to provide.
+    fn flush(
+        &mut self,
+        stream: &mut NetStream,
+        rx: &mut RxWire,
+        events: &mut VecDeque<Event>,
+    ) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let mut off = 0;
+        let mut stalls = 0u32;
+        while off < self.buf.len() {
+            match stream.write(&self.buf[off..]) {
+                Ok(0) => {
+                    self.buf.clear();
+                    return Err(std::io::ErrorKind::WriteZero.into());
+                }
+                Ok(n) => {
+                    off += n;
+                    stalls = 0;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    rx.drain(events);
+                    stalls += 1;
+                    // Yield first (the consumer likely just needs the
+                    // core), back off to real sleeps if the buffer stays
+                    // full — e.g. behind a long wire stall.
+                    if stalls > 64 {
+                        std::thread::sleep(Duration::from_micros(100));
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.buf.clear();
+                    return Err(e);
+                }
+            }
+        }
+        self.buf.clear();
+        stream.flush()
+    }
+}
+
+/// The service loop's inbound wire: the socket drained directly by the
+/// loop, with complete frames decoded out of an accumulation buffer.
+/// See the module docs for why there is deliberately no reader thread.
+///
+/// The underlying descriptor is switched to nonblocking on
+/// construction; since clones share it, the *write* half inherits that
+/// too, which [`WireBuf::flush`] handles. EOF and unrecoverable read or
+/// decode errors surface as one final [`Event::Closed`].
+struct RxWire {
+    stream: NetStream,
+    buf: Vec<u8>,
+    /// Parse cursor; consumed bytes are compacted away after each drain.
+    start: usize,
+    closed: bool,
+}
+
+impl RxWire {
+    fn new(stream: NetStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        Ok(RxWire {
+            stream,
+            buf: Vec::with_capacity(64 << 10),
+            start: 0,
+            closed: false,
+        })
+    }
+
+    /// Pulls every byte currently available and decodes complete frames
+    /// into `events`. Never blocks.
+    fn drain(&mut self, events: &mut VecDeque<Event>) {
+        if self.closed {
+            return;
+        }
+        let mut chunk = [0u8; 64 << 10];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.close(events);
+                    return;
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close(events);
+                    return;
+                }
+            }
+        }
+        self.decode(events);
+    }
+
+    /// Blocks until the socket has bytes or `timeout` elapses, then
+    /// drains. Only called when the service loop is quiescent.
+    fn wait(&mut self, timeout: Duration, events: &mut VecDeque<Event>) {
+        if self.closed || !events.is_empty() {
+            return;
+        }
+        let armed = self.stream.set_nonblocking(false).is_ok()
+            && self.stream.set_read_timeout(Some(timeout)).is_ok();
+        if !armed {
+            // Degenerate fallback: sleep out the poll interval; the
+            // drain below still collects whatever arrived meanwhile.
+            std::thread::sleep(timeout);
+            self.drain(events);
+            return;
+        }
+        let mut chunk = [0u8; 64 << 10];
+        let outcome = self.stream.read(&mut chunk);
+        let _ = self.stream.set_nonblocking(true);
+        match outcome {
+            Ok(0) => {
+                self.close(events);
+                return;
+            }
+            Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => {
+                self.close(events);
+                return;
+            }
+        }
+        self.drain(events);
+    }
+
+    /// Decodes every complete frame sitting in the buffer.
+    fn decode(&mut self, events: &mut VecDeque<Event>) {
+        while self.buf.len() - self.start >= 4 {
+            let len_bytes: [u8; 4] = self.buf[self.start..self.start + 4]
+                .try_into()
+                .expect("slice is 4 bytes");
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            if len as u32 > MAX_MSG_LEN {
+                self.close(events);
+                return;
+            }
+            let end = self.start + 4 + len;
+            if self.buf.len() < end {
+                break;
+            }
+            match decode_msg(&self.buf[self.start + 4..end]) {
+                Ok(msg) => events.push_back(Event::Msg(msg)),
+                Err(_) => {
+                    self.close(events);
+                    return;
+                }
+            }
+            self.start = end;
+        }
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn close(&mut self, events: &mut VecDeque<Event>) {
+        self.closed = true;
+        events.push_back(Event::Closed);
+    }
+}
+
+/// Wraps outbound frames for one link into the smallest equivalent
+/// message: a bare [`Msg::Token`] for a single frame (identical to the
+/// unbatched wire format), a [`Msg::TokenBatch`] otherwise.
+fn token_msg(link: usize, mut frames: Vec<Frame>) -> Msg {
+    if frames.len() == 1 {
+        Msg::Token {
+            link: link as u32,
+            frame: frames.pop().expect("len checked"),
+        }
+    } else {
+        Msg::TokenBatch {
+            link: link as u32,
+            frames,
+        }
+    }
+}
+
+/// Wall-clock cadence for keepalive [`Msg::Progress`] heartbeats: a
+/// quarter of the silence budget, so a slow-but-alive peer always lands
+/// several heartbeats inside every `io_timeout` window.
+pub(crate) fn heartbeat_interval(io_timeout: Duration) -> Duration {
+    (io_timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(1_000))
 }
 
 /// Builds the deterministic local simulation every process of a cluster
@@ -186,6 +461,9 @@ pub fn serve(listener: &NetListener, setup: &SimSetup) -> Result<()> {
         budget,
     );
     if let Err(e) = &result {
+        // The session may have left the descriptor nonblocking; the
+        // Fatal report must not be lost to a transient WouldBlock.
+        let _ = stream.set_nonblocking(false);
         let (code, link, attempts) = match e {
             SimError::LinkDown { link, attempts, .. } => (FATAL_LINK_DOWN, *link as u32, *attempts),
             _ => (FATAL_SIM, 0, 0),
@@ -224,7 +502,7 @@ fn run_session(
             "worker {me} owns no nodes in this partitioning"
         )));
     }
-    let mut out_links: Vec<(usize, TxLink)> = Vec::new();
+    let mut out_links: Vec<OutLink> = Vec::new();
     let mut in_links: Vec<(usize, RxLink)> = Vec::new();
     let mut local_links: Vec<usize> = Vec::new();
     for (l, s) in specs.iter().enumerate() {
@@ -232,47 +510,47 @@ fn run_session(
         let to_mine = access.node_partition(s.to_node) == me;
         match (from_mine, to_mine) {
             (true, true) => local_links.push(l),
-            (true, false) => out_links.push((l, TxLink::new(settings.retry))),
+            (true, false) => out_links.push(OutLink {
+                link: l,
+                txl: TxLink::new(settings.retry),
+                pending: Vec::new(),
+            }),
             (false, true) => in_links.push((l, RxLink::new())),
             (false, false) => {}
         }
     }
     let mut timeout_escalations = vec![0u64; specs.len()];
-    let saved = access.deepen_capacities(INITIAL_CREDITS as usize);
+    let batch = settings.effective_batch();
+    let saved = access.deepen_capacities(settings.effective_slack());
 
-    // Reader thread: decode inbound messages into a channel so the
-    // service loop can poll without blocking.
-    let (tx_ev, rx_ev) = mpsc::channel::<Event>();
+    // Inbound wire: the service loop drains the socket itself (see the
+    // module docs on why there is deliberately no reader thread on this
+    // path). Constructing it flips the shared descriptor nonblocking.
     let reader = stream
         .try_clone()
         .map_err(|e| cfg_err(format!("worker socket clone failed: {e}")))?;
-    let reader_handle = std::thread::spawn(move || {
-        let mut reader = reader;
-        loop {
-            match read_msg(&mut reader) {
-                Ok(Some(msg)) => {
-                    if tx_ev.send(Event::Msg(msg)).is_err() {
-                        break;
-                    }
-                }
-                Ok(None) => {
-                    let _ = tx_ev.send(Event::Closed);
-                    break;
-                }
-                Err(_) => {
-                    let _ = tx_ev.send(Event::Closed);
-                    break;
-                }
-            }
-        }
-    });
+    let mut rx =
+        RxWire::new(reader).map_err(|e| cfg_err(format!("worker socket setup failed: {e}")))?;
+    let mut events: VecDeque<Event> = VecDeque::new();
+
+    // All outbound traffic queues here and is written directly by the
+    // service loop (see the module docs on why there is deliberately no
+    // writer thread on this path).
+    let mut wire = WireBuf::new();
 
     let io_timeout = Duration::from_millis(settings.io_timeout_ms.max(1));
+    let hb_interval = heartbeat_interval(io_timeout);
     let mut last_activity = Instant::now();
+    let mut last_heartbeat = Instant::now();
     let mut last_progress_sent = 0u64;
     let mut done_sent = false;
     let mut finishing = false;
     let mut shutdown = false;
+    let lost = |me: usize| {
+        cfg_err(format!(
+            "worker {me} send to coordinator failed: connection lost"
+        ))
+    };
 
     let min_cycle = |access: &NetAccess, owned: &[usize]| {
         owned
@@ -286,37 +564,32 @@ fn run_session(
         let mut progress = false;
 
         // 1. Drain inbound messages.
-        loop {
-            match rx_ev.try_recv() {
-                Ok(ev) => match handle_event(
-                    ev,
-                    peer,
-                    access,
-                    &mut out_links,
-                    &mut in_links,
-                    stream,
-                    &owned,
-                )? {
-                    Control::Progress => progress = true,
-                    Control::Finish => finishing = true,
-                    Control::Shutdown => {
-                        shutdown = true;
-                        break 'outer Ok(());
-                    }
-                    Control::None => {}
-                },
-                Err(mpsc::TryRecvError::Empty) => break,
-                Err(mpsc::TryRecvError::Disconnected) => {
-                    break 'outer Err(SimError::PeerDisconnected {
-                        peer: peer.to_string(),
-                        last_acked_cycle: min_cycle(access, &owned),
-                        report: access.stall_report(),
-                    });
+        rx.drain(&mut events);
+        while let Some(ev) = events.pop_front() {
+            match handle_event(
+                ev,
+                peer,
+                access,
+                &mut out_links,
+                &mut in_links,
+                &mut wire,
+                &owned,
+            )? {
+                Control::Progress => progress = true,
+                Control::Finish => finishing = true,
+                Control::Shutdown => {
+                    shutdown = true;
+                    break 'outer Ok(());
                 }
+                Control::None => {}
             }
         }
 
-        // 2. Step owned nodes and move link outputs to quiescence.
+        // 2. Step owned nodes and move link outputs to quiescence,
+        //    accumulating outbound tokens into per-link batches. A batch
+        //    ships as soon as it holds `batch` frames; partial batches
+        //    ship at quiescence below, so no token is ever held while
+        //    the loop has nothing else to do.
         loop {
             let mut pass = false;
             for &n in &owned {
@@ -335,32 +608,51 @@ fn run_session(
                     pass = true;
                 }
             }
-            for (l, txl) in &mut out_links {
-                while txl.can_send() {
-                    match access.pop_link_output(*l) {
-                        Some(payload) => {
-                            let frame = txl.send(payload);
-                            if let Err(e) = write_msg(
-                                stream,
-                                &Msg::Token {
-                                    link: *l as u32,
-                                    frame,
-                                },
-                            ) {
-                                break 'outer Err(cfg_err(format!(
-                                    "worker {me} send to coordinator failed: {e}"
-                                )));
+            for ol in &mut out_links {
+                loop {
+                    while ol.txl.can_send() && ol.pending.len() < batch {
+                        match access.pop_link_output(ol.link) {
+                            Some(payload) => {
+                                ol.pending.push(ol.txl.send(payload));
+                                pass = true;
                             }
-                            pass = true;
+                            None => break,
                         }
-                        None => break,
                     }
+                    if ol.pending.len() < batch {
+                        break;
+                    }
+                    // A completed batch is queued here and leaves at
+                    // the end of this pass: sink workers compute on it
+                    // while this loop keeps stepping.
+                    let frames = std::mem::take(&mut ol.pending);
+                    wire.queue(&token_msg(ol.link, frames));
                 }
+            }
+            // One write carries every batch the pass completed: on a
+            // core-starved host each socket write is a receiver wakeup,
+            // so shipping per pass rather than per link is what keeps
+            // the wakeup count flat in the link count.
+            if wire.flush(stream, &mut rx, &mut events).is_err() {
+                break 'outer Err(lost(me));
             }
             if !pass {
                 break;
             }
             progress = true;
+        }
+
+        // 2b. Quiescent flush: ship every partial batch. From here on
+        //     no token is held back in this thread.
+        for ol in &mut out_links {
+            if ol.pending.is_empty() {
+                continue;
+            }
+            let frames = std::mem::take(&mut ol.pending);
+            wire.queue(&token_msg(ol.link, frames));
+        }
+        if wire.flush(stream, &mut rx, &mut events).is_err() {
+            break 'outer Err(lost(me));
         }
 
         // 3. Environment bridges.
@@ -375,42 +667,42 @@ fn run_session(
             let s = &specs[*l];
             let due = rxl.credit_due(access.chan_enqueued(s.to_node, s.to_chan));
             if due > 0 {
-                if let Err(e) = write_msg(
-                    stream,
-                    &Msg::Credit {
-                        link: *l as u32,
-                        amount: due,
-                    },
-                ) {
-                    break 'outer Err(cfg_err(format!(
-                        "worker {me} send to coordinator failed: {e}"
-                    )));
-                }
+                wire.queue(&Msg::Credit {
+                    link: *l as u32,
+                    amount: due,
+                });
             }
         }
 
-        // 5. Progress heartbeat for coordinator-side stall forensics.
+        // 5. Progress for coordinator-side stall forensics (cycle
+        //    cadence), plus a wall-clock keepalive heartbeat: a worker
+        //    that is alive but target-stalled — waiting out a wire
+        //    stall, or simply slow — must never fall silent for a whole
+        //    io_timeout, or the coordinator declares it dead.
         let cycle = min_cycle(access, &owned);
-        if cycle >= last_progress_sent + settings.progress_interval.max(1) {
+        if cycle >= last_progress_sent + settings.progress_interval.max(1)
+            || last_heartbeat.elapsed() >= hb_interval
+        {
             last_progress_sent = cycle;
-            if write_msg(stream, &Msg::Progress { cycle }).is_err() {
-                break 'outer Err(cfg_err(format!(
-                    "worker {me} send to coordinator failed: connection lost"
-                )));
-            }
+            last_heartbeat = Instant::now();
+            wire.queue(&Msg::Progress { cycle });
         }
 
-        // 6. Done: budget reached everywhere, nothing awaiting ACK.
+        // 6. Done: budget reached everywhere, nothing awaiting ACK
+        //    (pending batches were flushed at 2b, and stay in the
+        //    go-back-N window until acknowledged).
         if !done_sent
             && owned.iter().all(|&n| access.node_target_cycle(n) >= budget)
-            && out_links.iter().all(|(_, t)| t.tx.in_flight() == 0)
+            && out_links.iter().all(|ol| ol.txl.tx.in_flight() == 0)
         {
             done_sent = true;
-            if write_msg(stream, &Msg::Done { cycle: budget }).is_err() {
-                break 'outer Err(cfg_err(format!(
-                    "worker {me} send to coordinator failed: connection lost"
-                )));
-            }
+            wire.queue(&Msg::Done { cycle: budget });
+        }
+
+        // Everything queued this pass (acks, credits, progress, done)
+        // leaves in one write.
+        if wire.flush(stream, &mut rx, &mut events).is_err() {
+            break 'outer Err(lost(me));
         }
         if finishing {
             break 'outer Ok(());
@@ -421,91 +713,68 @@ fn run_session(
             continue;
         }
 
-        // 7. Quiescent: tick retransmission timers, then block briefly.
-        for (l, txl) in &mut out_links {
-            match txl.tx.on_tick() {
+        // 7. Quiescent: settle deferred acks and retransmission timers,
+        //    then block briefly. Acks delayed during the active streak
+        //    ship now — peers gate `Done` on an empty retransmit
+        //    window, so an owed ack must not outlive the lull.
+        for (l, rxl) in &mut in_links {
+            if let Some(ack) = rxl.take_deferred_ack() {
+                wire.queue(&Msg::Ack {
+                    link: *l as u32,
+                    ack,
+                });
+            }
+        }
+        for ol in &mut out_links {
+            debug_assert!(ol.pending.is_empty(), "quiescent with unflushed batch");
+            match ol.txl.tx.on_tick() {
                 Ok(frames) => {
                     if !frames.is_empty() {
-                        timeout_escalations[*l] += 1;
-                        for frame in frames {
-                            if write_msg(
-                                stream,
-                                &Msg::Token {
-                                    link: *l as u32,
-                                    frame,
-                                },
-                            )
-                            .is_err()
-                            {
-                                break 'outer Err(cfg_err(format!(
-                                    "worker {me} send to coordinator failed: connection lost"
-                                )));
-                            }
-                        }
+                        timeout_escalations[ol.link] += 1;
+                        wire.queue(&token_msg(ol.link, frames));
                     }
                 }
                 Err(attempts) => {
                     break 'outer Err(SimError::LinkDown {
-                        link: *l,
+                        link: ol.link,
                         attempts,
                         report: access.stall_report(),
                     });
                 }
             }
         }
-        match rx_ev.recv_timeout(IDLE_POLL) {
-            Ok(ev) => {
-                last_activity = Instant::now();
-                match handle_event(
-                    ev,
-                    peer,
-                    access,
-                    &mut out_links,
-                    &mut in_links,
-                    stream,
-                    &owned,
-                )? {
-                    Control::Finish => finishing = true,
-                    Control::Shutdown => {
-                        shutdown = true;
-                        break 'outer Ok(());
-                    }
-                    Control::Progress | Control::None => {}
-                }
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if last_activity.elapsed() >= io_timeout {
-                    break 'outer Err(SimError::NetTimeout {
-                        peer: peer.to_string(),
-                        timeout_ms: settings.io_timeout_ms,
-                        last_acked_cycle: min_cycle(access, &owned),
-                    });
-                }
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                break 'outer Err(SimError::PeerDisconnected {
+        if wire.flush(stream, &mut rx, &mut events).is_err() {
+            break 'outer Err(lost(me));
+        }
+        rx.wait(IDLE_POLL, &mut events);
+        if events.is_empty() {
+            if last_activity.elapsed() >= io_timeout {
+                break 'outer Err(SimError::NetTimeout {
                     peer: peer.to_string(),
+                    timeout_ms: settings.io_timeout_ms,
                     last_acked_cycle: min_cycle(access, &owned),
-                    report: access.stall_report(),
                 });
             }
+        } else {
+            // Handled by the drain at the top of the next pass.
+            last_activity = Instant::now();
         }
     };
 
     access.restore_capacities(saved);
-    if let Err(e) = outcome {
-        drop(reader_handle);
-        return Err(e);
-    }
+    // Back to plain blocking I/O for the epilogue (and, on the error
+    // path, for `serve`'s Fatal report).
+    let _ = stream.set_nonblocking(false);
+    outcome?;
 
     // --- Report ---------------------------------------------------------
     // Fold protocol totals into the engine's link counters first, so the
     // report and any local inspection agree.
-    for (l, txl) in &out_links {
-        let c = access.link_counters_mut(*l);
-        c.sent_frames += txl.tx.sent_frames;
-        c.retransmits += txl.tx.retransmits;
-        c.timeout_escalations += timeout_escalations[*l];
+    for ol in &out_links {
+        let c = access.link_counters_mut(ol.link);
+        c.sent_frames += ol.txl.tx.sent_frames;
+        c.retransmits += ol.txl.tx.retransmits;
+        c.timeout_escalations += timeout_escalations[ol.link];
     }
     for (l, rxl) in &in_links {
         let c = access.link_counters_mut(*l);
@@ -524,11 +793,11 @@ fn run_session(
             vcd: access.take_node_vcd_changes(n),
         });
     }
-    for (l, _) in &out_links {
+    for ol in &out_links {
         report.links.push(LinkReport {
-            link: *l as u32,
-            tokens: access.link_tokens(*l),
-            counters: access.link_counters_mut(*l).clone(),
+            link: ol.link as u32,
+            tokens: access.link_tokens(ol.link),
+            counters: access.link_counters_mut(ol.link).clone(),
         });
     }
     for (l, _) in &in_links {
@@ -550,21 +819,26 @@ fn run_session(
         .iter()
         .map(OwnedTraceEvent::from)
         .collect();
-    write_msg(stream, &Msg::Report(Box::new(report)))
+    wire.queue(&Msg::Report(Box::new(report)));
+    wire.flush(stream, &mut rx, &mut events)
         .map_err(|e| cfg_err(format!("worker {me} report write failed: {e}")))?;
 
-    // Wait for the shutdown (or the coordinator simply closing).
+    // Wait for the shutdown (or the coordinator simply closing, or a
+    // full silent io_timeout — whichever comes first).
     if !shutdown {
-        loop {
-            match rx_ev.recv_timeout(io_timeout) {
-                Ok(Event::Msg(Msg::Shutdown)) | Ok(Event::Closed) => break,
-                Ok(_) => continue,
-                Err(_) => break,
+        'epilogue: loop {
+            while let Some(ev) = events.pop_front() {
+                if matches!(ev, Event::Msg(Msg::Shutdown) | Event::Closed) {
+                    break 'epilogue;
+                }
+            }
+            rx.wait(io_timeout, &mut events);
+            if events.is_empty() {
+                break;
             }
         }
     }
     stream.shutdown();
-    let _ = reader_handle.join();
     Ok(())
 }
 
@@ -579,9 +853,9 @@ fn handle_event(
     ev: Event,
     peer: &str,
     access: &mut NetAccess<'_>,
-    out_links: &mut [(usize, TxLink)],
+    out_links: &mut [OutLink],
     in_links: &mut [(usize, RxLink)],
-    stream: &mut NetStream,
+    wire: &mut WireBuf,
     owned: &[usize],
 ) -> Result<Control> {
     let msg = match ev {
@@ -599,30 +873,8 @@ fn handle_event(
         }
     };
     match msg {
-        Msg::Token { link, frame } => {
-            let l = link as usize;
-            access.check_link(l)?;
-            let Some((_, rxl)) = in_links.iter_mut().find(|(i, _)| *i == l) else {
-                // A misrouted token is a protocol bug, not a fault.
-                return Err(cfg_err(format!(
-                    "token for link {l} arrived at a worker that does not own its sink"
-                )));
-            };
-            match rxl.rx.on_frame(&frame) {
-                RxVerdict::Deliver { payload, ack } => {
-                    access.stage_link_token(l, payload);
-                    write_msg(stream, &Msg::Ack { link, ack })
-                        .map_err(|e| cfg_err(format!("ack write failed: {e}")))?;
-                    Ok(Control::Progress)
-                }
-                RxVerdict::DuplicateAck { ack } | RxVerdict::Gap { ack } => {
-                    write_msg(stream, &Msg::Ack { link, ack })
-                        .map_err(|e| cfg_err(format!("ack write failed: {e}")))?;
-                    Ok(Control::None)
-                }
-                RxVerdict::Corrupt => Ok(Control::None),
-            }
-        }
+        Msg::Token { link, frame } => stage_frames(access, in_links, wire, link, &[frame]),
+        Msg::TokenBatch { link, frames } => stage_frames(access, in_links, wire, link, &frames),
         Msg::CorruptToken { link } => {
             let l = link as usize;
             if let Some((_, rxl)) = in_links.iter_mut().find(|(i, _)| *i == l) {
@@ -632,21 +884,73 @@ fn handle_event(
         }
         Msg::Ack { link, ack } => {
             let l = link as usize;
-            if let Some((_, txl)) = out_links.iter_mut().find(|(i, _)| *i == l) {
-                txl.tx.on_ack(ack);
+            if let Some(ol) = out_links.iter_mut().find(|ol| ol.link == l) {
+                ol.txl.tx.on_ack(ack);
             }
             Ok(Control::Progress)
         }
         Msg::Credit { link, amount } => {
             let l = link as usize;
-            if let Some((_, txl)) = out_links.iter_mut().find(|(i, _)| *i == l) {
-                txl.on_credit(amount);
+            if let Some(ol) = out_links.iter_mut().find(|ol| ol.link == l) {
+                ol.txl.on_credit(amount);
+                debug_assert!(ol.txl.window_intact(), "link {l} credit window inflated");
             }
             Ok(Control::Progress)
         }
         Msg::Finish => Ok(Control::Finish),
         Msg::Shutdown => Ok(Control::Shutdown),
-        // Late control messages (e.g. a duplicate Run) are ignored.
+        // Late control messages (e.g. a duplicate Run) and coordinator
+        // keepalive heartbeats are absorbed without effect.
         _ => Ok(Control::None),
     }
+}
+
+/// Classifies delivered token frames for one link (a single frame or a
+/// whole batch), stages in-sequence payloads, and feeds at most one
+/// cumulative ack covering everything processed into the link's
+/// delayed-ack policy ([`RxLink::ack_policy`]) — per-frame or
+/// per-message acks would give back the round trips and scheduler
+/// wakeups that batching and write coalescing exist to save.
+fn stage_frames(
+    access: &mut NetAccess<'_>,
+    in_links: &mut [(usize, RxLink)],
+    wire: &mut WireBuf,
+    link: u32,
+    frames: &[Frame],
+) -> Result<Control> {
+    let l = link as usize;
+    access.check_link(l)?;
+    let Some((_, rxl)) = in_links.iter_mut().find(|(i, _)| *i == l) else {
+        // A misrouted token is a protocol bug, not a fault.
+        return Err(cfg_err(format!(
+            "token for link {l} arrived at a worker that does not own its sink"
+        )));
+    };
+    let mut latest_ack = None;
+    let mut delivered = 0u32;
+    let mut urgent = false;
+    for frame in frames {
+        match rxl.rx.on_frame(frame) {
+            RxVerdict::Deliver { payload, ack } => {
+                access.stage_link_token(l, payload);
+                delivered += 1;
+                latest_ack = Some(ack);
+            }
+            RxVerdict::DuplicateAck { ack } | RxVerdict::Gap { ack } => {
+                latest_ack = Some(ack);
+                urgent = true;
+            }
+            RxVerdict::Corrupt => {}
+        }
+    }
+    if let Some(ack) = latest_ack {
+        if let Some(ack) = rxl.ack_policy(ack, delivered, urgent) {
+            wire.queue(&Msg::Ack { link, ack });
+        }
+    }
+    Ok(if delivered > 0 {
+        Control::Progress
+    } else {
+        Control::None
+    })
 }

@@ -57,6 +57,16 @@ pub fn observed_settings() -> WireSettings {
     }
 }
 
+/// [`observed_settings`] with an explicit cycle-batching knob, for the
+/// batch-size parity sweeps (the DES reference never sees this knob —
+/// batching must be invisible in target state at every size).
+pub fn observed_settings_batched(batch_cycles: u64) -> WireSettings {
+    WireSettings {
+        batch_cycles,
+        ..observed_settings()
+    }
+}
+
 /// Runs the DES golden model with the exact same design, settings, and
 /// setup hook the cluster uses.
 pub fn des_reference(

@@ -9,15 +9,18 @@
 mod common;
 
 use common::{
-    des_reference, listen_addrs, noc_4partition_design, observed_settings, setup_hook,
-    spawn_workers, CYCLES,
+    des_reference, listen_addrs, noc_4partition_design, observed_settings,
+    observed_settings_batched, setup_hook, spawn_workers, CYCLES,
 };
-use fireaxe_net::{run_cluster, NetRunReport};
+use fireaxe_net::{run_cluster, NetRunReport, WireSettings};
 use fireaxe_sim::{ObsReport, SimMetrics};
 
 fn run_net(unix: bool, label: &str) -> NetRunReport {
+    run_net_with(unix, label, observed_settings())
+}
+
+fn run_net_with(unix: bool, label: &str, settings: WireSettings) -> NetRunReport {
     let (circuit, spec) = noc_4partition_design();
-    let settings = observed_settings();
     let addrs = listen_addrs(4, unix, label);
     let (bound, handles) = spawn_workers(&addrs);
     let report = run_cluster(
@@ -120,4 +123,23 @@ fn unix_cluster_matches_des_golden_model() {
     let (des_metrics, des_obs) = des_reference(&circuit, &spec, &observed_settings());
     let net = run_net(true, "parity-unix");
     assert_parity(&net, &des_metrics, &des_obs);
+}
+
+/// The cycle-batching knob must be invisible in target state: the same
+/// `(cycle, state_digest)` rows and the byte-identical VCD at every
+/// batch size. 1 (a `Token` message per token, the pre-batching wire
+/// shape) and 64 (a full credit window per message) bracket the
+/// default of 8, which the two tests above already exercise.
+#[test]
+fn unix_cluster_matches_des_at_every_batch_size() {
+    let (circuit, spec) = noc_4partition_design();
+    let (des_metrics, des_obs) = des_reference(&circuit, &spec, &observed_settings());
+    for batch in [1u64, 64] {
+        let net = run_net_with(
+            true,
+            &format!("parity-b{batch}"),
+            observed_settings_batched(batch),
+        );
+        assert_parity(&net, &des_metrics, &des_obs);
+    }
 }

@@ -8,33 +8,42 @@
 mod common;
 
 use common::{
-    des_reference, listen_addrs, noc_4partition_design, observed_settings, setup_hook,
-    spawn_workers, CYCLES,
+    des_reference, listen_addrs, noc_4partition_design, observed_settings,
+    observed_settings_batched, setup_hook, spawn_workers, CYCLES,
 };
 use fireaxe_net::{run_cluster, FaultProxy, NetRunReport, ProxyPlan};
 
 /// Runs the 4-partition cluster with worker 1 behind a fault proxy
 /// damaging both directions of its connection.
 fn run_faulted(unix: bool, label: &str) -> NetRunReport {
+    run_faulted_batched(unix, label, None)
+}
+
+fn run_faulted_batched(unix: bool, label: &str, batch_cycles: Option<u64>) -> NetRunReport {
     let (circuit, spec) = noc_4partition_design();
-    let settings = observed_settings();
+    let settings = match batch_cycles {
+        Some(b) => observed_settings_batched(b),
+        None => observed_settings(),
+    };
     let addrs = listen_addrs(4, unix, label);
     let (bound, handles) = spawn_workers(&addrs);
 
     // Early token messages on worker 1's leg get dropped, corrupted, and
-    // duplicated, in both directions. The indices are spaced out so each
-    // fault lands on an already-flowing stream.
+    // duplicated, in both directions. Indices count token-carrying
+    // messages (`Token` or `TokenBatch`), and each category keeps one
+    // single-digit index so every fault kind still lands when large
+    // batches shrink the message count.
     let to_worker = ProxyPlan {
         drop: vec![2, 17],
         corrupt: vec![5, 23],
         duplicate: vec![9, 31],
-        cut_after: None,
+        ..ProxyPlan::clean()
     };
     let to_coordinator = ProxyPlan {
         drop: vec![3, 19],
         corrupt: vec![7, 29],
-        duplicate: vec![11, 37],
-        cut_after: None,
+        duplicate: vec![4, 37],
+        ..ProxyPlan::clean()
     };
     let proxy_listen = if unix {
         format!(
@@ -131,4 +140,19 @@ fn tcp_cluster_recovers_bit_exact_through_fault_proxy() {
 #[test]
 fn unix_cluster_recovers_bit_exact_through_fault_proxy() {
     assert_recovered_bit_exact(&run_faulted(true, "faults-unix"));
+}
+
+/// The same damage campaign at every batch size: a dropped or corrupted
+/// `TokenBatch` costs a whole window of tokens at once, and go-back-N
+/// plus the credit window must still replay it into a bit-exact run.
+/// (The two tests above cover the default batch of 8.)
+#[test]
+fn unix_cluster_recovers_bit_exact_at_every_batch_size() {
+    for batch in [1u64, 8, 64] {
+        assert_recovered_bit_exact(&run_faulted_batched(
+            true,
+            &format!("faults-b{batch}"),
+            Some(batch),
+        ));
+    }
 }

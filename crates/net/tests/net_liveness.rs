@@ -1,0 +1,198 @@
+//! Liveness under slowness: a peer that is slow but alive must never be
+//! declared dead.
+//!
+//! Two regression scenarios for the timeout machinery:
+//!
+//! * **Run phase**: the fault proxy holds one direction of worker 1's
+//!   wire for 2 s — four times the configured `io_timeout_ms`. The
+//!   whole cluster target-stalls behind the held tokens, so without
+//!   wall-clock heartbeats (workers → coordinator) and keepalive
+//!   broadcasts (coordinator → workers) both sides misread the stall
+//!   as death and trip `NetTimeout`. With them, the run rides out the
+//!   stall, go-back-N replays the held window, and the result is still
+//!   bit-exact against the DES golden model.
+//! * **Bring-up**: `expect_msg` must absorb `Progress` heartbeats from
+//!   a worker that is still building (or stuck behind a stalled wire),
+//!   restarting its deadline on each one, instead of failing the
+//!   handshake on the first heartbeat it sees.
+
+mod common;
+
+use common::{
+    des_reference, listen_addrs, noc_4partition_design, observed_settings, setup_hook,
+    spawn_workers, CYCLES,
+};
+use fireaxe_net::codec::{read_msg, write_msg, Msg, FATAL_SIM, PROTOCOL_MAGIC};
+use fireaxe_net::{run_cluster, FaultProxy, NetListener, ProxyPlan, PROTOCOL_VERSION};
+use fireaxe_sim::SimError;
+use fireaxe_transport::reliable::RetryPolicy;
+use std::time::{Duration, Instant};
+
+/// How long the proxy holds worker 1's outbound wire. Four io_timeouts:
+/// decisively longer than any single silence budget, decisively shorter
+/// than the retransmission escalation horizon of the widened policy.
+const STALL_MS: u64 = 2_000;
+const IO_TIMEOUT_MS: u64 = 500;
+
+#[test]
+fn cluster_rides_out_a_wire_stall_four_times_the_io_timeout() {
+    let (circuit, spec) = noc_4partition_design();
+    let mut settings = observed_settings();
+    settings.io_timeout_ms = IO_TIMEOUT_MS;
+    // Widen the go-back-N escalation horizon (~105 s of idle polling)
+    // so the held window retransmits through the stall instead of
+    // escalating to LinkDown partway.
+    settings.retry = RetryPolicy {
+        max_retries: 12,
+        timeout_cycles: 64,
+    };
+    let addrs = listen_addrs(4, false, "stall");
+    let (bound, handles) = spawn_workers(&addrs);
+
+    // Hold worker 1 → coordinator traffic at the third token-carrying
+    // message. Everything queued behind it (tokens, acks, credits, and
+    // worker 1's own heartbeats) arrives 2 s late; worker 1 keeps
+    // *receiving* normally the whole time.
+    let to_coordinator = ProxyPlan {
+        stall: vec![(3, STALL_MS)],
+        ..ProxyPlan::clean()
+    };
+    let proxy = FaultProxy::start("127.0.0.1:0", &bound[1], ProxyPlan::clean(), to_coordinator)
+        .expect("proxy start");
+    let mut cluster_addrs = bound.clone();
+    cluster_addrs[1] = proxy.addr.clone();
+
+    let started = Instant::now();
+    let net = run_cluster(
+        &circuit,
+        &spec,
+        CYCLES,
+        &cluster_addrs,
+        &settings,
+        10_000,
+        &setup_hook,
+    )
+    .expect("a slow-but-alive cluster must finish, not time out");
+    assert!(
+        started.elapsed() >= Duration::from_millis(STALL_MS),
+        "the stall never actually happened"
+    );
+    for h in handles {
+        h.join().expect("worker thread").expect("worker exit");
+    }
+
+    // The stall visibly exercised recovery (the held window retransmits
+    // while unacknowledged)...
+    let retransmits: u64 = net.metrics.links.iter().map(|l| l.retransmits).sum();
+    assert!(retransmits > 0, "a 2 s hold must provoke retransmissions");
+
+    // ...and none of it leaked into target state.
+    let (_, des_obs) = des_reference(&circuit, &spec, &settings);
+    let net_rows: Vec<(String, Vec<(u64, u64)>)> = net
+        .series
+        .nodes
+        .iter()
+        .map(|n| {
+            (
+                n.node.clone(),
+                n.samples
+                    .iter()
+                    .map(|s| (s.cycle, s.state_digest))
+                    .collect(),
+            )
+        })
+        .collect();
+    let des_rows: Vec<(String, Vec<(u64, u64)>)> = des_obs
+        .metrics
+        .nodes
+        .iter()
+        .map(|n| {
+            (
+                n.node.clone(),
+                n.samples
+                    .iter()
+                    .map(|s| (s.cycle, s.state_digest))
+                    .collect(),
+            )
+        })
+        .collect();
+    assert_eq!(net_rows, des_rows, "the stall leaked into target state");
+    assert_eq!(
+        net.vcd.as_deref().expect("net VCD"),
+        des_obs.vcd.as_deref().expect("DES VCD"),
+        "the stall leaked into the waveform"
+    );
+}
+
+/// Bring-up half: a stub worker handshakes, then spends over two
+/// connect-timeouts heartbeating before it resolves the `Ready` phase
+/// (here: with a deliberate `Fatal`, which gives the test a distinctive
+/// error to observe). Pre-fix, `expect_msg` returned the first
+/// `Progress` as the answer and failed the handshake with "sent
+/// Progress … instead of Ready".
+#[test]
+fn handshake_absorbs_progress_heartbeats_from_a_slow_worker() {
+    let (circuit, spec) = noc_4partition_design();
+    let settings = observed_settings();
+    let connect_timeout_ms = 400u64;
+
+    let stub = NetListener::bind("127.0.0.1:0").expect("stub bind");
+    let stub_addr = stub.local_addr_string();
+    let stub_thread = std::thread::spawn(move || {
+        let mut s = stub.accept().expect("stub accept");
+        let _ = read_msg(&mut s).expect("hello");
+        write_msg(
+            &mut s,
+            &Msg::HelloAck {
+                magic: PROTOCOL_MAGIC,
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .expect("helloack");
+        let _ = read_msg(&mut s).expect("topology");
+        // "Still building": a full second of heartbeats, each spaced
+        // inside the 400 ms deadline, the whole span well beyond it.
+        for _ in 0..5 {
+            std::thread::sleep(Duration::from_millis(200));
+            write_msg(&mut s, &Msg::Progress { cycle: 0 }).expect("heartbeat");
+        }
+        write_msg(
+            &mut s,
+            &Msg::Fatal {
+                code: FATAL_SIM,
+                link: 0,
+                attempts: 0,
+                message: "stub resolved after heartbeating".into(),
+            },
+        )
+        .expect("fatal");
+        // Hold the socket until the coordinator tears down.
+        let _ = read_msg(&mut s);
+    });
+    let others = spawn_workers(&listen_addrs(3, false, "hb"));
+    let mut cluster_addrs = vec![stub_addr];
+    cluster_addrs.extend(others.0.iter().cloned());
+
+    let err = run_cluster(
+        &circuit,
+        &spec,
+        CYCLES,
+        &cluster_addrs,
+        &settings,
+        connect_timeout_ms,
+        &setup_hook,
+    )
+    .expect_err("the stub resolves the handshake with a Fatal");
+    match err {
+        SimError::Config { message } => assert!(
+            message.contains("stub resolved after heartbeating"),
+            "handshake must survive past the heartbeats to the stub's \
+             real answer; instead failed with: {message}"
+        ),
+        other => panic!("heartbeats were misread as a dead/confused worker: {other}"),
+    }
+    stub_thread.join().expect("stub thread");
+    for h in others.1 {
+        let _ = h.join().expect("worker thread must exit");
+    }
+}

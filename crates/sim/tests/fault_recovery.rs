@@ -70,12 +70,16 @@ type Fingerprint = (Vec<(u64, u64)>, Vec<u64>, Vec<(usize, String, u64)>);
 
 /// Runs `cycles` with optional fault injection and recovery knobs,
 /// returning the target-visible fingerprint (plus rollbacks taken).
-fn run_fingerprint(
+/// `capacity` overrides the LI-BDN channel capacity when non-zero —
+/// the in-process runahead window, the same knob the net backend's
+/// `batch_cycles`/`slack_cycles` pacing leans on.
+fn run_fingerprint_at_capacity(
     backend: Backend,
     cycles: u64,
     faults: Option<(FaultSpec, RetryPolicy)>,
     checkpoint_interval: u64,
     max_rollbacks: u32,
+    capacity: usize,
 ) -> Result<(Fingerprint, u64), SimError> {
     let c = soc();
     let design = compile(&c, &spec()).unwrap();
@@ -85,6 +89,9 @@ fn run_fingerprint(
         .bridge(rest, Box::new(ScriptBridge::new(stimulus).recording()))
         .checkpoint_interval(checkpoint_interval)
         .max_rollbacks(max_rollbacks);
+    if capacity > 0 {
+        b = b.channel_capacity(capacity);
+    }
     if let Some((spec, policy)) = faults {
         b = b.fault_spec(spec).retry_policy(policy);
     }
@@ -113,6 +120,24 @@ fn run_fingerprint(
         .collect();
     trace.sort_unstable();
     Ok(((trace, cycles_done, ports), rollbacks))
+}
+
+/// [`run_fingerprint_at_capacity`] at the default channel capacity.
+fn run_fingerprint(
+    backend: Backend,
+    cycles: u64,
+    faults: Option<(FaultSpec, RetryPolicy)>,
+    checkpoint_interval: u64,
+    max_rollbacks: u32,
+) -> Result<(Fingerprint, u64), SimError> {
+    run_fingerprint_at_capacity(
+        backend,
+        cycles,
+        faults,
+        checkpoint_interval,
+        max_rollbacks,
+        0,
+    )
 }
 
 /// Strategy over *recoverable* fault campaigns: independent per-mille
@@ -145,7 +170,11 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(100))]
 
     /// The keystone: random recoverable fault schedules leave both
-    /// backends bit-identical to the fault-free DES golden run.
+    /// backends bit-identical to the fault-free DES golden run — at
+    /// every runahead window. Sweeping the channel capacity over
+    /// {1, 8, 64} (lockstep, the net backend's default batch, a full
+    /// credit window) proves pacing is invisible in target state even
+    /// composed with faults and rollback recovery.
     #[test]
     fn recoverable_fault_runs_match_faultfree_golden(
         spec in recoverable_faults(),
@@ -156,20 +185,26 @@ proptest! {
         let (golden, _) = run_fingerprint(Backend::Des, cycles, None, 0, 0)
             .expect("fault-free golden run");
         for backend in [Backend::Des, Backend::Threads(0)] {
-            let (got, _) = run_fingerprint(
-                backend,
-                cycles,
-                Some((spec.clone(), policy)),
-                interval,
-                16,
-            )
-            .unwrap_or_else(|e| panic!("{backend:?} failed to recover: {e}"));
-            prop_assert!(
-                got == golden,
-                "{:?} diverged from golden under faults {:?}",
-                backend,
-                &spec
-            );
+            for capacity in [1usize, 8, 64] {
+                let (got, _) = run_fingerprint_at_capacity(
+                    backend,
+                    cycles,
+                    Some((spec.clone(), policy)),
+                    interval,
+                    16,
+                    capacity,
+                )
+                .unwrap_or_else(|e| {
+                    panic!("{backend:?} (capacity {capacity}) failed to recover: {e}")
+                });
+                prop_assert!(
+                    got == golden,
+                    "{:?} at channel capacity {} diverged from golden under faults {:?}",
+                    backend,
+                    capacity,
+                    &spec
+                );
+            }
         }
     }
 }

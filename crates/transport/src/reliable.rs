@@ -259,6 +259,25 @@ impl TxState {
         self.next_seq
     }
 
+    /// Rewinds sequencing to `seq` as part of a *coordinated* checkpoint
+    /// rollback: both link endpoints (and the channel state between
+    /// them) must rewind together, from a quiescent point — nothing may
+    /// be in flight, or stale copies still on the wire would alias the
+    /// replayed sequence numbers. Transmission statistics keep running,
+    /// mirroring how the engine leaves fault counters running across
+    /// restores.
+    pub fn rewind_to(&mut self, seq: u64) {
+        debug_assert!(
+            self.unacked.is_empty(),
+            "rewind from a non-quiescent sender ({} frames in flight)",
+            self.unacked.len()
+        );
+        self.unacked.clear();
+        self.next_seq = seq;
+        self.attempts = 0;
+        self.timer = 0;
+    }
+
     /// Accepts a fresh token for transmission; returns the sealed frame
     /// to put on the wire.
     pub fn send(&mut self, payload: Bits) -> Frame {
@@ -370,6 +389,13 @@ impl RxState {
     /// Next sequence number the receiver will accept.
     pub fn expected(&self) -> u64 {
         self.expected
+    }
+
+    /// Rewinds the receive window to expect `seq` next — the receiver
+    /// half of the coordinated rollback described at
+    /// [`TxState::rewind_to`]. Forensic counters keep running.
+    pub fn rewind_to(&mut self, seq: u64) {
+        self.expected = seq;
     }
 
     /// Classifies one incoming frame.
@@ -646,6 +672,41 @@ mod tests {
             bad.validate(),
             Err(TransportError::BadRetryPolicy { .. })
         ));
+    }
+
+    #[test]
+    fn rewind_replays_the_same_sequence_numbers() {
+        let mut tx = TxState::new(RetryPolicy::default());
+        let mut rx = RxState::new();
+        // Epoch 1: three tokens delivered and acked.
+        for v in 0..3u64 {
+            let f = tx.send(token(v));
+            if let RxVerdict::Deliver { ack, .. } = rx.on_frame(&f) {
+                tx.on_ack(ack);
+            }
+        }
+        let (tx_mark, rx_mark) = (tx.next_seq(), rx.expected());
+        // Epoch 2: two more, then a coordinated rollback.
+        for v in 3..5u64 {
+            let f = tx.send(token(v));
+            if let RxVerdict::Deliver { ack, .. } = rx.on_frame(&f) {
+                tx.on_ack(ack);
+            }
+        }
+        tx.rewind_to(tx_mark);
+        rx.rewind_to(rx_mark);
+        // Replay: the same sequence numbers flow again and still deliver.
+        for v in 3..5u64 {
+            let f = tx.send(token(v));
+            assert!(
+                matches!(rx.on_frame(&f), RxVerdict::Deliver { .. }),
+                "replayed seq {} must deliver after a coordinated rewind",
+                f.seq
+            );
+            tx.on_ack(rx.expected());
+        }
+        assert_eq!(tx.in_flight(), 0);
+        assert_eq!(rx.duplicate_frames, 0, "replay is not a duplicate");
     }
 
     #[test]

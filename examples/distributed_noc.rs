@@ -9,12 +9,15 @@
 //! TCP. No manual orchestration — `cargo run --example distributed_noc`
 //! does the whole flow.
 //!
-//! After the cluster run, the same design is run on the in-process DES
-//! golden model and the two are compared: the sampled
-//! `(cycle, state_digest)` rows and the rendered VCD must be
+//! The cluster run is repeated at every wire batching depth
+//! (`batch_cycles` ∈ {1, 8, 64} — unbatched, default, a full credit
+//! window), with a fresh set of worker processes each time, and every
+//! run is compared against the in-process DES golden model: the
+//! sampled `(cycle, state_digest)` rows and the rendered VCD must be
 //! byte-identical (the LI-BDN argument — target state depends only on
 //! token values in per-channel order — holds across process
-//! boundaries and real sockets just as it does across threads).
+//! boundaries, real sockets, and any wire framing of the same token
+//! stream).
 //!
 //! Writes `distributed_noc.trace.json` into the working directory: the
 //! merged Chrome trace with the coordinator and each worker as separate
@@ -60,10 +63,15 @@ fn setup(b: SimBuilder<'_>) -> SimBuilder<'_> {
     b.behaviors(registry)
 }
 
-fn settings() -> WireSettings {
+/// Wire batching depths swept by the parity loop: unbatched, the
+/// default, and a full credit window.
+const BATCHES: [u64; 3] = [1, 8, 64];
+
+fn settings(batch_cycles: u64) -> WireSettings {
     WireSettings {
         sample_interval: SAMPLE_EVERY,
         vcd: true,
+        batch_cycles,
         ..Default::default()
     }
 }
@@ -91,35 +99,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (circuit, spec) = design();
     let n = compile(&circuit, &spec)?.partitions.len();
-
-    // Re-exec this binary once per partition; `SpawnedWorker` reads
-    // each child's advertised address, and kills it on drop, so a
-    // failed run cannot leak processes.
     let exe = std::env::current_exe()?;
-    let workers: Vec<SpawnedWorker> = (0..n)
-        .map(|_| {
-            let mut cmd = Command::new(&exe);
-            cmd.arg(WORKER_FLAG);
-            SpawnedWorker::launch(cmd).expect("spawn worker")
-        })
-        .collect();
-    let addrs: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();
-    println!("spawned {n} worker processes on {}", addrs.join(", "));
 
-    let net = run_cluster(&circuit, &spec, CYCLES, &addrs, &settings(), 10_000, &setup)?;
-    println!(
-        "cluster simulated {} target cycles over {} cross-partition links",
-        net.metrics.target_cycles,
-        net.metrics.link_tokens.len()
-    );
-
-    // Clean shutdown: every worker process must exit zero.
-    for w in workers {
-        assert!(w.wait()?, "worker exited with failure");
-    }
-
-    // The in-process DES golden model, same design and settings.
-    let (_, mut des) = FireAxe::new(circuit, spec)
+    // The in-process DES golden model, same design and settings; every
+    // cluster run below must reproduce it bit for bit.
+    let (_, mut des) = FireAxe::new(circuit.clone(), spec.clone())
         .backend(Backend::Des)
         .observe(ObsSpec {
             sample_interval: SAMPLE_EVERY,
@@ -130,27 +114,72 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let des_metrics = des.run_target_cycles(CYCLES)?;
     let des_report = des.obs_report();
 
-    // Bit-exactness across process boundaries: sampled digests, the
-    // waveform, and the per-link token totals all match the DES run.
-    assert_eq!(net.series.nodes.len(), des_report.metrics.nodes.len());
-    for (a, b) in net.series.nodes.iter().zip(&des_report.metrics.nodes) {
-        assert_eq!(a.node, b.node);
-        assert_eq!(a.samples.len(), b.samples.len(), "node {}", a.node);
-        for (sa, sb) in a.samples.iter().zip(&b.samples) {
-            assert_eq!((sa.cycle, sa.state_digest), (sb.cycle, sb.state_digest));
+    let mut trace = String::new();
+    for batch in BATCHES {
+        // Re-exec this binary once per partition; `SpawnedWorker` reads
+        // each child's advertised address, and kills it on drop, so a
+        // failed run cannot leak processes. Workers serve exactly one
+        // coordinator session, so each batch depth gets a fresh fleet.
+        let workers: Vec<SpawnedWorker> = (0..n)
+            .map(|_| {
+                let mut cmd = Command::new(&exe);
+                cmd.arg(WORKER_FLAG);
+                SpawnedWorker::launch(cmd).expect("spawn worker")
+            })
+            .collect();
+        let addrs: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();
+        println!(
+            "batch_cycles={batch}: spawned {n} worker processes on {}",
+            addrs.join(", ")
+        );
+
+        let net = run_cluster(
+            &circuit,
+            &spec,
+            CYCLES,
+            &addrs,
+            &settings(batch),
+            10_000,
+            &setup,
+        )?;
+        println!(
+            "batch_cycles={batch}: simulated {} target cycles over {} cross-partition links",
+            net.metrics.target_cycles,
+            net.metrics.link_tokens.len()
+        );
+
+        // Clean shutdown: every worker process must exit zero.
+        for w in workers {
+            assert!(w.wait()?, "worker exited with failure");
         }
+
+        // Bit-exactness across process boundaries, at every wire
+        // batching depth: sampled digests, the waveform, and the
+        // per-link token totals all match the DES run.
+        assert_eq!(net.series.nodes.len(), des_report.metrics.nodes.len());
+        for (a, b) in net.series.nodes.iter().zip(&des_report.metrics.nodes) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.samples.len(), b.samples.len(), "node {}", a.node);
+            for (sa, sb) in a.samples.iter().zip(&b.samples) {
+                assert_eq!((sa.cycle, sa.state_digest), (sb.cycle, sb.state_digest));
+            }
+        }
+        assert_eq!(
+            net.vcd, des_report.vcd,
+            "waveforms diverged at batch_cycles={batch}"
+        );
+        assert_eq!(net.metrics.link_tokens, des_metrics.link_tokens);
+        trace = net.chrome_trace;
     }
-    assert_eq!(net.vcd, des_report.vcd, "waveforms diverged");
-    assert_eq!(net.metrics.link_tokens, des_metrics.link_tokens);
     println!(
-        "4 processes and the DES golden model agree on (cycle, state_digest); \
-         waveforms are byte-identical"
+        "4 processes and the DES golden model agree on (cycle, state_digest) at every \
+         batch depth {BATCHES:?}; waveforms are byte-identical"
     );
 
-    std::fs::write("distributed_noc.trace.json", &net.chrome_trace)?;
+    std::fs::write("distributed_noc.trace.json", &trace)?;
     println!(
         "wrote distributed_noc.trace.json ({} bytes): coordinator + {} worker process tracks",
-        net.chrome_trace.len(),
+        trace.len(),
         n
     );
     Ok(())
